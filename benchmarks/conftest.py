@@ -1,0 +1,177 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every paper figure gets one bench module.  Figures that share an
+experiment (e.g. Figure 4's specialization bars and Figure 5's
+fitness curves) share one cached run.
+
+GP scale: the paper ran population 400 for 50 generations on a
+cluster for about a day per benchmark.  The default bench scale is
+deliberately small (population 32, 12 generations) so the whole
+harness completes in tens of minutes on one machine; set environment
+variables to scale up:
+
+    REPRO_POP=400 REPRO_GENS=50 REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+``REPRO_FULL=1`` also switches the specialization figures from the
+fast benchmark subset to the paper's full lists.
+
+Results are printed as text tables (the paper's bar charts) and
+appended to ``benchmarks/results/*.json`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.gp.engine import GPParams
+from repro.metaopt.generalize import generalize
+from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.specialize import specialize
+from repro.suite.registry import (
+    HYPERBLOCK_TRAINING_SET,
+    PREFETCH_TRAINING_SET,
+    REGALLOC_TRAINING_SET,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Fast-mode benchmark subsets for the specialization figures (chosen
+#: to span the behaviours: predication-friendly, predication-neutral,
+#: spill-heavy, prefetch-friendly, prefetch-hostile).
+FAST_SPECIALIZATION = {
+    "hyperblock": ("rawcaudio", "rawdaudio", "g721encode", "codrle4",
+                   "mpeg2dec", "124.m88ksim"),
+    "regalloc": ("129.compress", "huff_enc", "huff_dec", "g721encode",
+                 "mpeg2dec"),
+    "prefetch": ("102.swim", "101.tomcatv", "107.mgrid", "146.wave5",
+                 "093.nasa7", "015.doduc"),
+}
+
+FULL_SPECIALIZATION = {
+    "hyperblock": HYPERBLOCK_TRAINING_SET[:10],
+    "regalloc": REGALLOC_TRAINING_SET,
+    "prefetch": PREFETCH_TRAINING_SET,
+}
+
+FAST_TRAINING = {
+    "hyperblock": ("rawcaudio", "rawdaudio", "g721encode", "g721decode",
+                   "codrle4", "huff_dec"),
+    "regalloc": ("129.compress", "huff_enc", "huff_dec", "g721encode"),
+    "prefetch": ("102.swim", "101.tomcatv", "107.mgrid", "146.wave5",
+                 "093.nasa7", "015.doduc"),
+}
+
+FULL_TRAINING = {
+    "hyperblock": HYPERBLOCK_TRAINING_SET,
+    "regalloc": REGALLOC_TRAINING_SET,
+    "prefetch": PREFETCH_TRAINING_SET,
+}
+
+FAST_TEST = {
+    "hyperblock": ("unepic", "djpeg", "023.eqntott", "132.ijpeg",
+                   "147.vortex", "130.li"),
+    "regalloc": ("085.cc1", "147.vortex", "130.li", "124.m88ksim"),
+    "prefetch": ("171.swim", "172.mgrid", "183.equake", "178.galgel",
+                 "189.lucas", "200.sixtrack"),
+}
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def gp_params(seed: int = 0) -> GPParams:
+    return GPParams(
+        population_size=int(os.environ.get("REPRO_POP", "32")),
+        generations=int(os.environ.get("REPRO_GENS", "12")),
+        seed=seed,
+    )
+
+
+def specialization_benchmarks(case_name: str) -> tuple[str, ...]:
+    table = FULL_SPECIALIZATION if full_mode() else FAST_SPECIALIZATION
+    return tuple(table[case_name])
+
+
+def training_benchmarks(case_name: str) -> tuple[str, ...]:
+    table = FULL_TRAINING if full_mode() else FAST_TRAINING
+    return tuple(table[case_name])
+
+
+def crossval_benchmarks(case_name: str) -> tuple[str, ...]:
+    if full_mode():
+        from repro.suite.registry import (
+            HYPERBLOCK_TEST_SET,
+            PREFETCH_TEST_SET,
+            REGALLOC_TEST_SET,
+        )
+
+        return {
+            "hyperblock": HYPERBLOCK_TEST_SET,
+            "regalloc": REGALLOC_TEST_SET,
+            "prefetch": PREFETCH_TEST_SET,
+        }[case_name]
+    return tuple(FAST_TEST[case_name])
+
+
+_NOISE = {"hyperblock": 0.0, "regalloc": 0.0, "prefetch": 0.01}
+
+_harness_cache: dict[str, EvaluationHarness] = {}
+_specialization_cache: dict[str, dict] = {}
+_generalization_cache: dict[str, object] = {}
+
+
+def shared_harness(case_name: str) -> EvaluationHarness:
+    harness = _harness_cache.get(case_name)
+    if harness is None:
+        harness = EvaluationHarness(case_study(case_name),
+                                    noise_stddev=_NOISE[case_name])
+        _harness_cache[case_name] = harness
+    return harness
+
+
+def specialization_results(case_name: str) -> dict:
+    """Per-benchmark specialization runs (Figures 4/5, 9/10, 13/14)."""
+    cached = _specialization_cache.get(case_name)
+    if cached is None:
+        harness = shared_harness(case_name)
+        cached = {}
+        for index, name in enumerate(specialization_benchmarks(case_name)):
+            cached[name] = specialize(
+                harness.case, name, gp_params(seed=101 + index),
+                harness=harness,
+            )
+        _specialization_cache[case_name] = cached
+    return cached
+
+
+def generalization_result(case_name: str):
+    """One DSS run per case study (Figures 6/7, 11/12, 15/16)."""
+    cached = _generalization_cache.get(case_name)
+    if cached is None:
+        harness = shared_harness(case_name)
+        training = training_benchmarks(case_name)
+        cached = generalize(
+            harness.case, training, gp_params(seed=7),
+            harness=harness,
+            subset_size=max(2, len(training) // 2),
+        )
+        _generalization_cache[case_name] = cached
+    return cached
+
+
+def record_result(name: str, payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str))
+
+
+def emit(text: str) -> None:
+    """Print a figure table (shown with pytest -s; always captured in
+    the bench log)."""
+    print()
+    print(text)

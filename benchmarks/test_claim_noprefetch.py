@@ -1,0 +1,52 @@
+"""Section 7.2.1's claim: "shutting off prefetching altogether achieves
+gains within 7% of the specialized priority functions" — because, on
+the authors' Itanium testbed, ORC overzealously prefetched.
+
+**Documented divergence** (see EXPERIMENTS.md): on our simulated
+memory hierarchy the SPEC92/95-style streaming kernels genuinely
+profit from prefetching, so disabling it entirely costs real cycles on
+most of the training set.  The *transferable* parts of the claim do
+hold and are asserted here:
+
+* specialists always match or beat the all-off policy (evolution can
+  express "never prefetch" and will find it when it wins);
+* on kernels where prefetching does not pay (dense cache-resident
+  compute, e.g. the matmul-style 093.nasa7), the all-off policy lands
+  within the paper's ~7% of the specialist.
+"""
+
+from conftest import (
+    emit,
+    record_result,
+    shared_harness,
+    specialization_results,
+)
+from repro.passes.prefetch import never_prefetch
+
+
+def test_claim_noprefetch(benchmark):
+    harness = shared_harness("prefetch")
+    results = specialization_results("prefetch")
+
+    def run():
+        comparison = {}
+        for name, res in results.items():
+            off = harness.speedup(never_prefetch, name, "train")
+            comparison[name] = (res.train_speedup, off)
+        return comparison
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("No-prefetch vs specialized (train-data speedups):\n"
+         + "\n".join(f"  {name}: specialist {spec:.3f}, "
+                     f"prefetch-off {off:.3f}"
+                     for name, (spec, off) in comparison.items()))
+    record_result("claim_noprefetch", comparison)
+
+    # Specialists never lose to the blanket off-switch (that policy is
+    # inside the search space).
+    assert all(spec >= off - 0.02 for spec, off in comparison.values())
+    # Where prefetching does not pay, off lands within ~7% of the
+    # specialist — the paper's claim, on its applicable subset.
+    close = [name for name, (spec, off) in comparison.items()
+             if spec - off <= 0.07]
+    assert close, comparison

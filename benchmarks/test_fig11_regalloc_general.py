@@ -1,0 +1,33 @@
+"""Figure 11 — training a register-allocation priority function on
+multiple benchmarks.  Paper: ~1.03 on both train and novel data
+("register allocation is not as susceptible to variations in input
+data").
+"""
+
+from conftest import emit, generalization_result, record_result
+from repro.gp.parse import unparse
+from repro.gp.simplify import simplify
+from repro.reporting import speedup_table
+
+
+def test_fig11_regalloc_general(benchmark):
+    result = benchmark.pedantic(
+        lambda: generalization_result("regalloc"),
+        rounds=1, iterations=1,
+    )
+    rows = [(s.benchmark, s.train_speedup, s.novel_speedup)
+            for s in result.training]
+    emit(speedup_table(
+        "Figure 11: General-purpose spill priority (training set)", rows))
+    emit("Best expression: "
+         + unparse(simplify(result.best_tree)))
+    record_result("fig11_regalloc_general", {
+        "scores": {s.benchmark: [s.train_speedup, s.novel_speedup]
+                   for s in result.training},
+        "expression": unparse(result.best_tree),
+    })
+
+    assert result.average_train_speedup() >= 1.0 - 1e-9
+    # Input-data insensitivity: train and novel averages are close.
+    assert abs(result.average_train_speedup()
+               - result.average_novel_speedup()) <= 0.08

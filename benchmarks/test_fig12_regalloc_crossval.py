@@ -1,0 +1,55 @@
+"""Figure 12 — cross validation of the general-purpose register
+allocation priority function, on two target architectures.
+
+Paper: ~1.03 overall; the learned function wins on most test
+benchmarks with a couple of marginal losses.
+"""
+
+from conftest import (
+    emit,
+    generalization_result,
+    record_result,
+    shared_harness,
+    crossval_benchmarks,
+)
+from repro.machine.descr import REGALLOC_MACHINE_B
+from repro.metaopt.generalize import cross_validate
+from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.reporting import speedup_table
+
+
+def test_fig12_regalloc_crossval(benchmark):
+    general = generalization_result("regalloc")
+    harness_a = shared_harness("regalloc")
+    case_b = case_study("regalloc", machine=REGALLOC_MACHINE_B)
+    harness_b = EvaluationHarness(case_b)
+    names = crossval_benchmarks("regalloc")
+
+    def run():
+        return (
+            cross_validate(harness_a.case, general.best_tree, names,
+                           harness=harness_a),
+            cross_validate(case_b, general.best_tree, names,
+                           harness=harness_b),
+        )
+
+    result_a, result_b = benchmark.pedantic(run, rounds=1, iterations=1)
+    for result in (result_a, result_b):
+        rows = [(s.benchmark, s.train_speedup, s.novel_speedup)
+                for s in result.scores]
+        emit(speedup_table(
+            f"Figure 12: Regalloc cross-validation on "
+            f"{result.machine_name}", rows))
+    record_result("fig12_regalloc_crossval", {
+        result.machine_name: {
+            s.benchmark: [s.train_speedup, s.novel_speedup]
+            for s in result.scores
+        }
+        for result in (result_a, result_b)
+    })
+
+    # Shape: generalization is small but non-destructive on both
+    # architectures.
+    assert result_a.average_train_speedup() >= 0.97
+    assert result_b.average_train_speedup() >= 0.95
+    assert all(s.train_speedup >= 0.85 for s in result_a.scores)

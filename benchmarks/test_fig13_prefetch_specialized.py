@@ -1,0 +1,33 @@
+"""Figure 13 — prefetching specialization on SPECfp-style kernels,
+measured with real-machine noise (Section 7.1).
+
+Paper: ~1.35 train / 1.40 novel average; the evolved functions "rarely
+prefetched" because ORC overzealously prefetches.
+"""
+
+from conftest import emit, record_result, specialization_results
+from repro.reporting import speedup_table
+
+
+def test_fig13_prefetch_specialized(benchmark):
+    results = benchmark.pedantic(
+        lambda: specialization_results("prefetch"),
+        rounds=1, iterations=1,
+    )
+    rows = [(name, res.train_speedup, res.novel_speedup)
+            for name, res in results.items()]
+    emit(speedup_table(
+        "Figure 13: Prefetching specialization "
+        "(speedup over ORC's confidence)", rows))
+    record_result("fig13_prefetch_specialized", {
+        name: {"train": res.train_speedup, "novel": res.novel_speedup,
+               "expression": res.best_expression}
+        for name, res in results.items()
+    })
+
+    train_avg = sum(r.train_speedup for r in results.values()) / len(results)
+    # Noise means individual train speedups can dip a hair below 1.0
+    # even with the baseline seeded; the average must clearly win or
+    # match.
+    assert all(res.train_speedup >= 0.97 for res in results.values())
+    assert train_avg >= 1.0

@@ -1,0 +1,29 @@
+"""Figure 14 — prefetching evolution.
+
+Fitness over generations under measurement noise.  Paper: "the
+baseline expression is quickly weeded out of the population" and
+fitnesses plateau early (parsimony pressure produces small effective
+expressions).
+"""
+
+from conftest import emit, record_result, specialization_results
+from repro.reporting import fitness_curve_chart
+
+
+def test_fig14_prefetch_evolution(benchmark):
+    results = benchmark.pedantic(
+        lambda: specialization_results("prefetch"),
+        rounds=1, iterations=1,
+    )
+    curves = {name: res.fitness_curve() for name, res in results.items()}
+    for name, curve in curves.items():
+        emit(fitness_curve_chart(
+            f"Figure 14 ({name}): best fitness by generation", curve))
+    record_result("fig14_prefetch_evolution", curves)
+
+    for name, curve in curves.items():
+        assert all(b >= a - 1e-12 for a, b in zip(curve, curve[1:])), name
+    # Early plateau: the last quarter of the run contributes little.
+    for name, curve in curves.items():
+        quarter = max(1, len(curve) // 4)
+        assert curve[-1] - curve[-quarter] <= 0.10 + 1e-9, name

@@ -1,0 +1,30 @@
+"""Figure 15 — training a prefetching priority function on multiple
+benchmarks.  Paper: 1.31 train / 1.36 novel; the novel data can even
+beat the training data because the learned function prefetches
+rarely and the novel inputs are more prefetch-sensitive.
+"""
+
+from conftest import emit, generalization_result, record_result
+from repro.gp.parse import unparse
+from repro.gp.simplify import simplify
+from repro.reporting import speedup_table
+
+
+def test_fig15_prefetch_general(benchmark):
+    result = benchmark.pedantic(
+        lambda: generalization_result("prefetch"),
+        rounds=1, iterations=1,
+    )
+    rows = [(s.benchmark, s.train_speedup, s.novel_speedup)
+            for s in result.training]
+    emit(speedup_table(
+        "Figure 15: General-purpose prefetch confidence (training set)",
+        rows))
+    emit("Best expression: " + unparse(simplify(result.best_tree)))
+    record_result("fig15_prefetch_general", {
+        "scores": {s.benchmark: [s.train_speedup, s.novel_speedup]
+                   for s in result.training},
+        "expression": unparse(result.best_tree),
+    })
+
+    assert result.average_train_speedup() >= 1.0 - 0.02

@@ -1,0 +1,57 @@
+"""Table 5 — the benchmark suite.
+
+Compiles and simulates every registered benchmark with the stock
+pipeline, reporting dynamic behaviour (the data the case studies build
+on).  Serves as the whole-suite smoke bench.
+"""
+
+from conftest import emit, record_result
+from repro.frontend import compile_source
+from repro.machine.descr import DEFAULT_EPIC, ITANIUM_MACHINE
+from repro.machine.sim import Simulator
+from repro.passes.pipeline import CompilerOptions, compile_backend, prepare
+from repro.suite import all_benchmarks
+
+
+def _run_all():
+    stats = {}
+    for name, bench in sorted(all_benchmarks().items()):
+        machine = ITANIUM_MACHINE if bench.category == "fp" else DEFAULT_EPIC
+        options = CompilerOptions(machine=machine,
+                                  prefetch=bench.category == "fp")
+        module = compile_source(bench.source, name)
+        prepared = prepare(module, bench.inputs("train"), options)
+        scheduled, _report = compile_backend(prepared)
+        simulator = Simulator(scheduled, machine)
+        for key, values in bench.inputs("train").items():
+            simulator.set_global(key, values)
+        result = simulator.run()
+        stats[name] = {
+            "suite": bench.suite,
+            "category": bench.category,
+            "cycles": result.cycles,
+            "dynamic_ops": result.dynamic_ops,
+            "l1_hit_rate": round(result.l1_hit_rate, 4),
+            "branch_accuracy": round(result.branch_accuracy, 4),
+        }
+    return stats
+
+
+def test_table5_suite(benchmark):
+    stats = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [
+        "Table 5: benchmark suite under the baseline pipeline",
+        f"{'benchmark':<16s}{'suite':<12s}{'cat':<5s}"
+        f"{'cycles':>10s}{'ops':>10s}{'L1 hit':>8s}{'br acc':>8s}",
+    ]
+    for name, row in stats.items():
+        lines.append(
+            f"{name:<16s}{row['suite']:<12s}{row['category']:<5s}"
+            f"{row['cycles']:>10d}{row['dynamic_ops']:>10d}"
+            f"{row['l1_hit_rate']:>8.3f}{row['branch_accuracy']:>8.3f}"
+        )
+    emit("\n".join(lines))
+    record_result("table5_suite", stats)
+
+    assert len(stats) >= 40
+    assert all(row["cycles"] > 0 for row in stats.values())

@@ -1,0 +1,119 @@
+"""Using the compiler as a library: write your own MiniC workload,
+plug hand-written priority functions into all three hooks, and compare
+them — no GP involved.
+
+This is the workflow the paper imagines for compiler writers: expose
+the policy, then experiment with it cheaply.
+
+Run:  python examples/custom_compiler_hook.py
+"""
+
+from repro.compiler import compile_program, interpret
+from repro.machine.descr import MachineDescription
+from repro.passes.hyperblock import impact_priority
+from repro.passes.pipeline import CompilerOptions
+from repro.passes.prefetch import always_prefetch, never_prefetch
+
+# A histogram + smoothing workload: branchy integer phase followed by
+# a streaming float phase, so all three hooks matter.
+SOURCE = """
+int samples[2048];
+int nsamples;
+int histogram[64];
+float smooth[64];
+
+void main() {
+  int i;
+  for (i = 0; i < nsamples; i = i + 1) {
+    int bucket = samples[i] >> 4;
+    if (bucket < 0) { bucket = 0; }
+    if (bucket > 63) { bucket = 63; }
+    if (samples[i] % 2 == 0) {
+      histogram[bucket] = histogram[bucket] + 2;
+    } else {
+      histogram[bucket] = histogram[bucket] + 1;
+    }
+  }
+  for (i = 1; i < 63; i = i + 1) {
+    smooth[i] = (histogram[i - 1] + 2 * histogram[i]
+                 + histogram[i + 1]) * 0.25;
+  }
+  float total = 0.0;
+  for (i = 0; i < 64; i = i + 1) {
+    total = total + smooth[i];
+  }
+  out(total);
+}
+"""
+
+INPUTS = {
+    "samples": [((i * 193) ^ (i >> 3)) % 1024 for i in range(2048)],
+    "nsamples": [2000],
+}
+
+#: A small embedded-flavoured EPIC: narrow issue, tiny L1.
+MACHINE = MachineDescription(
+    name="custom-embedded",
+    int_units=2, fp_units=1, mem_units=1, issue_width=4,
+    gp_registers=16, fp_registers=16,
+)
+
+
+def convert_everything(env) -> float:
+    """Hyperblock policy: merge every hammock, no questions asked."""
+    return 1.0
+
+
+def keep_branches(env) -> float:
+    """Hyperblock policy: never predicate."""
+    return -1.0
+
+
+def spill_cold_first(env) -> float:
+    """Spill policy: protect ranges in deep loops, everything else is
+    fair game (a plausible hand heuristic)."""
+    return env["loop_depth"] * 10.0 + env["uses"] + env["defs"]
+
+
+def main() -> None:
+    reference = interpret(SOURCE, INPUTS)
+
+    policies = {
+        "stock pipeline": CompilerOptions(machine=MACHINE, prefetch=True),
+        "predicate everything": CompilerOptions(
+            machine=MACHINE, prefetch=True,
+            hyperblock_priority=convert_everything),
+        "never predicate": CompilerOptions(
+            machine=MACHINE, prefetch=True,
+            hyperblock_priority=keep_branches),
+        "loop-depth spill policy": CompilerOptions(
+            machine=MACHINE, prefetch=True,
+            spill_priority=spill_cold_first),
+        "prefetch everything": CompilerOptions(
+            machine=MACHINE, prefetch=True,
+            prefetch_priority=always_prefetch),
+        "prefetch nothing": CompilerOptions(
+            machine=MACHINE, prefetch=True,
+            prefetch_priority=never_prefetch),
+    }
+
+    print(f"{'policy':<26s}{'cycles':>10s}{'vs stock':>10s}")
+    stock_cycles = None
+    for label, options in policies.items():
+        program = compile_program(SOURCE, profile_inputs=INPUTS,
+                                  options=options)
+        result = program.run(INPUTS)
+        assert result.outputs == reference.outputs, label
+        if stock_cycles is None:
+            stock_cycles = result.cycles
+        print(f"{label:<26s}{result.cycles:>10d}"
+              f"{stock_cycles / result.cycles:>10.3f}")
+
+    print()
+    print("All six binaries produce identical outputs — the hooks only")
+    print("steer performance, never correctness (IMPACT's split of")
+    print("'policy' from 'legality' that Meta Optimization relies on).")
+
+
+if __name__ == "__main__":
+    main()

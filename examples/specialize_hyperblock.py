@@ -1,0 +1,53 @@
+"""Case study I in miniature: evolve an application-specific hyperblock
+priority function for one benchmark (the paper's Section 5.4.1 /
+Figure 4 experiment, scaled down to run in about a minute).
+
+Run:  python examples/specialize_hyperblock.py [benchmark]
+"""
+
+import sys
+import time
+
+from repro.gp.engine import GPParams
+from repro.gp.parse import infix, unparse
+from repro.gp.simplify import simplify
+from repro.metaopt.baselines import IMPACT_HYPERBLOCK_TEXT
+from repro.metaopt.harness import case_study
+from repro.metaopt.specialize import specialize
+from repro.reporting import fitness_curve_chart
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "g721encode"
+    case = case_study("hyperblock")
+
+    print(f"Specializing the hyperblock priority for {benchmark!r}")
+    print(f"baseline (IMPACT Equation 1): {IMPACT_HYPERBLOCK_TEXT}")
+    print()
+
+    params = GPParams(population_size=24, generations=10, seed=42)
+    started = time.time()
+    result = specialize(case, benchmark, params)
+    elapsed = time.time() - started
+
+    print(fitness_curve_chart(
+        f"fitness (speedup over baseline) by generation "
+        f"[pop {params.population_size}]",
+        result.fitness_curve(),
+    ))
+    print()
+    print(f"train-data speedup : {result.train_speedup:.3f}")
+    print(f"novel-data speedup : {result.novel_speedup:.3f}")
+    print(f"baseline cycles    : {result.baseline_cycles_train}")
+    print(f"evolved cycles     : {result.best_cycles_train}")
+    print(f"fitness evaluations: {result.evaluations} "
+          f"({elapsed:.1f}s wall)")
+    print()
+    best = simplify(result.best_tree)
+    print("best evolved priority function:")
+    print(f"  s-expr: {unparse(best)}")
+    print(f"  infix : {infix(best)}")
+
+
+if __name__ == "__main__":
+    main()

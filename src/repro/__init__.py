@@ -1,0 +1,21 @@
+"""Meta Optimization — PLDI 2003 reproduction.
+
+Genetic-programming search over compiler priority functions, with a
+complete MiniC -> predicated-EPIC compiler and cycle-level simulator as
+the substrate.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro.gp import GPParams
+    from repro.metaopt import case_study, specialize
+
+    case = case_study("hyperblock")
+    result = specialize(case, "rawcaudio",
+                        GPParams(population_size=50, generations=20))
+    print(result.train_speedup, result.best_expression)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

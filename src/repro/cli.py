@@ -1,0 +1,207 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro run PROGRAM.mc [--inputs data.json] [--machine M]
+        Compile a MiniC file through the full pipeline and simulate it.
+
+    python -m repro interpret PROGRAM.mc [--inputs data.json]
+        Run a MiniC file under the reference interpreter.
+
+    python -m repro suite [--category int|fp] [--suite NAME]
+        List the registered benchmarks.
+
+    python -m repro simulate BENCHMARK [--dataset train|novel] [...]
+        Compile + simulate one suite benchmark, print machine counters.
+
+    python -m repro evolve CASE BENCHMARK [--pop N] [--gens N] [...]
+        Run Meta Optimization: evolve a priority function for one
+        benchmark of a case study and report speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.machine.descr import (
+    DEFAULT_EPIC,
+    ITANIUM_MACHINE,
+    REGALLOC_MACHINE,
+    MachineDescription,
+)
+
+MACHINES: dict[str, MachineDescription] = {
+    "epic": DEFAULT_EPIC,
+    "itanium": ITANIUM_MACHINE,
+    "regalloc": REGALLOC_MACHINE,
+}
+
+
+def _load_inputs(path: str | None) -> dict:
+    if path is None:
+        return {}
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise SystemExit("--inputs must be a JSON object "
+                         "{global: [values...]}")
+    return data
+
+
+def _print_sim_result(result) -> None:
+    print(f"outputs          : {result.outputs}")
+    if result.return_value is not None:
+        print(f"return value     : {result.return_value}")
+    print(f"cycles           : {result.cycles}")
+    print(f"dynamic ops      : {result.dynamic_ops} "
+          f"(+{result.squashed_ops} squashed)")
+    print(f"memory stalls    : {result.memory_stall_cycles}")
+    print(f"branch stalls    : {result.branch_stall_cycles}")
+    print(f"L1 hit rate      : {result.l1_hit_rate:.2%}")
+    print(f"branch accuracy  : {result.branch_accuracy:.2%}")
+    print(f"prefetches       : {result.prefetch_count}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.compiler import compile_program
+
+    source = Path(args.program).read_text()
+    inputs = _load_inputs(args.inputs)
+    machine = MACHINES[args.machine]
+    from repro.passes.pipeline import CompilerOptions
+
+    options = CompilerOptions(machine=machine, prefetch=args.prefetch)
+    program = compile_program(source, profile_inputs=inputs,
+                              options=options, name=args.program)
+    result = program.run(inputs, noise_stddev=args.noise)
+    _print_sim_result(result)
+    return 0
+
+
+def cmd_interpret(args: argparse.Namespace) -> int:
+    from repro.compiler import interpret
+
+    source = Path(args.program).read_text()
+    result = interpret(source, _load_inputs(args.inputs))
+    print(f"outputs      : {result.outputs}")
+    if result.return_value is not None:
+        print(f"return value : {result.return_value}")
+    print(f"steps        : {result.steps}")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.suite import all_benchmarks
+
+    rows = sorted(all_benchmarks().items())
+    if args.category:
+        rows = [(n, b) for n, b in rows if b.category == args.category]
+    if args.suite:
+        rows = [(n, b) for n, b in rows if b.suite == args.suite]
+    print(f"{'name':<16s}{'suite':<12s}{'cat':<5s}description")
+    for name, bench in rows:
+        print(f"{name:<16s}{bench.suite:<12s}{bench.category:<5s}"
+              f"{bench.description}")
+    print(f"{len(rows)} benchmarks")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.metaopt.harness import EvaluationHarness, case_study
+
+    harness = EvaluationHarness(case_study(args.case))
+    result = harness.baseline_result(args.benchmark, args.dataset)
+    print(f"benchmark        : {args.benchmark} ({args.dataset} data, "
+          f"{harness.case.machine.name})")
+    _print_sim_result(result)
+    return 0
+
+
+def cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.gp.engine import GPParams
+    from repro.gp.parse import infix, unparse
+    from repro.gp.simplify import simplify
+    from repro.metaopt.harness import EvaluationHarness, case_study
+    from repro.metaopt.specialize import specialize
+
+    case = case_study(args.case)
+    harness = EvaluationHarness(case, noise_stddev=args.noise)
+    params = GPParams(population_size=args.pop, generations=args.gens,
+                      seed=args.seed)
+    print(f"evolving {args.case} priority for {args.benchmark} "
+          f"(pop {args.pop}, {args.gens} generations)")
+    result = specialize(case, args.benchmark, params, harness=harness)
+    for stats in result.history:
+        print(f"  gen {stats.generation:3d}: best {stats.best_fitness:.4f} "
+              f"(size {stats.best_size})")
+    best = simplify(result.best_tree)
+    print(f"train speedup : {result.train_speedup:.4f}")
+    print(f"novel speedup : {result.novel_speedup:.4f}")
+    print(f"expression    : {unparse(best)}")
+    print(f"infix         : {infix(best)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Meta Optimization (PLDI 2003) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="compile + simulate a MiniC file")
+    run_parser.add_argument("program")
+    run_parser.add_argument("--inputs", help="JSON file of global inputs")
+    run_parser.add_argument("--machine", choices=sorted(MACHINES),
+                            default="epic")
+    run_parser.add_argument("--prefetch", action="store_true")
+    run_parser.add_argument("--noise", type=float, default=0.0)
+    run_parser.set_defaults(func=cmd_run)
+
+    interp_parser = commands.add_parser(
+        "interpret", help="run a MiniC file on the reference interpreter")
+    interp_parser.add_argument("program")
+    interp_parser.add_argument("--inputs")
+    interp_parser.set_defaults(func=cmd_interpret)
+
+    suite_parser = commands.add_parser(
+        "suite", help="list registered benchmarks")
+    suite_parser.add_argument("--category", choices=("int", "fp"))
+    suite_parser.add_argument("--suite")
+    suite_parser.set_defaults(func=cmd_suite)
+
+    sim_parser = commands.add_parser(
+        "simulate", help="simulate one benchmark under a case study's "
+                         "baseline heuristic")
+    sim_parser.add_argument("benchmark")
+    sim_parser.add_argument("--case", default="hyperblock",
+                            choices=("hyperblock", "regalloc", "prefetch"))
+    sim_parser.add_argument("--dataset", default="train",
+                            choices=("train", "novel"))
+    sim_parser.set_defaults(func=cmd_simulate)
+
+    evolve_parser = commands.add_parser(
+        "evolve", help="evolve a specialized priority function")
+    evolve_parser.add_argument(
+        "case", choices=("hyperblock", "regalloc", "prefetch"))
+    evolve_parser.add_argument("benchmark")
+    evolve_parser.add_argument("--pop", type=int, default=24)
+    evolve_parser.add_argument("--gens", type=int, default=10)
+    evolve_parser.add_argument("--seed", type=int, default=0)
+    evolve_parser.add_argument("--noise", type=float, default=0.0)
+    evolve_parser.set_defaults(func=cmd_evolve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""One-call compilation and execution driver.
+
+Convenience facade over the full pipeline for users who just want to
+compile MiniC and run it on the simulated EPIC machine::
+
+    from repro.compiler import compile_and_run
+
+    result = compile_and_run(source, inputs={"data": [1, 2, 3]})
+    print(result.cycles, result.outputs)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend import compile_source
+from repro.ir.interp import Interpreter, RunResult
+from repro.machine.descr import DEFAULT_EPIC, MachineDescription
+from repro.machine.sim import SimResult, Simulator
+from repro.machine.vliw import ScheduledModule
+from repro.passes.pipeline import (
+    BackendReport,
+    CompilerOptions,
+    compile_backend,
+    prepare,
+)
+
+Inputs = dict[str, list]
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled MiniC program ready to simulate on any dataset."""
+
+    scheduled: ScheduledModule
+    report: BackendReport
+    options: CompilerOptions
+
+    def run(self, inputs: Inputs | None = None,
+            entry: str = "main",
+            noise_stddev: float = 0.0,
+            noise_seed: int = 0) -> SimResult:
+        simulator = Simulator(
+            self.scheduled, self.options.machine,
+            noise_stddev=noise_stddev, noise_seed=noise_seed,
+        )
+        for name, values in (inputs or {}).items():
+            simulator.set_global(name, values)
+        return simulator.run(entry=entry)
+
+
+def compile_program(
+    source: str,
+    profile_inputs: Inputs | None = None,
+    options: CompilerOptions | None = None,
+    name: str = "program",
+) -> CompiledProgram:
+    """Frontend + full optimizing pipeline.
+
+    ``profile_inputs`` is the dataset used for profile-directed
+    decisions (hyperblock ``exec_ratio``, prefetch trip counts);
+    pass the training input here and evaluate on any dataset after.
+    """
+    options = options or CompilerOptions(machine=DEFAULT_EPIC)
+    module = compile_source(source, name)
+    prepared = prepare(module, profile_inputs, options)
+    scheduled, report = compile_backend(prepared)
+    return CompiledProgram(scheduled=scheduled, report=report,
+                           options=options)
+
+
+def compile_and_run(
+    source: str,
+    inputs: Inputs | None = None,
+    options: CompilerOptions | None = None,
+) -> SimResult:
+    """Compile and immediately simulate on the same inputs."""
+    program = compile_program(source, profile_inputs=inputs,
+                              options=options)
+    return program.run(inputs)
+
+
+def interpret(source: str, inputs: Inputs | None = None,
+              entry: str = "main") -> RunResult:
+    """Run a MiniC program under the reference interpreter (no machine
+    model): the ground truth the simulator is validated against."""
+    module = compile_source(source)
+    interp = Interpreter(module)
+    for name, values in (inputs or {}).items():
+        interp.set_global(name, values)
+    return interp.run(entry=entry)

@@ -1,0 +1,28 @@
+"""MiniC frontend: lexer, parser, semantic analysis, IR lowering."""
+
+from repro.frontend.errors import (
+    FrontendError,
+    LexError,
+    SemanticError,
+    SourceLocation,
+    SyntaxErrorMC,
+)
+from repro.frontend.lexer import Token, TokKind, tokenize
+from repro.frontend.lower import compile_source, lower_program
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import analyze
+
+__all__ = [
+    "FrontendError",
+    "LexError",
+    "SemanticError",
+    "SourceLocation",
+    "SyntaxErrorMC",
+    "Token",
+    "TokKind",
+    "analyze",
+    "compile_source",
+    "lower_program",
+    "parse_source",
+    "tokenize",
+]

@@ -1,0 +1,172 @@
+"""MiniC abstract syntax tree.
+
+Plain dataclasses; the semantic analyzer annotates expressions with a
+``ctype`` field (``"int"`` or ``"float"``) in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.frontend.errors import SourceLocation
+
+CType = str  # "int" | "float" | "void"
+
+
+@dataclass
+class Node:
+    location: SourceLocation
+
+
+# -- expressions ------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    #: filled in by sema
+    ctype: CType = field(default="", init=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class ArrayRef(Expr):
+    name: str
+    index: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '-' | '!'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # arithmetic, comparison, bitwise, logical
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: list[Expr]
+
+
+# -- statements -------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class DeclStmt(Stmt):
+    ctype: CType
+    name: str
+    array_size: Optional[int]  # None for scalars
+    init: Optional[Expr]
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: VarRef | ArrayRef
+    value: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Expr
+    then_body: "BlockStmt"
+    else_body: Optional["BlockStmt"]
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Expr
+    body: "BlockStmt"
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[AssignStmt]
+    condition: Optional[Expr]
+    step: Optional[AssignStmt]
+    body: "BlockStmt"
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class OutStmt(Stmt):
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class BlockStmt(Stmt):
+    body: list[Stmt]
+
+
+# -- top level ---------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    ctype: CType
+    name: str
+
+
+@dataclass
+class FuncDecl(Node):
+    return_type: CType
+    name: str
+    params: list[Param]
+    body: BlockStmt
+
+
+@dataclass
+class GlobalDecl(Node):
+    ctype: CType
+    name: str
+    array_size: Optional[int]  # None => scalar (size-1 array in IR)
+    init: list[float | int]
+
+
+@dataclass
+class Program(Node):
+    globals: list[GlobalDecl]
+    functions: list[FuncDecl]

@@ -1,0 +1,38 @@
+"""Diagnostics for the MiniC frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """1-based line/column position in a source buffer."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class FrontendError(Exception):
+    """Base class for lexing, parsing and semantic errors."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Invalid character or malformed literal."""
+
+
+class SyntaxErrorMC(FrontendError):
+    """Token stream does not match the grammar."""
+
+
+class SemanticError(FrontendError):
+    """Type errors, undeclared names, arity mismatches, etc."""

@@ -1,0 +1,142 @@
+"""MiniC lexer.
+
+Tokenizes the small C-like benchmark language.  Supported lexemes:
+
+* keywords: ``int float void if else while for return break continue out``
+* identifiers, decimal integer literals, floating literals (``1.5``,
+  ``.5``, ``2.``), punctuation and operators including ``&& || == != <=
+  >= << >>``
+* comments: ``// line`` and ``/* block */``
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.frontend.errors import LexError, SourceLocation
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {"int", "float", "void", "if", "else", "while", "for",
+     "return", "break", "continue", "out"}
+)
+
+#: Multi-character operators, longest-match-first.
+_MULTI_PUNCT = ("<<", ">>", "<=", ">=", "==", "!=", "&&", "||")
+_SINGLE_PUNCT = set("+-*/%<>=!&|^(){}[];,")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokKind
+    text: str
+    location: SourceLocation
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text == text
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})@{self.location}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens, ending with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def here() -> SourceLocation:
+        return SourceLocation(line, column)
+
+    def advance(count: int = 1) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = source[index]
+        # Whitespace
+        if char in " \t\r\n":
+            advance()
+            continue
+        # Comments
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                advance()
+            continue
+        if source.startswith("/*", index):
+            start = here()
+            advance(2)
+            while index < length and not source.startswith("*/", index):
+                advance()
+            if index >= length:
+                raise LexError("unterminated block comment", start)
+            advance(2)
+            continue
+        # Numbers
+        if char.isdigit() or (char == "." and index + 1 < length
+                              and source[index + 1].isdigit()):
+            start = here()
+            begin = index
+            seen_dot = False
+            while index < length and (source[index].isdigit()
+                                      or (source[index] == "." and not seen_dot)):
+                if source[index] == ".":
+                    seen_dot = True
+                advance()
+            # Trailing '.': "2." is a float literal
+            text = source[begin:index]
+            if index < length and source[index].isalpha():
+                raise LexError(f"malformed number near {text!r}", start)
+            kind = TokKind.FLOAT_LIT if seen_dot else TokKind.INT_LIT
+            tokens.append(Token(kind, text, start))
+            continue
+        # Identifiers / keywords
+        if char.isalpha() or char == "_":
+            start = here()
+            begin = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                advance()
+            text = source[begin:index]
+            kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+            tokens.append(Token(kind, text, start))
+            continue
+        # Operators / punctuation
+        matched = False
+        for punct in _MULTI_PUNCT:
+            if source.startswith(punct, index):
+                tokens.append(Token(TokKind.PUNCT, punct, here()))
+                advance(len(punct))
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _SINGLE_PUNCT:
+            tokens.append(Token(TokKind.PUNCT, char, here()))
+            advance()
+            continue
+        raise LexError(f"unexpected character {char!r}", here())
+
+    tokens.append(Token(TokKind.EOF, "", here()))
+    return tokens

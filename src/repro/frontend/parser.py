@@ -1,0 +1,394 @@
+"""MiniC recursive-descent parser.
+
+Grammar (EBNF, left-recursion removed)::
+
+    program    := (global_decl | func_decl)*
+    global_decl:= type IDENT ('[' INT ']')? ('=' '{' literal,* '}' | '=' literal)? ';'
+    func_decl  := ('void' | type) IDENT '(' params? ')' block
+    params     := type IDENT (',' type IDENT)*
+    block      := '{' stmt* '}'
+    stmt       := decl | assign ';' | if | while | for | return ';'
+                | 'break' ';' | 'continue' ';' | 'out' '(' expr ')' ';'
+                | expr ';' | block
+    decl       := type IDENT ('[' INT ']')? ('=' expr)? ';'
+    assign     := lvalue '=' expr
+    if         := 'if' '(' expr ')' block ('else' (block | if))?
+    while      := 'while' '(' expr ')' block
+    for        := 'for' '(' assign? ';' expr? ';' assign? ')' block
+    expr       := or_expr
+    or_expr    := and_expr ('||' and_expr)*
+    and_expr   := bitor ('&&' bitor)*
+    bitor      := bitxor ('|' bitxor)*
+    bitxor     := bitand ('^' bitand)*
+    bitand     := equality ('&' equality)*
+    equality   := relational (('=='|'!=') relational)*
+    relational := shift (('<'|'<='|'>'|'>=') shift)*
+    shift      := additive (('<<'|'>>') additive)*
+    additive   := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary      := ('-'|'!') unary | postfix
+    postfix    := IDENT '(' args? ')' | IDENT '[' expr ']' | IDENT
+                | literal | '(' expr ')'
+
+Braces are mandatory on ``if``/``while``/``for`` bodies (except
+``else if`` chains), which keeps benchmark sources unambiguous.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import astnodes as ast
+from repro.frontend.errors import SyntaxErrorMC
+from repro.frontend.lexer import TokKind, Token, tokenize
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokKind.EOF:
+            self._pos += 1
+        return token
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._next()
+        if not token.is_punct(text):
+            raise SyntaxErrorMC(f"expected {text!r}, got {token.text!r}",
+                                token.location)
+        return token
+
+    def _expect_ident(self) -> Token:
+        token = self._next()
+        if token.kind is not TokKind.IDENT:
+            raise SyntaxErrorMC(f"expected identifier, got {token.text!r}",
+                                token.location)
+        return token
+
+    def _at_type(self) -> bool:
+        return self._peek().is_keyword("int") or self._peek().is_keyword("float")
+
+    def _parse_type(self) -> str:
+        token = self._next()
+        if token.is_keyword("int") or token.is_keyword("float"):
+            return token.text
+        raise SyntaxErrorMC(f"expected type, got {token.text!r}", token.location)
+
+    # -- program ------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        start = self._peek().location
+        globals_: list[ast.GlobalDecl] = []
+        functions: list[ast.FuncDecl] = []
+        while self._peek().kind is not TokKind.EOF:
+            if self._peek().is_keyword("void"):
+                functions.append(self._parse_function())
+                continue
+            if not self._at_type():
+                raise SyntaxErrorMC(
+                    f"expected declaration, got {self._peek().text!r}",
+                    self._peek().location,
+                )
+            # Distinguish function from global: type IDENT '(' ...
+            if self._peek(2).is_punct("("):
+                functions.append(self._parse_function())
+            else:
+                globals_.append(self._parse_global())
+        return ast.Program(start, globals_, functions)
+
+    def _parse_global(self) -> ast.GlobalDecl:
+        ctype = self._parse_type()
+        name_token = self._expect_ident()
+        array_size: int | None = None
+        if self._peek().is_punct("["):
+            self._next()
+            size_token = self._next()
+            if size_token.kind is not TokKind.INT_LIT:
+                raise SyntaxErrorMC("array size must be an integer literal",
+                                    size_token.location)
+            array_size = int(size_token.text)
+            self._expect_punct("]")
+        init: list[float | int] = []
+        if self._peek().is_punct("="):
+            self._next()
+            if self._peek().is_punct("{"):
+                self._next()
+                while not self._peek().is_punct("}"):
+                    init.append(self._parse_literal_value(ctype))
+                    if self._peek().is_punct(","):
+                        self._next()
+                self._expect_punct("}")
+            else:
+                init.append(self._parse_literal_value(ctype))
+        self._expect_punct(";")
+        return ast.GlobalDecl(name_token.location, ctype, name_token.text,
+                              array_size, init)
+
+    def _parse_literal_value(self, ctype: str) -> float | int:
+        negative = False
+        if self._peek().is_punct("-"):
+            self._next()
+            negative = True
+        token = self._next()
+        if token.kind is TokKind.INT_LIT:
+            value: float | int = int(token.text)
+        elif token.kind is TokKind.FLOAT_LIT:
+            value = float(token.text)
+        else:
+            raise SyntaxErrorMC("expected literal initializer", token.location)
+        if ctype == "float":
+            value = float(value)
+        elif isinstance(value, float):
+            raise SyntaxErrorMC("float initializer for int object",
+                                token.location)
+        return -value if negative else value
+
+    def _parse_function(self) -> ast.FuncDecl:
+        token = self._next()
+        if token.is_keyword("void"):
+            return_type = "void"
+        elif token.is_keyword("int") or token.is_keyword("float"):
+            return_type = token.text
+        else:
+            raise SyntaxErrorMC("expected return type", token.location)
+        name_token = self._expect_ident()
+        self._expect_punct("(")
+        params: list[ast.Param] = []
+        if not self._peek().is_punct(")"):
+            while True:
+                ptype = self._parse_type()
+                pname = self._expect_ident()
+                params.append(ast.Param(pname.location, ptype, pname.text))
+                if self._peek().is_punct(","):
+                    self._next()
+                    continue
+                break
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.FuncDecl(name_token.location, return_type,
+                            name_token.text, params, body)
+
+    # -- statements -----------------------------------------------------------
+    def _parse_block(self) -> ast.BlockStmt:
+        open_token = self._expect_punct("{")
+        body: list[ast.Stmt] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind is TokKind.EOF:
+                raise SyntaxErrorMC("unterminated block", open_token.location)
+            body.append(self._parse_stmt())
+        self._expect_punct("}")
+        return ast.BlockStmt(open_token.location, body)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._peek()
+        if token.is_punct("{"):
+            return self._parse_block()
+        if self._at_type():
+            return self._parse_decl()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("return"):
+            self._next()
+            value = None
+            if not self._peek().is_punct(";"):
+                value = self._parse_expr()
+            self._expect_punct(";")
+            return ast.ReturnStmt(token.location, value)
+        if token.is_keyword("break"):
+            self._next()
+            self._expect_punct(";")
+            return ast.BreakStmt(token.location)
+        if token.is_keyword("continue"):
+            self._next()
+            self._expect_punct(";")
+            return ast.ContinueStmt(token.location)
+        if token.is_keyword("out"):
+            self._next()
+            self._expect_punct("(")
+            value = self._parse_expr()
+            self._expect_punct(")")
+            self._expect_punct(";")
+            return ast.OutStmt(token.location, value)
+        # assignment or expression statement
+        statement = self._parse_assign_or_expr()
+        self._expect_punct(";")
+        return statement
+
+    def _parse_decl(self) -> ast.DeclStmt:
+        ctype = self._parse_type()
+        name_token = self._expect_ident()
+        array_size: int | None = None
+        if self._peek().is_punct("["):
+            self._next()
+            size_token = self._next()
+            if size_token.kind is not TokKind.INT_LIT:
+                raise SyntaxErrorMC("array size must be an integer literal",
+                                    size_token.location)
+            array_size = int(size_token.text)
+            self._expect_punct("]")
+        init = None
+        if self._peek().is_punct("="):
+            if array_size is not None:
+                raise SyntaxErrorMC("local arrays cannot have initializers",
+                                    self._peek().location)
+            self._next()
+            init = self._parse_expr()
+        self._expect_punct(";")
+        return ast.DeclStmt(name_token.location, ctype, name_token.text,
+                            array_size, init)
+
+    def _parse_assign_or_expr(self) -> ast.Stmt:
+        checkpoint = self._pos
+        token = self._peek()
+        if token.kind is TokKind.IDENT:
+            lvalue = self._try_parse_lvalue()
+            if lvalue is not None and self._peek().is_punct("="):
+                self._next()
+                value = self._parse_expr()
+                return ast.AssignStmt(token.location, lvalue, value)
+            self._pos = checkpoint
+        expr = self._parse_expr()
+        return ast.ExprStmt(token.location, expr)
+
+    def _try_parse_lvalue(self) -> ast.VarRef | ast.ArrayRef | None:
+        token = self._next()
+        if self._peek().is_punct("["):
+            self._next()
+            index = self._parse_expr()
+            if not self._peek().is_punct("]"):
+                return None
+            self._next()
+            return ast.ArrayRef(token.location, token.text, index)
+        return ast.VarRef(token.location, token.text)
+
+    def _parse_if(self) -> ast.IfStmt:
+        token = self._next()  # 'if'
+        self._expect_punct("(")
+        condition = self._parse_expr()
+        self._expect_punct(")")
+        then_body = self._parse_block()
+        else_body = None
+        if self._peek().is_keyword("else"):
+            self._next()
+            if self._peek().is_keyword("if"):
+                nested = self._parse_if()
+                else_body = ast.BlockStmt(nested.location, [nested])
+            else:
+                else_body = self._parse_block()
+        return ast.IfStmt(token.location, condition, then_body, else_body)
+
+    def _parse_while(self) -> ast.WhileStmt:
+        token = self._next()
+        self._expect_punct("(")
+        condition = self._parse_expr()
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.WhileStmt(token.location, condition, body)
+
+    def _parse_for(self) -> ast.ForStmt:
+        token = self._next()
+        self._expect_punct("(")
+        init = None
+        if not self._peek().is_punct(";"):
+            parsed = self._parse_assign_or_expr()
+            if not isinstance(parsed, ast.AssignStmt):
+                raise SyntaxErrorMC("for-init must be an assignment",
+                                    token.location)
+            init = parsed
+        self._expect_punct(";")
+        condition = None
+        if not self._peek().is_punct(";"):
+            condition = self._parse_expr()
+        self._expect_punct(";")
+        step = None
+        if not self._peek().is_punct(")"):
+            parsed = self._parse_assign_or_expr()
+            if not isinstance(parsed, ast.AssignStmt):
+                raise SyntaxErrorMC("for-step must be an assignment",
+                                    token.location)
+            step = parsed
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.ForStmt(token.location, init, condition, step, body)
+
+    # -- expressions -----------------------------------------------------------
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_binary(0)
+
+    _PRECEDENCE: list[tuple[str, ...]] = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        operators = self._PRECEDENCE[level]
+        left = self._parse_binary(level + 1)
+        while (self._peek().kind is TokKind.PUNCT
+               and self._peek().text in operators):
+            op_token = self._next()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(op_token.location, op_token.text, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_punct("-") or token.is_punct("!"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(token.location, token.text, operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        token = self._next()
+        if token.kind is TokKind.INT_LIT:
+            return ast.IntLit(token.location, int(token.text))
+        if token.kind is TokKind.FLOAT_LIT:
+            return ast.FloatLit(token.location, float(token.text))
+        if token.is_punct("("):
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        if token.kind is TokKind.IDENT:
+            if self._peek().is_punct("("):
+                self._next()
+                args: list[ast.Expr] = []
+                if not self._peek().is_punct(")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if self._peek().is_punct(","):
+                            self._next()
+                            continue
+                        break
+                self._expect_punct(")")
+                return ast.Call(token.location, token.text, args)
+            if self._peek().is_punct("["):
+                self._next()
+                index = self._parse_expr()
+                self._expect_punct("]")
+                return ast.ArrayRef(token.location, token.text, index)
+            return ast.VarRef(token.location, token.text)
+        raise SyntaxErrorMC(f"unexpected token {token.text!r}", token.location)
+
+
+def parse_source(source: str) -> ast.Program:
+    """Lex and parse a MiniC translation unit."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,45 @@
+"""Genetic-programming engine (the paper's Section 3).
+
+Public surface:
+
+* :class:`~repro.gp.generate.PrimitiveSet` — what the compiler writer
+  registers: feature names, result type, constant range.
+* :func:`~repro.gp.parse.parse` / :func:`~repro.gp.parse.unparse` —
+  the s-expression syntax of Table 1.
+* :class:`~repro.gp.engine.GPEngine` / :class:`~repro.gp.engine.GPParams`
+  — the generational loop with the Table 2 defaults.
+* :class:`~repro.gp.dss.DSSState` — Gathercole's dynamic subset
+  selection for multi-benchmark training.
+* :func:`~repro.gp.simplify.simplify` — presentation-quality cleanup of
+  evolved expressions.
+"""
+
+from repro.gp.dss import DSSState
+from repro.gp.engine import GenerationStats, GPEngine, GPParams, GPResult
+from repro.gp.generate import PrimitiveSet, TreeGenerator
+from repro.gp.nodes import Node
+from repro.gp.parse import ParseError, infix, parse, unparse
+from repro.gp.select import Individual
+from repro.gp.simplify import find_introns, simplify
+from repro.gp.types import BOOL, REAL, GPType
+
+__all__ = [
+    "BOOL",
+    "DSSState",
+    "GenerationStats",
+    "GPEngine",
+    "GPParams",
+    "GPResult",
+    "GPType",
+    "Individual",
+    "Node",
+    "ParseError",
+    "PrimitiveSet",
+    "REAL",
+    "TreeGenerator",
+    "find_introns",
+    "infix",
+    "parse",
+    "simplify",
+    "unparse",
+]

@@ -1,0 +1,109 @@
+"""Depth-fair crossover (Kessler & Haynes, SAC 1999).
+
+Crossover swaps randomly chosen subtrees between two parents
+(Figure 1(c) in the paper).  Naive uniform node selection is biased
+toward leaves — in a full binary tree more than half of the nodes are
+leaves — so the paper uses *depth-fair* selection, which first picks a
+depth level uniformly and then a node uniformly within that level
+(footnote 1 / reference [12]).
+
+Crossover is *typed*: the node chosen in the second parent must produce
+the same type as the node chosen in the first, so offspring always
+remain well-formed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from repro.gp.nodes import Node
+from repro.gp.types import GPType
+
+
+def nodes_by_depth(tree: Node) -> dict[int, list[tuple[Node, Node | None, int]]]:
+    """Group every node as ``(node, parent, slot)`` by its depth level."""
+    levels: dict[int, list[tuple[Node, Node | None, int]]] = defaultdict(list)
+    for node, parent, slot, depth in tree.walk_with_context():
+        levels[depth].append((node, parent, slot))
+    return levels
+
+
+def depth_fair_pick(
+    tree: Node,
+    rng: random.Random,
+    want_type: GPType | None = None,
+) -> tuple[Node, Node | None, int] | None:
+    """Pick a node depth-fairly, optionally restricted to ``want_type``.
+
+    Each depth level receives equal probability mass; within a level
+    nodes are drawn uniformly.  Returns ``(node, parent, slot)`` where
+    ``parent is None`` means the root was chosen.  Returns ``None`` when
+    no node of the requested type exists.
+    """
+    levels = nodes_by_depth(tree)
+    if want_type is not None:
+        levels = {
+            depth: [
+                entry for entry in entries if entry[0].result_type is want_type
+            ]
+            for depth, entries in levels.items()
+        }
+        levels = {depth: entries for depth, entries in levels.items() if entries}
+    if not levels:
+        return None
+    depth = rng.choice(sorted(levels))
+    return rng.choice(levels[depth])
+
+
+def replace_subtree(
+    root: Node, parent: Node | None, slot: int, replacement: Node
+) -> Node:
+    """Substitute ``replacement`` at the position described by
+    ``(parent, slot)``; returns the (possibly new) root."""
+    if parent is None:
+        return replacement
+    if parent.children[slot].result_type is not replacement.result_type:
+        raise TypeError("replacement subtree has the wrong type")
+    parent.children[slot] = replacement
+    return root
+
+
+def crossover(
+    left: Node,
+    right: Node,
+    rng: random.Random,
+    max_depth: int = 17,
+) -> tuple[Node, Node]:
+    """Produce two offspring by swapping depth-fairly chosen subtrees.
+
+    Offspring exceeding ``max_depth`` are replaced by a copy of the
+    corresponding parent (the standard Koza depth guard; the paper's
+    parsimony pressure does the rest of the bloat control).
+    """
+    child_left = left.copy()
+    child_right = right.copy()
+
+    pick_left = depth_fair_pick(child_left, rng)
+    if pick_left is None:  # pragma: no cover - trees always have >= 1 node
+        return child_left, child_right
+    node_left, parent_left, slot_left = pick_left
+
+    pick_right = depth_fair_pick(child_right, rng, node_left.result_type)
+    if pick_right is None:
+        # No compatible node in the mate; crossover degenerates to cloning.
+        return child_left, child_right
+    node_right, parent_right, slot_right = pick_right
+
+    child_left = replace_subtree(
+        child_left, parent_left, slot_left, node_right.copy()
+    )
+    child_right = replace_subtree(
+        child_right, parent_right, slot_right, node_left.copy()
+    )
+
+    if child_left.depth() > max_depth:
+        child_left = left.copy()
+    if child_right.depth() > max_depth:
+        child_right = right.copy()
+    return child_left, child_right

@@ -1,0 +1,301 @@
+"""The generational GP loop (Figure 2, parameters from Table 2).
+
+The engine is deliberately generic: it knows nothing about compilers.
+It is handed a *fitness evaluator* — a callable mapping ``(tree,
+benchmark_name) -> speedup`` — and evolves expressions that maximize the
+average speedup across the benchmark set active in each generation.
+The Meta Optimization harness (:mod:`repro.metaopt.harness`) supplies
+an evaluator that compiles and simulates benchmarks with the candidate
+priority function installed.
+
+Paper parameters (Table 2), kept as defaults:
+
+============================  =======================================
+Population size               400 expressions
+Number of generations         50
+Generational replacement      22% of the population
+Mutation rate                 5%
+Tournament size               7
+Elitism                       best expression guaranteed survival
+Fitness                       average speedup over the baseline
+============================  =======================================
+
+Fitness evaluations are memoized per ``(expression, benchmark)`` because
+they are costly — the paper notes the same ("Our system memoizes
+benchmark fitnesses").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.gp.dss import DSSState
+from repro.gp.generate import PrimitiveSet, TreeGenerator
+from repro.gp.crossover import crossover
+from repro.gp.mutate import mutate
+from repro.gp.nodes import Node
+from repro.gp.select import Individual, best_of, tournament
+
+
+class FitnessEvaluator(Protocol):
+    """Evaluates one expression on one benchmark.
+
+    Returns the speedup of the candidate-compiled benchmark over the
+    baseline-compiled benchmark (>1.0 means the candidate wins).
+    """
+
+    def __call__(self, tree: Node, benchmark: str) -> float: ...
+
+
+@dataclass(frozen=True)
+class GPParams:
+    """Knobs of the evolutionary search; defaults follow Table 2."""
+
+    population_size: int = 400
+    generations: int = 50
+    replacement_fraction: float = 0.22
+    mutation_rate: float = 0.05
+    tournament_size: int = 7
+    elitism: bool = True
+    max_tree_depth: int = 17
+    init_min_depth: int = 2
+    init_max_depth: int = 6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 0.0 < self.replacement_fraction <= 1.0:
+            raise ValueError("replacement_fraction must be in (0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if self.tournament_size < 1:
+            raise ValueError("tournament_size must be >= 1")
+
+
+@dataclass
+class GenerationStats:
+    """Progress record for one generation (feeds Figures 5, 10, 14)."""
+
+    generation: int
+    subset: tuple[str, ...]
+    best_fitness: float
+    mean_fitness: float
+    best_size: int
+    best_expression: str
+    baseline_rank: int | None = None
+    #: structurally distinct expressions in the population — the
+    #: diversity measure behind the paper's inbreeding observation
+    #: ("the population soon becomes inbred with copies of the top
+    #: expression", Section 7.2.1)
+    unique_structures: int = 0
+    mean_size: float = 0.0
+
+
+@dataclass
+class GPResult:
+    """Outcome of a run: the champion and the full evolution history."""
+
+    best: Individual
+    history: list[GenerationStats]
+    population: list[Individual]
+    evaluations: int
+
+    @property
+    def best_tree(self) -> Node:
+        return self.best.tree
+
+    def fitness_curve(self) -> list[float]:
+        """Best fitness per generation — the y-axis of Figures 5/10/14."""
+        return [stats.best_fitness for stats in self.history]
+
+
+class GPEngine:
+    """Drives the evolutionary search of Figure 2."""
+
+    def __init__(
+        self,
+        pset: PrimitiveSet,
+        evaluator: FitnessEvaluator,
+        benchmarks: tuple[str, ...],
+        params: GPParams | None = None,
+        seed_trees: tuple[Node, ...] = (),
+        dss: DSSState | None = None,
+        on_generation: Callable[[GenerationStats], None] | None = None,
+    ) -> None:
+        self.pset = pset
+        self.evaluator = evaluator
+        self.benchmarks = tuple(benchmarks)
+        if not self.benchmarks:
+            raise ValueError("need at least one benchmark")
+        self.params = params or GPParams()
+        self.seed_trees = tuple(seed_trees)
+        self.dss = dss
+        self.on_generation = on_generation
+        self.rng = random.Random(self.params.seed)
+        self.generator = TreeGenerator(self.pset, rng=self.rng)
+        self._memo: dict[tuple, float] = {}
+        self.evaluations = 0
+
+    # -- fitness --------------------------------------------------------
+    def _speedup(self, tree: Node, benchmark: str) -> float:
+        key = (tree.structural_key(), benchmark)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        speedup = float(self.evaluator(tree, benchmark))
+        self._memo[key] = speedup
+        self.evaluations += 1
+        return speedup
+
+    def _assign_fitness(
+        self, population: list[Individual], subset: tuple[str, ...]
+    ) -> dict[str, float]:
+        """Evaluate the population on ``subset``; returns per-benchmark
+        population-average speedups (for DSS difficulty updates)."""
+        per_benchmark_totals = {name: 0.0 for name in subset}
+        for individual in population:
+            speedups = [
+                self._speedup(individual.tree, name) for name in subset
+            ]
+            individual.fitness = sum(speedups) / len(speedups)
+            individual.evaluations += len(subset)
+            for name, value in zip(subset, speedups):
+                per_benchmark_totals[name] += value
+        count = len(population)
+        return {name: total / count for name, total in per_benchmark_totals.items()}
+
+    # -- population construction ----------------------------------------
+    def initial_population(self) -> list[Individual]:
+        """Seeds (the compiler writer's best guess) + random expressions."""
+        population: list[Individual] = [
+            Individual(tree=tree.copy(), origin="seed") for tree in self.seed_trees
+        ]
+        needed = self.params.population_size - len(population)
+        if needed < 0:
+            raise ValueError("more seeds than population_size")
+        random_trees = self.generator.ramped_half_and_half(
+            needed,
+            min_depth=self.params.init_min_depth,
+            max_depth=self.params.init_max_depth,
+        )
+        population.extend(Individual(tree=tree) for tree in random_trees)
+        return population
+
+    def _offspring(self, population: list[Individual]) -> Individual:
+        """One new expression: crossover of tournament winners, with a
+        ``mutation_rate`` chance of an additional mutation."""
+        mother = tournament(population, self.rng, self.params.tournament_size)
+        father = tournament(population, self.rng, self.params.tournament_size)
+        child_tree, _ = crossover(
+            mother.tree, father.tree, self.rng, self.params.max_tree_depth
+        )
+        origin = "crossover"
+        if self.rng.random() < self.params.mutation_rate:
+            child_tree = mutate(
+                child_tree, self.generator, self.rng, self.params.max_tree_depth
+            )
+            origin = "mutation"
+        # Anti-clone guard: crossover between near-identical parents (a
+        # common state once a small population converges) can reproduce
+        # a parent exactly; force a mutation so replacement always
+        # injects new genetic material.
+        if child_tree == mother.tree or child_tree == father.tree:
+            child_tree = mutate(
+                child_tree, self.generator, self.rng, self.params.max_tree_depth
+            )
+            origin = "mutation"
+        return Individual(tree=child_tree, origin=origin)
+
+    # -- main loop --------------------------------------------------------
+    def run(self) -> GPResult:
+        population = self.initial_population()
+        history: list[GenerationStats] = []
+
+        for generation in range(self.params.generations):
+            if self.dss is not None:
+                subset = tuple(self.dss.select_subset())
+            else:
+                subset = self.benchmarks
+            bench_means = self._assign_fitness(population, subset)
+            if self.dss is not None:
+                self.dss.record_results(bench_means)
+
+            champion = best_of(population)
+            stats = GenerationStats(
+                generation=generation,
+                subset=subset,
+                best_fitness=champion.fitness or 0.0,
+                mean_fitness=sum(ind.fitness or 0.0 for ind in population)
+                / len(population),
+                best_size=champion.size,
+                best_expression=_expression_text(champion.tree),
+                baseline_rank=self._baseline_rank(population),
+                unique_structures=len(
+                    {ind.tree.structural_key() for ind in population}
+                ),
+                mean_size=sum(ind.size for ind in population)
+                / len(population),
+            )
+            history.append(stats)
+            if self.on_generation is not None:
+                self.on_generation(stats)
+
+            if generation == self.params.generations - 1:
+                break
+            population = self._next_generation(population, champion)
+
+        champion = best_of(population)
+        return GPResult(
+            best=champion,
+            history=history,
+            population=population,
+            evaluations=self.evaluations,
+        )
+
+    def _next_generation(
+        self, population: list[Individual], champion: Individual
+    ) -> list[Individual]:
+        """Randomly replace ``replacement_fraction`` of the population
+        with crossover offspring; the champion is never replaced."""
+        next_population = list(population)
+        replace_count = max(
+            1, round(self.params.replacement_fraction * len(population))
+        )
+        champion_index = population.index(champion)
+        candidates = [
+            index
+            for index in range(len(population))
+            if not (self.params.elitism and index == champion_index)
+        ]
+        replace_count = min(replace_count, len(candidates))
+        for index in self.rng.sample(candidates, replace_count):
+            next_population[index] = self._offspring(population)
+        return next_population
+
+    def _baseline_rank(self, population: list[Individual]) -> int | None:
+        """1-based fitness rank of the seed expression, if it survives.
+
+        The paper observes that for hyperblock formation and prefetching
+        the seed is "quickly obscured and weeded out", while for
+        register allocation it survives several generations; this
+        statistic lets experiments verify that claim.
+        """
+        seeds = [ind for ind in population if ind.origin == "seed"]
+        if not seeds:
+            return None
+        ranked = sorted(
+            population,
+            key=lambda ind: ind.fitness if ind.fitness is not None else -1.0,
+            reverse=True,
+        )
+        best_seed_rank = min(ranked.index(seed) for seed in seeds)
+        return best_seed_rank + 1
+
+
+def _expression_text(tree: Node) -> str:
+    from repro.gp.parse import unparse
+
+    return unparse(tree)

@@ -1,0 +1,124 @@
+"""Mutation operators (Figure 1(d); Banzhaf et al. [2]).
+
+The paper mutates roughly 5% of newly created expressions.  We implement
+the standard operator mix from the Banzhaf et al. reference:
+
+* **subtree mutation** — a randomly generated expression supplants a
+  randomly chosen node (the operator illustrated in Figure 1(d));
+* **point mutation** — a single node is replaced by another primitive of
+  the same signature (constants are perturbed);
+* **shrink mutation** — an interior node is replaced by one of its
+  same-typed descendants, a mild parsimony aid.
+
+All operators preserve typing, so mutation is closed over well-formed
+expressions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.gp.crossover import depth_fair_pick, replace_subtree
+from repro.gp.generate import TreeGenerator
+from repro.gp.nodes import (
+    FUNCTION_CLASSES,
+    BConst,
+    Node,
+    RConst,
+)
+
+
+def subtree_mutation(
+    tree: Node, generator: TreeGenerator, rng: random.Random, max_depth: int = 4
+) -> Node:
+    """Replace a depth-fairly chosen node with a freshly grown subtree."""
+    mutant = tree.copy()
+    pick = depth_fair_pick(mutant, rng)
+    if pick is None:  # pragma: no cover
+        return mutant
+    node, parent, slot = pick
+    replacement = generator.grow(max_depth, node.result_type)
+    return replace_subtree(mutant, parent, slot, replacement)
+
+
+def point_mutation(
+    tree: Node, generator: TreeGenerator, rng: random.Random
+) -> Node:
+    """Swap one primitive for another of identical signature.
+
+    Constants are perturbed multiplicatively instead of resampled, which
+    lets evolution fine-tune coefficients.
+    """
+    mutant = tree.copy()
+    pick = depth_fair_pick(mutant, rng)
+    if pick is None:  # pragma: no cover
+        return mutant
+    node, parent, slot = pick
+
+    if isinstance(node, RConst):
+        scale = rng.uniform(0.5, 1.5)
+        new_node: Node = RConst(
+            round(node.value * scale, generator.pset.const_digits)
+        )
+    elif isinstance(node, BConst):
+        new_node = BConst(not node.value)
+    elif not node.children:
+        new_node = generator.random_terminal(node.result_type)
+    else:
+        compatible = [
+            cls
+            for cls in FUNCTION_CLASSES.values()
+            if cls.result_type is node.result_type
+            and cls.arg_types == node.arg_types
+            and cls.op_name != node.op_name
+            and cls.op_name in generator.pset.functions
+        ]
+        if not compatible:
+            return mutant
+        cls = rng.choice(compatible)
+        new_node = cls(*(child.copy() for child in node.children))
+    return replace_subtree(mutant, parent, slot, new_node)
+
+
+def shrink_mutation(tree: Node, rng: random.Random) -> Node:
+    """Replace an interior node with one of its same-typed descendants."""
+    mutant = tree.copy()
+    interior = [
+        (node, parent, slot)
+        for node, parent, slot, _depth in mutant.walk_with_context()
+        if node.children
+    ]
+    if not interior:
+        return mutant
+    node, parent, slot = rng.choice(interior)
+    descendants = [
+        candidate
+        for candidate in node.walk()
+        if candidate is not node and candidate.result_type is node.result_type
+    ]
+    if not descendants:
+        return mutant
+    return replace_subtree(mutant, parent, slot, rng.choice(descendants).copy())
+
+
+def mutate(
+    tree: Node,
+    generator: TreeGenerator,
+    rng: random.Random,
+    max_depth: int = 17,
+) -> Node:
+    """Apply one randomly selected mutation operator.
+
+    The mix is weighted toward subtree mutation, the paper's
+    illustrated operator.
+    """
+    roll = rng.random()
+    if roll < 0.6:
+        mutant = subtree_mutation(tree, generator, rng)
+    elif roll < 0.85:
+        mutant = point_mutation(tree, generator, rng)
+    else:
+        mutant = shrink_mutation(tree, rng)
+    if mutant.depth() > max_depth:
+        return tree.copy()
+    return mutant

@@ -1,0 +1,28 @@
+"""Type system for GP expressions.
+
+The paper's genetic-programming system (Table 1) is *strongly typed*:
+every primitive is either real-valued or Boolean-valued, and each
+argument slot has a fixed type.  Strong typing keeps crossover and
+mutation closed over well-formed expressions, which the paper relies on
+("the underlying algorithm ensures optimization legality" -- only the
+priority function is evolved, and it must always produce a value of the
+right kind).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class GPType(enum.Enum):
+    """The two value kinds a GP expression node may produce."""
+
+    REAL = "real"
+    BOOL = "bool"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GPType.{self.name}"
+
+
+REAL = GPType.REAL
+BOOL = GPType.BOOL

@@ -1,0 +1,60 @@
+"""Basic blocks.
+
+A block holds a straight-line instruction sequence ending in exactly one
+terminator (``br``, ``jmp`` or ``ret``).  Blocks are identified by label
+within their function; branch targets are labels, so blocks can be
+copied and functions cloned without cyclic references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instr import Instr, Opcode
+
+
+@dataclass
+class Block:
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+    #: Estimated/blessed execution count, populated by profiling.
+    profile_count: int = 0
+
+    @property
+    def terminator(self) -> Instr:
+        if not self.instrs or not self.instrs[-1].is_terminator:
+            raise ValueError(f"block {self.label} lacks a terminator")
+        return self.instrs[-1]
+
+    @property
+    def body(self) -> list[Instr]:
+        """Instructions excluding the terminator."""
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[:-1]
+        return list(self.instrs)
+
+    def successors(self) -> tuple[str, ...]:
+        term = self.terminator
+        if term.op is Opcode.RET:
+            return ()
+        return term.targets
+
+    def append(self, instr: Instr) -> None:
+        if self.instrs and self.instrs[-1].is_terminator:
+            raise ValueError(
+                f"appending {instr} after terminator in block {self.label}"
+            )
+        self.instrs.append(instr)
+
+    def is_closed(self) -> bool:
+        return bool(self.instrs) and self.instrs[-1].is_terminator
+
+    def copy(self) -> "Block":
+        clone = Block(self.label, [instr.copy() for instr in self.instrs])
+        clone.profile_count = self.profile_count
+        return clone
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {instr}" for instr in self.instrs)
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Dominator analysis (Cooper–Harvey–Kennedy iterative algorithm).
+
+Dominators underpin natural-loop detection (:mod:`repro.ir.loops`) and
+the legality checks of hyperblock region selection: a path is only
+mergeable when its blocks are dominated by the region head on the
+region-internal edges.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import predecessors, reverse_postorder
+from repro.ir.function import Function
+
+
+def immediate_dominators(function: Function) -> dict[str, str | None]:
+    """Map each reachable block to its immediate dominator.
+
+    The entry block maps to ``None``.  Unreachable blocks are omitted.
+    """
+    order = reverse_postorder(function)
+    index = {label: position for position, label in enumerate(order)}
+    preds = predecessors(function)
+    entry = order[0]
+
+    idom: dict[str, str | None] = {entry: entry}
+
+    def intersect(first: str, second: str) -> str:
+        while first != second:
+            while index[first] > index[second]:
+                first = idom[first]  # type: ignore[assignment]
+            while index[second] > index[first]:
+                second = idom[second]  # type: ignore[assignment]
+        return first
+
+    changed = True
+    while changed:
+        changed = False
+        for label in order[1:]:
+            candidates = [p for p in preds[label] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    result: dict[str, str | None] = {}
+    for label in order:
+        result[label] = None if label == entry else idom[label]
+    return result
+
+
+def dominator_sets(function: Function) -> dict[str, set[str]]:
+    """Full dominator set of each reachable block (including itself)."""
+    idom = immediate_dominators(function)
+    sets: dict[str, set[str]] = {}
+    for label in idom:
+        doms = {label}
+        walker = idom[label]
+        while walker is not None:
+            doms.add(walker)
+            walker = idom[walker]
+        sets[label] = doms
+    return sets
+
+
+def dominates(dom_sets: dict[str, set[str]], above: str, below: str) -> bool:
+    """True when ``above`` dominates ``below``."""
+    return above in dom_sets.get(below, set())

@@ -1,0 +1,335 @@
+"""Functional IR interpreter.
+
+Executes a module directly over the CFG, independent of any machine
+model.  Two jobs:
+
+* **Reference semantics.**  The timing simulator executes scheduled,
+  register-allocated code; tests assert that its observable output (the
+  ``out`` stream and return value) matches this interpreter's, which
+  validates every transformation in the pipeline end to end.
+* **Profiling substrate.**  :mod:`repro.profile` runs the interpreter
+  with callbacks to collect edge counts and branch histories, producing
+  the ``exec_ratio`` and branch-predictability features of Table 4.
+
+Integer semantics are 64-bit two's complement (wrapping); division
+truncates toward zero, matching the MiniC frontend's documented rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ir.function import Function, Module, STACK_BASE
+from repro.ir.instr import Instr, Opcode, Rel
+from repro.ir.values import (
+    FLOAT,
+    INT,
+    Imm,
+    PRED,
+    StackSlot,
+    SymRef,
+    VReg,
+)
+
+_INT_MASK = (1 << 64) - 1
+_INT_SIGN = 1 << 63
+
+
+def wrap_int(value: int) -> int:
+    """Wrap to signed 64-bit."""
+    value &= _INT_MASK
+    if value & _INT_SIGN:
+        value -= 1 << 64
+    return value
+
+
+def int_div(numerator: int, denominator: int) -> int:
+    """C-style truncating division."""
+    quotient = abs(numerator) // abs(denominator)
+    if (numerator < 0) != (denominator < 0):
+        quotient = -quotient
+    return quotient
+
+
+def int_rem(numerator: int, denominator: int) -> int:
+    """C-style remainder: sign follows the dividend."""
+    return numerator - int_div(numerator, denominator) * denominator
+
+
+class InterpError(RuntimeError):
+    """Raised on runtime faults: step overrun, division by zero, bad call."""
+
+
+_REL_FUNCS = {
+    Rel.EQ: lambda a, b: a == b,
+    Rel.NE: lambda a, b: a != b,
+    Rel.LT: lambda a, b: a < b,
+    Rel.LE: lambda a, b: a <= b,
+    Rel.GT: lambda a, b: a > b,
+    Rel.GE: lambda a, b: a >= b,
+}
+
+
+def apply_scalar_op(op: Opcode, rel: Rel | None, values: tuple):
+    """Evaluate a pure scalar opcode on already-fetched source values.
+
+    Shared between the functional interpreter and the timing simulator
+    so the two engines cannot drift semantically.  CMPP returns a
+    ``(truth, complement)`` pair; every other opcode returns one value.
+    Raises :class:`InterpError` on division by zero.
+    """
+    if op is Opcode.MOV:
+        return values[0]
+    if op is Opcode.ADD:
+        return wrap_int(values[0] + values[1])
+    if op is Opcode.SUB:
+        return wrap_int(values[0] - values[1])
+    if op is Opcode.MUL:
+        return wrap_int(values[0] * values[1])
+    if op is Opcode.DIV:
+        if values[1] == 0:
+            raise InterpError("integer division by zero")
+        return wrap_int(int_div(values[0], values[1]))
+    if op is Opcode.REM:
+        if values[1] == 0:
+            raise InterpError("integer remainder by zero")
+        return wrap_int(int_rem(values[0], values[1]))
+    if op is Opcode.NEG:
+        return wrap_int(-values[0])
+    if op is Opcode.AND:
+        return wrap_int(values[0] & values[1])
+    if op is Opcode.OR:
+        return wrap_int(values[0] | values[1])
+    if op is Opcode.XOR:
+        return wrap_int(values[0] ^ values[1])
+    if op is Opcode.SHL:
+        return wrap_int(values[0] << (values[1] & 63))
+    if op is Opcode.SHR:
+        return wrap_int(values[0] >> (values[1] & 63))
+    if op is Opcode.FADD:
+        return values[0] + values[1]
+    if op is Opcode.FSUB:
+        return values[0] - values[1]
+    if op is Opcode.FMUL:
+        return values[0] * values[1]
+    if op is Opcode.FDIV:
+        if values[1] == 0.0:
+            raise InterpError("float division by zero")
+        return values[0] / values[1]
+    if op is Opcode.FNEG:
+        return -values[0]
+    if op is Opcode.FSQRT:
+        return abs(values[0]) ** 0.5
+    if op is Opcode.ITOF:
+        return float(values[0])
+    if op is Opcode.FTOI:
+        return wrap_int(int(values[0]))
+    if op is Opcode.CMP:
+        return 1 if _REL_FUNCS[rel](values[0], values[1]) else 0
+    if op is Opcode.CMPP:
+        truth = _REL_FUNCS[rel](values[0], values[1])
+        return truth, not truth
+    raise InterpError(f"not a scalar opcode: {op}")
+
+
+#: Opcodes handled by :func:`apply_scalar_op`.
+SCALAR_OPS = frozenset({
+    Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+    Opcode.NEG, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FNEG,
+    Opcode.FSQRT, Opcode.ITOF, Opcode.FTOI, Opcode.CMP, Opcode.CMPP,
+})
+
+
+@dataclass
+class RunResult:
+    """Observable outcome of one program execution."""
+
+    return_value: float | int | None
+    outputs: list[float | int]
+    steps: int
+    blocks_executed: int
+
+    def output_signature(self) -> tuple:
+        """Hashable digest used by equivalence tests."""
+        return (self.return_value, tuple(self.outputs))
+
+
+@dataclass
+class Interpreter:
+    """Executes a module.
+
+    Parameters
+    ----------
+    module:
+        The module to execute (validated by the caller).
+    max_steps:
+        Dynamic instruction budget; exceeded => :class:`InterpError`
+        (guards against accidental infinite loops in generated code).
+    on_edge:
+        Optional callback ``(function_name, from_label, to_label)``
+        invoked for every control-flow edge taken.
+    on_branch:
+        Optional callback ``(function_name, instr_uid, taken)`` invoked
+        for every conditional branch executed.
+    """
+
+    module: Module
+    max_steps: int = 10_000_000
+    on_edge: Callable[[str, str, str], None] | None = None
+    on_branch: Callable[[str, int, bool], None] | None = None
+
+    memory: dict[int, float | int] = field(init=False, default_factory=dict)
+    outputs: list[float | int] = field(init=False, default_factory=list)
+    steps: int = field(init=False, default=0)
+    blocks_executed: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._layout = self.module.layout()
+        self._sp = STACK_BASE
+        for name, array in self.module.globals.items():
+            base = self._layout[name]
+            for index, value in enumerate(array.init):
+                self.memory[base + index] = value
+
+    # -- public API -------------------------------------------------------
+    def set_global(self, name: str, values: list[float | int],
+                   offset: int = 0) -> None:
+        """Write input data into a global array before execution."""
+        array = self.module.globals.get(name)
+        if array is None:
+            raise KeyError(f"no global named {name!r}")
+        if offset + len(values) > array.size:
+            raise ValueError(
+                f"{len(values)} values at offset {offset} overflow "
+                f"{name}[{array.size}]"
+            )
+        base = self._layout[name]
+        for index, value in enumerate(values):
+            self.memory[base + offset + index] = value
+
+    def read_global(self, name: str, count: int | None = None) -> list:
+        array = self.module.globals[name]
+        base = self._layout[name]
+        length = array.size if count is None else count
+        return [self.memory.get(base + i, 0) for i in range(length)]
+
+    def run(self, entry: str = "main",
+            args: tuple[float | int, ...] = ()) -> RunResult:
+        """Execute ``entry`` and return the observable results."""
+        function = self.module.functions.get(entry)
+        if function is None:
+            raise InterpError(f"no function named {entry!r}")
+        value = self._call(function, tuple(args))
+        return RunResult(
+            return_value=value,
+            outputs=list(self.outputs),
+            steps=self.steps,
+            blocks_executed=self.blocks_executed,
+        )
+
+    # -- execution core -----------------------------------------------------
+    def _call(self, function: Function,
+              args: tuple[float | int, ...]) -> float | int | None:
+        if len(args) != len(function.params):
+            raise InterpError(
+                f"{function.name} expects {len(function.params)} args, "
+                f"got {len(args)}"
+            )
+        regs: dict[VReg, float | int | bool] = {}
+        for param, arg in zip(function.params, args):
+            regs[param] = arg
+        frame_base = self._sp
+        self._sp += function.frame_words
+
+        try:
+            label = function.block_order[0]
+            while True:
+                block = function.blocks[label]
+                self.blocks_executed += 1
+                next_label: str | None = None
+                for instr in block.instrs:
+                    self.steps += 1
+                    if self.steps > self.max_steps:
+                        raise InterpError(
+                            f"step budget exceeded in {function.name}"
+                        )
+                    if instr.guard is not None and not regs.get(instr.guard, False):
+                        if instr.is_terminator:
+                            raise InterpError("guarded terminator reached false")
+                        continue
+                    outcome = self._execute(instr, regs, function, frame_base)
+                    if instr.op is Opcode.RET:
+                        return outcome
+                    if instr.is_terminator:
+                        next_label = outcome
+                        break
+                if next_label is None:
+                    raise InterpError(
+                        f"block {label} fell through without terminator"
+                    )
+                if self.on_edge is not None:
+                    self.on_edge(function.name, label, next_label)
+                label = next_label
+        finally:
+            self._sp = frame_base
+
+    def _value(self, operand, regs, frame_base):
+        if isinstance(operand, VReg):
+            try:
+                return regs[operand]
+            except KeyError:
+                raise InterpError(f"read of undefined register {operand}")
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, SymRef):
+            return self._layout[operand.symbol]
+        if isinstance(operand, StackSlot):
+            return frame_base + operand.offset
+        raise InterpError(f"cannot evaluate operand {operand!r}")
+
+    def _execute(self, instr: Instr, regs, function: Function, frame_base):
+        op = instr.op
+        val = lambda i: self._value(instr.srcs[i], regs, frame_base)
+
+        if op in SCALAR_OPS:
+            result = apply_scalar_op(
+                op, instr.rel, tuple(val(i) for i in range(len(instr.srcs)))
+            )
+            if op is Opcode.CMPP:
+                regs[instr.dest], regs[instr.dest2] = result
+            else:
+                regs[instr.dest] = result
+        elif op is Opcode.LEA:
+            regs[instr.dest] = self._value(instr.srcs[0], regs, frame_base)
+        elif op is Opcode.LOAD:
+            address = val(0)
+            regs[instr.dest] = self.memory.get(address, 0)
+        elif op is Opcode.STORE:
+            self.memory[val(0)] = val(1)
+        elif op is Opcode.PREFETCH:
+            val(0)  # address computed; no architectural effect
+        elif op is Opcode.OUT:
+            self.outputs.append(val(0))
+        elif op is Opcode.CALL:
+            callee = self.module.functions.get(instr.callee)
+            if callee is None:
+                raise InterpError(f"call to unknown function {instr.callee}")
+            result = self._call(
+                callee, tuple(val(i) for i in range(len(instr.srcs)))
+            )
+            if instr.dest is not None:
+                regs[instr.dest] = result
+        elif op is Opcode.BR:
+            taken = bool(val(0))
+            if self.on_branch is not None:
+                self.on_branch(function.name, instr.uid, taken)
+            return instr.targets[0] if taken else instr.targets[1]
+        elif op is Opcode.JMP:
+            return instr.targets[0]
+        elif op is Opcode.RET:
+            return val(0) if instr.srcs else None
+        else:  # pragma: no cover - exhaustive
+            raise InterpError(f"unimplemented opcode {op}")
+        return None

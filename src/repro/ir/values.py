@@ -1,0 +1,109 @@
+"""IR value kinds: virtual/physical registers and immediates.
+
+The IR is a load/store three-address form over an infinite set of
+*virtual registers*.  Register allocation later maps virtual registers
+onto the machine's physical register files (general-purpose, floating
+point and predicate — Table 3 gives the EPIC machine 64 + 64 + 256).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class IRType(enum.Enum):
+    """Value types carried by registers and memory."""
+
+    INT = "int"
+    FLOAT = "float"
+    PRED = "pred"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IRType.{self.name}"
+
+
+INT = IRType.INT
+FLOAT = IRType.FLOAT
+PRED = IRType.PRED
+
+#: Every memory word is 8 bytes; addresses in the IR are *word*
+#: addresses, multiplied out to byte addresses only at the cache model.
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True, slots=True)
+class VReg:
+    """A virtual register.
+
+    ``uid`` is unique within a function.  ``name`` is a debugging hint
+    (source variable name or temporary tag).
+    """
+
+    uid: int
+    vtype: IRType
+    name: str = ""
+
+    def __str__(self) -> str:
+        prefix = {INT: "r", FLOAT: "f", PRED: "p"}[self.vtype]
+        tag = f".{self.name}" if self.name else ""
+        return f"%{prefix}{self.uid}{tag}"
+
+
+@dataclass(frozen=True, slots=True)
+class PReg:
+    """A physical register, produced by register allocation."""
+
+    index: int
+    vtype: IRType
+
+    def __str__(self) -> str:
+        prefix = {INT: "R", FLOAT: "F", PRED: "P"}[self.vtype]
+        return f"{prefix}{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class Imm:
+    """An immediate operand."""
+
+    value: float | int
+    vtype: IRType = INT
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class SymRef:
+    """A reference to a named memory object (global array or string).
+
+    Resolved to a base word-address by the module's data layout.
+    """
+
+    symbol: str
+
+    def __str__(self) -> str:
+        return f"@{self.symbol}"
+
+
+@dataclass(frozen=True, slots=True)
+class StackSlot:
+    """A function-local stack location (spill slot or local array).
+
+    ``offset`` is a word offset within the frame; resolved against the
+    frame base at simulation time.
+    """
+
+    offset: int
+    name: str = ""
+
+    def __str__(self) -> str:
+        tag = f".{self.name}" if self.name else ""
+        return f"stack[{self.offset}]{tag}"
+
+
+Operand = VReg | PReg | Imm | SymRef | StackSlot
+
+
+def is_register(operand: object) -> bool:
+    return isinstance(operand, (VReg, PReg))

@@ -1,0 +1,43 @@
+"""EPIC machine model: description (Table 3), caches, branch predictor,
+VLIW containers, and the cycle-level simulator."""
+
+from repro.machine.branch import BranchStats, TwoBitPredictor
+from repro.machine.cache import CacheHierarchy, CacheLevel, CacheStats
+from repro.machine.descr import (
+    DEFAULT_EPIC,
+    ITANIUM_MACHINE,
+    ITANIUM_MACHINE_B,
+    REGALLOC_MACHINE,
+    REGALLOC_MACHINE_B,
+    CacheLevelConfig,
+    MachineDescription,
+)
+from repro.machine.sim import SimError, SimResult, Simulator
+from repro.machine.vliw import (
+    Bundle,
+    ScheduledBlock,
+    ScheduledFunction,
+    ScheduledModule,
+)
+
+__all__ = [
+    "BranchStats",
+    "Bundle",
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheLevelConfig",
+    "CacheStats",
+    "DEFAULT_EPIC",
+    "ITANIUM_MACHINE",
+    "ITANIUM_MACHINE_B",
+    "MachineDescription",
+    "REGALLOC_MACHINE",
+    "REGALLOC_MACHINE_B",
+    "ScheduledBlock",
+    "ScheduledFunction",
+    "ScheduledModule",
+    "SimError",
+    "SimResult",
+    "Simulator",
+    "TwoBitPredictor",
+]

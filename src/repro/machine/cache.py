@@ -1,0 +1,147 @@
+"""Cache hierarchy model.
+
+Set-associative, LRU, write-back/write-allocate levels with inclusive
+fills.  Stores are buffered (Table 3: "stores are buffered, and thus
+require 1 cycle") — a store updates the hierarchy but never stalls.
+
+Prefetches fill the hierarchy like loads but charge no latency; their
+cost is the memory-unit issue slot they occupy plus the *pollution*
+they may cause by evicting live lines — exactly the trade-off the
+prefetching case study's priority function must learn.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.ir.values import WORD_BYTES
+from repro.machine.descr import CacheLevelConfig, MachineDescription
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    prefetch_fills: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class CacheLevel:
+    """One set-associative level with true-LRU replacement."""
+
+    def __init__(self, config: CacheLevelConfig) -> None:
+        self.config = config
+        self.sets_count = config.size_bytes // (config.line_bytes * config.assoc)
+        self._index_mask = self.sets_count - 1
+        self._line_shift = config.line_bytes.bit_length() - 1
+        # Each set: OrderedDict tag -> None, most-recent last.
+        self._sets: list[OrderedDict] = [OrderedDict()
+                                         for _ in range(self.sets_count)]
+        self.stats = CacheStats()
+
+    def _locate(self, byte_addr: int) -> tuple[int, int]:
+        line = byte_addr >> self._line_shift
+        return line & self._index_mask, line >> (
+            self.sets_count.bit_length() - 1
+        )
+
+    def probe(self, byte_addr: int) -> bool:
+        """Look up without updating statistics; refreshes LRU on hit."""
+        index, tag = self._locate(byte_addr)
+        cache_set = self._sets[index]
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            return True
+        return False
+
+    def access(self, byte_addr: int) -> bool:
+        """Demand access: returns hit/miss and updates stats."""
+        self.stats.accesses += 1
+        if self.probe(byte_addr):
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, byte_addr: int, from_prefetch: bool = False) -> None:
+        """Install the line, evicting LRU if needed."""
+        index, tag = self._locate(byte_addr)
+        cache_set = self._sets[index]
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            return
+        if len(cache_set) >= self.config.assoc:
+            cache_set.popitem(last=False)
+        cache_set[tag] = None
+        if from_prefetch:
+            self.stats.prefetch_fills += 1
+
+    def flush(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+
+class CacheHierarchy:
+    """L1/L2/L3 + memory, with Table 3 latencies."""
+
+    def __init__(self, machine: MachineDescription) -> None:
+        self.machine = machine
+        self.levels = [CacheLevel(config) for config in machine.cache_levels]
+        self.loads = 0
+        self.stores = 0
+        self.prefetches = 0
+
+    @staticmethod
+    def _to_bytes(word_addr: int) -> int:
+        return word_addr * WORD_BYTES
+
+    def load(self, word_addr: int) -> int:
+        """Demand load: returns total latency in cycles and fills all
+        missed levels (inclusive hierarchy)."""
+        self.loads += 1
+        byte_addr = self._to_bytes(word_addr)
+        for depth, level in enumerate(self.levels):
+            if level.access(byte_addr):
+                for upper in self.levels[:depth]:
+                    upper.fill(byte_addr)
+                return level.config.latency
+        for level in self.levels:
+            level.fill(byte_addr)
+        return self.machine.memory_latency
+
+    def store(self, word_addr: int) -> int:
+        """Buffered store: 1 cycle, allocates into L1."""
+        self.stores += 1
+        byte_addr = self._to_bytes(word_addr)
+        # Write-allocate without charging miss latency (buffered).
+        for depth, level in enumerate(self.levels):
+            if level.probe(byte_addr):
+                for upper in self.levels[:depth]:
+                    upper.fill(byte_addr)
+                return 1
+        for level in self.levels:
+            level.fill(byte_addr)
+        return 1
+
+    def prefetch(self, word_addr: int) -> None:
+        """Software prefetch: fills every level, charges no latency."""
+        self.prefetches += 1
+        byte_addr = self._to_bytes(word_addr)
+        for level in self.levels:
+            if not level.probe(byte_addr):
+                level.fill(byte_addr, from_prefetch=True)
+
+    def would_hit_l1(self, word_addr: int) -> bool:
+        """Non-destructive L1 presence check (used by tests)."""
+        level = self.levels[0]
+        index, tag = level._locate(self._to_bytes(word_addr))
+        return tag in level._sets[index]
+
+    def flush(self) -> None:
+        for level in self.levels:
+            level.flush()

@@ -1,0 +1,390 @@
+"""Cycle-level simulator for scheduled EPIC code.
+
+Executes a :class:`~repro.machine.vliw.ScheduledModule`, modelling the
+Table 3 machine:
+
+* one cycle per issued bundle (a block's bundle count is charged when
+  the block is entered — terminators are always in the final bundle);
+* loads probe the cache hierarchy; latency beyond the scheduler's L1
+  assumption stalls the pipeline (stall-on-miss in-order model);
+* conditional branches consult the 2-bit predictor; a misprediction
+  costs ``mispredict_penalty`` cycles;
+* predicated (guarded) operations whose guard is false are squashed —
+  they consume their issue slot but have no architectural effect;
+* stores are buffered (1 cycle, no stall); prefetches charge nothing
+  but occupy their memory slot and may pollute the caches.
+
+Implementation note: for speed, each scheduled block is translated
+once into a generated Python function over a dense register file
+(``R[i]``), with immediates, global addresses and machine constants
+baked in.  Generated code calls the same arithmetic helpers as the
+functional interpreter (``wrap_int`` / ``int_div`` / ``int_rem``), so
+the two engines cannot diverge semantically; the integration suite
+asserts output equality on every benchmark.
+
+Fitness noise (Section 7.1): real-machine measurements are noisy; the
+simulator can inject multiplicative Gaussian noise into the final
+cycle count to reproduce the paper's point that GP tolerates noise
+smaller than the attainable speedups.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ir.function import STACK_BASE
+from repro.ir.instr import Instr, Opcode, Rel
+from repro.ir.interp import int_div, int_rem, wrap_int
+from repro.ir.values import Imm, PReg, StackSlot, SymRef, VReg
+from repro.machine.branch import TwoBitPredictor
+from repro.machine.cache import CacheHierarchy
+from repro.machine.descr import MachineDescription
+from repro.machine.vliw import ScheduledFunction, ScheduledModule
+
+
+@dataclass
+class SimResult:
+    """Timing and observable outcome of one simulated execution."""
+
+    cycles: int
+    return_value: float | int | None
+    outputs: list[float | int]
+    dynamic_ops: int = 0
+    squashed_ops: int = 0
+    bundles: int = 0
+    memory_stall_cycles: int = 0
+    branch_stall_cycles: int = 0
+    load_count: int = 0
+    l1_hit_rate: float = 0.0
+    branch_accuracy: float = 0.0
+    prefetch_count: int = 0
+
+    def output_signature(self) -> tuple:
+        return (self.return_value, tuple(self.outputs))
+
+
+class SimError(RuntimeError):
+    """Runtime fault during timing simulation."""
+
+
+_REL_PY = {
+    Rel.EQ: "==", Rel.NE: "!=", Rel.LT: "<",
+    Rel.LE: "<=", Rel.GT: ">", Rel.GE: ">=",
+}
+
+#: marker distinguishing a return from a jump in generated block code
+_RET = ("\x00ret",)
+
+
+def _checked_idiv(a: int, b: int) -> int:
+    if b == 0:
+        raise SimError("integer division by zero")
+    return wrap_int(int_div(a, b))
+
+
+def _checked_irem(a: int, b: int) -> int:
+    if b == 0:
+        raise SimError("integer remainder by zero")
+    return wrap_int(int_rem(a, b))
+
+
+def _checked_fdiv(a: float, b: float) -> float:
+    if b == 0.0:
+        raise SimError("float division by zero")
+    return a / b
+
+
+@dataclass
+class _CompiledFunction:
+    name: str
+    param_indices: list[int]
+    reg_count: int
+    frame_words: int
+    entry: str
+    blocks: dict[str, object]  # label -> generated callable
+
+
+class Simulator:
+    """Executes scheduled code with cycle accounting."""
+
+    def __init__(
+        self,
+        scheduled: ScheduledModule,
+        machine: MachineDescription,
+        max_cycles: int = 100_000_000,
+        noise_stddev: float = 0.0,
+        noise_seed: int = 0,
+    ) -> None:
+        self.scheduled = scheduled
+        self.machine = machine
+        self.max_cycles = max_cycles
+        self.noise_stddev = noise_stddev
+        self._noise_rng = random.Random(noise_seed)
+
+        self.caches = CacheHierarchy(machine)
+        self.predictor = TwoBitPredictor()
+        self.memory: dict[int, float | int] = {}
+        self.outputs: list[float | int] = []
+        self.cycles = 0
+        self.dynamic_ops = 0
+        self.squashed_ops = 0
+        self.bundles = 0
+        self.memory_stall = 0
+        self.branch_stall = 0
+        self._sp = STACK_BASE
+        self._layout = scheduled.module.layout()
+        self._compiled: dict[str, _CompiledFunction] = {}
+        for name, array in scheduled.module.globals.items():
+            base = self._layout[name]
+            for index, value in enumerate(array.init):
+                self.memory[base + index] = value
+
+    # -- public API -----------------------------------------------------------
+    def set_global(self, name: str, values: list[float | int],
+                   offset: int = 0) -> None:
+        array = self.scheduled.module.globals.get(name)
+        if array is None:
+            raise KeyError(f"no global named {name!r}")
+        if offset + len(values) > array.size:
+            raise ValueError(f"input overflows global {name}")
+        base = self._layout[name]
+        for index, value in enumerate(values):
+            self.memory[base + offset + index] = value
+
+    def run(self, entry: str = "main",
+            args: tuple[float | int, ...] = ()) -> SimResult:
+        if entry not in self.scheduled.functions:
+            raise SimError(f"no scheduled function {entry!r}")
+        value = self._call(entry, tuple(args))
+        cycles = self.cycles
+        if self.noise_stddev > 0.0:
+            factor = max(0.5, self._noise_rng.gauss(1.0, self.noise_stddev))
+            cycles = int(round(cycles * factor))
+        level1 = self.caches.levels[0].stats
+        return SimResult(
+            cycles=cycles,
+            return_value=value,
+            outputs=list(self.outputs),
+            dynamic_ops=self.dynamic_ops,
+            squashed_ops=self.squashed_ops,
+            bundles=self.bundles,
+            memory_stall_cycles=self.memory_stall,
+            branch_stall_cycles=self.branch_stall,
+            load_count=self.caches.loads,
+            l1_hit_rate=level1.hit_rate,
+            branch_accuracy=self.predictor.stats.accuracy,
+            prefetch_count=self.caches.prefetches,
+        )
+
+    # -- execution ---------------------------------------------------------------
+    def _call(self, name: str, args: tuple):
+        compiled = self._compiled.get(name)
+        if compiled is None:
+            compiled = self._compile_function(self.scheduled.functions[name])
+            self._compiled[name] = compiled
+        if len(args) != len(compiled.param_indices):
+            raise SimError(f"{name} expects {len(compiled.param_indices)} args")
+        registers: list = [0] * compiled.reg_count
+        for index, arg in zip(compiled.param_indices, args):
+            registers[index] = arg
+        frame_base = self._sp
+        self._sp += compiled.frame_words
+        try:
+            label = compiled.entry
+            blocks = compiled.blocks
+            while True:
+                outcome = blocks[label](registers, frame_base)
+                if type(outcome) is str:
+                    label = outcome
+                    continue
+                return outcome[1]
+        finally:
+            self._sp = frame_base
+
+    # -- translation ---------------------------------------------------------------
+    def _operand_expr(self, operand, reg_index: dict) -> str:
+        if isinstance(operand, (VReg, PReg)):
+            return f"R[{reg_index[operand]}]"
+        if isinstance(operand, Imm):
+            return repr(operand.value)
+        if isinstance(operand, SymRef):
+            return repr(self._layout[operand.symbol])
+        if isinstance(operand, StackSlot):
+            return f"(fb + {operand.offset})"
+        raise SimError(f"cannot translate operand {operand!r}")
+
+    def _instr_lines(self, instr: Instr, reg_index: dict) -> list[str]:
+        """Python source lines implementing one instruction."""
+        op = instr.op
+        src = lambda i: self._operand_expr(instr.srcs[i], reg_index)
+        dest = (f"R[{reg_index[instr.dest]}]"
+                if instr.dest is not None else None)
+
+        if op is Opcode.MOV or op is Opcode.LEA:
+            return [f"{dest} = {src(0)}"]
+        if op is Opcode.ADD:
+            return [f"{dest} = wi({src(0)} + {src(1)})"]
+        if op is Opcode.SUB:
+            return [f"{dest} = wi({src(0)} - {src(1)})"]
+        if op is Opcode.MUL:
+            return [f"{dest} = wi({src(0)} * {src(1)})"]
+        if op is Opcode.DIV:
+            return [f"{dest} = idiv({src(0)}, {src(1)})"]
+        if op is Opcode.REM:
+            return [f"{dest} = irem({src(0)}, {src(1)})"]
+        if op is Opcode.NEG:
+            return [f"{dest} = wi(-{src(0)})"]
+        if op is Opcode.AND:
+            return [f"{dest} = wi({src(0)} & {src(1)})"]
+        if op is Opcode.OR:
+            return [f"{dest} = wi({src(0)} | {src(1)})"]
+        if op is Opcode.XOR:
+            return [f"{dest} = wi({src(0)} ^ {src(1)})"]
+        if op is Opcode.SHL:
+            return [f"{dest} = wi({src(0)} << ({src(1)} & 63))"]
+        if op is Opcode.SHR:
+            return [f"{dest} = wi({src(0)} >> ({src(1)} & 63))"]
+        if op is Opcode.FADD:
+            return [f"{dest} = {src(0)} + {src(1)}"]
+        if op is Opcode.FSUB:
+            return [f"{dest} = {src(0)} - {src(1)}"]
+        if op is Opcode.FMUL:
+            return [f"{dest} = {src(0)} * {src(1)}"]
+        if op is Opcode.FDIV:
+            return [f"{dest} = fdiv({src(0)}, {src(1)})"]
+        if op is Opcode.FNEG:
+            return [f"{dest} = -{src(0)}"]
+        if op is Opcode.FSQRT:
+            return [f"{dest} = abs({src(0)}) ** 0.5"]
+        if op is Opcode.ITOF:
+            return [f"{dest} = float({src(0)})"]
+        if op is Opcode.FTOI:
+            return [f"{dest} = wi(int({src(0)}))"]
+        if op is Opcode.CMP:
+            return [f"{dest} = 1 if {src(0)} {_REL_PY[instr.rel]} {src(1)} "
+                    f"else 0"]
+        if op is Opcode.CMPP:
+            dest2 = f"R[{reg_index[instr.dest2]}]"
+            return [
+                f"_t = {src(0)} {_REL_PY[instr.rel]} {src(1)}",
+                f"{dest} = _t",
+                f"{dest2} = not _t",
+            ]
+        if op is Opcode.LOAD:
+            return [
+                f"_a = {src(0)}",
+                "_l = LOAD(_a)",
+                "if _l > L1:",
+                "    S.cycles += _l - L1",
+                "    S.memory_stall += _l - L1",
+                f"{dest} = MEM.get(_a, 0)",
+            ]
+        if op is Opcode.STORE:
+            return [
+                f"_a = {src(0)}",
+                "STORE(_a)",
+                f"MEM[_a] = {src(1)}",
+            ]
+        if op is Opcode.PREFETCH:
+            return [f"PREFETCH({src(0)})"]
+        if op is Opcode.OUT:
+            return [f"OUTS.append({src(0)})"]
+        if op is Opcode.CALL:
+            arguments = ", ".join(src(i) for i in range(len(instr.srcs)))
+            call = f"CALL({instr.callee!r}, ({arguments}{',' if instr.srcs else ''}))"
+            if dest is not None:
+                return [f"{dest} = {call}"]
+            return [call]
+        if op is Opcode.BR:
+            return [
+                f"_t = True if {src(0)} else False",
+                f"if not UPDATE({instr.uid}, _t):",
+                "    S.cycles += PEN",
+                "    S.branch_stall += PEN",
+                f"return {instr.targets[0]!r} if _t else {instr.targets[1]!r}",
+            ]
+        if op is Opcode.JMP:
+            return [f"return {instr.targets[0]!r}"]
+        if op is Opcode.RET:
+            value = src(0) if instr.srcs else "None"
+            return [f"return (RET, {value})"]
+        raise SimError(f"unimplemented opcode {op}")  # pragma: no cover
+
+    def _compile_function(self,
+                          function: ScheduledFunction) -> _CompiledFunction:
+        reg_index: dict = {}
+
+        def index_of(reg) -> int:
+            slot = reg_index.get(reg)
+            if slot is None:
+                slot = len(reg_index)
+                reg_index[reg] = slot
+            return slot
+
+        for param in function.params:
+            index_of(param)
+        for instr in function.flat_instructions():
+            for reg in list(instr.reads()) + list(instr.writes()):
+                index_of(reg)
+
+        namespace = {
+            "wi": wrap_int,
+            "idiv": _checked_idiv,
+            "irem": _checked_irem,
+            "fdiv": _checked_fdiv,
+            "S": self,
+            "MEM": self.memory,
+            "OUTS": self.outputs,
+            "LOAD": self.caches.load,
+            "STORE": self.caches.store,
+            "PREFETCH": self.caches.prefetch,
+            "UPDATE": self.predictor.update,
+            "CALL": self._call,
+            "L1": self.machine.load_latency,
+            "PEN": self.machine.mispredict_penalty,
+            "RET": _RET[0],
+            "SimError": SimError,
+        }
+
+        blocks: dict[str, object] = {}
+        for label in function.block_order:
+            block = function.blocks[label]
+            ops_static = block.op_count
+            lines = [
+                f"def __block(R, fb):",
+                f"    S.cycles += {block.cycles}",
+                f"    S.bundles += {block.cycles}",
+                f"    S.dynamic_ops += {ops_static}",
+                "    if S.cycles > S.max_cycles:",
+                "        raise SimError('cycle budget exceeded')",
+            ]
+            body_emitted = False
+            for instr in block.flat_instructions():
+                instr_lines = self._instr_lines(instr, reg_index)
+                if instr.guard is not None:
+                    guard_expr = f"R[{reg_index[instr.guard]}]"
+                    lines.append(f"    if {guard_expr}:")
+                    lines.extend(f"        {line}" for line in instr_lines)
+                    lines.append("    else:")
+                    lines.append("        S.squashed_ops += 1")
+                    lines.append("        S.dynamic_ops -= 1")
+                else:
+                    lines.extend(f"    {line}" for line in instr_lines)
+                body_emitted = True
+            if not body_emitted or not block.flat_instructions()[-1].is_terminator:
+                raise SimError(f"block {label} lacks a terminator")
+            source = "\n".join(lines)
+            local_ns: dict = {}
+            exec(compile(source, f"<sim:{function.name}:{label}>", "exec"),
+                 namespace, local_ns)
+            blocks[label] = local_ns["__block"]
+
+        return _CompiledFunction(
+            name=function.name,
+            param_indices=[reg_index[param] for param in function.params],
+            reg_count=len(reg_index),
+            frame_words=function.frame_words,
+            entry=function.entry_label,
+            blocks=blocks,
+        )

@@ -1,0 +1,105 @@
+"""Containers for scheduled (VLIW) code.
+
+After list scheduling, each block becomes a sequence of *bundles*; each
+bundle is the set of operations issued in one cycle, stored in
+dependence-safe order (an operation never precedes a same-cycle
+operation it depends on, so the simulator may execute a bundle
+sequentially and still observe VLIW semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function, Module
+from repro.ir.instr import Instr, Opcode
+
+
+@dataclass
+class Bundle:
+    """Operations issued together in one cycle."""
+
+    instrs: list[Instr] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+@dataclass
+class ScheduledBlock:
+    """A scheduled basic block (or hyperblock)."""
+
+    label: str
+    bundles: list[Bundle]
+
+    @property
+    def cycles(self) -> int:
+        """Static schedule length."""
+        return len(self.bundles)
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(bundle) for bundle in self.bundles)
+
+    def terminator(self) -> Instr:
+        for bundle in reversed(self.bundles):
+            for instr in reversed(bundle.instrs):
+                if instr.is_terminator:
+                    return instr
+        raise ValueError(f"scheduled block {self.label} lacks a terminator")
+
+    def successors(self) -> tuple[str, ...]:
+        term = self.terminator()
+        if term.op is Opcode.RET:
+            return ()
+        return term.targets
+
+    def flat_instructions(self) -> list[Instr]:
+        return [instr for bundle in self.bundles for instr in bundle.instrs]
+
+
+@dataclass
+class ScheduledFunction:
+    """All scheduled blocks of one function, in layout order."""
+
+    name: str
+    params: list
+    frame_words: int
+    blocks: dict[str, ScheduledBlock]
+    block_order: list[str]
+
+    @property
+    def entry_label(self) -> str:
+        return self.block_order[0]
+
+    def static_cycles(self) -> int:
+        return sum(self.blocks[label].cycles for label in self.block_order)
+
+    def flat_instructions(self) -> list[Instr]:
+        result = []
+        for label in self.block_order:
+            result.extend(self.blocks[label].flat_instructions())
+        return result
+
+
+@dataclass
+class ScheduledModule:
+    """The simulator's executable unit: scheduled functions plus the
+    original module (for globals and layout)."""
+
+    module: Module
+    functions: dict[str, ScheduledFunction]
+
+    def validate(self) -> None:
+        for func in self.functions.values():
+            for label in func.block_order:
+                block = func.blocks[label]
+                block.terminator()  # raises when missing
+                for succ in block.successors():
+                    if succ not in func.blocks:
+                        raise ValueError(
+                            f"{func.name}/{label} -> unknown block {succ}"
+                        )

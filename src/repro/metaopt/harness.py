@@ -1,0 +1,223 @@
+"""The Meta Optimization evaluation harness.
+
+Wraps the compiler + simulator into the fitness function of Figure 2:
+a candidate priority function is installed into its case study's hook,
+every training benchmark is compiled and simulated, and fitness is the
+average speedup over the baseline-compiled binaries.
+
+Costly work is cached at three levels, mirroring the paper's memoization
+("Our system memoizes benchmark fitnesses because fitness evaluations
+are so costly"):
+
+* frontend + candidate-independent passes + profiling, per benchmark;
+* baseline cycle counts, per (benchmark, dataset);
+* candidate cycle counts, per (expression structure, benchmark,
+  dataset).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from repro.frontend import compile_source
+from repro.gp.nodes import Node
+from repro.machine.descr import (
+    DEFAULT_EPIC,
+    ITANIUM_MACHINE,
+    MachineDescription,
+    REGALLOC_MACHINE,
+    SCHEDULING_MACHINE,
+)
+from repro.machine.sim import SimResult, Simulator
+from repro.metaopt.baselines import BASELINE_TREES
+from repro.metaopt.features import PSETS
+from repro.metaopt.priority import PriorityFunction
+from repro.passes.pipeline import (
+    CompilerOptions,
+    PreparedProgram,
+    compile_backend,
+    prepare,
+)
+from repro.suite.registry import get as get_benchmark
+
+#: Which CompilerOptions hook each case study's expressions occupy.
+_HOOK_BY_CASE = {
+    "hyperblock": "hyperblock_priority",
+    "regalloc": "spill_priority",
+    "prefetch": "prefetch_priority",
+    "scheduling": "schedule_priority",
+}
+
+_DEFAULT_MACHINE = {
+    "hyperblock": DEFAULT_EPIC,
+    "regalloc": REGALLOC_MACHINE,
+    "prefetch": ITANIUM_MACHINE,
+    "scheduling": SCHEDULING_MACHINE,
+}
+
+
+def _identity_adapter(priority):
+    return priority
+
+
+def _scheduling_adapter(priority):
+    from repro.metaopt.scheduling import make_schedule_priority
+
+    return make_schedule_priority(priority)
+
+
+#: Adapts an env-callable into the hook's native signature.
+_ADAPTER_BY_CASE = {
+    "hyperblock": _identity_adapter,
+    "regalloc": _identity_adapter,
+    "prefetch": _identity_adapter,
+    "scheduling": _scheduling_adapter,
+}
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """One of the paper's case studies (or the scheduling extension),
+    fully configured."""
+
+    name: str
+    machine: MachineDescription
+    options: CompilerOptions
+    hook: str
+
+    @property
+    def pset(self):
+        return PSETS[self.name]
+
+    def baseline_tree(self) -> Node:
+        return BASELINE_TREES[self.name]()
+
+    def options_for(self, priority) -> CompilerOptions:
+        """Compiler options with ``priority`` installed in this case's
+        hook (adapted to the hook's native signature if needed)."""
+        adapted = _ADAPTER_BY_CASE[self.name](priority)
+        return replace(self.options, **{self.hook: adapted})
+
+
+def case_study(name: str,
+               machine: MachineDescription | None = None) -> CaseStudy:
+    """Build a case study with the paper's experimental setup.
+
+    * hyperblock — Table 3 EPIC machine, full pipeline;
+    * regalloc — same machine with small register files (Section 6.1);
+    * prefetch — Itanium-like machine, prefetch pass enabled, fitness
+      measured with real-machine noise handled by the caller;
+    * scheduling — extension: the Section 2 list-scheduling priority,
+      evolved on the Table 3 machine.
+    """
+    if name not in _HOOK_BY_CASE:
+        raise ValueError(f"unknown case study {name!r}")
+    machine = machine or _DEFAULT_MACHINE[name]
+    options = CompilerOptions(
+        machine=machine,
+        prefetch=(name == "prefetch"),
+    )
+    return CaseStudy(
+        name=name,
+        machine=machine,
+        options=options,
+        hook=_HOOK_BY_CASE[name],
+    )
+
+
+def _priority_key(priority) -> tuple:
+    if isinstance(priority, Node):
+        return ("tree",) + priority.structural_key()
+    if isinstance(priority, PriorityFunction):
+        return ("tree",) + priority.tree.structural_key()
+    # Distinct native callables must not share memo entries (every
+    # lambda has __qualname__ "<lambda>"), so include identity.
+    return ("native", getattr(priority, "__qualname__", ""), id(priority))
+
+
+def _as_hook(priority):
+    if isinstance(priority, Node):
+        return PriorityFunction(priority)
+    return priority
+
+
+@dataclass
+class EvaluationHarness:
+    """Compiles and simulates benchmarks under candidate priorities.
+
+    ``noise_stddev`` injects multiplicative Gaussian noise into cycle
+    counts (Section 7.1's real-machine noise); the noise seed is
+    derived from the memo key so repeated evaluations of the same
+    candidate are reproducible, like the paper's memoized fitnesses.
+    """
+
+    case: CaseStudy
+    noise_stddev: float = 0.0
+    max_interp_steps: int = 10_000_000
+    _prepared: dict[str, PreparedProgram] = field(default_factory=dict)
+    _cycles_memo: dict[tuple, SimResult] = field(default_factory=dict)
+    compile_count: int = 0
+    sim_count: int = 0
+
+    # -- candidate-independent stages ------------------------------------
+    def prepared(self, benchmark: str) -> PreparedProgram:
+        cached = self._prepared.get(benchmark)
+        if cached is None:
+            bench = get_benchmark(benchmark)
+            module = compile_source(bench.source, bench.name)
+            cached = prepare(module, bench.inputs("train"),
+                             self.case.options,
+                             max_steps=self.max_interp_steps)
+            self._prepared[benchmark] = cached
+        return cached
+
+    # -- evaluation --------------------------------------------------------
+    def simulate(self, priority, benchmark: str,
+                 dataset: str = "train") -> SimResult:
+        """Compile with ``priority`` installed and simulate on
+        ``dataset``; memoized."""
+        key = (_priority_key(priority), benchmark, dataset)
+        cached = self._cycles_memo.get(key)
+        if cached is not None:
+            return cached
+
+        prep = self.prepared(benchmark)
+        options = self.case.options_for(_as_hook(priority))
+        scheduled, _report = compile_backend(prep, options)
+        self.compile_count += 1
+
+        bench = get_benchmark(benchmark)
+        simulator = Simulator(
+            scheduled,
+            self.case.machine,
+            noise_stddev=self.noise_stddev,
+            # crc32, not hash(): stable across interpreter runs so
+            # memoized noisy measurements are reproducible.
+            noise_seed=zlib.crc32(repr(key).encode()),
+        )
+        for name, values in bench.inputs(dataset).items():
+            simulator.set_global(name, values)
+        result = simulator.run()
+        self.sim_count += 1
+        self._cycles_memo[key] = result
+        return result
+
+    def baseline_result(self, benchmark: str,
+                        dataset: str = "train") -> SimResult:
+        return self.simulate(self.case.baseline_tree(), benchmark, dataset)
+
+    def speedup(self, priority, benchmark: str,
+                dataset: str = "train") -> float:
+        """Execution-time speedup of ``priority`` over the baseline."""
+        baseline = self.baseline_result(benchmark, dataset).cycles
+        candidate = self.simulate(priority, benchmark, dataset).cycles
+        if candidate <= 0:
+            return 0.0
+        return baseline / candidate
+
+    def evaluator(self, dataset: str = "train"):
+        """A ``(tree, benchmark) -> speedup`` callable for the GP
+        engine (fitness = speedup over baseline, Table 2)."""
+        def evaluate(tree: Node, benchmark: str) -> float:
+            return self.speedup(tree, benchmark, dataset)
+        return evaluate

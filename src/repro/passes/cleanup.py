@@ -1,0 +1,252 @@
+"""Classic scalar optimizations: constant folding, copy propagation,
+dead-code elimination and algebraic peephole rewrites.
+
+These run before profiling/hyperblocking (the paper enables "several
+classic optimizations" in its Trimaran configuration) and again after
+if-conversion to clean up predicated code.  All of them are
+predication-aware: guarded instructions are never treated as
+unconditional definitions.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import merge_straightline, remove_unreachable
+from repro.ir.function import Function, Module
+from repro.ir.instr import Instr, Opcode, Rel, jmp, mov
+from repro.ir.interp import InterpError, apply_scalar_op
+from repro.ir.liveness import dead_definitions
+from repro.ir.values import FLOAT, Imm, INT, VReg
+
+#: Pure opcodes we are willing to fold when all sources are immediate.
+_FOLDABLE = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM, Opcode.NEG,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FNEG,
+    Opcode.FSQRT, Opcode.ITOF, Opcode.FTOI, Opcode.CMP,
+})
+
+
+def constant_fold_function(function: Function) -> int:
+    """Evaluate instructions whose operands are all immediates.
+
+    Returns the number of instructions folded.  Guarded instructions
+    are foldable too (folding preserves the guard on the resulting
+    ``mov``).
+    """
+    folded = 0
+    for block in function.ordered_blocks():
+        for index, instr in enumerate(block.instrs):
+            if instr.op not in _FOLDABLE or instr.dest is None:
+                continue
+            if not instr.srcs or not all(
+                isinstance(src, Imm) for src in instr.srcs
+            ):
+                continue
+            try:
+                value = apply_scalar_op(
+                    instr.op, instr.rel,
+                    tuple(src.value for src in instr.srcs),
+                )
+            except InterpError:
+                continue  # e.g. division by zero: leave for runtime
+            vtype = FLOAT if isinstance(value, float) else INT
+            block.instrs[index] = Instr(
+                Opcode.MOV, dest=instr.dest, srcs=(Imm(value, vtype),),
+                guard=instr.guard,
+            )
+            folded += 1
+    return folded
+
+
+def copy_propagate_function(function: Function) -> int:
+    """Local copy/constant propagation.
+
+    Within each block, uses of a register defined by an *unguarded*
+    ``mov`` are replaced by the mov's source until either side is
+    redefined.  Returns the number of operands rewritten.
+    """
+    rewritten = 0
+    for block in function.ordered_blocks():
+        copies: dict[VReg, object] = {}
+        for instr in block.instrs:
+            # Rewrite sources first.
+            new_srcs = []
+            for src in instr.srcs:
+                replacement = copies.get(src) if isinstance(src, VReg) else None
+                if replacement is not None:
+                    new_srcs.append(replacement)
+                    rewritten += 1
+                else:
+                    new_srcs.append(src)
+            instr.srcs = tuple(new_srcs)
+            if instr.guard is not None:
+                replacement = copies.get(instr.guard)
+                if isinstance(replacement, VReg):
+                    instr.guard = replacement
+                    rewritten += 1
+
+            # Kill invalidated copies.
+            for written in instr.writes():
+                if not isinstance(written, VReg):
+                    continue
+                copies.pop(written, None)
+                for key in [k for k, v in copies.items() if v == written]:
+                    copies.pop(key)
+
+            # Record new copies from unguarded movs.
+            if (instr.op is Opcode.MOV and instr.guard is None
+                    and isinstance(instr.dest, VReg)):
+                source = instr.srcs[0]
+                if isinstance(source, (VReg, Imm)) and source != instr.dest:
+                    copies[instr.dest] = source
+    return rewritten
+
+
+def dce_function(function: Function) -> int:
+    """Remove side-effect-free instructions whose results are dead.
+
+    Iterates to a fixed point (removing one layer of dead code exposes
+    the next).  Returns total instructions removed.
+    """
+    removed_total = 0
+    while True:
+        dead = dead_definitions(function)
+        if not dead:
+            return removed_total
+        doomed = {(label, index) for label, index in dead}
+        for label in function.block_order:
+            block = function.blocks[label]
+            block.instrs = [
+                instr for index, instr in enumerate(block.instrs)
+                if (label, index) not in doomed
+            ]
+        removed_total += len(doomed)
+
+
+_IDENTITY_FOLDS = {
+    # (op, operand position of the neutral element, neutral value)
+    (Opcode.ADD, 1, 0), (Opcode.ADD, 0, 0),
+    (Opcode.SUB, 1, 0),
+    (Opcode.MUL, 1, 1), (Opcode.MUL, 0, 1),
+    (Opcode.DIV, 1, 1),
+    (Opcode.SHL, 1, 0), (Opcode.SHR, 1, 0),
+    (Opcode.OR, 1, 0), (Opcode.OR, 0, 0),
+    (Opcode.XOR, 1, 0), (Opcode.XOR, 0, 0),
+    (Opcode.FADD, 1, 0.0), (Opcode.FADD, 0, 0.0),
+    (Opcode.FSUB, 1, 0.0),
+    (Opcode.FMUL, 1, 1.0), (Opcode.FMUL, 0, 1.0),
+    (Opcode.FDIV, 1, 1.0),
+}
+
+
+def peephole_function(function: Function) -> int:
+    """Algebraic identities and branch simplification.
+
+    * ``x + 0``, ``x * 1``, ``x << 0``, ... collapse to ``mov``;
+    * ``x * 0`` collapses to ``mov 0`` (integer only — float keeps NaN
+      semantics out of scope by design, MiniC has no NaNs);
+    * ``br`` on a constant condition becomes ``jmp``.
+    """
+    changed = 0
+    for block in function.ordered_blocks():
+        for index, instr in enumerate(block.instrs):
+            if instr.dest is None or len(instr.srcs) != 2:
+                if instr.op is Opcode.BR and isinstance(instr.srcs[0], Imm):
+                    target = (instr.targets[0] if instr.srcs[0].value
+                              else instr.targets[1])
+                    block.instrs[index] = jmp(target)
+                    changed += 1
+                continue
+            left, right = instr.srcs
+            for operand_pos, operand in ((0, left), (1, right)):
+                if not isinstance(operand, Imm):
+                    continue
+                key = (instr.op, operand_pos, operand.value)
+                if key in _IDENTITY_FOLDS:
+                    other = right if operand_pos == 0 else left
+                    block.instrs[index] = mov(instr.dest, other,
+                                              guard=instr.guard)
+                    changed += 1
+                    break
+                if (instr.op is Opcode.MUL and operand.value == 0):
+                    block.instrs[index] = mov(instr.dest, Imm(0, INT),
+                                              guard=instr.guard)
+                    changed += 1
+                    break
+    return changed
+
+
+def fold_increments_function(function: Function) -> int:
+    """Fold ``t = r OP imm ... r = mov t`` into ``r = r OP imm``.
+
+    The frontend lowers ``i = i + 1`` through a temporary; folding it
+    back exposes the canonical self-increment form that induction-
+    variable analysis (unrolling, prefetch stride detection) matches.
+    Legal when ``t`` has no other use and ``r`` is neither read nor
+    written between the two instructions.
+    """
+    use_counts: dict[VReg, int] = {}
+    for block in function.ordered_blocks():
+        for instr in block.instrs:
+            for reg in instr.reads():
+                if isinstance(reg, VReg):
+                    use_counts[reg] = use_counts.get(reg, 0) + 1
+
+    folded = 0
+    for block in function.ordered_blocks():
+        index_of_def: dict[VReg, int] = {}
+        kill: set[int] = set()
+        for index, instr in enumerate(block.instrs):
+            if (instr.op is Opcode.MOV and instr.guard is None
+                    and isinstance(instr.dest, VReg)
+                    and isinstance(instr.srcs[0], VReg)):
+                temp = instr.srcs[0]
+                target = instr.dest
+                def_index = index_of_def.get(temp)
+                if (def_index is not None
+                        and use_counts.get(temp, 0) == 1):
+                    producer = block.instrs[def_index]
+                    if (producer.guard is None and producer.srcs
+                            and producer.srcs[0] == target
+                            and producer.op in _FOLDABLE
+                            and len(producer.writes()) == 1):
+                        clean = True
+                        for between in block.instrs[def_index + 1:index]:
+                            regs = between.reads() + between.writes()
+                            if target in regs or temp in regs:
+                                clean = False
+                                break
+                        if clean:
+                            producer.dest = target
+                            kill.add(index)
+                            folded += 1
+            for written in instr.writes():
+                if isinstance(written, VReg):
+                    index_of_def[written] = index
+        if kill:
+            block.instrs = [
+                instr for index, instr in enumerate(block.instrs)
+                if index not in kill
+            ]
+    return folded
+
+
+def cleanup_function(function: Function, max_iterations: int = 8) -> None:
+    """Run the scalar cleanup pipeline to a fixed point."""
+    for _ in range(max_iterations):
+        changed = 0
+        changed += constant_fold_function(function)
+        changed += copy_propagate_function(function)
+        changed += peephole_function(function)
+        changed += fold_increments_function(function)
+        changed += dce_function(function)
+        changed += remove_unreachable(function)
+        changed += merge_straightline(function)
+        if changed == 0:
+            break
+    function.validate()
+
+
+def cleanup_module(module: Module) -> None:
+    for function in module.functions.values():
+        cleanup_function(function)

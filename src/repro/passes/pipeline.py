@@ -1,0 +1,185 @@
+"""The compilation pipeline.
+
+Mirrors the paper's Trimaran configuration (Section 5.3): "function
+inlining, loop unrolling, backedge coalescing, acyclic global
+scheduling, hyperblock formation, register allocation, machine-specific
+peephole optimization, and several classic optimizations" — here
+realised as:
+
+========================  =============================================
+inline                    :mod:`repro.passes.inline`
+classic opts + peephole   :mod:`repro.passes.cleanup`
+loop unrolling            :mod:`repro.passes.unroll`
+profiling                 :mod:`repro.profile.profiler`
+hyperblock formation      :mod:`repro.passes.hyperblock`  (hook #1)
+data prefetching          :mod:`repro.passes.prefetch`    (hook #3)
+register allocation       :mod:`repro.passes.regalloc`    (hook #2)
+list scheduling           :mod:`repro.passes.schedule`
+========================  =============================================
+
+The pipeline is split at the profiling point:
+
+* :func:`prepare` runs every candidate-*independent* stage and collects
+  the training-input profile — the Meta Optimization harness caches
+  this per benchmark, exactly as the paper memoizes what it can because
+  "fitness evaluations for our problem are costly";
+* :func:`compile_backend` clones the prepared module and runs the
+  candidate-*dependent* stages with the supplied priority functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ir.function import Module
+from repro.machine.descr import DEFAULT_EPIC, MachineDescription
+from repro.machine.vliw import ScheduledModule
+from repro.passes.cleanup import cleanup_module
+from repro.passes.hyperblock import (
+    HyperblockPriority,
+    HyperblockReport,
+    form_hyperblocks,
+    impact_priority,
+)
+from repro.passes.inline import inline_module
+from repro.passes.prefetch import (
+    PrefetchPriority,
+    PrefetchReport,
+    insert_prefetches,
+    orc_confidence,
+)
+from repro.passes.regalloc import (
+    AllocationReport,
+    SpillPriority,
+    allocate_function,
+    chow_hennessy_savings,
+)
+from repro.passes.schedule import SchedulePriority, schedule_module
+from repro.passes.unroll import unroll_module
+from repro.profile.profiler import ModuleProfile, collect_profile
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Pipeline configuration; priority hooks are the Meta Optimization
+    attachment points."""
+
+    machine: MachineDescription = DEFAULT_EPIC
+    inline: bool = True
+    unroll_factor: int = 2
+    hyperblock: bool = True
+    prefetch: bool = False
+    hyperblock_priority: HyperblockPriority = impact_priority
+    spill_priority: SpillPriority = chow_hennessy_savings
+    prefetch_priority: PrefetchPriority = orc_confidence
+    schedule_priority: SchedulePriority | None = None
+    hyperblock_threshold: float = 0.10
+
+    def with_priorities(
+        self,
+        hyperblock_priority: HyperblockPriority | None = None,
+        spill_priority: SpillPriority | None = None,
+        prefetch_priority: PrefetchPriority | None = None,
+    ) -> "CompilerOptions":
+        """A copy with some hooks swapped (used per GP candidate)."""
+        updated = self
+        if hyperblock_priority is not None:
+            updated = replace(updated, hyperblock_priority=hyperblock_priority)
+        if spill_priority is not None:
+            updated = replace(updated, spill_priority=spill_priority)
+        if prefetch_priority is not None:
+            updated = replace(updated, prefetch_priority=prefetch_priority)
+        return updated
+
+
+@dataclass
+class PreparedProgram:
+    """Candidate-independent compilation state, cacheable per benchmark."""
+
+    module: Module
+    profile: ModuleProfile
+    options: CompilerOptions
+
+
+@dataclass
+class BackendReport:
+    """Per-candidate compilation record."""
+
+    hyperblock: dict[str, HyperblockReport] = field(default_factory=dict)
+    prefetch: dict[str, PrefetchReport] = field(default_factory=dict)
+    regalloc: dict[str, AllocationReport] = field(default_factory=dict)
+
+
+def prepare(
+    module: Module,
+    train_inputs: dict[str, list[float | int]] | None = None,
+    options: CompilerOptions | None = None,
+    max_steps: int = 10_000_000,
+) -> PreparedProgram:
+    """Run candidate-independent stages and profile on the training
+    input.  The input module is not mutated."""
+    options = options or CompilerOptions()
+    working = module.clone()
+    if options.inline:
+        inline_module(working)
+    cleanup_module(working)
+    if options.unroll_factor >= 2:
+        unroll_module(working, options.unroll_factor)
+        cleanup_module(working)
+    profile = collect_profile(working, train_inputs, max_steps=max_steps)
+    return PreparedProgram(module=working, profile=profile, options=options)
+
+
+def compile_backend(
+    prepared: PreparedProgram,
+    options: CompilerOptions | None = None,
+) -> tuple[ScheduledModule, BackendReport]:
+    """Clone the prepared module and run the candidate-dependent
+    backend: hyperblocking, prefetching, allocation, scheduling."""
+    options = options or prepared.options
+    working = prepared.module.clone()
+    report = BackendReport()
+
+    if options.hyperblock:
+        for name, function in working.functions.items():
+            report.hyperblock[name] = form_hyperblocks(
+                function,
+                options.machine,
+                prepared.profile.function(name),
+                options.hyperblock_priority,
+                rel_threshold=options.hyperblock_threshold,
+            )
+        cleanup_module(working)
+
+    if options.prefetch:
+        for name, function in working.functions.items():
+            report.prefetch[name] = insert_prefetches(
+                function,
+                options.machine,
+                prepared.profile.function(name),
+                options.prefetch_priority,
+            )
+
+    for name, function in working.functions.items():
+        freq = {
+            label: float(count)
+            for label, count
+            in prepared.profile.function(name).block_counts.items()
+        }
+        report.regalloc[name] = allocate_function(
+            function, options.machine, options.spill_priority, freq
+        )
+
+    scheduled = schedule_module(working, options.machine,
+                                options.schedule_priority)
+    return scheduled, report
+
+
+def compile_module(
+    module: Module,
+    train_inputs: dict[str, list[float | int]] | None = None,
+    options: CompilerOptions | None = None,
+) -> tuple[ScheduledModule, BackendReport]:
+    """One-shot convenience: prepare + backend with the same options."""
+    prepared = prepare(module, train_inputs, options)
+    return compile_backend(prepared)

@@ -1,0 +1,484 @@
+"""Priority-based colouring register allocation (Chow & Hennessy).
+
+Case study II's optimization.  The allocator:
+
+1. computes liveness and builds an instruction-precise interference
+   graph over virtual registers, per register class (INT -> GPRs,
+   FLOAT -> FPRs; predicates get their own trivial assignment into the
+   256-entry predicate file);
+2. splits ranges into *unconstrained* (degree < K, trivially
+   colourable) and *constrained*;
+3. ranks constrained ranges by the **priority function** — the paper's
+   Equation 2/3::
+
+       savings_i   = w_i * (LDsave * uses_i + STsave * defs_i)
+       priority(lr) = sum_i savings_i / N
+
+   Equation 3 (the sum, normalized by the live range's N blocks) stays
+   fixed, exactly as the paper does; the per-block savings term is the
+   replaceable hook (``spill_priority``);
+4. colours in priority order; a constrained range that cannot receive a
+   colour is spilled to a stack slot (load before every use, store
+   after every def — guarded defs keep their guard on the store);
+5. repeats on the rewritten function until everything colours.  Spill
+   temps never enter the interference graph: once any range spills,
+   three registers per class are *reserved* for spill traffic and
+   temps are pre-coloured into them by operand position (at most two
+   simultaneous spilled reads plus independent writes per
+   instruction, so three reserved registers always suffice).
+
+The priority function therefore decides *which live ranges lose their
+registers*, which is the lever the paper's GP search turns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.ir.function import Function, Module
+from repro.ir.instr import Instr, Opcode
+from repro.ir.liveness import analyze, live_at_instruction
+from repro.ir.loops import loop_depth_of_blocks
+from repro.ir.values import FLOAT, INT, PRED, IRType, PReg, StackSlot, VReg
+from repro.machine.descr import MachineDescription
+
+#: Estimated cycles saved per avoided load / store (Equation 2's
+#: LDsave / STsave), tied to the machine's L1 latency.
+LD_SAVE = 2.0
+ST_SAVE = 1.0
+
+#: Registers per class set aside for spill temps once spilling starts.
+#: One instruction can need at most (register sources + destinations)
+#: simultaneous temps; 4 covers every instruction the frontend emits.
+SPILL_RESERVE = 4
+
+#: The spill-priority hook: maps a per-block feature environment to the
+#: block's savings contribution.  The allocator sums contributions over
+#: the live range's blocks and divides by N (Equation 3).
+SpillPriority = Callable[[Mapping[str, float | bool]], float]
+
+
+def chow_hennessy_savings(env: Mapping[str, float | bool]) -> float:
+    """The baseline per-block savings term (Equation 2)."""
+    return env["w"] * (env["ld_save"] * env["uses"]
+                       + env["st_save"] * env["defs"])
+
+
+#: Feature names exposed to evolved spill-priority expressions.
+REGALLOC_REAL_FEATURES = (
+    "w",            # normalized execution frequency of the block
+    "uses",         # uses of the range in the block
+    "defs",         # defs of the range in the block
+    "ld_save",      # machine LDsave constant
+    "st_save",      # machine STsave constant
+    "live_blocks",  # N: number of blocks in the live range
+    "degree",       # interference degree of the range
+    "loop_depth",   # loop nesting depth of the block
+    "total_uses",   # uses of the range across all blocks
+    "total_defs",   # defs of the range across all blocks
+    "forbidden_ratio",  # fraction of colours already denied to the range
+)
+REGALLOC_BOOL_FEATURES = (
+    "has_call",     # block contains a call
+    "is_float",     # range lives in the FP register file
+)
+
+
+@dataclass
+class LiveRange:
+    """One allocation unit: a virtual register and where it lives."""
+
+    reg: VReg
+    blocks: list[str] = field(default_factory=list)
+    uses_by_block: dict[str, int] = field(default_factory=dict)
+    defs_by_block: dict[str, int] = field(default_factory=dict)
+    degree: int = 0
+    spillable: bool = True
+    priority: float = 0.0
+
+    @property
+    def total_uses(self) -> int:
+        return sum(self.uses_by_block.values())
+
+    @property
+    def total_defs(self) -> int:
+        return sum(self.defs_by_block.values())
+
+
+@dataclass
+class AllocationReport:
+    """What the allocator did — consumed by tests and benches."""
+
+    rounds: int = 0
+    spilled: list[str] = field(default_factory=list)
+    spill_loads: int = 0
+    spill_stores: int = 0
+    ranges: int = 0
+    constrained: int = 0
+
+
+class AllocationError(RuntimeError):
+    """Raised when colouring cannot converge (e.g. predicate overflow)."""
+
+
+def _register_class(vtype: IRType) -> IRType:
+    return vtype  # classes coincide with types
+
+
+class _FunctionAllocator:
+    def __init__(
+        self,
+        function: Function,
+        machine: MachineDescription,
+        spill_priority: SpillPriority,
+        block_freq: Mapping[str, float] | None,
+    ) -> None:
+        self.function = function
+        self.machine = machine
+        self.spill_priority = spill_priority
+        self.block_freq = dict(block_freq or {})
+        self.report = AllocationReport()
+        self._unspillable: set[VReg] = set(function.params)
+        #: spill temp -> reserved colour slot (0..SPILL_RESERVE-1)
+        self._spill_temps: dict[VReg, int] = {}
+        #: per-instruction count of reserved slots already handed out
+        #: (persists across rounds so later spills at the same
+        #: instruction never collide with earlier temps)
+        self._slots_used: dict[int, int] = {}
+
+    # -- analysis ----------------------------------------------------------
+    def _build_ranges(self) -> tuple[dict[VReg, LiveRange],
+                                     dict[VReg, set[VReg]]]:
+        function = self.function
+        liveness = analyze(function)
+        live_after = live_at_instruction(function)
+
+        ranges: dict[VReg, LiveRange] = {}
+
+        temps = self._spill_temps
+
+        def range_of(reg: VReg) -> LiveRange:
+            live_range = ranges.get(reg)
+            if live_range is None:
+                live_range = LiveRange(reg)
+                live_range.spillable = reg not in self._unspillable
+                ranges[reg] = live_range
+            return live_range
+
+        for label in function.block_order:
+            block = function.blocks[label]
+            present: set[VReg] = set(liveness[label].live_in)
+            for instr in block.instrs:
+                for reg in instr.reads():
+                    if isinstance(reg, VReg) and reg not in temps:
+                        live_range = range_of(reg)
+                        live_range.uses_by_block[label] = (
+                            live_range.uses_by_block.get(label, 0) + 1
+                        )
+                        present.add(reg)
+                for reg in instr.writes():
+                    if isinstance(reg, VReg) and reg not in temps:
+                        live_range = range_of(reg)
+                        live_range.defs_by_block[label] = (
+                            live_range.defs_by_block.get(label, 0) + 1
+                        )
+                        present.add(reg)
+            for reg in present:
+                if reg in ranges and label not in ranges[reg].blocks:
+                    ranges[reg].blocks.append(label)
+
+        # Interference graph.
+        interference: dict[VReg, set[VReg]] = {reg: set() for reg in ranges}
+
+        def connect(left: VReg, right: VReg) -> None:
+            if left is right or left == right:
+                return
+            if left.vtype is not right.vtype:
+                return
+            if left in temps or right in temps:
+                return  # temps live in the reserved registers
+            interference[left].add(right)
+            interference[right].add(left)
+
+        entry_live = liveness[function.block_order[0]].live_in | set(
+            function.params
+        )
+        entry_list = [reg for reg in entry_live if isinstance(reg, VReg)]
+        for position, left in enumerate(entry_list):
+            for right in entry_list[position + 1:]:
+                connect(left, right)
+
+        for label in function.block_order:
+            for instr in function.blocks[label].instrs:
+                after = live_after[instr.uid]
+                for written in instr.writes():
+                    if not isinstance(written, VReg) or written in temps:
+                        continue
+                    if written not in interference:
+                        interference[written] = set()
+                        # written-but-dead reg still needs a colour
+                        if written not in ranges:
+                            range_of(written)
+                    for live in after:
+                        if isinstance(live, VReg):
+                            connect(written, live)
+
+        for reg, live_range in ranges.items():
+            live_range.degree = len(interference.get(reg, ()))
+        return ranges, interference
+
+    # -- priority --------------------------------------------------------------
+    def _freq(self, label: str) -> float:
+        if not self.block_freq:
+            return 1.0
+        total = max(self.block_freq.values(), default=1.0) or 1.0
+        return self.block_freq.get(label, 0.0) / total
+
+    def _compute_priority(self, live_range: LiveRange,
+                          loop_depth: Mapping[str, int],
+                          has_call: Mapping[str, bool],
+                          forbidden_ratio: float) -> float:
+        blocks = live_range.blocks or ["?"]
+        count = len(blocks)
+        total = 0.0
+        for label in blocks:
+            env = {
+                "w": self._freq(label),
+                "uses": float(live_range.uses_by_block.get(label, 0)),
+                "defs": float(live_range.defs_by_block.get(label, 0)),
+                "ld_save": LD_SAVE,
+                "st_save": ST_SAVE,
+                "live_blocks": float(count),
+                "degree": float(live_range.degree),
+                "loop_depth": float(loop_depth.get(label, 0)),
+                "total_uses": float(live_range.total_uses),
+                "total_defs": float(live_range.total_defs),
+                "forbidden_ratio": forbidden_ratio,
+                "has_call": has_call.get(label, False),
+                "is_float": live_range.reg.vtype is FLOAT,
+            }
+            total += float(self.spill_priority(env))
+        return total / count  # Equation 3
+
+    # -- one colouring round ------------------------------------------------------
+    def _colour_round(self) -> bool:
+        """Attempt to colour everything; returns True when done, False
+        after inserting spill code (another round needed)."""
+        function = self.function
+        ranges, interference = self._build_ranges()
+        self.report.ranges = len(ranges)
+
+        loop_depth = loop_depth_of_blocks(function)
+        has_call = {
+            label: any(instr.is_call
+                       for instr in function.blocks[label].instrs)
+            for label in function.block_order
+        }
+
+        capacity = {
+            INT: self.machine.gp_registers,
+            FLOAT: self.machine.fp_registers,
+            PRED: self.machine.pred_registers,
+        }
+        # Once spilling has begun, the top SPILL_RESERVE registers of
+        # the INT and FLOAT files belong to spill temps.
+        reserving = bool(self._spill_temps)
+
+        assignment: dict[VReg, int] = {}
+        spilled: list[VReg] = []
+
+        for reg_class in (INT, FLOAT, PRED):
+            class_ranges = [r for r in ranges.values()
+                            if r.reg.vtype is reg_class]
+            if not class_ranges:
+                continue
+            k = capacity[reg_class]
+            if reserving and reg_class is not PRED:
+                k -= SPILL_RESERVE
+                if k < 1:
+                    raise AllocationError(
+                        f"machine too small: {capacity[reg_class]} "
+                        f"{reg_class.value} registers cannot cover the "
+                        f"{SPILL_RESERVE}-register spill reserve"
+                    )
+            constrained = [r for r in class_ranges if r.degree >= k]
+            unconstrained = [r for r in class_ranges if r.degree < k]
+            self.report.constrained += len(constrained)
+
+            for live_range in constrained:
+                live_range.priority = self._compute_priority(
+                    live_range, loop_depth, has_call,
+                    forbidden_ratio=0.0,
+                )
+            # Unspillable ranges colour first regardless of priority.
+            constrained.sort(
+                key=lambda r: (r.spillable, -r.priority, r.reg.uid)
+            )
+
+            for live_range in constrained + sorted(
+                unconstrained, key=lambda r: r.reg.uid
+            ):
+                used = {
+                    assignment[other]
+                    for other in interference.get(live_range.reg, ())
+                    if other in assignment
+                }
+                colour = next(
+                    (index for index in range(k) if index not in used), None
+                )
+                if colour is not None:
+                    assignment[live_range.reg] = colour
+                elif live_range.spillable and reg_class is not PRED:
+                    spilled.append(live_range.reg)
+                else:
+                    raise AllocationError(
+                        f"cannot colour {live_range.reg} in {function.name} "
+                        f"(class {reg_class.value}, K={k})"
+                    )
+
+        if spilled:
+            self._insert_spill_code(spilled)
+            for reg in spilled:
+                self.report.spilled.append(str(reg))
+            return False
+
+        self._rewrite(assignment)
+        return True
+
+    # -- spilling ----------------------------------------------------------------
+    def _reserved_slot(self, instr: Instr) -> int:
+        used = self._slots_used.get(instr.uid, 0)
+        if used >= SPILL_RESERVE:
+            raise AllocationError(
+                f"instruction needs more than {SPILL_RESERVE} spill "
+                f"temps: {instr}"
+            )
+        self._slots_used[instr.uid] = used + 1
+        return used
+
+    def _insert_spill_code(self, spilled: list[VReg]) -> None:
+        """Rewrite every access to the spilled registers through stack
+        slots, in one pass so temps at the same instruction receive
+        distinct reserved slots."""
+        function = self.function
+        spill_set = set(spilled)
+        slots = {
+            reg: StackSlot(function.alloc_stack(1, f"spill_{reg.uid}"),
+                           f"spill_{reg.uid}")
+            for reg in spilled
+        }
+        for label in function.block_order:
+            block = function.blocks[label]
+            rewritten: list[Instr] = []
+            for instr in block.instrs:
+                reads = {r for r in instr.reads()
+                         if isinstance(r, VReg) and r in spill_set}
+                writes = {w for w in instr.writes()
+                          if isinstance(w, VReg) and w in spill_set}
+                for reg in sorted(reads, key=lambda r: r.uid):
+                    temp = function.new_vreg(reg.vtype, f"rl{reg.uid}")
+                    self._spill_temps[temp] = self._reserved_slot(instr)
+                    rewritten.append(
+                        Instr(Opcode.LOAD, dest=temp, srcs=(slots[reg],))
+                    )
+                    self.report.spill_loads += 1
+                    instr = self._replace_operands(instr, reg, temp)
+                stores: list[Instr] = []
+                for reg in sorted(writes, key=lambda r: r.uid):
+                    temp = function.new_vreg(reg.vtype, f"rs{reg.uid}")
+                    self._spill_temps[temp] = self._reserved_slot(instr)
+                    instr = self._replace_dest(instr, reg, temp)
+                    stores.append(
+                        Instr(Opcode.STORE, srcs=(slots[reg], temp),
+                              guard=instr.guard)
+                    )
+                    self.report.spill_stores += 1
+                rewritten.append(instr)
+                rewritten.extend(stores)
+            block.instrs = rewritten
+
+    @staticmethod
+    def _replace_operands(instr: Instr, old: VReg, new: VReg) -> Instr:
+        instr.srcs = tuple(
+            new if (isinstance(src, VReg) and src == old) else src
+            for src in instr.srcs
+        )
+        if instr.guard is not None and instr.guard == old:
+            instr.guard = new
+        return instr
+
+    @staticmethod
+    def _replace_dest(instr: Instr, old: VReg, new: VReg) -> Instr:
+        if instr.dest == old:
+            instr.dest = new
+        if instr.dest2 == old:
+            instr.dest2 = new
+        return instr
+
+    # -- rewriting ---------------------------------------------------------------
+    def _rewrite(self, assignment: dict[VReg, int]) -> None:
+        capacity = {
+            INT: self.machine.gp_registers,
+            FLOAT: self.machine.fp_registers,
+        }
+
+        def map_reg(reg):
+            if isinstance(reg, VReg):
+                slot = self._spill_temps.get(reg)
+                if slot is not None:
+                    base = capacity[reg.vtype] - SPILL_RESERVE
+                    return PReg(base + slot, reg.vtype)
+                return PReg(assignment[reg], reg.vtype)
+            return reg
+
+        function = self.function
+        for label in function.block_order:
+            for instr in function.blocks[label].instrs:
+                instr.srcs = tuple(map_reg(src) for src in instr.srcs)
+                if instr.dest is not None:
+                    instr.dest = map_reg(instr.dest)
+                if instr.dest2 is not None:
+                    instr.dest2 = map_reg(instr.dest2)
+                if instr.guard is not None:
+                    instr.guard = map_reg(instr.guard)
+        function.params = [map_reg(param) for param in function.params]
+
+    # -- driver -------------------------------------------------------------------
+    def allocate(self, max_rounds: int = 16) -> AllocationReport:
+        for round_index in range(max_rounds):
+            self.report.rounds = round_index + 1
+            if self._colour_round():
+                return self.report
+        raise AllocationError(
+            f"register allocation did not converge in {max_rounds} rounds "
+            f"for {self.function.name}"
+        )
+
+
+def allocate_function(
+    function: Function,
+    machine: MachineDescription,
+    spill_priority: SpillPriority = chow_hennessy_savings,
+    block_freq: Mapping[str, float] | None = None,
+) -> AllocationReport:
+    """Allocate one function in place (VRegs become PRegs)."""
+    return _FunctionAllocator(
+        function, machine, spill_priority, block_freq
+    ).allocate()
+
+
+def allocate_module(
+    module: Module,
+    machine: MachineDescription,
+    spill_priority: SpillPriority = chow_hennessy_savings,
+    block_freq: Mapping[str, Mapping[str, float]] | None = None,
+) -> dict[str, AllocationReport]:
+    """Allocate every function; ``block_freq`` maps function name ->
+    block label -> profiled execution count."""
+    reports = {}
+    for name, function in module.functions.items():
+        freq = block_freq.get(name) if block_freq else None
+        reports[name] = allocate_function(function, machine,
+                                          spill_priority, freq)
+    return reports

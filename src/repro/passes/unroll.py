@@ -1,0 +1,203 @@
+"""Loop unrolling for counted loops with constant bounds.
+
+One of the "classic optimizations" the paper's Trimaran configuration
+enables.  We unroll only when correctness is decidable statically:
+
+* the loop has the canonical lowered shape ``header(cmp i, K; br) ->
+  body -> step(i = i + C; jmp header)`` with a single-block body and a
+  single-block step;
+* ``i`` is initialized to a constant immediately before the loop, is
+  only modified in the step block, and the trip count is exact and
+  divisible by the unroll factor.
+
+Under those conditions the body is replicated ``factor`` times and the
+step constant scaled, preserving semantics exactly (no epilogue
+needed).  Deliberately conservative: unrolling exists to enlarge
+scheduling regions and expose prefetchable streams, not to be a
+research contribution of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.cfg import predecessors
+from repro.ir.function import Function, Module
+from repro.ir.instr import Instr, Opcode, Rel, jmp
+from repro.ir.loops import find_loops
+from repro.ir.values import Imm, VReg
+
+
+@dataclass
+class UnrollReport:
+    loops_seen: int = 0
+    loops_unrolled: int = 0
+    copies_added: int = 0
+
+
+def _constant_init(function: Function, header: str, reg: VReg) -> int | None:
+    """The constant assigned to ``reg`` immediately before entering the
+    loop, if that can be established from the header's non-loop
+    predecessor block."""
+    preds = predecessors(function)
+    loops = {loop.header: loop for loop in find_loops(function)}
+    loop = loops.get(header)
+    if loop is None:
+        return None
+    outside = [p for p in preds[header] if p not in loop.body]
+    if len(outside) != 1:
+        return None
+    value: int | None = None
+    for instr in function.blocks[outside[0]].instrs:
+        writes = instr.writes()
+        if reg in writes:
+            if (instr.op is Opcode.MOV and isinstance(instr.srcs[0], Imm)
+                    and instr.guard is None):
+                value = int(instr.srcs[0].value)
+            else:
+                value = None
+    return value
+
+
+def _trip_count(rel: Rel, start: int, bound: int, step: int) -> int | None:
+    """Exact iteration count of ``for (i=start; i REL bound; i+=step)``."""
+    if step == 0:
+        return None
+    count = 0
+    i = start
+    # Bounded walk: anything above this is not worth unrolling anyway.
+    for _ in range(1 << 20):
+        if rel is Rel.LT and not i < bound:
+            return count
+        if rel is Rel.LE and not i <= bound:
+            return count
+        if rel is Rel.GT and not i > bound:
+            return count
+        if rel is Rel.GE and not i >= bound:
+            return count
+        if rel in (Rel.EQ, Rel.NE):
+            return None
+        count += 1
+        i += step
+    return None
+
+
+def unroll_function(function: Function, factor: int = 2,
+                    max_body_ops: int = 40) -> UnrollReport:
+    """Unroll eligible innermost loops in place."""
+    report = UnrollReport()
+    if factor < 2:
+        return report
+    loops = find_loops(function)
+    for loop in loops:
+        if loop.children:
+            continue  # innermost only
+        report.loops_seen += 1
+        if len(loop.body) not in (2, 3):
+            continue  # header + body [+ step]
+        header_block = function.blocks[loop.header]
+        term = header_block.instrs[-1]
+        if term.op is not Opcode.BR:
+            continue
+
+        # Canonical shape discovery: the body is a 1- or 2-block chain
+        # header -> body [-> step] -> header.
+        body_label = None
+        for candidate in term.targets:
+            if candidate in loop.body and candidate != loop.header:
+                body_label = candidate
+        if body_label is None:
+            continue
+        chain = [body_label]
+        current = function.blocks[body_label]
+        while current.instrs[-1].op is Opcode.JMP \
+                and current.instrs[-1].targets[0] != loop.header:
+            next_label = current.instrs[-1].targets[0]
+            if next_label not in loop.body or next_label in chain:
+                chain = []
+                break
+            chain.append(next_label)
+            current = function.blocks[next_label]
+            if len(chain) > 2:
+                chain = []
+                break
+        if not chain or current.instrs[-1].op is not Opcode.JMP:
+            continue
+        if set(chain) | {loop.header} != loop.body:
+            continue
+
+        flattened: list[Instr] = []
+        for label in chain:
+            flattened.extend(function.blocks[label].instrs[:-1])
+        if not flattened:
+            continue
+
+        # Induction update: exactly one "i = add i, C", and it must be
+        # the final operation so replicated copies see per-copy values.
+        updates = [
+            instr for instr in flattened
+            if instr.op is Opcode.ADD and isinstance(instr.dest, VReg)
+            and instr.srcs and instr.srcs[0] == instr.dest
+            and isinstance(instr.srcs[1], Imm) and instr.guard is None
+        ]
+        if len(updates) != 1 or flattened[-1] is not updates[0]:
+            continue
+        induction = updates[0].dest
+        step_const = int(updates[0].srcs[1].value)
+
+        # Header condition: cmp REL induction, K feeding the branch.
+        cond_reg = term.srcs[0]
+        cmp_instr = None
+        for instr in header_block.instrs[:-1]:
+            if instr.dest == cond_reg and instr.op is Opcode.CMP:
+                cmp_instr = instr
+        if cmp_instr is None:
+            continue
+        if not (cmp_instr.srcs[0] == induction
+                and isinstance(cmp_instr.srcs[1], Imm)):
+            continue
+        bound = int(cmp_instr.srcs[1].value)
+        # The branch must take the body when the comparison holds.
+        if term.targets[0] != body_label:
+            continue
+
+        start = _constant_init(function, loop.header, induction)
+        if start is None:
+            continue
+        trips = _trip_count(cmp_instr.rel, start, bound, step_const)
+        if trips is None or trips == 0 or trips % factor != 0:
+            continue
+        if len(flattened) > max_body_ops:
+            continue
+        # The induction variable must have no other modification point.
+        if sum(1 for instr in flattened
+               if induction in instr.writes()) != 1:
+            continue
+
+        # Replicate (body ; i += C) `factor` times into the first chain
+        # block; the remaining chain block (if any) empties into a jump.
+        body_block = function.blocks[chain[0]]
+        replicated: list[Instr] = []
+        for copy_index in range(factor):
+            if copy_index == 0:
+                replicated.extend(flattened)
+            else:
+                replicated.extend(instr.copy() for instr in flattened)
+        replicated.append(jmp(loop.header))
+        body_block.instrs = replicated
+        for label in chain[1:]:
+            function.remove_block(label)
+        report.copies_added += factor - 1
+        report.loops_unrolled += 1
+    function.validate()
+    return report
+
+
+def unroll_module(module: Module, factor: int = 2) -> UnrollReport:
+    total = UnrollReport()
+    for function in module.functions.values():
+        report = unroll_function(function, factor)
+        total.loops_seen += report.loops_seen
+        total.loops_unrolled += report.loops_unrolled
+        total.copies_added += report.copies_added
+    return total

@@ -1,0 +1,10 @@
+"""Runtime profiling: edge counts, path frequencies, branch
+predictability (feeds Table 4 features)."""
+
+from repro.profile.profiler import (
+    FunctionProfile,
+    ModuleProfile,
+    collect_profile,
+)
+
+__all__ = ["FunctionProfile", "ModuleProfile", "collect_profile"]

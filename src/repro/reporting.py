@@ -1,0 +1,90 @@
+"""Table/figure renderers shared by the benchmark harness.
+
+The paper's figures are bar charts (speedup per benchmark, train vs
+novel data) and line charts (best fitness per generation).  The bench
+harness reproduces them as aligned text tables so results are readable
+in CI logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def speedup_table(
+    title: str,
+    rows: Iterable[tuple[str, float, float]],
+    columns: tuple[str, str] = ("train data", "novel data"),
+) -> str:
+    """Render Figure 4/6/9/...-style per-benchmark speedup bars.
+
+    ``rows`` yields ``(benchmark, train_speedup, novel_speedup)``; an
+    Average row is appended automatically.
+    """
+    rows = list(rows)
+    lines = [title, f"{'benchmark':<16s} {columns[0]:>12s} {columns[1]:>12s}"]
+    total_a = 0.0
+    total_b = 0.0
+    for name, a, b in rows:
+        lines.append(f"{name:<16s} {a:>12.3f} {b:>12.3f}")
+        total_a += a
+        total_b += b
+    if rows:
+        lines.append(
+            f"{'Average':<16s} {total_a / len(rows):>12.3f} "
+            f"{total_b / len(rows):>12.3f}"
+        )
+    return "\n".join(lines)
+
+
+def single_column_table(
+    title: str,
+    rows: Iterable[tuple[str, float]],
+    column: str = "speedup",
+) -> str:
+    rows = list(rows)
+    lines = [title, f"{'benchmark':<16s} {column:>12s}"]
+    total = 0.0
+    for name, value in rows:
+        lines.append(f"{name:<16s} {value:>12.3f}")
+        total += value
+    if rows:
+        lines.append(f"{'Average':<16s} {total / len(rows):>12.3f}")
+    return "\n".join(lines)
+
+
+def fitness_curve_chart(
+    title: str,
+    curve: Sequence[float],
+    width: int = 50,
+) -> str:
+    """ASCII rendition of the Figure 5/10/14 fitness-vs-generation
+    line charts."""
+    if not curve:
+        return f"{title}\n(no generations)"
+    low = min(curve)
+    high = max(curve)
+    span = (high - low) or 1.0
+    lines = [title, f"best fitness: {low:.3f} .. {high:.3f}"]
+    for generation, value in enumerate(curve):
+        filled = int(round((value - low) / span * width))
+        lines.append(
+            f"gen {generation:>3d} {value:7.3f} |{'#' * filled}"
+        )
+    return "\n".join(lines)
+
+
+def averages_line(label: str, values: Iterable[float]) -> str:
+    values = list(values)
+    avg = sum(values) / len(values) if values else 0.0
+    return f"{label}: {avg:.3f} (n={len(values)})"
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= max(value, 1e-12)
+    return product ** (1.0 / len(values))

@@ -1,0 +1,29 @@
+"""Benchmark suite (Table 5): programs, datasets, and experiment sets."""
+
+from repro.suite.registry import (
+    Benchmark,
+    HYPERBLOCK_TEST_SET,
+    HYPERBLOCK_TRAINING_SET,
+    PREFETCH_TEST_SET,
+    PREFETCH_TRAINING_SET,
+    REGALLOC_TEST_SET,
+    REGALLOC_TRAINING_SET,
+    all_benchmarks,
+    by_category,
+    by_suite,
+    get,
+)
+
+__all__ = [
+    "Benchmark",
+    "HYPERBLOCK_TEST_SET",
+    "HYPERBLOCK_TRAINING_SET",
+    "PREFETCH_TEST_SET",
+    "PREFETCH_TRAINING_SET",
+    "REGALLOC_TEST_SET",
+    "REGALLOC_TRAINING_SET",
+    "all_benchmarks",
+    "by_category",
+    "by_suite",
+    "get",
+]

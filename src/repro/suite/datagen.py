@@ -1,0 +1,89 @@
+"""Deterministic dataset generation for the benchmark suite.
+
+Every benchmark derives its train and novel inputs from a fixed-seed
+linear congruential generator, so results are exactly reproducible
+across runs and platforms without carrying data files.  The novel
+dataset uses a different seed (and often different statistics) from the
+train dataset — the point of the paper's train/novel split is that the
+alternate input "exercises different paths of control flow".
+"""
+
+from __future__ import annotations
+
+
+class LCG:
+    """Numerical-Recipes-style 64-bit LCG; deterministic everywhere."""
+
+    MULT = 6364136223846793005
+    INC = 1442695040888963407
+    MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int) -> None:
+        self.state = (seed * 2862933555777941757 + 3037000493) & self.MASK
+
+    def next_u32(self) -> int:
+        self.state = (self.state * self.MULT + self.INC) & self.MASK
+        return (self.state >> 32) & 0xFFFFFFFF
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        if high < low:
+            raise ValueError("empty range")
+        span = high - low + 1
+        return low + self.next_u32() % span
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return low + (high - low) * (self.next_u32() / 4294967296.0)
+
+    def ints(self, count: int, low: int, high: int) -> list[int]:
+        return [self.randint(low, high) for _ in range(count)]
+
+    def floats(self, count: int, low: float = 0.0,
+               high: float = 1.0) -> list[float]:
+        return [self.uniform(low, high) for _ in range(count)]
+
+
+def seed_for(benchmark: str, dataset: str) -> int:
+    """Stable seed per (benchmark, dataset): train and novel differ."""
+    base = 0
+    for char in benchmark:
+        base = (base * 131 + ord(char)) & 0xFFFFFFFF
+    return base * 2 + (0 if dataset == "train" else 1)
+
+
+def rng_for(benchmark: str, dataset: str) -> LCG:
+    return LCG(seed_for(benchmark, dataset))
+
+
+def runlength_data(rng: LCG, count: int, run_bias: int,
+                   alphabet: int = 8) -> list[int]:
+    """Data with biased run lengths (for RLE-style codecs)."""
+    data: list[int] = []
+    while len(data) < count:
+        value = rng.randint(0, alphabet - 1)
+        run = 1 + rng.randint(0, run_bias)
+        data.extend([value] * min(run, count - len(data)))
+    return data
+
+
+def skewed_bytes(rng: LCG, count: int, hot_fraction: int = 70,
+                 alphabet: int = 64) -> list[int]:
+    """Byte stream with a skewed symbol distribution (Huffman fodder)."""
+    data = []
+    for _ in range(count):
+        if rng.randint(0, 99) < hot_fraction:
+            data.append(rng.randint(0, 7))
+        else:
+            data.append(rng.randint(8, alphabet - 1))
+    return data
+
+
+def smooth_samples(rng: LCG, count: int, amplitude: int = 200) -> list[int]:
+    """A random-walk waveform (ADPCM / audio codec fodder)."""
+    data = []
+    value = 0
+    for _ in range(count):
+        value += rng.randint(-amplitude // 8, amplitude // 8)
+        value = max(-amplitude * 16, min(amplitude * 16, value))
+        data.append(value)
+    return data

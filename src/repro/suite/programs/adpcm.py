@@ -1,0 +1,190 @@
+"""rawcaudio / rawdaudio — IMA ADPCM audio encoder and decoder.
+
+Mediabench's adpcm benchmark pair.  The classic step-size-table
+quantizer: per-sample branchy arithmetic with a serial dependence on
+the predictor state — the encoder's nested sign/magnitude conditionals
+are prime if-conversion candidates.
+"""
+
+from __future__ import annotations
+
+from repro.suite.datagen import rng_for, smooth_samples
+from repro.suite.registry import Benchmark, register
+
+_STEP_TABLE = (
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552,
+)
+
+_INDEX_TABLE = (-1, -1, -1, -1, 2, 4, 6, 8)
+
+_COMMON = f"""
+int step_table[{len(_STEP_TABLE)}] = {{{', '.join(map(str, _STEP_TABLE))}}};
+int index_table[8] = {{{', '.join(map(str, _INDEX_TABLE))}}};
+"""
+
+ENCODER_SOURCE = _COMMON + """
+int input[1400];
+int input_len;
+int output[1400];
+
+void main() {
+  int valpred = 0;
+  int index = 0;
+  int i;
+  for (i = 0; i < input_len; i = i + 1) {
+    int step = step_table[index];
+    int diff = input[i] - valpred;
+    int sign = 0;
+    if (diff < 0) {
+      sign = 8;
+      diff = 0 - diff;
+    }
+    int delta = 0;
+    int vpdiff = step >> 3;
+    if (diff >= step) {
+      delta = 4;
+      diff = diff - step;
+      vpdiff = vpdiff + step;
+    }
+    step = step >> 1;
+    if (diff >= step) {
+      delta = delta | 2;
+      diff = diff - step;
+      vpdiff = vpdiff + step;
+    }
+    step = step >> 1;
+    if (diff >= step) {
+      delta = delta | 1;
+      vpdiff = vpdiff + step;
+    }
+    if (sign == 8) {
+      valpred = valpred - vpdiff;
+    } else {
+      valpred = valpred + vpdiff;
+    }
+    if (valpred > 32767) { valpred = 32767; }
+    if (valpred < -32768) { valpred = -32768; }
+    delta = delta | sign;
+    index = index + index_table[delta & 7];
+    if (index < 0) { index = 0; }
+    if (index > 56) { index = 56; }
+    output[i] = delta;
+  }
+  int cs = 0;
+  for (i = 0; i < input_len; i = i + 1) {
+    cs = cs + output[i] * (i % 7 + 1);
+  }
+  out(cs);
+  out(valpred);
+}
+"""
+
+DECODER_SOURCE = _COMMON + """
+int input[1400];
+int input_len;
+int output[1400];
+
+void main() {
+  int valpred = 0;
+  int index = 0;
+  int i;
+  for (i = 0; i < input_len; i = i + 1) {
+    int delta = input[i];
+    int step = step_table[index];
+    int vpdiff = step >> 3;
+    if ((delta & 4) != 0) { vpdiff = vpdiff + step; }
+    if ((delta & 2) != 0) { vpdiff = vpdiff + (step >> 1); }
+    if ((delta & 1) != 0) { vpdiff = vpdiff + (step >> 2); }
+    if ((delta & 8) != 0) {
+      valpred = valpred - vpdiff;
+    } else {
+      valpred = valpred + vpdiff;
+    }
+    if (valpred > 32767) { valpred = 32767; }
+    if (valpred < -32768) { valpred = -32768; }
+    index = index + index_table[delta & 7];
+    if (index < 0) { index = 0; }
+    if (index > 56) { index = 56; }
+    output[i] = valpred;
+  }
+  int cs = 0;
+  for (i = 0; i < input_len; i = i + 1) {
+    cs = cs + output[i] * (i % 5 + 1);
+  }
+  out(cs);
+  out(valpred);
+}
+"""
+
+
+def _samples(dataset: str, name: str) -> list[int]:
+    rng = rng_for(name, dataset)
+    # Train: gentle waveform; novel: loud, fast-swinging signal — the
+    # quantizer saturates down different conditional paths.
+    amplitude = 120 if dataset == "train" else 900
+    return smooth_samples(rng, 1100, amplitude=amplitude)
+
+
+def _encode(samples: list[int]) -> list[int]:
+    valpred, index = 0, 0
+    deltas = []
+    for sample in samples:
+        step = _STEP_TABLE[index]
+        diff = sample - valpred
+        sign = 8 if diff < 0 else 0
+        if diff < 0:
+            diff = -diff
+        delta = 0
+        vpdiff = step >> 3
+        if diff >= step:
+            delta = 4
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 2
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 1
+            vpdiff += step
+        valpred = valpred - vpdiff if sign else valpred + vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        delta |= sign
+        index += _INDEX_TABLE[delta & 7]
+        index = max(0, min(56, index))
+        deltas.append(delta)
+    return deltas
+
+
+def _encoder_inputs(dataset: str) -> dict[str, list]:
+    data = _samples(dataset, "rawcaudio")
+    return {"input": data, "input_len": [len(data)]}
+
+
+def _decoder_inputs(dataset: str) -> dict[str, list]:
+    deltas = _encode(_samples(dataset, "rawdaudio"))
+    return {"input": deltas, "input_len": [len(deltas)]}
+
+
+register(Benchmark(
+    name="rawcaudio",
+    suite="mediabench",
+    category="int",
+    description="IMA ADPCM encoder (adaptive differential PCM)",
+    source=ENCODER_SOURCE,
+    make_inputs=_encoder_inputs,
+))
+
+register(Benchmark(
+    name="rawdaudio",
+    suite="mediabench",
+    category="int",
+    description="IMA ADPCM decoder",
+    source=DECODER_SOURCE,
+    make_inputs=_decoder_inputs,
+))

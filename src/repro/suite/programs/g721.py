@@ -1,0 +1,207 @@
+"""g721encode / g721decode — CCITT G.721 style voice codec.
+
+Mediabench's g721 pair, re-implemented as the core ADPCM loop of the
+standard: adaptive quantization against a table, pole/zero predictor
+update, and logarithmic step adaptation.  Heavier per-sample arithmetic
+than the IMA codec (multiplies in the predictor) with table-driven
+branches.
+"""
+
+from __future__ import annotations
+
+from repro.suite.datagen import rng_for, smooth_samples
+from repro.suite.registry import Benchmark, register
+
+_COMMON = """
+int qtab[7] = {124, 262, 401, 553, 725, 936, 1232};
+int witab[8] = {-12, 18, 41, 64, 112, 198, 355, 1122};
+int fitab[8] = {0, 0, 0, 128, 256, 512, 896, 1536};
+"""
+
+ENCODER_SOURCE = _COMMON + """
+int input[900];
+int input_len;
+int output[900];
+
+void main() {
+  int yl = 34816;        // slow step state (scaled)
+  int sr0 = 0;           // last reconstructed samples
+  int sr1 = 0;
+  int a1 = 0;            // second-order predictor coefficients
+  int a2 = 0;
+  int i;
+  for (i = 0; i < input_len; i = i + 1) {
+    int se = (sr0 * a1 + sr1 * a2) >> 14;     // signal estimate
+    int d = input[i] - se;
+    int y = yl >> 11;                          // current step size
+    if (y < 32) { y = 32; }
+    int dq = d;
+    int sign = 0;
+    if (dq < 0) { sign = 1; dq = 0 - dq; }
+    // Quantize |d|/y against the table.
+    int ratio = (dq * 64) / y;
+    int code = 0;
+    int j;
+    for (j = 0; j < 7; j = j + 1) {
+      if (ratio >= qtab[j]) { code = j + 1; }
+    }
+    // Inverse quantize for the local reconstruction.
+    int dqr = (fitab[code] * y) >> 6;
+    if (sign == 1) { dqr = 0 - dqr; }
+    int sr = se + dqr;
+    if (sr > 32767) { sr = 32767; }
+    if (sr < -32768) { sr = -32768; }
+    // Predictor adaptation (simplified pole update with leakage).
+    int da1 = 0;
+    if (dqr > 0 && sr1 > 0) { da1 = 48; }
+    if (dqr > 0 && sr1 < 0) { da1 = -48; }
+    if (dqr < 0 && sr1 > 0) { da1 = -48; }
+    if (dqr < 0 && sr1 < 0) { da1 = 48; }
+    a1 = a1 - (a1 >> 8) + da1;
+    a2 = a2 - (a2 >> 9);
+    if (a1 > 12288) { a1 = 12288; }
+    if (a1 < -12288) { a1 = -12288; }
+    sr1 = sr0;
+    sr0 = sr;
+    // Step-size adaptation.
+    yl = yl - (yl >> 6) + witab[code];
+    if (yl < 2048) { yl = 2048; }
+    if (yl > 262143) { yl = 262143; }
+    int sc = code;
+    if (sign == 1) { sc = code + 8; }
+    output[i] = sc;
+  }
+  int cs = 0;
+  for (i = 0; i < input_len; i = i + 1) {
+    cs = cs + output[i] * (i % 9 + 1);
+  }
+  out(cs);
+  out(sr0);
+}
+"""
+
+DECODER_SOURCE = _COMMON + """
+int input[900];
+int input_len;
+int output[900];
+
+void main() {
+  int yl = 34816;
+  int sr0 = 0;
+  int sr1 = 0;
+  int a1 = 0;
+  int a2 = 0;
+  int i;
+  for (i = 0; i < input_len; i = i + 1) {
+    int sc = input[i];
+    int sign = 0;
+    int code = sc;
+    if (sc >= 8) { sign = 1; code = sc - 8; }
+    int se = (sr0 * a1 + sr1 * a2) >> 14;
+    int y = yl >> 11;
+    if (y < 32) { y = 32; }
+    int dqr = (fitab[code] * y) >> 6;
+    if (sign == 1) { dqr = 0 - dqr; }
+    int sr = se + dqr;
+    if (sr > 32767) { sr = 32767; }
+    if (sr < -32768) { sr = -32768; }
+    int da1 = 0;
+    if (dqr > 0 && sr1 > 0) { da1 = 48; }
+    if (dqr > 0 && sr1 < 0) { da1 = -48; }
+    if (dqr < 0 && sr1 > 0) { da1 = -48; }
+    if (dqr < 0 && sr1 < 0) { da1 = 48; }
+    a1 = a1 - (a1 >> 8) + da1;
+    a2 = a2 - (a2 >> 9);
+    if (a1 > 12288) { a1 = 12288; }
+    if (a1 < -12288) { a1 = -12288; }
+    sr1 = sr0;
+    sr0 = sr;
+    yl = yl - (yl >> 6) + witab[code];
+    if (yl < 2048) { yl = 2048; }
+    if (yl > 262143) { yl = 262143; }
+    output[i] = sr;
+  }
+  int cs = 0;
+  for (i = 0; i < input_len; i = i + 1) {
+    cs = cs + output[i] * (i % 9 + 1);
+  }
+  out(cs);
+  out(sr0);
+}
+"""
+
+
+def _samples(dataset: str, name: str) -> list[int]:
+    rng = rng_for(name, dataset)
+    amplitude = 150 if dataset == "train" else 700
+    return smooth_samples(rng, 700, amplitude=amplitude)
+
+
+def _encode(samples: list[int]) -> list[int]:
+    qtab = (124, 262, 401, 553, 725, 936, 1232)
+    witab = (-12, 18, 41, 64, 112, 198, 355, 1122)
+    fitab = (0, 0, 0, 128, 256, 512, 896, 1536)
+    yl, sr0, sr1, a1, a2 = 34816, 0, 0, 0, 0
+    codes = []
+    for sample in samples:
+        se = (sr0 * a1 + sr1 * a2) >> 14
+        d = sample - se
+        y = max(32, yl >> 11)
+        dq = d
+        sign = 0
+        if dq < 0:
+            sign = 1
+            dq = -dq
+        ratio = (dq * 64) // y
+        code = 0
+        for j in range(7):
+            if ratio >= qtab[j]:
+                code = j + 1
+        dqr = (fitab[code] * y) >> 6
+        if sign:
+            dqr = -dqr
+        sr = max(-32768, min(32767, se + dqr))
+        da1 = 0
+        if dqr > 0 and sr1 > 0:
+            da1 = 48
+        if dqr > 0 and sr1 < 0:
+            da1 = -48
+        if dqr < 0 and sr1 > 0:
+            da1 = -48
+        if dqr < 0 and sr1 < 0:
+            da1 = 48
+        a1 = max(-12288, min(12288, a1 - (a1 >> 8) + da1))
+        a2 = a2 - (a2 >> 9)
+        sr1, sr0 = sr0, sr
+        yl = max(2048, min(262143, yl - (yl >> 6) + witab[code]))
+        codes.append(code + 8 if sign else code)
+    return codes
+
+
+def _encoder_inputs(dataset: str) -> dict[str, list]:
+    data = _samples(dataset, "g721encode")
+    return {"input": data, "input_len": [len(data)]}
+
+
+def _decoder_inputs(dataset: str) -> dict[str, list]:
+    codes = _encode(_samples(dataset, "g721decode"))
+    return {"input": codes, "input_len": [len(codes)]}
+
+
+register(Benchmark(
+    name="g721encode",
+    suite="mediabench",
+    category="int",
+    description="G.721-style ADPCM voice encoder",
+    source=ENCODER_SOURCE,
+    make_inputs=_encoder_inputs,
+))
+
+register(Benchmark(
+    name="g721decode",
+    suite="mediabench",
+    category="int",
+    description="G.721-style ADPCM voice decoder",
+    source=DECODER_SOURCE,
+    make_inputs=_decoder_inputs,
+))

@@ -1,0 +1,217 @@
+"""huff_enc / huff_dec — Huffman encoder and decoder.
+
+Static canonical Huffman over a 64-symbol alphabet.  The encoder builds
+the code table with a heap-free two-queue method over profiled symbol
+frequencies; the decoder walks a flattened tree.  Bit-twiddling and
+table-driven branches stress both the branch predictor and the
+hyperblock resource model.
+"""
+
+from __future__ import annotations
+
+from repro.suite.datagen import rng_for, skewed_bytes
+from repro.suite.registry import Benchmark, register
+
+ENCODER_SOURCE = """
+// Static Huffman encoder over a 32-symbol alphabet: build code lengths
+// via pairwise merging of the two smallest weights, then emit the
+// bitstream length and a checksum over per-symbol code assignments.
+int input[1600];
+int input_len;
+int freq[32];
+int weight[64];
+int parent[64];
+int alive[64];
+int codelen[32];
+
+void main() {
+  int i;
+  for (i = 0; i < 32; i = i + 1) {
+    freq[i] = 1;          // Laplace smoothing keeps every symbol coded
+  }
+  for (i = 0; i < input_len; i = i + 1) {
+    freq[input[i]] = freq[input[i]] + 1;
+  }
+  // Huffman merge over a flat node array (32 leaves + merges).
+  int nodes = 32;
+  for (i = 0; i < 32; i = i + 1) {
+    weight[i] = freq[i];
+    alive[i] = 1;
+    parent[i] = 0 - 1;
+  }
+  int merges;
+  for (merges = 0; merges < 31; merges = merges + 1) {
+    int best = 0 - 1;
+    int second = 0 - 1;
+    int j;
+    for (j = 0; j < nodes; j = j + 1) {
+      if (alive[j] == 1) {
+        if (best < 0 || weight[j] < weight[best]) {
+          second = best;
+          best = j;
+        } else {
+          if (second < 0 || weight[j] < weight[second]) {
+            second = j;
+          }
+        }
+      }
+    }
+    weight[nodes] = weight[best] + weight[second];
+    alive[nodes] = 1;
+    parent[nodes] = 0 - 1;
+    alive[best] = 0;
+    alive[second] = 0;
+    parent[best] = nodes;
+    parent[second] = nodes;
+    nodes = nodes + 1;
+  }
+  // Code length of each leaf = depth to the root.
+  for (i = 0; i < 32; i = i + 1) {
+    int depth = 0;
+    int node = i;
+    while (parent[node] >= 0) {
+      node = parent[node];
+      depth = depth + 1;
+    }
+    codelen[i] = depth;
+  }
+  // Encoded size + weighted checksum.
+  int bits = 0;
+  for (i = 0; i < input_len; i = i + 1) {
+    bits = bits + codelen[input[i]];
+  }
+  int cs = 0;
+  for (i = 0; i < 32; i = i + 1) {
+    cs = cs + codelen[i] * (i + 3);
+  }
+  out(bits);
+  out(cs);
+}
+"""
+
+DECODER_SOURCE = """
+// Huffman decoder: walk a flattened binary tree bit by bit.
+// tree[n*2] / tree[n*2+1] hold the 0/1 children of internal node n:
+// a non-negative value is the child's node index, a negative value is
+// a leaf storing -(symbol+1).
+int tree[256];
+int bits[12000];
+int bits_len;
+int output[2000];
+
+void main() {
+  int pos = 0;
+  int outp = 0;
+  int node = 0;
+  while (pos < bits_len) {
+    int child;
+    if (bits[pos] == 1) {
+      child = tree[node * 2 + 1];
+    } else {
+      child = tree[node * 2];
+    }
+    pos = pos + 1;
+    if (child < 0) {
+      output[outp] = 0 - child - 1;
+      outp = outp + 1;
+      node = 0;
+    } else {
+      node = child;
+    }
+  }
+  out(outp);
+  int cs = 0;
+  int j;
+  for (j = 0; j < outp; j = j + 1) {
+    cs = cs + output[j] * (j % 11 + 1);
+  }
+  out(cs);
+}
+"""
+
+
+def _build_huffman(data: list[int]) -> tuple[dict[int, str], list[int]]:
+    """Python-side mirror: build codes and a flattened decode tree."""
+    freq = {sym: 1 for sym in range(64)}
+    for sym in data:
+        freq[sym] += 1
+    # (weight, tiebreak, payload): payload is a symbol or a node pair.
+    import heapq
+
+    heap = [(weight, sym, sym) for sym, weight in freq.items()]
+    heapq.heapify(heap)
+    counter = 64
+    nodes: dict[int, tuple] = {}
+    while len(heap) > 1:
+        w1, _, left = heapq.heappop(heap)
+        w2, _, right = heapq.heappop(heap)
+        nodes[counter] = (left, right)
+        heapq.heappush(heap, (w1 + w2, counter, counter))
+        counter += 1
+    root = heap[0][2]
+
+    codes: dict[int, str] = {}
+
+    def walk(node, prefix: str) -> None:
+        if node < 64:
+            codes[node] = prefix or "0"
+            return
+        left, right = nodes[node]
+        walk(left, prefix + "0")
+        walk(right, prefix + "1")
+
+    walk(root, "")
+
+    # Flatten to the decoder's layout: index 0 is the root; child
+    # entries are node indices (internal) or -(symbol+1) (leaves).
+    flat: list[int] = [0] * 256
+    index_of = {root: 0}
+    order = [root]
+    next_slot = 1
+    for node in order:
+        left, right = nodes[node]
+        for child in (left, right):
+            if child >= 64 and child not in index_of:
+                index_of[child] = next_slot
+                next_slot += 1
+                order.append(child)
+    for node, slot in index_of.items():
+        left, right = nodes[node]
+        flat[slot * 2] = -(left + 1) if left < 64 else index_of[left]
+        flat[slot * 2 + 1] = -(right + 1) if right < 64 else index_of[right]
+    return codes, flat
+
+
+def _encoder_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("huff_enc", dataset)
+    hot = 70 if dataset == "train" else 35
+    data = skewed_bytes(rng, 420, hot_fraction=hot, alphabet=32)
+    return {"input": data, "input_len": [len(data)]}
+
+
+def _decoder_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("huff_dec", dataset)
+    hot = 70 if dataset == "train" else 35
+    data = skewed_bytes(rng, 280, hot_fraction=hot)
+    codes, flat = _build_huffman(data)
+    bitstream = [int(bit) for sym in data for bit in codes[sym]]
+    return {"tree": flat, "bits": bitstream, "bits_len": [len(bitstream)]}
+
+
+register(Benchmark(
+    name="huff_enc",
+    suite="misc",
+    category="int",
+    description="Static Huffman encoder (Bourgin's lossless codecs)",
+    source=ENCODER_SOURCE,
+    make_inputs=_encoder_inputs,
+))
+
+register(Benchmark(
+    name="huff_dec",
+    suite="misc",
+    category="int",
+    description="Huffman decoder over a flattened tree",
+    source=DECODER_SOURCE,
+    make_inputs=_decoder_inputs,
+))

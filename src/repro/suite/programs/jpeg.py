@@ -1,0 +1,173 @@
+"""djpeg / 132.ijpeg — JPEG-style DCT codecs.
+
+``djpeg`` (Mediabench) decompresses: dequantize + separable 8x8
+inverse-DCT + level shift with saturation.  ``132.ijpeg`` (SPEC95)
+compresses: forward DCT + quantization with zero-run statistics.  Both
+are integer implementations with fixed-point constants — loop-heavy
+with saturation branches, plus long regular array streams the memory
+system sees.
+"""
+
+from __future__ import annotations
+
+from repro.suite.datagen import rng_for
+from repro.suite.registry import Benchmark, register
+
+_QUANT = (16, 11, 10, 16, 24, 40, 51, 61)
+
+_COMMON = f"""
+int quant[8] = {{{', '.join(map(str, _QUANT))}}};
+// 8-point DCT-II basis, scaled by 256 (fixed point).
+int basis[64] = {{
+  256, 256, 256, 256, 256, 256, 256, 256,
+  355, 301, 201, 71, -71, -201, -301, -355,
+  334, 139, -139, -334, -334, -139, 139, 334,
+  301, -71, -355, -201, 201, 355, 71, -301,
+  256, -256, -256, 256, 256, -256, -256, 256,
+  201, -355, 71, 301, -301, -71, 355, -201,
+  139, -334, 334, -139, -139, 334, -334, 139,
+  71, -201, 301, -355, 355, -301, 201, -71
+}};
+"""
+
+DJPEG_SOURCE = _COMMON + """
+int coeffs[1024];    // 16 blocks of 8x8 quantized coefficients
+int nblocks;
+int pixels[1024];
+int tmp[64];
+
+void main() {
+  int b;
+  for (b = 0; b < nblocks; b = b + 1) {
+    int base = b * 64;
+    int r;
+    int c;
+    // Dequantize + column IDCT into tmp.
+    for (c = 0; c < 8; c = c + 1) {
+      for (r = 0; r < 8; r = r + 1) {
+        int acc = 0;
+        int k;
+        for (k = 0; k < 8; k = k + 1) {
+          int coef = coeffs[base + k * 8 + c] * quant[k];
+          acc = acc + coef * basis[k * 8 + r];
+        }
+        tmp[r * 8 + c] = acc >> 8;
+      }
+    }
+    // Row IDCT + level shift + saturate.
+    for (r = 0; r < 8; r = r + 1) {
+      for (c = 0; c < 8; c = c + 1) {
+        int acc = 0;
+        int k;
+        for (k = 0; k < 8; k = k + 1) {
+          acc = acc + tmp[r * 8 + k] * basis[k * 8 + c];
+        }
+        int pixel = (acc >> 16) + 128;
+        if (pixel < 0) { pixel = 0; }
+        if (pixel > 255) { pixel = 255; }
+        pixels[base + r * 8 + c] = pixel;
+      }
+    }
+  }
+  int cs = 0;
+  int i;
+  for (i = 0; i < nblocks * 64; i = i + 1) {
+    cs = cs + pixels[i] * (i % 19 + 1);
+  }
+  out(cs);
+}
+"""
+
+IJPEG_SOURCE = _COMMON + """
+int pixels[1024];
+int nblocks;
+int coeffs[1024];
+int tmp[64];
+
+void main() {
+  int zeros = 0;
+  int b;
+  for (b = 0; b < nblocks; b = b + 1) {
+    int base = b * 64;
+    int r;
+    int c;
+    // Column FDCT (basis is orthogonal so transpose = forward).
+    for (c = 0; c < 8; c = c + 1) {
+      for (r = 0; r < 8; r = r + 1) {
+        int acc = 0;
+        int k;
+        for (k = 0; k < 8; k = k + 1) {
+          acc = acc + (pixels[base + k * 8 + c] - 128) * basis[r * 8 + k];
+        }
+        tmp[r * 8 + c] = acc >> 8;
+      }
+    }
+    // Row FDCT + quantize; count zero coefficients (entropy proxy).
+    for (r = 0; r < 8; r = r + 1) {
+      for (c = 0; c < 8; c = c + 1) {
+        int acc = 0;
+        int k;
+        for (k = 0; k < 8; k = k + 1) {
+          acc = acc + tmp[r * 8 + k] * basis[c * 8 + k];
+        }
+        int q = quant[r] * 4;
+        int coef = (acc >> 8) / q;
+        coeffs[base + r * 8 + c] = coef;
+        if (coef == 0) { zeros = zeros + 1; }
+      }
+    }
+  }
+  int cs = 0;
+  int i;
+  for (i = 0; i < nblocks * 64; i = i + 1) {
+    cs = cs + coeffs[i] * (i % 23 + 1);
+  }
+  out(cs);
+  out(zeros);
+}
+"""
+
+
+def _djpeg_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("djpeg", dataset)
+    nblocks = 5
+    coeffs = []
+    sparsity = 60 if dataset == "train" else 20
+    for _ in range(nblocks * 64):
+        if rng.randint(0, 99) < sparsity:
+            coeffs.append(0)
+        else:
+            coeffs.append(rng.randint(-30, 30))
+    return {"coeffs": coeffs, "nblocks": [nblocks]}
+
+
+def _ijpeg_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("132.ijpeg", dataset)
+    nblocks = 5
+    pixels = []
+    value = 128
+    jitter = 12 if dataset == "train" else 70
+    for _ in range(nblocks * 64):
+        value += rng.randint(-jitter, jitter)
+        value = max(0, min(255, value))
+        pixels.append(value)
+    return {"pixels": pixels, "nblocks": [nblocks]}
+
+
+register(Benchmark(
+    name="djpeg",
+    suite="mediabench",
+    category="int",
+    description="JPEG-style decompressor: dequantize + 8x8 IDCT",
+    source=DJPEG_SOURCE,
+    make_inputs=_djpeg_inputs,
+))
+
+register(Benchmark(
+    name="132.ijpeg",
+    suite="spec95",
+    category="int",
+    description="JPEG-style compressor: 8x8 FDCT + quantization",
+    source=IJPEG_SOURCE,
+    make_inputs=_ijpeg_inputs,
+))

@@ -1,0 +1,305 @@
+"""Remaining Mediabench-style programs: rasta, toast, unepic, osdemo,
+mipmap.
+
+* ``rasta`` — speech feature extraction: filterbank energies + RASTA
+  band-pass filtering (float).
+* ``toast`` — GSM-style speech transcoder front end: short-term LPC
+  analysis via Levinson-Durbin on integer autocorrelations.
+* ``unepic`` — EPIC-style image decompressor: inverse wavelet
+  (Haar-like) reconstruction with quantized coefficients.
+* ``osdemo`` / ``mipmap`` — Mesa-like 3-D graphics: vertex transform +
+  perspective divide + face culling, and mipmap downsampling.
+"""
+
+from __future__ import annotations
+
+from repro.suite.datagen import rng_for
+from repro.suite.registry import Benchmark, register
+
+RASTA_SOURCE = """
+float frames[1024];    // 16 frames x 64 samples
+int nframes;
+float window[64];
+float energies[16];
+float filtered[16];
+
+void main() {
+  int f;
+  // Per-frame filterbank energy (4 triangular bands folded into one
+  // weighted sum), then log-like compression via sqrt.
+  for (f = 0; f < nframes; f = f + 1) {
+    float energy = 0.0;
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+      float s = frames[f * 64 + i] * window[i];
+      energy = energy + s * s;
+    }
+    energies[f] = sqrt(energy);
+  }
+  // RASTA band-pass across frames (5-tap FIR on the log-energy track).
+  for (f = 0; f < nframes; f = f + 1) {
+    float acc = energies[f] * 0.2;
+    if (f >= 1) { acc = acc + energies[f - 1] * 0.1; }
+    if (f >= 2) { acc = acc - energies[f - 2] * 0.1; }
+    if (f >= 3) { acc = acc - energies[f - 3] * 0.2; }
+    if (f >= 4) { acc = acc + energies[f - 4] * 0.05; }
+    filtered[f] = acc;
+  }
+  float cs = 0.0;
+  for (f = 0; f < nframes; f = f + 1) {
+    cs = cs + filtered[f] * (f + 1);
+  }
+  out(cs);
+}
+"""
+
+TOAST_SOURCE = """
+int samples[640];
+int nsamples;
+int autocorr[9];
+int reflect[8];
+
+void main() {
+  // Autocorrelation (scaled to avoid overflow).
+  int lag;
+  for (lag = 0; lag < 9; lag = lag + 1) {
+    int acc = 0;
+    int i;
+    for (i = lag; i < nsamples; i = i + 1) {
+      acc = acc + (samples[i] >> 2) * (samples[i - lag] >> 2);
+    }
+    autocorr[lag] = acc;
+  }
+  // Schur/Levinson-style reflection coefficients (integer, scaled 2^10).
+  int err = autocorr[0];
+  if (err == 0) { err = 1; }
+  int m;
+  for (m = 0; m < 8; m = m + 1) {
+    int acc = autocorr[m + 1];
+    int k = (acc * 1024) / err;
+    if (k > 1023) { k = 1023; }
+    if (k < -1023) { k = -1023; }
+    reflect[m] = k;
+    err = err - ((k * k / 1024) * err) / 1024;
+    if (err < 1) { err = 1; }
+  }
+  int cs = 0;
+  for (m = 0; m < 8; m = m + 1) {
+    cs = cs + reflect[m] * (m + 2);
+  }
+  out(cs);
+  out(err);
+}
+"""
+
+UNEPIC_SOURCE = """
+int coeffs[1024];      // quantized wavelet pyramid (1-D, 4 levels)
+int length;
+int signal[1024];
+int scratch[1024];
+
+void main() {
+  // Start from the coarsest band and inverse-transform level by level.
+  int i;
+  for (i = 0; i < length; i = i + 1) {
+    signal[i] = coeffs[i] * 8;   // dequantize
+  }
+  int half = length / 16;
+  int level;
+  for (level = 0; level < 4; level = level + 1) {
+    // signal[0..half) = averages, signal[half..2*half) = details.
+    int k;
+    for (k = 0; k < half; k = k + 1) {
+      int avg = signal[k];
+      int det = signal[half + k];
+      int a = avg + det;
+      int b = avg - det;
+      if (a > 2047) { a = 2047; }
+      if (a < -2048) { a = -2048; }
+      if (b > 2047) { b = 2047; }
+      if (b < -2048) { b = -2048; }
+      scratch[k * 2] = a;
+      scratch[k * 2 + 1] = b;
+    }
+    for (k = 0; k < half * 2; k = k + 1) {
+      signal[k] = scratch[k];
+    }
+    half = half * 2;
+  }
+  int cs = 0;
+  for (i = 0; i < length; i = i + 1) {
+    cs = cs + signal[i] * (i % 31 + 1);
+  }
+  out(cs);
+}
+"""
+
+OSDEMO_SOURCE = """
+// Mesa-style vertex pipeline: modelview transform, perspective divide,
+// viewport map, and backface-ish rejection by w.
+float verts[1200];     // 300 x (x, y, z, 1) packed as 4 floats
+int nverts;
+float matrix[16];
+float screen[900];     // 300 x (sx, sy, depth)
+int accepted;
+
+void main() {
+  int count = 0;
+  int v;
+  for (v = 0; v < nverts; v = v + 1) {
+    float x = verts[v * 4];
+    float y = verts[v * 4 + 1];
+    float z = verts[v * 4 + 2];
+    float tx = matrix[0] * x + matrix[1] * y + matrix[2] * z + matrix[3];
+    float ty = matrix[4] * x + matrix[5] * y + matrix[6] * z + matrix[7];
+    float tz = matrix[8] * x + matrix[9] * y + matrix[10] * z + matrix[11];
+    float tw = matrix[12] * x + matrix[13] * y + matrix[14] * z + matrix[15];
+    if (tw > 0.001) {
+      float inv = 1.0 / tw;
+      screen[count * 3] = tx * inv * 320.0 + 320.0;
+      screen[count * 3 + 1] = ty * inv * 240.0 + 240.0;
+      screen[count * 3 + 2] = tz * inv;
+      count = count + 1;
+    }
+  }
+  accepted = count;
+  float cs = 0.0;
+  int i;
+  for (i = 0; i < count * 3; i = i + 1) {
+    cs = cs + screen[i];
+  }
+  out(cs);
+  out(accepted);
+}
+"""
+
+MIPMAP_SOURCE = """
+// Mipmap chain generation: repeated 2x2 box-filter downsampling of a
+// 32x32 texture, with a sharpening clamp at each level.
+int texture[1024];
+int levels[1536];
+
+void main() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) {
+    levels[i] = texture[i];
+  }
+  int src = 0;
+  int dst = 1024;
+  int size = 32;
+  while (size > 1) {
+    int half = size / 2;
+    int y;
+    for (y = 0; y < half; y = y + 1) {
+      int x;
+      for (x = 0; x < half; x = x + 1) {
+        int a = levels[src + (y * 2) * size + x * 2];
+        int b = levels[src + (y * 2) * size + x * 2 + 1];
+        int c = levels[src + (y * 2 + 1) * size + x * 2];
+        int d = levels[src + (y * 2 + 1) * size + x * 2 + 1];
+        int avg = (a + b + c + d + 2) >> 2;
+        if (avg > 255) { avg = 255; }
+        levels[dst + y * half + x] = avg;
+      }
+    }
+    src = dst;
+    dst = dst + half * half;
+    size = half;
+  }
+  int cs = 0;
+  for (i = 1024; i < dst; i = i + 1) {
+    cs = cs + levels[i] * (i % 13 + 1);
+  }
+  out(cs);
+}
+"""
+
+
+def _rasta_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("rasta", dataset)
+    nframes = 14
+    spread = 0.5 if dataset == "train" else 2.0
+    frames = [rng.uniform(-spread, spread) for _ in range(nframes * 64)]
+    window = [0.54 - 0.46 * (1.0 - abs(i - 32) / 32.0) for i in range(64)]
+    return {"frames": frames, "nframes": [nframes], "window": window}
+
+
+def _toast_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("toast", dataset)
+    amplitude = 60 if dataset == "train" else 250
+    samples = []
+    value = 0
+    for _ in range(600):
+        value += rng.randint(-amplitude // 4, amplitude // 4)
+        value = max(-amplitude * 4, min(amplitude * 4, value))
+        samples.append(value)
+    return {"samples": samples, "nsamples": [600]}
+
+
+def _unepic_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("unepic", dataset)
+    length = 1024
+    sparsity = 65 if dataset == "train" else 25
+    coeffs = [0 if rng.randint(0, 99) < sparsity else rng.randint(-40, 40)
+              for _ in range(length)]
+    return {"coeffs": coeffs, "length": [length]}
+
+
+def _osdemo_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("osdemo", dataset)
+    nverts = 280
+    verts = []
+    behind = 10 if dataset == "train" else 45  # % vertices behind camera
+    for _ in range(nverts):
+        verts.extend([rng.uniform(-1, 1), rng.uniform(-1, 1),
+                      rng.uniform(-1, 1), 1.0])
+    matrix = [1.0, 0.0, 0.0, 0.0,
+              0.0, 1.0, 0.0, 0.0,
+              0.0, 0.0, 1.0, 0.5,
+              0.0, 0.0, 1.0, 0.0]
+    # Push a fraction of vertices behind the camera (w <= 0).
+    for index in range(nverts):
+        if rng.randint(0, 99) < behind:
+            verts[index * 4 + 2] = -abs(verts[index * 4 + 2]) - 0.1
+    return {"verts": verts, "nverts": [nverts], "matrix": matrix}
+
+
+def _mipmap_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("mipmap", dataset)
+    smooth = dataset == "train"
+    texture = []
+    value = 128
+    for _ in range(1024):
+        if smooth:
+            value = max(0, min(255, value + rng.randint(-9, 9)))
+            texture.append(value)
+        else:
+            texture.append(rng.randint(0, 255))
+    return {"texture": texture}
+
+
+register(Benchmark(
+    name="rasta", suite="mediabench", category="int",
+    description="Speech recognition front end: filterbank + RASTA filter",
+    source=RASTA_SOURCE, make_inputs=_rasta_inputs,
+))
+register(Benchmark(
+    name="toast", suite="mediabench", category="int",
+    description="GSM-style transcoder: autocorrelation + Schur recursion",
+    source=TOAST_SOURCE, make_inputs=_toast_inputs,
+))
+register(Benchmark(
+    name="unepic", suite="mediabench", category="int",
+    description="EPIC-style image decompressor: inverse Haar pyramid",
+    source=UNEPIC_SOURCE, make_inputs=_unepic_inputs,
+))
+register(Benchmark(
+    name="osdemo", suite="mediabench", category="int",
+    description="Mesa-style vertex transform + perspective divide",
+    source=OSDEMO_SOURCE, make_inputs=_osdemo_inputs,
+))
+register(Benchmark(
+    name="mipmap", suite="mediabench", category="int",
+    description="Mesa-style mipmap chain generation (box filter)",
+    source=MIPMAP_SOURCE, make_inputs=_mipmap_inputs,
+))

@@ -1,0 +1,107 @@
+"""mpeg2dec — MPEG-2 style video decoder kernel.
+
+Mediabench's lossy video decompressor, reduced to its two hot loops:
+motion compensation (predict each macroblock pixel from a reference
+frame with half-pel averaging and saturating residual add) and the
+block-edge smoothing filter.  Mixed regular/irregular access with
+clip branches on every pixel.
+"""
+
+from __future__ import annotations
+
+from repro.suite.datagen import rng_for
+from repro.suite.registry import Benchmark, register
+
+SOURCE = """
+int reference[1600];   // 40x40 reference frame
+int residual[1024];    // 32x32 residual
+int mvx[16];           // per-8x8-block motion vectors
+int mvy[16];
+int halfpel[16];       // 1 when the vector has a half-pel component
+int frame[1024];       // 32x32 output
+int width;
+
+void main() {
+  int by;
+  int bx;
+  for (by = 0; by < 4; by = by + 1) {
+    for (bx = 0; bx < 4; bx = bx + 1) {
+      int block = by * 4 + bx;
+      int dx = mvx[block];
+      int dy = mvy[block];
+      int y;
+      for (y = 0; y < 8; y = y + 1) {
+        int x;
+        for (x = 0; x < 8; x = x + 1) {
+          int sy = by * 8 + y + dy;
+          int sx = bx * 8 + x + dx;
+          int pred;
+          if (halfpel[block] == 1) {
+            pred = (reference[sy * 40 + sx]
+                    + reference[sy * 40 + sx + 1] + 1) >> 1;
+          } else {
+            pred = reference[sy * 40 + sx];
+          }
+          int pixel = pred + residual[(by * 8 + y) * 32 + (bx * 8 + x)];
+          if (pixel < 0) { pixel = 0; }
+          if (pixel > 255) { pixel = 255; }
+          frame[(by * 8 + y) * 32 + (bx * 8 + x)] = pixel;
+        }
+      }
+    }
+  }
+  // Deblocking: smooth vertical block edges where the step is small.
+  int row;
+  for (row = 0; row < 32; row = row + 1) {
+    int edge;
+    for (edge = 1; edge < 4; edge = edge + 1) {
+      int col = edge * 8;
+      int left = frame[row * 32 + col - 1];
+      int right = frame[row * 32 + col];
+      int step = right - left;
+      if (step < 0) { step = 0 - step; }
+      if (step < 16) {
+        frame[row * 32 + col - 1] = left + ((right - left) >> 2);
+        frame[row * 32 + col] = right - ((right - left) >> 2);
+      }
+    }
+  }
+  int cs = 0;
+  int i;
+  for (i = 0; i < 1024; i = i + 1) {
+    cs = cs + frame[i] * (i % 29 + 1);
+  }
+  out(cs);
+}
+"""
+
+
+def _inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("mpeg2dec", dataset)
+    reference = [rng.randint(0, 255) for _ in range(1600)]
+    jitter = 10 if dataset == "train" else 60
+    residual = [rng.randint(-jitter, jitter) for _ in range(1024)]
+    # Motion vectors stay inside the 40x40 reference for any block.
+    mvx = [rng.randint(0, 6) for _ in range(16)]
+    mvy = [rng.randint(0, 6) for _ in range(16)]
+    half_fraction = 30 if dataset == "train" else 70
+    halfpel = [1 if rng.randint(0, 99) < half_fraction else 0
+               for _ in range(16)]
+    return {
+        "reference": reference,
+        "residual": residual,
+        "mvx": mvx,
+        "mvy": mvy,
+        "halfpel": halfpel,
+        "width": [32],
+    }
+
+
+register(Benchmark(
+    name="mpeg2dec",
+    suite="mediabench",
+    category="int",
+    description="MPEG-2 style decoder: motion compensation + deblocking",
+    source=SOURCE,
+    make_inputs=_inputs,
+))

@@ -1,0 +1,343 @@
+"""SPEC92/95-era floating-point kernels (prefetch training set).
+
+Each program is the characteristic inner computation of its namesake:
+stencils, lattice sweeps, pairwise force sums and dense linear algebra
+— long strided float loops whose performance is dominated by the cache
+hierarchy, which is what the prefetching priority function controls.
+"""
+
+from __future__ import annotations
+
+from repro.suite.datagen import rng_for
+from repro.suite.registry import Benchmark, register
+
+TOMCATV_SOURCE = """
+// Mesh-smoothing relaxation: 5-point stencil over a 64x64 grid with
+// residual tracking (tomcatv's vectorizable core).
+float x[4096];
+float y[4096];
+float rx[4096];
+float ry[4096];
+
+void main() {
+  int iter;
+  float maxres = 0.0;
+  for (iter = 0; iter < 1; iter = iter + 1) {
+    int i;
+    for (i = 1; i < 63; i = i + 1) {
+      int j;
+      for (j = 1; j < 63; j = j + 1) {
+        int p = i * 64 + j;
+        float xx = (x[p - 1] + x[p + 1] + x[p - 64] + x[p + 64]) * 0.25;
+        float yy = (y[p - 1] + y[p + 1] + y[p - 64] + y[p + 64]) * 0.25;
+        rx[p] = xx - x[p];
+        ry[p] = yy - y[p];
+      }
+    }
+    for (i = 1; i < 63; i = i + 1) {
+      int j;
+      for (j = 1; j < 63; j = j + 1) {
+        int p = i * 64 + j;
+        x[p] = x[p] + rx[p] * 0.9;
+        y[p] = y[p] + ry[p] * 0.9;
+        float r = rx[p];
+        if (r < 0.0) { r = 0.0 - r; }
+        if (r > maxres) { maxres = r; }
+      }
+    }
+  }
+  float cs = 0.0;
+  int k;
+  for (k = 0; k < 4096; k = k + 64) {
+    cs = cs + x[k] + y[k + 1];
+  }
+  out(cs);
+  out(maxres);
+}
+"""
+
+SWIM_SOURCE = """
+// Shallow-water equations: staggered-grid finite differences
+// (swim's U/V/P update sweep) on a 64x64 sea.
+float u[4096];
+float v[4096];
+float p[4096];
+float unew[4096];
+float vnew[4096];
+float pnew[4096];
+
+void main() {
+  float dt = 0.01;
+  int i;
+  for (i = 1; i < 63; i = i + 1) {
+    int j;
+    for (j = 1; j < 63; j = j + 1) {
+      int k = i * 64 + j;
+      float du = p[k] - p[k + 1] + 0.5 * (v[k] + v[k + 64]);
+      float dv = p[k] - p[k + 64] - 0.5 * (u[k] + u[k + 1]);
+      float dp = u[k - 1] - u[k] + v[k - 64] - v[k];
+      unew[k] = u[k] + dt * du;
+      vnew[k] = v[k] + dt * dv;
+      pnew[k] = p[k] + dt * dp;
+    }
+  }
+  float cs = 0.0;
+  for (i = 0; i < 4096; i = i + 32) {
+    cs = cs + unew[i] + vnew[i] * 2.0 + pnew[i] * 3.0;
+  }
+  out(cs);
+}
+"""
+
+SU2COR_SOURCE = """
+// Quark-propagator-style lattice sweep: complex 2x2 matrix times
+// vector at every even site, then a gauge trace (su2cor flavour).
+float lat_re[4096];
+float lat_im[4096];
+float vec_re[4096];
+float vec_im[4096];
+float trace[64];
+
+void main() {
+  int site;
+  for (site = 0; site < 4032; site = site + 2) {
+    float ar = lat_re[site];
+    float ai = lat_im[site];
+    float br = lat_re[site + 1];
+    float bi = lat_im[site + 1];
+    float xr = vec_re[site];
+    float xi = vec_im[site];
+    float yr = vec_re[site + 1];
+    float yi = vec_im[site + 1];
+    // (a b; -b* a*) acting on (x, y) — SU(2) structure.
+    vec_re[site] = ar * xr - ai * xi + br * yr - bi * yi;
+    vec_im[site] = ar * xi + ai * xr + br * yi + bi * yr;
+    vec_re[site + 1] = 0.0 - br * xr - bi * xi + ar * yr + ai * yi;
+    vec_im[site + 1] = bi * xr - br * xi + ar * yi - ai * yr;
+  }
+  int t;
+  for (t = 0; t < 64; t = t + 1) {
+    float acc = 0.0;
+    int s;
+    for (s = 0; s < 64; s = s + 1) {
+      acc = acc + vec_re[t * 64 + s];
+    }
+    trace[t] = acc;
+  }
+  float cs = 0.0;
+  for (t = 0; t < 64; t = t + 1) {
+    cs = cs + trace[t] * (t + 1);
+  }
+  out(cs);
+}
+"""
+
+NASA7_SOURCE = """
+// NASA kernels: dense matrix multiply (32x32) + Cholesky-like
+// column update, the two headline nasa7 kernels.
+float a[576];
+float b[576];
+float c[576];
+float chol[576];
+
+void main() {
+  int i;
+  for (i = 0; i < 24; i = i + 1) {
+    int j;
+    for (j = 0; j < 24; j = j + 1) {
+      float acc = 0.0;
+      int k;
+      for (k = 0; k < 24; k = k + 1) {
+        acc = acc + a[i * 24 + k] * b[k * 24 + j];
+      }
+      c[i * 24 + j] = acc;
+    }
+  }
+  // One sweep of column-oriented Cholesky on c + identity*40.
+  for (i = 0; i < 24; i = i + 1) {
+    chol[i * 24 + i] = sqrt(c[i * 24 + i] + 40.0);
+    int r;
+    for (r = i + 1; r < 24; r = r + 1) {
+      chol[r * 24 + i] = c[r * 24 + i] / chol[i * 24 + i];
+    }
+  }
+  float cs = 0.0;
+  for (i = 0; i < 576; i = i + 25) {
+    cs = cs + c[i] + chol[i];
+  }
+  out(cs);
+}
+"""
+
+DODUC_SOURCE = """
+// Monte-Carlo-ish thermohydraulics step: per-cell state update with
+// data-dependent regime branches (doduc is branchy for an FP code).
+float temp[2048];
+float flow[2048];
+float press[2048];
+int ncells;
+
+void main() {
+  int sweeps;
+  float total = 0.0;
+  for (sweeps = 0; sweeps < 2; sweeps = sweeps + 1) {
+    int i;
+    for (i = 1; i < ncells - 1; i = i + 1) {
+      float t = temp[i];
+      float f = flow[i];
+      float dp = press[i + 1] - press[i - 1];
+      float regime;
+      if (t > 400.0) {
+        regime = 1.4;          // superheated
+      } else {
+        if (f > 0.5) {
+          regime = 1.1;        // turbulent
+        } else {
+          regime = 0.8;        // laminar
+        }
+      }
+      float tn = t + regime * dp * 0.05 - (t - 300.0) * 0.01;
+      float fn = f + dp * 0.02;
+      if (fn < 0.0) { fn = 0.0; }
+      if (fn > 2.0) { fn = 2.0; }
+      temp[i] = tn;
+      flow[i] = fn;
+      total = total + tn * 0.001;
+    }
+  }
+  out(total);
+}
+"""
+
+MDLJDP2_SOURCE = """
+// Molecular dynamics pairwise Lennard-Jones forces over a neighbour
+// list (mdljdp2's double-precision force loop).
+float posx[512];
+float posy[512];
+float posz[512];
+int pairs[3000];      // 1500 pairs packed (i, j)
+int npairs;
+float fx[512];
+float fy[512];
+float fz[512];
+
+void main() {
+  int p;
+  float energy = 0.0;
+  for (p = 0; p < npairs; p = p + 1) {
+    int i = pairs[p * 2];
+    int j = pairs[p * 2 + 1];
+    float dx = posx[i] - posx[j];
+    float dy = posy[i] - posy[j];
+    float dz = posz[i] - posz[j];
+    float r2 = dx * dx + dy * dy + dz * dz + 0.01;
+    if (r2 < 9.0) {
+      float inv2 = 1.0 / r2;
+      float inv6 = inv2 * inv2 * inv2;
+      float force = inv6 * (inv6 - 0.5) * inv2;
+      fx[i] = fx[i] + force * dx;
+      fy[i] = fy[i] + force * dy;
+      fz[i] = fz[i] + force * dz;
+      fx[j] = fx[j] - force * dx;
+      fy[j] = fy[j] - force * dy;
+      fz[j] = fz[j] - force * dz;
+      energy = energy + inv6 * (inv6 - 1.0);
+    }
+  }
+  float cs = 0.0;
+  int i;
+  for (i = 0; i < 512; i = i + 7) {
+    cs = cs + fx[i] + fy[i] * 2.0 + fz[i] * 3.0;
+  }
+  out(cs);
+  out(energy);
+}
+"""
+
+
+def _grid_inputs(name: str, dataset: str, arrays: dict[str, int],
+                 spread_train: float = 1.0,
+                 spread_novel: float = 4.0) -> dict[str, list]:
+    rng = rng_for(name, dataset)
+    spread = spread_train if dataset == "train" else spread_novel
+    return {arr: [rng.uniform(-spread, spread) for _ in range(size)]
+            for arr, size in arrays.items()}
+
+
+def _tomcatv_inputs(dataset: str) -> dict[str, list]:
+    return _grid_inputs("101.tomcatv", dataset, {"x": 4096, "y": 4096})
+
+
+def _swim_inputs(dataset: str) -> dict[str, list]:
+    return _grid_inputs("102.swim", dataset,
+                        {"u": 4096, "v": 4096, "p": 4096})
+
+
+def _su2cor_inputs(dataset: str) -> dict[str, list]:
+    return _grid_inputs("103.su2cor", dataset,
+                        {"lat_re": 4096, "lat_im": 4096,
+                         "vec_re": 4096, "vec_im": 4096},
+                        spread_train=0.5, spread_novel=1.0)
+
+
+def _nasa7_inputs(dataset: str) -> dict[str, list]:
+    return _grid_inputs("093.nasa7", dataset, {"a": 576, "b": 576})
+
+
+def _doduc_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("015.doduc", dataset)
+    hot = dataset != "train"
+    base_temp = 450.0 if hot else 330.0
+    return {
+        "temp": [base_temp + rng.uniform(-40, 40) for _ in range(2048)],
+        "flow": [rng.uniform(0, 1) for _ in range(2048)],
+        "press": [rng.uniform(0.9, 1.1) for _ in range(2048)],
+        "ncells": [2000],
+    }
+
+
+def _mdljdp2_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("034.mdljdp2", dataset)
+    dense = dataset != "train"
+    scale = 1.5 if dense else 4.0   # denser box => more cutoff hits
+    pos = {axis: [rng.uniform(0, scale) for _ in range(512)]
+           for axis in ("posx", "posy", "posz")}
+    pairs = []
+    for _ in range(1400):
+        i = rng.randint(0, 511)
+        j = rng.randint(0, 511)
+        if i != j:
+            pairs.extend([i, j])
+    return {**pos, "pairs": pairs, "npairs": [len(pairs) // 2]}
+
+
+register(Benchmark(
+    name="101.tomcatv", suite="spec92", category="fp",
+    description="Mesh smoothing 5-point stencil relaxation",
+    source=TOMCATV_SOURCE, make_inputs=_tomcatv_inputs,
+))
+register(Benchmark(
+    name="102.swim", suite="spec92", category="fp",
+    description="Shallow-water staggered-grid update sweep",
+    source=SWIM_SOURCE, make_inputs=_swim_inputs,
+))
+register(Benchmark(
+    name="103.su2cor", suite="spec92", category="fp",
+    description="SU(2) lattice matrix-vector sweep + trace",
+    source=SU2COR_SOURCE, make_inputs=_su2cor_inputs,
+))
+register(Benchmark(
+    name="093.nasa7", suite="spec92", category="fp",
+    description="Dense 32x32 matmul + Cholesky column update",
+    source=NASA7_SOURCE, make_inputs=_nasa7_inputs,
+))
+register(Benchmark(
+    name="015.doduc", suite="spec92", category="fp",
+    description="Thermohydraulics cell update with regime branches",
+    source=DODUC_SOURCE, make_inputs=_doduc_inputs,
+))
+register(Benchmark(
+    name="034.mdljdp2", suite="spec92", category="fp",
+    description="Lennard-Jones pairwise forces over a neighbour list",
+    source=MDLJDP2_SOURCE, make_inputs=_mdljdp2_inputs,
+))

@@ -1,0 +1,228 @@
+"""SPEC95-era floating-point kernels (rest of the prefetch training set)."""
+
+from __future__ import annotations
+
+from repro.suite.datagen import rng_for
+from repro.suite.registry import Benchmark, register
+
+TURB3D_SOURCE = """
+// Turbulence-style butterfly passes: strided FFT-like sweeps over a
+// 2048-point complex signal (turb3d is FFT-dominated).
+float re[1024];
+float im[1024];
+
+void main() {
+  int span = 512;
+  while (span >= 1) {
+    int start;
+    for (start = 0; start < 1024 - span; start = start + span * 2) {
+      int k;
+      for (k = 0; k < span; k = k + 1) {
+        int a = start + k;
+        int b = a + span;
+        float tr = re[a] - re[b];
+        float ti = im[a] - im[b];
+        re[a] = re[a] + re[b];
+        im[a] = im[a] + im[b];
+        // twiddle approximated by a k-dependent rotation-ish mix
+        float w = 1.0 - (k * 2.0) / span;
+        re[b] = tr * w - ti * (1.0 - w);
+        im[b] = ti * w + tr * (1.0 - w);
+      }
+    }
+    span = span / 2;
+  }
+  float cs = 0.0;
+  int i;
+  for (i = 0; i < 1024; i = i + 31) {
+    cs = cs + re[i] + im[i] * 0.5;
+  }
+  out(cs);
+}
+"""
+
+WAVE5_SOURCE = """
+// Particle-in-cell push: gather field at particle cells, advance
+// positions/velocities, scatter charge (wave5's hot loops).
+float field[2048];
+float px[1500];
+float pv[1500];
+int nparticles;
+float charge[2048];
+
+void main() {
+  int p;
+  for (p = 0; p < nparticles; p = p + 1) {
+    float pos = px[p];
+    int cell = pos;
+    if (cell < 0) { cell = 0; }
+    if (cell > 2046) { cell = 2046; }
+    float frac = pos - cell;
+    float e = field[cell] * (1.0 - frac) + field[cell + 1] * frac;
+    float vel = pv[p] + e * 0.01;
+    float npos = pos + vel;
+    if (npos < 0.0) { npos = npos + 2047.0; }
+    if (npos >= 2047.0) { npos = npos - 2047.0; }
+    pv[p] = vel;
+    px[p] = npos;
+    int ncell = npos;
+    charge[ncell] = charge[ncell] + (1.0 - (npos - ncell));
+    charge[ncell + 1] = charge[ncell + 1] + (npos - ncell);
+  }
+  float cs = 0.0;
+  int i;
+  for (i = 0; i < 2048; i = i + 17) {
+    cs = cs + charge[i];
+  }
+  out(cs);
+}
+"""
+
+MGRID_SOURCE = """
+// Multigrid V-cycle ingredients: 3-point restriction, relaxation and
+// prolongation on a 1-D hierarchy (mgrid's resid/psinv shapes).
+float fine[2048];
+float coarse[1024];
+float rhs[2048];
+
+void main() {
+  int sweep;
+  for (sweep = 0; sweep < 2; sweep = sweep + 1) {
+    int i;
+    // Relax on the fine grid.
+    for (i = 1; i < 2047; i = i + 1) {
+      fine[i] = (fine[i - 1] + fine[i + 1] + rhs[i]) * 0.3333;
+    }
+    // Restrict residual to the coarse grid.
+    for (i = 1; i < 1023; i = i + 1) {
+      coarse[i] = 0.25 * (fine[2 * i - 1] + 2.0 * fine[2 * i]
+                          + fine[2 * i + 1]);
+    }
+    // Prolongate the correction back.
+    for (i = 1; i < 1023; i = i + 1) {
+      fine[2 * i] = fine[2 * i] + coarse[i] * 0.5;
+      fine[2 * i + 1] = fine[2 * i + 1]
+                        + (coarse[i] + coarse[i + 1]) * 0.25;
+    }
+  }
+  float cs = 0.0;
+  int k;
+  for (k = 0; k < 2048; k = k + 23) {
+    cs = cs + fine[k];
+  }
+  out(cs);
+}
+"""
+
+APSI_SOURCE = """
+// Mesoscale-weather column physics: vertical diffusion solve via the
+// Thomas algorithm per column (apsi's implicit stepping).
+float temp[2048];     // 32 columns x 64 levels
+float kdiff[2048];
+float a_c[64];
+float b_c[64];
+float c_c[64];
+float d_c[64];
+
+void main() {
+  int col;
+  for (col = 0; col < 32; col = col + 1) {
+    int base = col * 64;
+    int k;
+    // Build tridiagonal system from diffusivities.
+    for (k = 0; k < 64; k = k + 1) {
+      float kd = kdiff[base + k];
+      a_c[k] = 0.0 - kd;
+      c_c[k] = 0.0 - kd;
+      b_c[k] = 1.0 + 2.0 * kd;
+      d_c[k] = temp[base + k];
+    }
+    // Thomas forward sweep.
+    for (k = 1; k < 64; k = k + 1) {
+      float m = a_c[k] / b_c[k - 1];
+      b_c[k] = b_c[k] - m * c_c[k - 1];
+      d_c[k] = d_c[k] - m * d_c[k - 1];
+    }
+    // Back substitution.
+    temp[base + 63] = d_c[63] / b_c[63];
+    for (k = 62; k >= 0; k = k - 1) {
+      temp[base + k] = (d_c[k] - c_c[k] * temp[base + k + 1]) / b_c[k];
+    }
+  }
+  float cs = 0.0;
+  int i;
+  for (i = 0; i < 2048; i = i + 19) {
+    cs = cs + temp[i];
+  }
+  out(cs);
+}
+"""
+
+
+def _float_inputs(name: str, dataset: str,
+                  arrays: dict[str, tuple[int, float, float]]) -> dict:
+    rng = rng_for(name, dataset)
+    result = {}
+    for arr, (size, low, high) in arrays.items():
+        result[arr] = [rng.uniform(low, high) for _ in range(size)]
+    return result
+
+
+def _turb3d_inputs(dataset: str) -> dict[str, list]:
+    spread = 1.0 if dataset == "train" else 5.0
+    return _float_inputs("125.turb3d", dataset,
+                         {"re": (1024, -spread, spread),
+                          "im": (1024, -spread, spread)})
+
+
+def _wave5_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("146.wave5", dataset)
+    clustered = dataset != "train"
+    if clustered:
+        px = [rng.uniform(0, 200) for _ in range(1500)]
+    else:
+        px = [rng.uniform(0, 2046) for _ in range(1500)]
+    return {
+        "field": [rng.uniform(-1, 1) for _ in range(2048)],
+        "px": px,
+        "pv": [rng.uniform(-0.5, 0.5) for _ in range(1500)],
+        "nparticles": [1400],
+    }
+
+
+def _mgrid_inputs(dataset: str) -> dict[str, list]:
+    spread = 1.0 if dataset == "train" else 10.0
+    return _float_inputs("107.mgrid", dataset,
+                         {"fine": (2048, -spread, spread),
+                          "rhs": (2048, -1.0, 1.0)})
+
+
+def _apsi_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("141.apsi", dataset)
+    diffusive = 0.2 if dataset == "train" else 0.45
+    return {
+        "temp": [280.0 + rng.uniform(-20, 20) for _ in range(2048)],
+        "kdiff": [rng.uniform(0.01, diffusive) for _ in range(2048)],
+    }
+
+
+register(Benchmark(
+    name="125.turb3d", suite="spec95", category="fp",
+    description="FFT-style strided butterfly sweeps",
+    source=TURB3D_SOURCE, make_inputs=_turb3d_inputs,
+))
+register(Benchmark(
+    name="146.wave5", suite="spec95", category="fp",
+    description="Particle-in-cell gather/push/scatter",
+    source=WAVE5_SOURCE, make_inputs=_wave5_inputs,
+))
+register(Benchmark(
+    name="107.mgrid", suite="spec95", category="fp",
+    description="Multigrid relax / restrict / prolongate sweeps",
+    source=MGRID_SOURCE, make_inputs=_mgrid_inputs,
+))
+register(Benchmark(
+    name="141.apsi", suite="spec95", category="fp",
+    description="Per-column tridiagonal diffusion solve (Thomas)",
+    source=APSI_SOURCE, make_inputs=_apsi_inputs,
+))

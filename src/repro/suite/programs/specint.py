@@ -1,0 +1,688 @@
+"""SPEC-integer-style programs.
+
+* ``085.cc1`` — a C-compiler-like tokenizer + operator-precedence
+  expression evaluator (branchy state machine over a character stream).
+* ``129.compress`` — LZW-style compressor with an open-addressing hash
+  table (the SPEC95 in-memory compressor).
+* ``130.li`` — a bytecode interpreter for a small Lisp-ish stack
+  machine (dispatch-loop control flow).
+* ``124.m88ksim`` — a tiny RISC ISA simulator executing a synthetic
+  instruction trace.
+* ``147.vortex`` — an object-store workload: insert / lookup / update
+  over a hashed record table.
+* ``023.eqntott`` — truth-table canonicalization: bitvector evaluation
+  + insertion sort of minterms.
+* ``052.alvinn`` — neural net forward+backward pass (dense float MACs).
+* ``art`` — adaptive-resonance-style category matching (float).
+"""
+
+from __future__ import annotations
+
+from repro.suite.datagen import rng_for
+from repro.suite.registry import Benchmark, register
+
+CC1_SOURCE = """
+// Tokenize a synthetic source stream and evaluate embedded integer
+// expressions with precedence climbing done iteratively via two stacks.
+// Characters: 0-9 digits, +(10) -(11) *(12) ((13) )(14) ;(15)
+int stream[1200];
+int stream_len;
+int valstack[64];
+int opstack[64];
+
+void main() {
+  int pos = 0;
+  int total = 0;
+  int exprs = 0;
+  while (pos < stream_len) {
+    int vsp = 0;
+    int osp = 0;
+    // Parse one expression up to ';'.
+    while (pos < stream_len && stream[pos] != 15) {
+      int tok = stream[pos];
+      pos = pos + 1;
+      if (tok < 10) {
+        // Numbers: accumulate following digits.
+        int value = tok;
+        while (pos < stream_len && stream[pos] < 10) {
+          value = value * 10 + stream[pos];
+          pos = pos + 1;
+        }
+        valstack[vsp] = value;
+        vsp = vsp + 1;
+      } else {
+        if (tok == 13) {
+          opstack[osp] = 13;
+          osp = osp + 1;
+        } else {
+          if (tok == 14) {
+            // Reduce until '('.
+            while (osp > 0 && opstack[osp - 1] != 13) {
+              int op = opstack[osp - 1];
+              osp = osp - 1;
+              int b = valstack[vsp - 1];
+              int a = valstack[vsp - 2];
+              vsp = vsp - 2;
+              int r = 0;
+              if (op == 10) { r = a + b; }
+              if (op == 11) { r = a - b; }
+              if (op == 12) { r = a * b; }
+              valstack[vsp] = r;
+              vsp = vsp + 1;
+            }
+            if (osp > 0) { osp = osp - 1; }
+          } else {
+            // Binary operator: reduce while the stack top has equal
+            // or higher precedence (classic shunting-yard; '*' binds
+            // tighter than '+'/'-', all operators left-associative).
+            while (osp > 0 && opstack[osp - 1] != 13
+                   && (opstack[osp - 1] == 12 || tok != 12)) {
+              int op = opstack[osp - 1];
+              osp = osp - 1;
+              int b = valstack[vsp - 1];
+              int a = valstack[vsp - 2];
+              vsp = vsp - 2;
+              int r = 0;
+              if (op == 10) { r = a + b; }
+              if (op == 11) { r = a - b; }
+              if (op == 12) { r = a * b; }
+              valstack[vsp] = r;
+              vsp = vsp + 1;
+            }
+            opstack[osp] = tok;
+            osp = osp + 1;
+          }
+        }
+      }
+    }
+    pos = pos + 1;  // skip ';'
+    // Final reduction.
+    while (osp > 0) {
+      int op = opstack[osp - 1];
+      osp = osp - 1;
+      if (op != 13) {
+        int b = valstack[vsp - 1];
+        int a = valstack[vsp - 2];
+        vsp = vsp - 2;
+        int r = 0;
+        if (op == 10) { r = a + b; }
+        if (op == 11) { r = a - b; }
+        if (op == 12) { r = a * b; }
+        valstack[vsp] = r;
+        vsp = vsp + 1;
+      }
+    }
+    if (vsp > 0) {
+      total = total + valstack[0];
+      exprs = exprs + 1;
+    }
+  }
+  out(total);
+  out(exprs);
+}
+"""
+
+COMPRESS_SOURCE = """
+// LZW-style compression with open-addressing hash table.
+int input[1400];
+int input_len;
+int hash_code[2048];    // stored code at slot (-1 = empty)
+int hash_key[2048];     // packed (prefix << 8) | symbol
+int output[1400];
+
+void main() {
+  int i;
+  for (i = 0; i < 2048; i = i + 1) {
+    hash_code[i] = 0 - 1;
+  }
+  int next_code = 256;
+  int prefix = input[0];
+  int outp = 0;
+  for (i = 1; i < input_len; i = i + 1) {
+    int sym = input[i];
+    int key = prefix * 256 + sym;
+    int slot = (key * 31) % 2048;
+    if (slot < 0) { slot = slot + 2048; }
+    int found = 0 - 1;
+    int probes = 0;
+    while (probes < 2048) {
+      if (hash_code[slot] < 0) {
+        probes = 2048;          // empty slot: stop
+      } else {
+        if (hash_key[slot] == key) {
+          found = hash_code[slot];
+          probes = 2048;
+        } else {
+          slot = (slot + 1) % 2048;
+          probes = probes + 1;
+        }
+      }
+    }
+    if (found >= 0) {
+      prefix = found;
+    } else {
+      output[outp] = prefix;
+      outp = outp + 1;
+      if (next_code < 4096) {
+        hash_code[slot] = next_code;
+        hash_key[slot] = key;
+        next_code = next_code + 1;
+      }
+      prefix = sym;
+    }
+  }
+  output[outp] = prefix;
+  outp = outp + 1;
+  int cs = 0;
+  for (i = 0; i < outp; i = i + 1) {
+    cs = cs + output[i] * (i % 17 + 1);
+  }
+  out(outp);
+  out(cs);
+}
+"""
+
+LI_SOURCE = """
+// Stack-machine bytecode interpreter (Lisp-ish arithmetic ops).
+// Opcodes: 0 push-imm, 1 add, 2 sub, 3 mul, 4 dup, 5 swap, 6 drop,
+// 7 jump-if-zero (operand = offset), 8 halt.
+int code[600];
+int code_len;
+int stack[128];
+
+void main() {
+  int pc = 0;
+  int sp = 0;
+  int steps = 0;
+  int result = 0;
+  while (pc < code_len && steps < 6000) {
+    int op = code[pc];
+    steps = steps + 1;
+    if (op == 0) {
+      stack[sp] = code[pc + 1];
+      sp = sp + 1;
+      pc = pc + 2;
+    } else { if (op == 1) {
+      stack[sp - 2] = stack[sp - 2] + stack[sp - 1];
+      sp = sp - 1;
+      pc = pc + 1;
+    } else { if (op == 2) {
+      stack[sp - 2] = stack[sp - 2] - stack[sp - 1];
+      sp = sp - 1;
+      pc = pc + 1;
+    } else { if (op == 3) {
+      stack[sp - 2] = stack[sp - 2] * stack[sp - 1];
+      sp = sp - 1;
+      pc = pc + 1;
+    } else { if (op == 4) {
+      stack[sp] = stack[sp - 1];
+      sp = sp + 1;
+      pc = pc + 1;
+    } else { if (op == 5) {
+      int t = stack[sp - 1];
+      stack[sp - 1] = stack[sp - 2];
+      stack[sp - 2] = t;
+      pc = pc + 1;
+    } else { if (op == 6) {
+      sp = sp - 1;
+      pc = pc + 1;
+    } else { if (op == 7) {
+      if (stack[sp - 1] == 0) {
+        pc = pc + code[pc + 1];
+      } else {
+        pc = pc + 2;
+      }
+      sp = sp - 1;
+    } else {
+      result = stack[sp - 1];
+      pc = code_len;
+    } } } } } } } }
+    if (sp > 120) { sp = 120; }
+    if (sp < 0) { sp = 0; }
+  }
+  out(result);
+  out(steps);
+}
+"""
+
+M88KSIM_SOURCE = """
+// Tiny RISC simulator: 16 registers, synthetic trace of packed
+// instructions (op, rd, rs1, rs2/imm).
+int trace[2000];      // 500 instructions x 4 words
+int ninstr;
+int regs[16];
+
+void main() {
+  int executed = 0;
+  int pc = 0;
+  while (pc < ninstr && executed < 4000) {
+    int base = pc * 4;
+    int op = trace[base];
+    int rd = trace[base + 1];
+    int rs1 = trace[base + 2];
+    int arg = trace[base + 3];
+    executed = executed + 1;
+    if (op == 0) {           // addi
+      regs[rd] = regs[rs1] + arg;
+      pc = pc + 1;
+    } else { if (op == 1) {  // add
+      regs[rd] = regs[rs1] + regs[arg & 15];
+      pc = pc + 1;
+    } else { if (op == 2) {  // mul
+      regs[rd] = regs[rs1] * regs[arg & 15];
+      pc = pc + 1;
+    } else { if (op == 3) {  // and
+      regs[rd] = regs[rs1] & regs[arg & 15];
+      pc = pc + 1;
+    } else { if (op == 4) {  // shift
+      regs[rd] = regs[rs1] >> (arg & 7);
+      pc = pc + 1;
+    } else { if (op == 5) {  // beqz: forward branch
+      if (regs[rs1] == 0) {
+        pc = pc + (arg & 7) + 1;
+      } else {
+        pc = pc + 1;
+      }
+    } else {                 // xor
+      regs[rd] = regs[rs1] ^ arg;
+      pc = pc + 1;
+    } } } } } }
+    regs[0] = 0;             // hardwired zero
+  }
+  int cs = 0;
+  int r;
+  for (r = 0; r < 16; r = r + 1) {
+    cs = cs + regs[r] * (r + 1);
+  }
+  out(cs);
+  out(executed);
+}
+"""
+
+VORTEX_SOURCE = """
+// Object store: hashed insert / lookup / update over fixed-size
+// records (id, field1, field2).
+int ops[1500];        // 500 ops x 3 words: (kind, id, value)
+int nops;
+int table_id[1024];   // -1 = empty
+int table_f1[1024];
+int table_f2[1024];
+
+void main() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) {
+    table_id[i] = 0 - 1;
+  }
+  int hits = 0;
+  int misses = 0;
+  int stored = 0;
+  for (i = 0; i < nops; i = i + 1) {
+    int kind = ops[i * 3];
+    int id = ops[i * 3 + 1];
+    int value = ops[i * 3 + 2];
+    int slot = (id * 7919) % 1024;
+    if (slot < 0) { slot = slot + 1024; }
+    int probes = 0;
+    int found = 0 - 1;
+    while (probes < 64) {
+      if (table_id[slot] == id) {
+        found = slot;
+        probes = 64;
+      } else {
+        if (table_id[slot] < 0) {
+          probes = 64;
+        } else {
+          slot = (slot + 1) % 1024;
+          probes = probes + 1;
+        }
+      }
+    }
+    if (kind == 0) {          // insert / overwrite
+      if (found < 0 && stored < 900) {
+        table_id[slot] = id;
+        table_f1[slot] = value;
+        table_f2[slot] = 0;
+        stored = stored + 1;
+      } else {
+        if (found >= 0) { table_f1[found] = value; }
+      }
+    } else { if (kind == 1) { // lookup
+      if (found >= 0) {
+        hits = hits + table_f1[found];
+      } else {
+        misses = misses + 1;
+      }
+    } else {                  // update
+      if (found >= 0) {
+        table_f2[found] = table_f2[found] + value;
+      }
+    } }
+  }
+  int cs = 0;
+  for (i = 0; i < 1024; i = i + 1) {
+    if (table_id[i] >= 0) {
+      cs = cs + table_f1[i] + table_f2[i] * 3;
+    }
+  }
+  out(cs);
+  out(hits);
+  out(misses);
+}
+"""
+
+EQNTOTT_SOURCE = """
+// Truth-table generation + insertion sort of minterms (eqntott's hot
+// loop is a quadratic sort of PLA terms).
+int terms[256];       // packed 8-bit input assignments that are true
+int nvars;
+int table[256];
+
+void main() {
+  int size = 1 << nvars;
+  int count = 0;
+  int a;
+  // Evaluate the boolean function: majority(x0..x2) xor parity(x3..x5).
+  for (a = 0; a < size; a = a + 1) {
+    int maj = ((a & 1) + ((a >> 1) & 1) + ((a >> 2) & 1)) >= 2;
+    int par = (((a >> 3) & 1) ^ ((a >> 4) & 1)) ^ ((a >> 5) & 1);
+    if ((maj ^ par) == 1) {
+      table[count] = a;
+      count = count + 1;
+    }
+  }
+  // Insertion sort by bit-population (ties by value), as a stand-in
+  // for eqntott's term canonicalization.
+  int i;
+  for (i = 1; i < count; i = i + 1) {
+    int key = table[i];
+    int kp = ((key & 1) + ((key >> 1) & 1) + ((key >> 2) & 1)
+              + ((key >> 3) & 1) + ((key >> 4) & 1) + ((key >> 5) & 1))
+             * 256 + key;
+    int j = i - 1;
+    while (j >= 0) {
+      int cur = table[j];
+      int cp = ((cur & 1) + ((cur >> 1) & 1) + ((cur >> 2) & 1)
+                + ((cur >> 3) & 1) + ((cur >> 4) & 1) + ((cur >> 5) & 1))
+               * 256 + cur;
+      if (cp > kp) {
+        table[j + 1] = table[j];
+        j = j - 1;
+      } else {
+        break;
+      }
+    }
+    table[j + 1] = key;
+  }
+  int cs = 0;
+  for (i = 0; i < count; i = i + 1) {
+    cs = cs + table[i] * (i + 1);
+  }
+  out(count);
+  out(cs);
+}
+"""
+
+ALVINN_SOURCE = """
+// ALVINN-style neural net: 96-input, 24-hidden, 8-output forward pass
+// plus one backprop step on the output layer (dense float MACs).
+float inputs[96];
+float w1[2304];       // 96 x 24
+float w2[192];        // 24 x 8
+float target[8];
+float hidden[24];
+float outputs[8];
+
+void main() {
+  int h;
+  for (h = 0; h < 24; h = h + 1) {
+    float acc = 0.0;
+    int i;
+    for (i = 0; i < 96; i = i + 1) {
+      acc = acc + inputs[i] * w1[i * 24 + h];
+    }
+    // Fast sigmoid-ish squashing: x / (1 + |x|).
+    float ax = acc;
+    if (ax < 0.0) { ax = 0.0 - ax; }
+    hidden[h] = acc / (1.0 + ax);
+  }
+  int o;
+  for (o = 0; o < 8; o = o + 1) {
+    float acc = 0.0;
+    for (h = 0; h < 24; h = h + 1) {
+      acc = acc + hidden[h] * w2[h * 8 + o];
+    }
+    float ax = acc;
+    if (ax < 0.0) { ax = 0.0 - ax; }
+    outputs[o] = acc / (1.0 + ax);
+  }
+  // One delta-rule update of w2.
+  float err = 0.0;
+  for (o = 0; o < 8; o = o + 1) {
+    float delta = target[o] - outputs[o];
+    err = err + delta * delta;
+    for (h = 0; h < 24; h = h + 1) {
+      w2[h * 8 + o] = w2[h * 8 + o] + 0.05 * delta * hidden[h];
+    }
+  }
+  float cs = 0.0;
+  for (o = 0; o < 8; o = o + 1) {
+    cs = cs + outputs[o] * (o + 1);
+  }
+  out(cs);
+  out(err);
+}
+"""
+
+ART_SOURCE = """
+// Adaptive-resonance-style category search: match input vectors
+// against prototype categories; commit/refine on resonance.
+float patterns[640];  // 20 patterns x 32 features
+int npatterns;
+float protos[320];    // 10 categories x 32
+float vigilance;
+int assigned[20];
+
+void main() {
+  int p;
+  int commits = 0;
+  for (p = 0; p < npatterns; p = p + 1) {
+    int best = 0 - 1;
+    float best_score = 0.0 - 1000000.0;
+    int c;
+    for (c = 0; c < 10; c = c + 1) {
+      float score = 0.0;
+      int f;
+      for (f = 0; f < 32; f = f + 1) {
+        float d = patterns[p * 32 + f] - protos[c * 32 + f];
+        if (d < 0.0) { d = 0.0 - d; }
+        score = score - d;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    // Resonance test; refine the winner or fall back to category 9.
+    if (best_score > 0.0 - vigilance) {
+      int f;
+      for (f = 0; f < 32; f = f + 1) {
+        float mixed = protos[best * 32 + f] * 0.8
+                      + patterns[p * 32 + f] * 0.2;
+        protos[best * 32 + f] = mixed;
+      }
+      assigned[p] = best;
+      commits = commits + 1;
+    } else {
+      assigned[p] = 9;
+    }
+  }
+  int cs = 0;
+  for (p = 0; p < npatterns; p = p + 1) {
+    cs = cs + assigned[p] * (p + 1);
+  }
+  out(cs);
+  out(commits);
+}
+"""
+
+
+def _cc1_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("085.cc1", dataset)
+    deep = dataset != "train"  # novel input nests parentheses deeply
+    stream: list[int] = []
+    while True:
+        # Build one complete expression; stop before overflowing the
+        # buffer so the evaluator never sees a truncated expression.
+        expr: list[int] = []
+        depth = 0
+        terms = rng.randint(2, 6 if not deep else 10)
+        for t in range(terms):
+            if rng.randint(0, 99) < (25 if deep else 10) and depth < 4:
+                expr.append(13)
+                depth += 1
+            for _ in range(rng.randint(1, 3)):
+                expr.append(rng.randint(0, 9))
+            while depth > 0 and rng.randint(0, 99) < 30:
+                expr.append(14)
+                depth -= 1
+            if t != terms - 1:
+                expr.append(rng.randint(10, 12))
+        while depth > 0:
+            expr.append(14)
+            depth -= 1
+        expr.append(15)
+        if len(stream) + len(expr) > 1200:
+            break
+        stream.extend(expr)
+    return {"stream": stream, "stream_len": [len(stream)]}
+
+
+def _compress_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("129.compress", dataset)
+    if dataset == "train":
+        # Repetitive text-like data: dictionary hits dominate.
+        data = []
+        phrases = [[rng.randint(0, 25) for _ in range(rng.randint(3, 8))]
+                   for _ in range(12)]
+        while len(data) < 1200:
+            data.extend(phrases[rng.randint(0, 11)])
+    else:
+        data = [rng.randint(0, 255) for _ in range(1200)]
+    return {"input": data[:1400], "input_len": [min(len(data), 1400)]}
+
+
+def _li_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("130.li", dataset)
+    code: list[int] = []
+    # A few arithmetic bodies ending with conditional back-jumps is
+    # enough to look like list evaluation; halt at the end.
+    for _ in range(36):
+        code.extend([0, rng.randint(1, 9)])
+        code.extend([0, rng.randint(1, 9)])
+        code.append(rng.randint(1, 3))
+        if rng.randint(0, 99) < (60 if dataset == "train" else 20):
+            code.append(4)  # dup
+            code.append(rng.randint(1, 3))
+        code.append(6)  # drop
+    code.extend([0, 42, 8])
+    return {"code": code[:600], "code_len": [min(len(code), 600)]}
+
+
+def _m88ksim_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("124.m88ksim", dataset)
+    branchy = dataset != "train"
+    trace: list[int] = []
+    count = 480
+    for _ in range(count):
+        op = rng.randint(0, 6)
+        if not branchy and op == 5 and rng.randint(0, 1):
+            op = 1  # fewer branches in the train trace
+        trace.extend([op, rng.randint(1, 15), rng.randint(0, 15),
+                      rng.randint(0, 31)])
+    return {"trace": trace, "ninstr": [count]}
+
+
+def _vortex_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("147.vortex", dataset)
+    nops = 480
+    insert_pct = 50 if dataset == "train" else 20
+    ops: list[int] = []
+    for _ in range(nops):
+        roll = rng.randint(0, 99)
+        if roll < insert_pct:
+            kind = 0
+        elif roll < 85:
+            kind = 1
+        else:
+            kind = 2
+        ops.extend([kind, rng.randint(0, 700), rng.randint(1, 99)])
+    return {"ops": ops, "nops": [nops]}
+
+
+def _eqntott_inputs(dataset: str) -> dict[str, list]:
+    nvars = 6 if dataset == "train" else 7
+    return {"nvars": [min(nvars, 7)]}
+
+
+def _alvinn_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("052.alvinn", dataset)
+    spread = 1.0 if dataset == "train" else 3.0
+    return {
+        "inputs": [rng.uniform(-spread, spread) for _ in range(96)],
+        "w1": [rng.uniform(-0.5, 0.5) for _ in range(2304)],
+        "w2": [rng.uniform(-0.5, 0.5) for _ in range(192)],
+        "target": [rng.uniform(0, 1) for _ in range(8)],
+    }
+
+
+def _art_inputs(dataset: str) -> dict[str, list]:
+    rng = rng_for("art", dataset)
+    vig = 8.0 if dataset == "train" else 2.0
+    return {
+        "patterns": [rng.uniform(0, 1) for _ in range(640)],
+        "npatterns": [14],
+        "protos": [rng.uniform(0, 1) for _ in range(320)],
+        "vigilance": [vig],
+    }
+
+
+register(Benchmark(
+    name="085.cc1", suite="spec92", category="int",
+    description="Compiler-like tokenizer + expression evaluator",
+    source=CC1_SOURCE, make_inputs=_cc1_inputs,
+))
+register(Benchmark(
+    name="129.compress", suite="spec95", category="int",
+    description="LZW-style in-memory compressor with hash table",
+    source=COMPRESS_SOURCE, make_inputs=_compress_inputs,
+))
+register(Benchmark(
+    name="130.li", suite="spec95", category="int",
+    description="Stack-machine bytecode interpreter (Lisp-ish)",
+    source=LI_SOURCE, make_inputs=_li_inputs,
+))
+register(Benchmark(
+    name="124.m88ksim", suite="spec95", category="int",
+    description="Tiny RISC ISA simulator over a synthetic trace",
+    source=M88KSIM_SOURCE, make_inputs=_m88ksim_inputs,
+))
+register(Benchmark(
+    name="147.vortex", suite="spec95", category="int",
+    description="Object-store insert/lookup/update over hashed records",
+    source=VORTEX_SOURCE, make_inputs=_vortex_inputs,
+))
+register(Benchmark(
+    name="023.eqntott", suite="spec92", category="int",
+    description="Truth-table generation + minterm sort",
+    source=EQNTOTT_SOURCE, make_inputs=_eqntott_inputs,
+))
+register(Benchmark(
+    name="052.alvinn", suite="spec92", category="int",
+    description="ALVINN neural net forward pass + delta-rule update",
+    source=ALVINN_SOURCE, make_inputs=_alvinn_inputs,
+))
+register(Benchmark(
+    name="art", suite="misc", category="int",
+    description="Adaptive-resonance category matching",
+    source=ART_SOURCE, make_inputs=_art_inputs,
+))

@@ -1,0 +1,87 @@
+"""Lexer tests: token kinds, comments, literals, diagnostics."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import TokKind, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_vs_identifiers(self):
+        tokens = kinds("int x while whilex")
+        assert tokens == [
+            (TokKind.KEYWORD, "int"),
+            (TokKind.IDENT, "x"),
+            (TokKind.KEYWORD, "while"),
+            (TokKind.IDENT, "whilex"),
+        ]
+
+    def test_all_keywords(self):
+        for word in ("int", "float", "void", "if", "else", "while",
+                     "for", "return", "break", "continue", "out"):
+            assert tokenize(word)[0].kind is TokKind.KEYWORD
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind is TokKind.EOF
+
+    def test_integer_literal(self):
+        assert kinds("42") == [(TokKind.INT_LIT, "42")]
+
+    def test_float_literals(self):
+        assert kinds("1.5 .5 2.") == [
+            (TokKind.FLOAT_LIT, "1.5"),
+            (TokKind.FLOAT_LIT, ".5"),
+            (TokKind.FLOAT_LIT, "2."),
+        ]
+
+    def test_underscored_identifier(self):
+        assert kinds("_foo_bar9") == [(TokKind.IDENT, "_foo_bar9")]
+
+
+class TestOperators:
+    def test_multichar_operators(self):
+        text = "<< >> <= >= == != && ||"
+        assert [t for _k, t in kinds(text)] == text.split()
+
+    def test_multichar_wins_over_single(self):
+        assert [t for _k, t in kinds("a<=b")] == ["a", "<=", "b"]
+        assert [t for _k, t in kinds("a<b")] == ["a", "<", "b"]
+
+    def test_punctuation(self):
+        assert [t for _k, t in kinds("(){}[];,")] == list("(){}[];,")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [
+            (TokKind.IDENT, "a"), (TokKind.IDENT, "b"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [
+            (TokKind.IDENT, "a"), (TokKind.IDENT, "b"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestDiagnostics:
+    def test_locations_track_lines(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_malformed_number(self):
+        with pytest.raises(LexError):
+            tokenize("12abc")

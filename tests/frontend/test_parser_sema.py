@@ -1,0 +1,224 @@
+"""Parser and semantic-analysis tests."""
+
+import pytest
+
+from repro.frontend import astnodes as ast
+from repro.frontend.errors import SemanticError, SyntaxErrorMC
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import analyze
+
+
+def parse_main(body):
+    return parse_source("void main() { %s }" % body)
+
+
+def analyze_main(body):
+    return analyze(parse_main(body))
+
+
+class TestParserStructure:
+    def test_globals_and_functions_separated(self):
+        program = parse_source("""
+        int g[4];
+        float f;
+        int helper(int x) { return x; }
+        void main() { out(1); }
+        """)
+        assert [g.name for g in program.globals] == ["g", "f"]
+        assert [f.name for f in program.functions] == ["helper", "main"]
+
+    def test_global_initializers(self):
+        program = parse_source("int a[3] = {1, -2, 3}; void main() { out(a[0]); }")
+        assert program.globals[0].init == [1, -2, 3]
+
+    def test_global_scalar_initializer(self):
+        program = parse_source("float pi = 3.14; void main() { out(pi); }")
+        assert program.globals[0].init == [3.14]
+
+    def test_else_if_chain(self):
+        program = parse_main(
+            "int x = 0; if (x > 0) { out(1); } else if (x < 0) { out(2); }"
+            " else { out(3); }"
+        )
+        if_stmt = program.functions[0].body.body[1]
+        assert isinstance(if_stmt, ast.IfStmt)
+        nested = if_stmt.else_body.body[0]
+        assert isinstance(nested, ast.IfStmt)
+        assert nested.else_body is not None
+
+    def test_for_parts_optional(self):
+        program = parse_main("int i = 0; for (;;) { break; } out(i);")
+        for_stmt = program.functions[0].body.body[1]
+        assert for_stmt.init is None
+        assert for_stmt.condition is None
+        assert for_stmt.step is None
+
+
+class TestParserPrecedence:
+    def _expr(self, text):
+        program = parse_main(f"int r = {text};")
+        return program.functions[0].body.body[0].init
+
+    def test_mul_binds_tighter_than_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_comparison_below_arithmetic(self):
+        expr = self._expr("1 + 2 < 3 * 4")
+        assert expr.op == "<"
+
+    def test_logical_lowest(self):
+        expr = self._expr("1 < 2 && 3 < 4 || 0")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_parentheses_override(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_binds_tightest(self):
+        expr = self._expr("-x * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.Unary)
+
+    def test_shift_precedence(self):
+        expr = self._expr("1 << 2 + 3")
+        assert expr.op == "<<"
+
+
+class TestParserErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(SyntaxErrorMC):
+            parse_main("int x = 1 out(x);")
+
+    def test_unterminated_block(self):
+        with pytest.raises(SyntaxErrorMC):
+            parse_source("void main() { out(1);")
+
+    def test_braces_required(self):
+        with pytest.raises(SyntaxErrorMC):
+            parse_main("if (1) out(1);")
+
+    def test_bad_for_init(self):
+        with pytest.raises(SyntaxErrorMC):
+            parse_main("for (1 + 2;;) { }")
+
+    def test_array_size_must_be_literal(self):
+        with pytest.raises(SyntaxErrorMC):
+            parse_source("int n; int a[n]; void main() { }")
+
+
+class TestSemaTypes:
+    def test_expression_types_annotated(self):
+        program = analyze_main("int x = 1; float y = 2.0; out(x + y);")
+        out_stmt = program.functions[0].body.body[2]
+        assert out_stmt.value.ctype == "float"
+
+    def test_comparison_yields_int(self):
+        program = analyze_main("float y = 2.0; out(y < 3.0);")
+        assert program.functions[0].body.body[1].value.ctype == "int"
+
+    def test_modulo_requires_int(self):
+        with pytest.raises(SemanticError):
+            analyze_main("float y = 2.0; out(y % 2);")
+
+    def test_condition_must_be_int(self):
+        with pytest.raises(SemanticError):
+            analyze_main("float y = 2.0; if (y) { out(1); }")
+
+    def test_logical_operands_must_be_int(self):
+        with pytest.raises(SemanticError):
+            analyze_main("float y = 2.0; out(y && 1);")
+
+
+class TestSemaNames:
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError):
+            analyze_main("out(nope);")
+
+    def test_redeclaration_in_scope(self):
+        with pytest.raises(SemanticError):
+            analyze_main("int x = 1; int x = 2;")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        analyze_main("int x = 1; { int x = 2; out(x); } out(x);")
+
+    def test_array_without_subscript(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_source("int a[4]; void main() { out(a); }"))
+
+    def test_subscript_of_scalar(self):
+        with pytest.raises(SemanticError):
+            analyze_main("int x = 1; out(x[0]);")
+
+    def test_array_index_must_be_int(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_source(
+                "int a[4]; void main() { float f = 0.0; out(a[f]); }"
+            ))
+
+    def test_whole_array_assignment_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_source(
+                "int a[4]; void main() { a = 3; }"
+            ))
+
+
+class TestSemaFunctions:
+    def test_main_required(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_source("void helper() { out(1); }"))
+
+    def test_main_takes_no_params(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_source("void main(int x) { out(x); }"))
+
+    def test_call_arity_checked(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_source(
+                "int f(int a, int b) { return a + b; }"
+                "void main() { out(f(1)); }"
+            ))
+
+    def test_undefined_function(self):
+        with pytest.raises(SemanticError):
+            analyze_main("out(ghost(1));")
+
+    def test_void_return_with_value_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_source("void main() { return 3; }"))
+
+    def test_nonvoid_return_without_value_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_source("int main() { return; }"))
+
+    def test_duplicate_parameter(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_source(
+                "int f(int a, int a) { return a; } void main() { out(f(1,2)); }"
+            ))
+
+    def test_redefined_function(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_source(
+                "int f(int a) { return a; } int f(int b) { return b; }"
+                "void main() { }"
+            ))
+
+    def test_builtins_recognized(self):
+        analyze_main("out(sqrt(2.0)); out(abs(-3)); out(fabs(-1.5));")
+
+
+class TestSemaControl:
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            analyze_main("break;")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError):
+            analyze_main("continue;")
+
+    def test_break_inside_loop_ok(self):
+        analyze_main("while (1) { break; }")

@@ -1,0 +1,205 @@
+"""Crossover (depth-fair, typed) and mutation operator tests."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gp.crossover import (
+    crossover,
+    depth_fair_pick,
+    nodes_by_depth,
+    replace_subtree,
+)
+from repro.gp.generate import PrimitiveSet, TreeGenerator
+from repro.gp.mutate import (
+    mutate,
+    point_mutation,
+    shrink_mutation,
+    subtree_mutation,
+)
+from repro.gp.nodes import Add, Mul, RArg, RConst
+from repro.gp.parse import parse
+from repro.gp.types import BOOL, REAL
+
+PSET = PrimitiveSet(real_features=("a", "b"), bool_features=("h",))
+ENV = {"a": 1.0, "b": -2.5, "h": True}
+
+
+def check_well_formed(tree):
+    """Every node's children match its declared argument types, and the
+    tree evaluates without raising."""
+    for node in tree.walk():
+        assert len(node.children) == len(node.arg_types)
+        for child, want in zip(node.children, node.arg_types):
+            assert child.result_type is want
+    assert isinstance(tree.evaluate(ENV), (float, bool))
+
+
+class TestDepthFairPick:
+    def test_all_levels_reachable(self):
+        tree = parse("(add (mul a (add b 1.0)) 2.0)")
+        rng = random.Random(0)
+        depths_seen = set()
+        for _ in range(300):
+            node, parent, slot = depth_fair_pick(tree, rng)
+            for candidate, cparent, cslot, depth in tree.walk_with_context():
+                if candidate is node:
+                    depths_seen.add(depth)
+        assert depths_seen == {0, 1, 2, 3}
+
+    def test_type_filter(self):
+        tree = parse("(tern (lt a b) a b)")
+        rng = random.Random(1)
+        for _ in range(50):
+            picked = depth_fair_pick(tree, rng, BOOL)
+            assert picked is not None
+            assert picked[0].result_type is BOOL
+
+    def test_type_filter_no_match(self):
+        tree = parse("(add a b)")
+        assert depth_fair_pick(tree, random.Random(2), BOOL) is None
+
+    def test_nodes_by_depth_counts(self):
+        tree = parse("(add (mul a b) 1.0)")
+        levels = nodes_by_depth(tree)
+        assert len(levels[0]) == 1
+        assert len(levels[1]) == 2
+        assert len(levels[2]) == 2
+
+
+class TestReplaceSubtree:
+    def test_replace_root(self):
+        tree = parse("(add a b)")
+        new = replace_subtree(tree, None, -1, RConst(1.0))
+        assert new == RConst(1.0)
+
+    def test_replace_child(self):
+        tree = parse("(add a b)")
+        new = replace_subtree(tree, tree, 0, RConst(5.0))
+        assert new.evaluate({"b": 1.0}) == 6.0
+
+    def test_type_mismatch_rejected(self):
+        import pytest
+
+        tree = parse("(add a b)")
+        with pytest.raises(TypeError):
+            replace_subtree(tree, tree, 0, parse("true"))
+
+
+class TestCrossover:
+    def test_offspring_well_formed(self):
+        rng = random.Random(3)
+        generator = TreeGenerator(PSET, rng=rng)
+        for _ in range(60):
+            mother = generator.grow(5)
+            father = generator.grow(5)
+            left, right = crossover(mother, father, rng)
+            check_well_formed(left)
+            check_well_formed(right)
+
+    def test_parents_unchanged(self):
+        rng = random.Random(4)
+        mother = parse("(add (mul a b) 1.0)")
+        father = parse("(sub a (div b 2.0))")
+        mother_key = mother.structural_key()
+        father_key = father.structural_key()
+        crossover(mother, father, rng)
+        assert mother.structural_key() == mother_key
+        assert father.structural_key() == father_key
+
+    def test_depth_guard(self):
+        rng = random.Random(5)
+        generator = TreeGenerator(PSET, rng=rng)
+        for _ in range(40):
+            mother = generator.full(6)
+            father = generator.full(6)
+            left, right = crossover(mother, father, rng, max_depth=7)
+            assert left.depth() <= 7
+            assert right.depth() <= 7
+
+    def test_material_is_exchanged(self):
+        rng = random.Random(6)
+        mother = parse("(add a a)")
+        father = parse("(mul b b)")
+        changed = False
+        for _ in range(50):
+            left, _right = crossover(mother, father, rng)
+            if left != mother:
+                changed = True
+                break
+        assert changed
+
+
+class TestMutation:
+    def test_subtree_mutation_well_formed(self):
+        rng = random.Random(7)
+        generator = TreeGenerator(PSET, rng=rng)
+        for _ in range(50):
+            tree = generator.grow(5)
+            check_well_formed(subtree_mutation(tree, generator, rng))
+
+    def test_point_mutation_well_formed(self):
+        rng = random.Random(8)
+        generator = TreeGenerator(PSET, rng=rng)
+        for _ in range(50):
+            tree = generator.grow(5)
+            mutant = point_mutation(tree, generator, rng)
+            check_well_formed(mutant)
+
+    def test_point_mutation_perturbs_constants(self):
+        rng = random.Random(9)
+        generator = TreeGenerator(PSET, rng=rng)
+        tree = RConst(1.0)
+        values = {point_mutation(tree, generator, rng).value
+                  for _ in range(20)}
+        assert values != {1.0}
+
+    def test_shrink_mutation_never_grows(self):
+        rng = random.Random(10)
+        generator = TreeGenerator(PSET, rng=rng)
+        for _ in range(50):
+            tree = generator.grow(6)
+            mutant = shrink_mutation(tree, rng)
+            check_well_formed(mutant)
+            assert mutant.size() <= tree.size()
+
+    def test_mutate_dispatch_well_formed(self):
+        rng = random.Random(11)
+        generator = TreeGenerator(PSET, rng=rng)
+        for _ in range(80):
+            tree = generator.grow(5)
+            check_well_formed(mutate(tree, generator, rng))
+
+    def test_mutate_respects_depth_cap(self):
+        rng = random.Random(12)
+        generator = TreeGenerator(PSET, rng=rng)
+        for _ in range(40):
+            tree = generator.full(6)
+            assert mutate(tree, generator, rng, max_depth=8).depth() <= 8
+
+
+@st.composite
+def tree_pairs(draw):
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    rng = random.Random(seed)
+    generator = TreeGenerator(PSET, rng=rng)
+    return generator.grow(5), generator.grow(5), seed
+
+
+class TestClosureProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(tree_pairs())
+    def test_crossover_closure(self, pair):
+        mother, father, seed = pair
+        rng = random.Random(seed + 1)
+        left, right = crossover(mother, father, rng)
+        check_well_formed(left)
+        check_well_formed(right)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tree_pairs())
+    def test_mutation_closure(self, pair):
+        tree, _other, seed = pair
+        rng = random.Random(seed + 2)
+        generator = TreeGenerator(PSET, rng=rng)
+        check_well_formed(mutate(tree, generator, rng))

@@ -1,0 +1,117 @@
+"""Random tree generation: ramped half-and-half, closure, typing."""
+
+import random
+
+import pytest
+
+from repro.gp.generate import PrimitiveSet, TreeGenerator
+from repro.gp.nodes import BArg, BConst, RArg, RConst
+from repro.gp.types import BOOL, REAL
+
+PSET = PrimitiveSet(real_features=("a", "b"), bool_features=("h",))
+ENV = {"a": 1.0, "b": 2.0, "h": False}
+
+
+def make_generator(seed=0, pset=PSET):
+    return TreeGenerator(pset, rng=random.Random(seed))
+
+
+class TestPrimitiveSet:
+    def test_overlapping_features_rejected(self):
+        with pytest.raises(ValueError):
+            PrimitiveSet(real_features=("x",), bool_features=("x",))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            PrimitiveSet(real_features=("x",), functions=("nosuch",))
+
+    def test_feature_names(self):
+        assert PSET.feature_names == ("a", "b", "h")
+
+    def test_bool_feature_set(self):
+        assert PSET.bool_feature_set() == frozenset({"h"})
+
+
+class TestTerminals:
+    def test_real_terminal_types(self):
+        generator = make_generator()
+        for _ in range(50):
+            term = generator.random_terminal(REAL)
+            assert isinstance(term, (RArg, RConst))
+
+    def test_bool_terminal_types(self):
+        generator = make_generator()
+        for _ in range(50):
+            term = generator.random_terminal(BOOL)
+            assert isinstance(term, (BArg, BConst))
+
+    def test_constants_respect_range(self):
+        pset = PrimitiveSet(real_features=("x",), const_range=(5.0, 6.0))
+        generator = make_generator(pset=pset)
+        constants = [
+            t.value for t in (generator.random_terminal(REAL)
+                              for _ in range(200))
+            if isinstance(t, RConst)
+        ]
+        assert constants
+        assert all(5.0 <= c <= 6.0 for c in constants)
+
+    def test_no_bool_features_still_works(self):
+        pset = PrimitiveSet(real_features=("x",))
+        generator = make_generator(pset=pset)
+        term = generator.random_terminal(BOOL)
+        assert isinstance(term, BConst)
+
+
+class TestGrowFull:
+    def test_full_reaches_exact_depth(self):
+        generator = make_generator(3)
+        for depth in range(2, 7):
+            tree = generator.full(depth)
+            assert tree.depth() == depth
+
+    def test_grow_respects_depth_limit(self):
+        generator = make_generator(4)
+        for _ in range(30):
+            tree = generator.grow(5)
+            assert tree.depth() <= 5
+
+    def test_depth_one_is_terminal(self):
+        generator = make_generator(5)
+        assert generator.grow(1).size() == 1
+        assert generator.full(1).size() == 1
+
+    def test_requested_type_is_respected(self):
+        generator = make_generator(6)
+        assert generator.grow(4, REAL).result_type is REAL
+        assert generator.grow(4, BOOL).result_type is BOOL
+
+    def test_generated_trees_evaluate(self):
+        generator = make_generator(7)
+        for _ in range(50):
+            tree = generator.grow(6)
+            value = tree.evaluate(ENV)
+            assert isinstance(value, (float, bool))
+
+
+class TestRampedHalfAndHalf:
+    def test_count(self):
+        trees = make_generator(8).ramped_half_and_half(37)
+        assert len(trees) == 37
+
+    def test_depths_within_ramp(self):
+        trees = make_generator(9).ramped_half_and_half(
+            40, min_depth=2, max_depth=5
+        )
+        assert all(1 <= t.depth() <= 5 for t in trees)
+        # ramp produces size variety
+        assert len({t.depth() for t in trees}) >= 3
+
+    def test_bad_ramp_rejected(self):
+        with pytest.raises(ValueError):
+            make_generator().ramped_half_and_half(10, min_depth=4, max_depth=2)
+
+    def test_deterministic_under_seed(self):
+        first = make_generator(42).ramped_half_and_half(10)
+        second = make_generator(42).ramped_half_and_half(10)
+        assert first == second

@@ -1,0 +1,165 @@
+"""Unit tests for GP expression nodes (Table 1 primitives)."""
+
+import math
+
+import pytest
+
+from repro.gp.nodes import (
+    Add,
+    And,
+    BArg,
+    BConst,
+    Cmul,
+    Div,
+    Eq,
+    Gt,
+    Lt,
+    Mul,
+    Not,
+    Or,
+    RArg,
+    RConst,
+    Sqrt,
+    Sub,
+    Tern,
+)
+from repro.gp.types import BOOL, REAL
+
+
+class TestConstruction:
+    def test_add_requires_two_children(self):
+        with pytest.raises(ValueError):
+            Add(RConst(1.0))
+
+    def test_add_rejects_bool_child(self):
+        with pytest.raises(TypeError):
+            Add(RConst(1.0), BConst(True))
+
+    def test_tern_signature(self):
+        node = Tern(BConst(True), RConst(1.0), RConst(2.0))
+        assert node.result_type is REAL
+        assert node.arg_types == (BOOL, REAL, REAL)
+
+    def test_and_rejects_real_child(self):
+        with pytest.raises(TypeError):
+            And(BConst(True), RConst(1.0))
+
+    def test_lt_takes_reals_returns_bool(self):
+        node = Lt(RConst(1.0), RConst(2.0))
+        assert node.result_type is BOOL
+
+
+class TestEvaluation:
+    def test_add(self):
+        assert Add(RConst(2.0), RConst(3.0)).evaluate({}) == 5.0
+
+    def test_sub(self):
+        assert Sub(RConst(2.0), RConst(3.0)).evaluate({}) == -1.0
+
+    def test_mul(self):
+        assert Mul(RConst(2.0), RConst(3.0)).evaluate({}) == 6.0
+
+    def test_div(self):
+        assert Div(RConst(6.0), RConst(3.0)).evaluate({}) == 2.0
+
+    def test_protected_div_by_zero_returns_one(self):
+        assert Div(RConst(5.0), RConst(0.0)).evaluate({}) == 1.0
+
+    def test_protected_sqrt_of_negative(self):
+        assert Sqrt(RConst(-4.0)).evaluate({}) == 2.0
+
+    def test_sqrt(self):
+        assert Sqrt(RConst(9.0)).evaluate({}) == 3.0
+
+    def test_tern_true_branch(self):
+        assert Tern(BConst(True), RConst(1.0), RConst(2.0)).evaluate({}) == 1.0
+
+    def test_tern_false_branch(self):
+        assert Tern(BConst(False), RConst(1.0), RConst(2.0)).evaluate({}) == 2.0
+
+    def test_cmul_true(self):
+        assert Cmul(BConst(True), RConst(3.0), RConst(4.0)).evaluate({}) == 12.0
+
+    def test_cmul_false_returns_second(self):
+        assert Cmul(BConst(False), RConst(3.0), RConst(4.0)).evaluate({}) == 4.0
+
+    def test_and_or_not(self):
+        assert And(BConst(True), BConst(False)).evaluate({}) is False
+        assert Or(BConst(True), BConst(False)).evaluate({}) is True
+        assert Not(BConst(False)).evaluate({}) is True
+
+    def test_comparisons(self):
+        assert Lt(RConst(1.0), RConst(2.0)).evaluate({}) is True
+        assert Gt(RConst(1.0), RConst(2.0)).evaluate({}) is False
+        assert Eq(RConst(2.0), RConst(2.0)).evaluate({}) is True
+
+    def test_rarg_reads_environment(self):
+        assert RArg("x").evaluate({"x": 7.5}) == 7.5
+
+    def test_rarg_coerces_bool_to_float(self):
+        assert RArg("x").evaluate({"x": True}) == 1.0
+
+    def test_barg_reads_environment(self):
+        assert BArg("flag").evaluate({"flag": True}) is True
+
+    def test_rarg_missing_feature_raises(self):
+        with pytest.raises(KeyError):
+            RArg("missing").evaluate({})
+
+    def test_overflow_is_clamped(self):
+        tree = RConst(1e200)
+        node = Mul(tree, RConst(1e200))
+        value = node.evaluate({})
+        assert math.isfinite(value)
+
+    def test_nan_maps_to_zero(self):
+        # inf - inf would be NaN; clamping maps it to 0.
+        big = Mul(RConst(1e200), RConst(1e200))
+        node = Sub(big, big)
+        assert node.evaluate({}) == 0.0
+
+
+class TestStructure:
+    def _tree(self):
+        return Add(Mul(RArg("a"), RConst(2.0)), RArg("b"))
+
+    def test_size(self):
+        assert self._tree().size() == 5
+
+    def test_depth(self):
+        assert self._tree().depth() == 3
+        assert RConst(1.0).depth() == 1
+
+    def test_walk_visits_every_node(self):
+        assert sum(1 for _ in self._tree().walk()) == 5
+
+    def test_walk_with_context_roots_have_no_parent(self):
+        entries = list(self._tree().walk_with_context())
+        roots = [e for e in entries if e[1] is None]
+        assert len(roots) == 1
+        assert sum(1 for _ in entries) == 5
+
+    def test_copy_is_deep(self):
+        tree = self._tree()
+        clone = tree.copy()
+        assert clone == tree
+        clone.children[1] = RConst(9.0)
+        assert clone != tree
+
+    def test_equality_is_structural(self):
+        assert self._tree() == self._tree()
+        assert self._tree() != Add(RArg("a"), RArg("b"))
+
+    def test_constants_compare_by_value(self):
+        assert RConst(1.0) == RConst(1.0)
+        assert RConst(1.0) != RConst(2.0)
+        assert BConst(True) != BConst(False)
+
+    def test_args_compare_by_name(self):
+        assert RArg("x") == RArg("x")
+        assert RArg("x") != RArg("y")
+        assert BArg("x") != RArg("x")
+
+    def test_hashable(self):
+        seen = {self._tree(), self._tree(), RConst(1.0)}
+        assert len(seen) == 2

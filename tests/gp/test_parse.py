@@ -1,0 +1,142 @@
+"""Parser/printer tests, including the Table 1 syntax and a
+property-based round-trip over randomly generated trees."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gp.generate import PrimitiveSet, TreeGenerator
+from repro.gp.nodes import (
+    Add,
+    BArg,
+    BConst,
+    Cmul,
+    Not,
+    RArg,
+    RConst,
+)
+from repro.gp.parse import ParseError, infix, parse, tokenize, unparse
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("(add a 1.0)") == ["(", "add", "a", "1.0", ")"]
+
+    def test_nested(self):
+        assert tokenize("(not(lt a b))") == [
+            "(", "not", "(", "lt", "a", "b", ")", ")",
+        ]
+
+    def test_negative_number(self):
+        assert tokenize("-1.5") == ["-1.5"]
+
+
+class TestParse:
+    def test_figure8_style_expression(self):
+        text = ("(add (sub (mul exec_ratio_mean 0.8720) 0.9400)"
+                " (mul 0.4762 (cmul (not mem_hazard)"
+                " (mul 0.6727 num_paths) 1.1609)))")
+        tree = parse(text, {"mem_hazard"})
+        env = {"exec_ratio_mean": 1.0, "mem_hazard": False, "num_paths": 2.0}
+        assert isinstance(tree.evaluate(env), float)
+
+    def test_bare_number_is_rconst(self):
+        assert parse("1.5") == RConst(1.5)
+
+    def test_bare_int_is_rconst(self):
+        assert parse("3") == RConst(3.0)
+
+    def test_true_false_are_bconst(self):
+        assert parse("true") == BConst(True)
+        assert parse("false") == BConst(False)
+
+    def test_identifier_defaults_to_real(self):
+        assert parse("exec_ratio") == RArg("exec_ratio")
+
+    def test_declared_bool_feature(self):
+        assert parse("hazard", {"hazard"}) == BArg("hazard")
+
+    def test_explicit_rarg_barg(self):
+        assert parse("(rarg x)") == RArg("x")
+        assert parse("(barg h)") == BArg("h")
+        assert parse("(rconst 2.5)") == RConst(2.5)
+        assert parse("(bconst true)") == BConst(True)
+
+    def test_type_error_in_operator(self):
+        with pytest.raises(ParseError):
+            parse("(add true 1.0)")
+
+    def test_unknown_operator(self):
+        with pytest.raises(ParseError):
+            parse("(frobnicate 1 2)")
+
+    def test_arity_error(self):
+        with pytest.raises(ParseError):
+            parse("(add 1.0)")
+
+    def test_unbalanced(self):
+        with pytest.raises(ParseError):
+            parse("(add 1.0 2.0")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse("(add 1.0 2.0) extra")
+
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_negative_constant(self):
+        tree = parse("(add x -1.5)")
+        assert tree.evaluate({"x": 0.0}) == -1.5
+
+
+class TestUnparse:
+    def test_round_trip_simple(self):
+        text = "(add (mul x 2.0000) y)"
+        assert unparse(parse(text)) == text
+
+    def test_round_trip_booleans(self):
+        tree = parse("(tern (and h true) 1.0 x)", {"h"})
+        again = parse(unparse(tree), {"h"})
+        assert again == tree
+
+
+class TestInfix:
+    def test_readable_arithmetic(self):
+        tree = parse("(add (mul x 2.0) y)")
+        assert infix(tree) == "((x * 2.0000) + y)"
+
+    def test_readable_conditionals(self):
+        tree = parse("(tern (not h) 1.0 0.5)", {"h"})
+        assert infix(tree) == "(1.0000 if (not h) else 0.5000)"
+
+
+PSET = PrimitiveSet(real_features=("alpha", "beta"), bool_features=("flag",))
+
+
+@st.composite
+def random_trees(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    depth = draw(st.integers(min_value=1, max_value=6))
+    generator = TreeGenerator(PSET, rng=random.Random(seed))
+    return generator.grow(depth)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(random_trees())
+    def test_parse_unparse_round_trip(self, tree):
+        text = unparse(tree)
+        again = parse(text, PSET.bool_feature_set())
+        assert again == tree
+
+    @settings(max_examples=80, deadline=None)
+    @given(random_trees())
+    def test_evaluation_total(self, tree):
+        env = {"alpha": 1.5, "beta": -2.0, "flag": True}
+        value = tree.evaluate(env)
+        assert isinstance(value, (float, bool))
+        if isinstance(value, float):
+            assert value == value  # not NaN

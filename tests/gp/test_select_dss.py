@@ -1,0 +1,122 @@
+"""Tournament selection, parsimony pressure, and dynamic subset
+selection."""
+
+import random
+
+import pytest
+
+from repro.gp.dss import DSSState
+from repro.gp.nodes import Add, RArg, RConst
+from repro.gp.select import Individual, best_of, better, tournament
+
+
+def make_individual(fitness, size=1):
+    tree = RArg("x")
+    for _ in range(size - 1):
+        tree = Add(tree, RConst(1.0))
+    return Individual(tree=tree, fitness=fitness)
+
+
+class TestBetter:
+    def test_higher_fitness_wins(self):
+        strong = make_individual(2.0)
+        weak = make_individual(1.0)
+        assert better(strong, weak) is strong
+        assert better(weak, strong) is strong
+
+    def test_parsimony_breaks_ties(self):
+        small = make_individual(1.0, size=1)
+        big = make_individual(1.0, size=5)
+        assert better(small, big) is small
+        assert better(big, small) is small
+
+    def test_unevaluated_loses(self):
+        evaluated = make_individual(0.1)
+        fresh = Individual(tree=RArg("x"))
+        assert better(evaluated, fresh) is evaluated
+
+
+class TestTournament:
+    def test_selects_best_with_full_tournament(self):
+        population = [make_individual(i / 10) for i in range(10)]
+        rng = random.Random(0)
+        # Tournament size equal to a large multiple of the population
+        # almost surely includes the best individual.
+        winner = tournament(population, rng, size=50)
+        assert winner.fitness == max(i.fitness for i in population)
+
+    def test_small_tournament_gives_weaker_pressure(self):
+        population = [make_individual(i / 100) for i in range(100)]
+        rng = random.Random(1)
+        winners = [tournament(population, rng, size=2).fitness
+                   for _ in range(300)]
+        # With size-2 tournaments the average winner is well below the
+        # maximum — selection pressure is moderate.
+        assert sum(winners) / len(winners) < 0.95
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            tournament([], random.Random(0))
+
+    def test_best_of(self):
+        population = [make_individual(0.5), make_individual(0.9),
+                      make_individual(0.7)]
+        assert best_of(population).fitness == 0.9
+
+
+class TestDSS:
+    def test_subset_size_respected(self):
+        dss = DSSState(("a", "b", "c", "d"), subset_size=2,
+                       rng=random.Random(0))
+        for _ in range(10):
+            subset = dss.select_subset()
+            assert len(subset) == 2
+            assert len(set(subset)) == 2
+
+    def test_bad_subset_size(self):
+        with pytest.raises(ValueError):
+            DSSState(("a",), subset_size=2)
+        with pytest.raises(ValueError):
+            DSSState(("a",), subset_size=0)
+
+    def test_empty_benchmarks(self):
+        with pytest.raises(ValueError):
+            DSSState((), subset_size=1)
+
+    def test_ages_grow_for_unselected(self):
+        dss = DSSState(("a", "b", "c", "d"), subset_size=1,
+                       rng=random.Random(3))
+        subset = dss.select_subset()
+        for name in dss.benchmarks:
+            if name in subset:
+                assert dss.age[name] == 1
+            else:
+                assert dss.age[name] == 2
+
+    def test_difficult_benchmarks_selected_more(self):
+        dss = DSSState(("easy", "hard"), subset_size=1,
+                       difficulty_exponent=2.0, age_exponent=0.0,
+                       rng=random.Random(4))
+        # Mark "easy" as very easy (pool far ahead of baseline).
+        for _ in range(6):
+            dss.record_results({"easy": 5.0, "hard": 0.8})
+        picks = [dss.select_subset()[0] for _ in range(100)]
+        assert picks.count("hard") > picks.count("easy")
+
+    def test_record_unknown_benchmark(self):
+        dss = DSSState(("a",), subset_size=1)
+        with pytest.raises(KeyError):
+            dss.record_results({"zzz": 1.0})
+
+    def test_all_benchmarks_eventually_selected(self):
+        dss = DSSState(tuple("abcdef"), subset_size=2,
+                       rng=random.Random(5))
+        seen = set()
+        for _ in range(30):
+            seen.update(dss.select_subset())
+        assert seen == set("abcdef")
+
+    def test_weights_positive(self):
+        dss = DSSState(("a", "b"), subset_size=1)
+        weights = dss.weights()
+        assert all(w > 0 for w in weights.values())

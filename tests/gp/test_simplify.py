@@ -1,0 +1,131 @@
+"""Simplification: algebraic identities preserve semantics; intron
+detection flags dead subtrees."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gp.generate import PrimitiveSet, TreeGenerator
+from repro.gp.nodes import BConst, RConst
+from repro.gp.parse import parse, unparse
+from repro.gp.simplify import find_introns, simplify
+
+PSET = PrimitiveSet(real_features=("a", "b"), bool_features=("h",))
+
+ENVS = [
+    {"a": 0.0, "b": 0.0, "h": False},
+    {"a": 1.0, "b": -1.0, "h": True},
+    {"a": 3.5, "b": 2.0, "h": False},
+    {"a": -7.25, "b": 0.5, "h": True},
+]
+
+
+def values_equal(left, right):
+    if isinstance(left, bool) or isinstance(right, bool):
+        return bool(left) == bool(right)
+    return abs(float(left) - float(right)) < 1e-9
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        assert simplify(parse("(add a 0.0)")) == parse("a")
+        assert simplify(parse("(add 0.0 a)")) == parse("a")
+
+    def test_mul_one(self):
+        assert simplify(parse("(mul a 1.0)")) == parse("a")
+
+    def test_mul_zero(self):
+        assert simplify(parse("(mul a 0.0)")) == RConst(0.0)
+
+    def test_sub_self(self):
+        assert simplify(parse("(sub a a)")) == RConst(0.0)
+
+    def test_div_self(self):
+        # Exact: protected division yields 1.0 at a == 0 too.
+        assert simplify(parse("(div a a)")) == RConst(1.0)
+
+    def test_div_one(self):
+        assert simplify(parse("(div a 1.0)")) == parse("a")
+
+    def test_constant_folding(self):
+        assert simplify(parse("(add 2.0 (mul 3.0 4.0))")) == RConst(14.0)
+
+    def test_protected_div_folds(self):
+        assert simplify(parse("(div 5.0 0.0)")) == RConst(1.0)
+
+    def test_tern_constant_condition(self):
+        assert simplify(parse("(tern true a b)")) == parse("a")
+        assert simplify(parse("(tern false a b)")) == parse("b")
+
+    def test_tern_equal_arms(self):
+        assert simplify(parse("(tern (lt a b) a a)")) == parse("a")
+
+    def test_cmul_constant_condition(self):
+        assert simplify(parse("(cmul false a b)")) == parse("b")
+        assert simplify(parse("(cmul true a b)")) == parse("(mul a b)")
+
+    def test_boolean_identities(self):
+        assert simplify(parse("(and h true)", {"h"})) == parse("h", {"h"})
+        assert simplify(parse("(and h false)", {"h"})) == BConst(False)
+        assert simplify(parse("(or h false)", {"h"})) == parse("h", {"h"})
+        assert simplify(parse("(or h true)", {"h"})) == BConst(True)
+        assert simplify(parse("(not (not h))", {"h"})) == parse("h", {"h"})
+
+    def test_self_comparisons(self):
+        assert simplify(parse("(lt a a)")) == BConst(False)
+        assert simplify(parse("(eq a a)")) == BConst(True)
+
+    def test_nested_cleanup(self):
+        tree = parse("(add (mul a 1.0) (sub b b))")
+        assert simplify(tree) == parse("a")
+
+    def test_cascading_folds(self):
+        tree = parse("(mul (add 0.0 1.0) (tern true a b))")
+        assert simplify(tree) == parse("a")
+
+
+@st.composite
+def random_trees(draw):
+    seed = draw(st.integers(min_value=0, max_value=50_000))
+    generator = TreeGenerator(PSET, rng=random.Random(seed))
+    return generator.grow(6)
+
+
+class TestSemanticsPreserved:
+    @settings(max_examples=100, deadline=None)
+    @given(random_trees())
+    def test_simplify_preserves_value(self, tree):
+        simplified = simplify(tree)
+        for env in ENVS:
+            assert values_equal(tree.evaluate(env), simplified.evaluate(env))
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_trees())
+    def test_simplify_never_grows(self, tree):
+        assert simplify(tree).size() <= tree.size()
+
+
+class TestIntrons:
+    def test_dead_subexpression_detected(self):
+        # (sub b b) contributes nothing.
+        tree = parse("(add a (mul 0.0 (add b 1.0)))")
+        introns = find_introns(tree, ENVS)
+        texts = {unparse(node) for node in introns}
+        assert "(mul 0.0000 (add b 1.0000))" in texts
+
+    def test_live_subexpression_not_flagged(self):
+        tree = parse("(add a (mul b 2.0))")
+        introns = find_introns(tree, ENVS)
+        assert all(unparse(node) != "(mul b 2.0000)" for node in introns)
+
+    def test_tree_unmodified(self):
+        tree = parse("(add a (mul 0.0 b))")
+        key = tree.structural_key()
+        find_introns(tree, ENVS)
+        assert tree.structural_key() == key
+
+    def test_requires_environments(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            find_introns(parse("(add a b)"), [])

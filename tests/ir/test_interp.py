@@ -1,0 +1,271 @@
+"""Functional interpreter tests: scalar semantics, memory, control,
+calls, predication, and error conditions."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.function import Function, GlobalArray, Module
+from repro.ir.instr import (
+    Opcode,
+    Rel,
+    binop,
+    br,
+    call,
+    cmp,
+    cmpp,
+    jmp,
+    lea,
+    load,
+    mov,
+    out,
+    ret,
+    store,
+)
+from repro.ir.interp import (
+    Interpreter,
+    InterpError,
+    apply_scalar_op,
+    int_div,
+    int_rem,
+    wrap_int,
+)
+from repro.ir.values import FLOAT, INT, PRED, Imm, StackSlot, SymRef
+
+
+def run_source(source, inputs=None, **kwargs):
+    module = compile_source(source)
+    interp = Interpreter(module, **kwargs)
+    for name, values in (inputs or {}).items():
+        interp.set_global(name, values)
+    return interp.run()
+
+
+class TestScalarHelpers:
+    def test_wrap_int_positive_overflow(self):
+        assert wrap_int(1 << 63) == -(1 << 63)
+
+    def test_wrap_int_negative_overflow(self):
+        assert wrap_int(-(1 << 63) - 1) == (1 << 63) - 1
+
+    def test_wrap_int_identity_in_range(self):
+        assert wrap_int(12345) == 12345
+        assert wrap_int(-12345) == -12345
+
+    def test_int_div_truncates_toward_zero(self):
+        assert int_div(7, 2) == 3
+        assert int_div(-7, 2) == -3
+        assert int_div(7, -2) == -3
+        assert int_div(-7, -2) == 3
+
+    def test_int_rem_sign_follows_dividend(self):
+        assert int_rem(7, 3) == 1
+        assert int_rem(-7, 3) == -1
+        assert int_rem(7, -3) == 1
+
+    def test_apply_scalar_op_div_by_zero(self):
+        with pytest.raises(InterpError):
+            apply_scalar_op(Opcode.DIV, None, (1, 0))
+        with pytest.raises(InterpError):
+            apply_scalar_op(Opcode.FDIV, None, (1.0, 0.0))
+
+    def test_apply_scalar_op_cmpp_pair(self):
+        truth, complement = apply_scalar_op(Opcode.CMPP, Rel.LT, (1, 2))
+        assert truth is True and complement is False
+
+    def test_apply_scalar_op_shifts_are_arithmetic(self):
+        assert apply_scalar_op(Opcode.SHR, None, (-8, 1)) == -4
+        assert apply_scalar_op(Opcode.SHL, None, (1, 62)) == 1 << 62
+
+    def test_apply_scalar_op_fsqrt_protected(self):
+        assert apply_scalar_op(Opcode.FSQRT, None, (-9.0,)) == 3.0
+
+    def test_apply_scalar_op_conversions(self):
+        assert apply_scalar_op(Opcode.ITOF, None, (3,)) == 3.0
+        assert apply_scalar_op(Opcode.FTOI, None, (3.9,)) == 3
+        assert apply_scalar_op(Opcode.FTOI, None, (-3.9,)) == -3
+
+    def test_apply_scalar_op_rejects_control(self):
+        with pytest.raises(InterpError):
+            apply_scalar_op(Opcode.JMP, None, ())
+
+
+class TestExecution:
+    def test_arith_program(self):
+        result = run_source("""
+        void main() {
+          int a = 10;
+          int b = 3;
+          out(a / b);
+          out(a % b);
+          out(a * b - 1);
+          out(a << 2);
+          out(a >> 1);
+          out(a & b);
+          out(a | b);
+          out(a ^ b);
+        }
+        """)
+        assert result.outputs == [3, 1, 29, 40, 5, 2, 11, 9]
+
+    def test_float_program(self):
+        result = run_source("""
+        void main() {
+          float x = 2.5;
+          out(x * 4.0);
+          out(x / 2.0);
+          out(sqrt(x * x));
+          out(x + 1);
+        }
+        """)
+        assert result.outputs == [10.0, 1.25, 2.5, 3.5]
+
+    def test_globals_and_memory(self):
+        result = run_source("""
+        int data[4] = {10, 20, 30};
+        void main() {
+          data[3] = data[0] + data[1];
+          out(data[3]);
+          out(data[2]);
+        }
+        """)
+        assert result.outputs == [30, 30]
+
+    def test_set_and_read_global(self):
+        module = compile_source("""
+        int buf[4];
+        void main() { buf[1] = 42; out(buf[0]); }
+        """)
+        interp = Interpreter(module)
+        interp.set_global("buf", [7, 0, 0, 0])
+        result = interp.run()
+        assert result.outputs == [7]
+        assert interp.read_global("buf")[:2] == [7, 42]
+
+    def test_set_global_bounds_checked(self):
+        module = compile_source("int a[2]; void main() { out(a[0]); }")
+        interp = Interpreter(module)
+        with pytest.raises(ValueError):
+            interp.set_global("a", [1, 2, 3])
+        with pytest.raises(KeyError):
+            interp.set_global("zzz", [1])
+
+    def test_recursion(self):
+        result = run_source("""
+        int fib(int n) {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        void main() { out(fib(10)); }
+        """)
+        assert result.outputs == [55]
+
+    def test_local_arrays_are_per_frame(self):
+        result = run_source("""
+        int leaf(int x) {
+          int tmp[4];
+          tmp[0] = x * 2;
+          return tmp[0];
+        }
+        void main() {
+          int tmp[4];
+          tmp[0] = 5;
+          out(leaf(7));
+          out(tmp[0]);
+        }
+        """)
+        assert result.outputs == [14, 5]
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError):
+            run_source("void main() { int z = 0; out(1 / z); }")
+
+    def test_step_budget(self):
+        with pytest.raises(InterpError):
+            run_source("""
+            void main() {
+              int i = 0;
+              while (i < 1000000) { i = i + 1; }
+              out(i);
+            }
+            """, max_steps=1000)
+
+    def test_return_value(self):
+        result = run_source("int main() { return 17; }")
+        assert result.return_value == 17
+
+
+class TestPredication:
+    def _predicated_module(self, cond_value):
+        module = Module()
+        func = Function("main", [])
+        x = func.new_vreg(INT, "x")
+        c = func.new_vreg(INT, "c")
+        pt = func.new_vreg(PRED, "pt")
+        pf = func.new_vreg(PRED, "pf")
+        entry = func.new_block("entry")
+        entry.append(mov(x, Imm(0)))
+        entry.append(mov(c, Imm(cond_value)))
+        entry.append(cmpp(pt, pf, Rel.NE, c, Imm(0)))
+        entry.append(mov(x, Imm(111), guard=pt))
+        entry.append(mov(x, Imm(222), guard=pf))
+        entry.append(out(x))
+        entry.append(ret())
+        module.add_function(func)
+        module.validate()
+        return module
+
+    def test_taken_guard_executes(self):
+        result = Interpreter(self._predicated_module(1)).run()
+        assert result.outputs == [111]
+
+    def test_false_guard_squashes(self):
+        result = Interpreter(self._predicated_module(0)).run()
+        assert result.outputs == [222]
+
+    def test_branch_and_edge_callbacks(self):
+        edges = []
+        branches = []
+        module = compile_source("""
+        void main() {
+          int i;
+          for (i = 0; i < 3; i = i + 1) { out(i); }
+        }
+        """)
+        interp = Interpreter(module, on_edge=lambda f, a, b: edges.append((a, b)),
+                             on_branch=lambda f, uid, t: branches.append(t))
+        interp.run()
+        assert branches.count(True) == 3
+        assert branches.count(False) == 1
+        assert len(edges) >= 7
+
+    def test_undefined_register_read_raises(self):
+        module = Module()
+        func = Function("main", [])
+        x = func.new_vreg(INT, "x")
+        entry = func.new_block("entry")
+        entry.append(out(x))
+        entry.append(ret())
+        module.add_function(func)
+        with pytest.raises(InterpError):
+            Interpreter(module).run()
+
+
+class TestOperandResolution:
+    def test_symref_and_stackslot(self):
+        module = Module()
+        module.add_global(GlobalArray("g", 4, init=(9,)))
+        func = Function("main", [])
+        func.alloc_stack(2)
+        addr = func.new_vreg(INT)
+        value = func.new_vreg(INT)
+        entry = func.new_block("entry")
+        entry.append(lea(addr, SymRef("g")))
+        entry.append(load(value, addr))
+        entry.append(out(value))
+        entry.append(store(StackSlot(0), value))
+        entry.append(load(value, StackSlot(0)))
+        entry.append(out(value))
+        entry.append(ret())
+        module.add_function(func)
+        result = Interpreter(module).run()
+        assert result.outputs == [9, 9]

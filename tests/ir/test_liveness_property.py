@@ -1,0 +1,89 @@
+"""Property-based liveness check: on random straight-line blocks the
+analysis agrees with a brute-force definition of liveness."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.block import Block
+from repro.ir.function import Function
+from repro.ir.instr import Opcode, binop, mov, out, ret
+from repro.ir.values import INT, Imm, VReg
+from repro.ir.liveness import analyze, live_at_instruction
+
+
+def random_function(seed: int, length: int) -> Function:
+    rng = random.Random(seed)
+    func = Function("f", [])
+    regs = [func.new_vreg(INT, f"r{i}") for i in range(6)]
+    entry = func.new_block("entry")
+    for reg in regs[:3]:
+        entry.append(mov(reg, Imm(rng.randrange(10))))
+    defined = set(regs[:3])
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.5 and defined:
+            sources = rng.sample(sorted(defined, key=lambda r: r.uid),
+                                 k=min(2, len(defined)))
+            dest = rng.choice(regs)
+            left = sources[0]
+            right = sources[-1]
+            entry.append(binop(Opcode.ADD, dest, left, right))
+            defined.add(dest)
+        elif defined:
+            entry.append(out(rng.choice(sorted(defined,
+                                               key=lambda r: r.uid))))
+        else:
+            dest = rng.choice(regs)
+            entry.append(mov(dest, Imm(1)))
+            defined.add(dest)
+    entry.append(ret())
+    return func
+
+
+def brute_force_live_after(block):
+    """A register is live after instruction i iff some instruction
+    j > i reads it before any unguarded write at k with i < k < j."""
+    result = {}
+    instrs = block.instrs
+    for i, instr in enumerate(instrs):
+        live = set()
+        for candidate in {r for later in instrs[i + 1:]
+                          for r in later.reads()}:
+            for j in range(i + 1, len(instrs)):
+                later = instrs[j]
+                if candidate in later.reads():
+                    live.add(candidate)
+                    break
+                if candidate in later.writes() and later.guard is None:
+                    break
+        result[instr.uid] = live
+    return result
+
+
+specs = st.tuples(
+    st.integers(min_value=0, max_value=5_000),
+    st.integers(min_value=1, max_value=30),
+)
+
+
+class TestLivenessAgainstBruteForce:
+    @settings(max_examples=80, deadline=None)
+    @given(specs)
+    def test_live_after_matches(self, spec):
+        seed, length = spec
+        func = random_function(seed, length)
+        block = func.entry
+        expected = brute_force_live_after(block)
+        actual = live_at_instruction(func)
+        for instr in block.instrs:
+            assert actual[instr.uid] == expected[instr.uid], str(instr)
+
+    @settings(max_examples=40, deadline=None)
+    @given(specs)
+    def test_straightline_live_out_empty(self, spec):
+        seed, length = spec
+        func = random_function(seed, length)
+        liveness = analyze(func)
+        assert liveness["entry0"].live_out == set()
+        assert liveness["entry0"].live_in == set()

@@ -1,0 +1,89 @@
+"""Specialization and generalization drivers (scaled-down GP runs)."""
+
+import pytest
+
+from repro.gp.engine import GPParams
+from repro.metaopt.generalize import cross_validate, generalize
+from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.specialize import specialize
+
+TINY = GPParams(population_size=10, generations=3, seed=5)
+
+
+@pytest.fixture(scope="module")
+def hb_harness():
+    return EvaluationHarness(case_study("hyperblock"))
+
+
+class TestSpecialize:
+    def test_seeded_run_never_loses_to_baseline(self, hb_harness):
+        result = specialize(hb_harness.case, "rawcaudio", TINY,
+                            harness=hb_harness)
+        assert result.train_speedup >= 1.0 - 1e-9
+
+    def test_result_fields(self, hb_harness):
+        result = specialize(hb_harness.case, "rawcaudio", TINY,
+                            harness=hb_harness)
+        assert result.benchmark == "rawcaudio"
+        assert len(result.history) == TINY.generations
+        assert result.best_expression
+        assert result.baseline_cycles_train > 0
+        assert result.best_cycles_train <= result.baseline_cycles_train
+        assert len(result.fitness_curve()) == TINY.generations
+
+    def test_novel_speedup_computed(self, hb_harness):
+        result = specialize(hb_harness.case, "rawcaudio", TINY,
+                            harness=hb_harness)
+        assert result.novel_speedup > 0
+
+    def test_unseeded_run(self, hb_harness):
+        result = specialize(hb_harness.case, "rawcaudio", TINY,
+                            harness=hb_harness, seed_baseline=False)
+        assert result.train_speedup > 0
+
+    def test_deterministic(self):
+        case = case_study("hyperblock")
+        first = specialize(case, "codrle4", TINY)
+        second = specialize(case, "codrle4", TINY)
+        assert first.best_expression == second.best_expression
+        assert first.train_speedup == second.train_speedup
+
+
+class TestGeneralize:
+    def test_dss_training_run(self, hb_harness):
+        result = generalize(
+            hb_harness.case,
+            ("rawcaudio", "codrle4", "decodrle4"),
+            GPParams(population_size=10, generations=4, seed=2),
+            harness=hb_harness,
+            subset_size=2,
+        )
+        assert len(result.training) == 3
+        assert result.average_train_speedup() >= 0.99
+        assert result.best_expression
+        for score in result.training:
+            assert score.train_speedup > 0
+            assert score.novel_speedup > 0
+
+    def test_empty_training_set_rejected(self, hb_harness):
+        with pytest.raises(ValueError):
+            generalize(hb_harness.case, (), TINY)
+
+    def test_cross_validate(self, hb_harness):
+        tree = hb_harness.case.baseline_tree()
+        result = cross_validate(hb_harness.case, tree,
+                                ("toast", "mpeg2dec"),
+                                harness=hb_harness)
+        assert len(result.scores) == 2
+        # the baseline scores exactly 1.0 against itself
+        assert result.average_train_speedup() == pytest.approx(1.0)
+        assert result.machine_name == hb_harness.case.machine.name
+
+    def test_cross_validate_other_machine(self):
+        from repro.machine.descr import REGALLOC_MACHINE_B
+
+        case_b = case_study("regalloc", machine=REGALLOC_MACHINE_B)
+        tree = case_b.baseline_tree()
+        result = cross_validate(case_b, tree, ("rawcaudio",))
+        assert result.machine_name == REGALLOC_MACHINE_B.name
+        assert result.scores[0].train_speedup == pytest.approx(1.0)

@@ -1,0 +1,48 @@
+"""Parallel fitness evaluation agrees with the sequential harness."""
+
+import pytest
+
+from repro.gp.engine import GPEngine, GPParams
+from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.parallel import ParallelEvaluator
+
+
+class TestParallelEvaluator:
+    def test_invalid_process_count(self):
+        with pytest.raises(ValueError):
+            ParallelEvaluator("hyperblock", processes=0)
+
+    def test_matches_sequential(self):
+        case = case_study("hyperblock")
+        sequential = EvaluationHarness(case)
+        baseline = case.baseline_tree()
+        with ParallelEvaluator("hyperblock", processes=2) as parallel:
+            parallel_value = parallel(baseline, "codrle4")
+        sequential_value = sequential.speedup(baseline, "codrle4")
+        assert parallel_value == pytest.approx(sequential_value)
+
+    def test_batch_memoized(self):
+        case = case_study("hyperblock")
+        baseline = case.baseline_tree()
+        with ParallelEvaluator("hyperblock", processes=2) as parallel:
+            first = parallel.evaluate_batch(
+                [(baseline, "codrle4"), (baseline, "codrle4")]
+            )
+            dispatched = parallel.jobs_dispatched
+            second = parallel.evaluate_batch([(baseline, "codrle4")])
+            assert parallel.jobs_dispatched == dispatched  # cached
+        assert first == [first[0], first[0]]
+        assert second == first[:1]
+
+    def test_drives_gp_engine(self):
+        case = case_study("hyperblock")
+        with ParallelEvaluator("hyperblock", processes=2) as parallel:
+            engine = GPEngine(
+                pset=case.pset,
+                evaluator=parallel,
+                benchmarks=("codrle4",),
+                params=GPParams(population_size=6, generations=2, seed=3),
+                seed_trees=(case.baseline_tree(),),
+            )
+            result = engine.run()
+        assert result.best.fitness >= 1.0 - 1e-9

@@ -1,0 +1,145 @@
+"""Priority wrappers, primitive sets, and the baseline expressions."""
+
+import random
+
+import pytest
+
+from repro.gp.parse import parse, unparse
+from repro.gp.types import BOOL, REAL
+from repro.metaopt.baselines import (
+    CHOW_HENNESSY_TEXT,
+    IMPACT_HYPERBLOCK_TEXT,
+    ORC_PREFETCH_TEXT,
+    chow_hennessy_tree,
+    impact_hyperblock_tree,
+    orc_prefetch_tree,
+)
+from repro.metaopt.features import (
+    HYPERBLOCK_PSET,
+    PREFETCH_PSET,
+    REGALLOC_PSET,
+)
+from repro.metaopt.priority import PriorityFunction
+from repro.passes.hyperblock import impact_priority
+from repro.passes.prefetch import orc_confidence
+from repro.passes.regalloc import chow_hennessy_savings
+
+
+class TestPrimitiveSets:
+    def test_hyperblock_pset_real(self):
+        assert HYPERBLOCK_PSET.result_type is REAL
+        assert "exec_ratio" in HYPERBLOCK_PSET.real_features
+        assert "mem_hazard" in HYPERBLOCK_PSET.bool_features
+
+    def test_regalloc_pset_real(self):
+        assert REGALLOC_PSET.result_type is REAL
+        assert "w" in REGALLOC_PSET.real_features
+
+    def test_prefetch_pset_bool(self):
+        assert PREFETCH_PSET.result_type is BOOL
+        assert "est_trip_count" in PREFETCH_PSET.real_features
+        assert "trip_known" in PREFETCH_PSET.bool_features
+
+
+class TestPriorityFunction:
+    def test_real_valued_wrapper(self):
+        fn = PriorityFunction.from_text("(mul exec_ratio 2.0)",
+                                        HYPERBLOCK_PSET)
+        env = {"exec_ratio": 0.5}
+        assert fn(env) == 1.0
+
+    def test_bool_valued_wrapper(self):
+        fn = PriorityFunction.from_text("(gt est_trip_count 8.0)",
+                                        PREFETCH_PSET)
+        assert fn({"est_trip_count": 10.0}) is True
+        assert fn({"est_trip_count": 5.0}) is False
+
+    def test_missing_feature_is_zero(self):
+        fn = PriorityFunction.from_text("nosuchfeature", HYPERBLOCK_PSET)
+        assert fn({}) == 0.0
+
+    def test_missing_feature_is_false_for_bool(self):
+        fn = PriorityFunction.from_text("(gt nosuch 1.0)", PREFETCH_PSET)
+        assert fn({}) is False
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            PriorityFunction.from_text("(gt a b)", HYPERBLOCK_PSET)
+
+    def test_text_round_trip(self):
+        fn = PriorityFunction.from_text("(add exec_ratio 1.0)",
+                                        HYPERBLOCK_PSET)
+        assert "exec_ratio" in fn.text
+
+
+def random_hyperblock_env(rng):
+    dep = rng.uniform(1, 12)
+    ops = rng.uniform(1, 40)
+    dep_max = dep * rng.uniform(1.0, 2.0)
+    ops_max = ops * rng.uniform(1.0, 2.0)
+    return {
+        "dep_height": dep, "dep_height_max": dep_max,
+        "num_ops": ops, "num_ops_max": ops_max,
+        "exec_ratio": rng.uniform(0, 1),
+        "mem_hazard": rng.random() < 0.3,
+        "has_unsafe_jsr": rng.random() < 0.2,
+    }
+
+
+class TestBaselineEquivalence:
+    """The s-expression baselines compute exactly what the native
+    implementations in the passes compute."""
+
+    def test_impact_equation_one(self):
+        tree = impact_hyperblock_tree()
+        fn = PriorityFunction(tree)
+        rng = random.Random(0)
+        for _ in range(200):
+            env = random_hyperblock_env(rng)
+            assert fn(env) == pytest.approx(impact_priority(env))
+
+    def test_chow_hennessy_equation_two(self):
+        tree = chow_hennessy_tree()
+        fn = PriorityFunction(tree)
+        rng = random.Random(1)
+        for _ in range(200):
+            env = {
+                "w": rng.uniform(0, 1),
+                "uses": float(rng.randrange(10)),
+                "defs": float(rng.randrange(5)),
+                "ld_save": 2.0,
+                "st_save": 1.0,
+            }
+            assert fn(env) == pytest.approx(chow_hennessy_savings(env))
+
+    def test_orc_confidence(self):
+        tree = orc_prefetch_tree()
+        fn = PriorityFunction(tree)
+        rng = random.Random(2)
+        for _ in range(200):
+            env = {
+                "trip_known": rng.random() < 0.5,
+                "static_trip": float(rng.randrange(0, 40)),
+                "est_trip_count": rng.uniform(0, 40),
+            }
+            assert fn(env) == orc_confidence(env)
+
+    def test_baseline_texts_parse_with_their_psets(self):
+        parse(IMPACT_HYPERBLOCK_TEXT, HYPERBLOCK_PSET.bool_feature_set())
+        parse(CHOW_HENNESSY_TEXT, REGALLOC_PSET.bool_feature_set())
+        parse(ORC_PREFETCH_TEXT, PREFETCH_PSET.bool_feature_set())
+
+    def test_baseline_features_exist_in_psets(self):
+        from repro.gp.nodes import BArg, RArg
+
+        pairs = [
+            (impact_hyperblock_tree(), HYPERBLOCK_PSET),
+            (chow_hennessy_tree(), REGALLOC_PSET),
+            (orc_prefetch_tree(), PREFETCH_PSET),
+        ]
+        for tree, pset in pairs:
+            for node in tree.walk():
+                if isinstance(node, RArg):
+                    assert node.name in pset.real_features, node.name
+                if isinstance(node, BArg):
+                    assert node.name in pset.bool_features, node.name

@@ -1,0 +1,126 @@
+"""The scheduling extension case study (Section 2's example, evolved)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.gp.engine import GPParams
+from repro.machine.descr import SCHEDULING_MACHINE
+from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.priority import PriorityFunction
+from repro.metaopt.scheduling import (
+    SCHEDULE_BOOL_FEATURES,
+    SCHEDULE_PSET,
+    SCHEDULE_REAL_FEATURES,
+    dag_environments,
+    make_schedule_priority,
+)
+from repro.metaopt.specialize import specialize
+from repro.passes.schedule import build_dag
+
+
+def sample_dag():
+    source = """
+    int a[32];
+    void main() {
+      int x = a[0] * 3;
+      int y = a[1] * 5;
+      int z = x + y;
+      a[2] = z;
+      out(z);
+    }
+    """
+    module = compile_source(source)
+    return build_dag(module.functions["main"].entry, SCHEDULING_MACHINE)
+
+
+class TestFeatures:
+    def test_environments_cover_declared_features(self):
+        dag = sample_dag()
+        for env in dag_environments(dag):
+            for name in SCHEDULE_REAL_FEATURES:
+                assert name in env
+            for name in SCHEDULE_BOOL_FEATURES:
+                assert name in env
+
+    def test_lw_depth_matches_dag(self):
+        dag = sample_dag()
+        environments = dag_environments(dag)
+        depths = dag.critical_path()
+        for index, env in enumerate(environments):
+            assert env["lw_depth"] == float(depths[index])
+
+    def test_critical_path_has_zero_slack(self):
+        dag = sample_dag()
+        environments = dag_environments(dag)
+        criticals = [env for env in environments if env["critical"]]
+        assert criticals
+        assert all(env["slack"] == 0.0 for env in criticals)
+
+    def test_asap_nondecreasing_along_edges(self):
+        dag = sample_dag()
+        environments = dag_environments(dag)
+        for index, succs in enumerate(dag.succs):
+            for succ, latency in succs:
+                assert environments[succ]["asap"] \
+                    >= environments[index]["asap"] + latency - 1e-9
+
+
+class TestAdapter:
+    def test_adapter_matches_default_priority(self):
+        dag = sample_dag()
+        hook = make_schedule_priority(lambda env: env["lw_depth"])
+        depths = dag.critical_path()
+        for index in range(len(dag.instrs)):
+            assert hook(index, dag) == float(depths[index])
+
+    def test_adapter_caches_per_dag(self):
+        calls = []
+
+        def spying(env):
+            calls.append(1)
+            return 1.0
+
+        dag = sample_dag()
+        hook = make_schedule_priority(spying)
+        for index in range(len(dag.instrs)):
+            hook(index, dag)
+            hook(index, dag)
+        # Feature extraction happened once per instruction (cached),
+        # priority evaluation twice.
+        assert len(calls) == 2 * len(dag.instrs)
+
+    def test_adapter_contains_failures(self):
+        def broken(env):
+            raise ValueError("nope")
+
+        dag = sample_dag()
+        hook = make_schedule_priority(broken)
+        assert hook(0, dag) == 0.0
+
+
+class TestCase:
+    def test_case_config(self):
+        case = case_study("scheduling")
+        assert case.machine is SCHEDULING_MACHINE
+        assert case.hook == "schedule_priority"
+        assert case.pset is SCHEDULE_PSET
+
+    def test_baseline_scores_one(self):
+        harness = EvaluationHarness(case_study("scheduling"))
+        assert harness.speedup(harness.case.baseline_tree(),
+                               "mpeg2dec") == pytest.approx(1.0)
+
+    def test_bad_priorities_hurt(self):
+        harness = EvaluationHarness(case_study("scheduling"))
+        anti = PriorityFunction.from_text("(sub 0.0 lw_depth)",
+                                          SCHEDULE_PSET)
+        assert harness.speedup(anti, "093.nasa7") < 1.0
+
+    def test_specialization_runs(self):
+        harness = EvaluationHarness(case_study("scheduling"))
+        result = specialize(
+            harness.case, "mpeg2dec",
+            GPParams(population_size=8, generations=2, seed=4),
+            harness=harness,
+        )
+        assert result.train_speedup >= 1.0 - 1e-9

@@ -1,0 +1,241 @@
+"""Scalar cleanup passes: folding, propagation, DCE, peephole,
+increment folding — all behaviour-preserving."""
+
+from repro.frontend import compile_source
+from repro.ir.interp import Interpreter
+from repro.ir.instr import Opcode
+from repro.passes.cleanup import (
+    cleanup_function,
+    cleanup_module,
+    constant_fold_function,
+    copy_propagate_function,
+    dce_function,
+    fold_increments_function,
+    peephole_function,
+)
+
+
+def run_module(module, inputs=None):
+    interp = Interpreter(module)
+    for name, values in (inputs or {}).items():
+        interp.set_global(name, values)
+    return interp.run()
+
+
+def ops_of(function):
+    return [instr.op for instr in function.instructions()]
+
+
+class TestConstantFolding:
+    def test_folds_constant_arithmetic(self):
+        module = compile_source("void main() { out(2 + 3 * 4); }")
+        func = module.functions["main"]
+        folded = constant_fold_function(func)
+        # After propagation of literals at lowering, the adds/muls on
+        # immediates fold away.
+        cleanup_function(func)
+        assert Opcode.MUL not in ops_of(func)
+        assert run_module(module).outputs == [14]
+
+    def test_division_by_zero_left_for_runtime(self):
+        module = compile_source("void main() { int z = 0; out(1 / z); }")
+        func = module.functions["main"]
+        cleanup_function(func)
+        # The division must survive folding (it faults at runtime).
+        assert Opcode.DIV in ops_of(func)
+
+    def test_float_folds(self):
+        module = compile_source("void main() { out(2.0 * 3.5 + 1.0); }")
+        cleanup_module(module)
+        assert run_module(module).outputs == [8.0]
+
+
+class TestCopyPropagation:
+    def test_copies_forwarded(self):
+        source = """
+        void main() {
+          int a = 5;
+          int b = a;
+          int c = b;
+          out(c);
+        }
+        """
+        module = compile_source(source)
+        func = module.functions["main"]
+        copy_propagate_function(func)
+        dce_function(func)
+        # After propagation + DCE only one mov should be feeding out.
+        movs = [op for op in ops_of(func) if op is Opcode.MOV]
+        assert len(movs) <= 2
+        assert run_module(module).outputs == [5]
+
+    def test_redefinition_kills_copy(self):
+        source = """
+        void main() {
+          int a = 1;
+          int b = a;
+          a = 9;
+          out(b);
+        }
+        """
+        module = compile_source(source)
+        cleanup_module(module)
+        assert run_module(module).outputs == [1]
+
+
+class TestDCE:
+    def test_removes_dead_code(self):
+        source = """
+        void main() {
+          int dead = 1 + 2;
+          int alive = 7;
+          out(alive);
+        }
+        """
+        module = compile_source(source)
+        func = module.functions["main"]
+        before = func.instruction_count()
+        cleanup_function(func)
+        assert func.instruction_count() < before
+        assert run_module(module).outputs == [7]
+
+    def test_keeps_stores_and_calls(self):
+        source = """
+        int g[4];
+        int bump(int x) { g[0] = g[0] + x; return 0; }
+        void main() {
+          bump(3);
+          g[1] = 5;
+          out(g[0] + g[1]);
+        }
+        """
+        module = compile_source(source)
+        cleanup_module(module)
+        assert run_module(module).outputs == [8]
+
+    def test_dead_loads_removed(self):
+        source = """
+        int g[4];
+        void main() {
+          int unused = g[2];
+          out(1);
+        }
+        """
+        module = compile_source(source)
+        func = module.functions["main"]
+        cleanup_function(func)
+        assert Opcode.LOAD not in ops_of(func)
+
+
+class TestPeephole:
+    def test_add_zero_removed(self):
+        source = """
+        int x;
+        void main() { out(x + 0); }
+        """
+        module = compile_source(source)
+        func = module.functions["main"]
+        cleanup_function(func)
+        assert Opcode.ADD not in ops_of(func)
+
+    def test_mul_one_removed(self):
+        source = """
+        int x;
+        void main() { out(x * 1); }
+        """
+        module = compile_source(source)
+        func = module.functions["main"]
+        cleanup_function(func)
+        assert Opcode.MUL not in ops_of(func)
+
+    def test_branch_on_constant_becomes_jump(self):
+        source = """
+        void main() {
+          if (1) { out(10); } else { out(20); }
+        }
+        """
+        module = compile_source(source)
+        func = module.functions["main"]
+        cleanup_function(func)
+        assert Opcode.BR not in ops_of(func)
+        assert run_module(module).outputs == [10]
+
+    def test_unreachable_arm_removed(self):
+        source = """
+        void main() {
+          if (0) { out(10); } else { out(20); }
+        }
+        """
+        module = compile_source(source)
+        func = module.functions["main"]
+        before_blocks = len(func.block_order)
+        cleanup_function(func)
+        assert len(func.block_order) < before_blocks
+        assert run_module(module).outputs == [20]
+
+
+class TestIncrementFolding:
+    def test_loop_increment_canonicalized(self):
+        source = """
+        void main() {
+          int i;
+          int acc = 0;
+          for (i = 0; i < 5; i = i + 1) { acc = acc + i; }
+          out(acc);
+        }
+        """
+        module = compile_source(source)
+        func = module.functions["main"]
+        cleanup_function(func)
+        # Find a self-increment "i = add i, 1".
+        self_incs = [
+            instr for instr in func.instructions()
+            if instr.op is Opcode.ADD and instr.srcs
+            and instr.srcs[0] == instr.dest
+        ]
+        assert self_incs
+        assert run_module(module).outputs == [10]
+
+    def test_fold_blocked_by_interleaving_use(self):
+        # t = a + 1 ; out(a) ; a = t  -- cannot fold (a is read between).
+        from repro.ir.block import Block
+        from repro.ir.function import Function
+        from repro.ir.instr import binop, mov, out, ret
+        from repro.ir.values import Imm, INT
+
+        func = Function("f", [])
+        a = func.new_vreg(INT, "a")
+        t = func.new_vreg(INT, "t")
+        entry = func.new_block("entry")
+        entry.append(mov(a, Imm(5)))
+        entry.append(binop(Opcode.ADD, t, a, Imm(1)))
+        entry.append(out(a))
+        entry.append(mov(a, t))
+        entry.append(out(a))
+        entry.append(ret())
+        folded = fold_increments_function(func)
+        assert folded == 0
+
+
+class TestWholePrograms:
+    def test_cleanup_preserves_complex_program(self):
+        source = """
+        int data[32];
+        int n;
+        int f(int x) { return x * 2 + 1; }
+        void main() {
+          int acc = 0;
+          int i;
+          for (i = 0; i < n; i = i + 1) {
+            if (data[i] % 3 == 0) { acc = acc + f(data[i]); }
+          }
+          out(acc);
+        }
+        """
+        inputs = {"data": [(i * 7) % 11 for i in range(32)], "n": [30]}
+        module = compile_source(source)
+        before = run_module(module, inputs)
+        cleanup_module(module)
+        after = run_module(module, inputs)
+        assert before.output_signature() == after.output_signature()
+        assert after.steps <= before.steps

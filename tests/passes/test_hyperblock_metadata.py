@@ -1,0 +1,81 @@
+"""Hyperblock feature bookkeeping across cascaded conversions: merged
+blocks carry their absorbed branch counts and predictability products
+into the features of enclosing regions (Table 4's num_branches /
+predict_product for multi-branch paths)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.machine.descr import DEFAULT_EPIC
+from repro.passes.hyperblock import HyperblockFormation
+from repro.profile.profiler import FunctionProfile, collect_profile
+
+NESTED = """
+int data[64];
+int n;
+void main() {
+  int acc = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if (data[i] > 3) {
+      if (data[i] > 8) { acc = acc + 3; } else { acc = acc + 1; }
+    } else {
+      acc = acc - 1;
+    }
+  }
+  out(acc);
+}
+"""
+
+INPUTS = {"data": [(i * 7) % 11 for i in range(64)], "n": [60]}
+
+
+def run_formation(source, inputs, **kwargs):
+    module = compile_source(source)
+    profile = collect_profile(module, inputs)
+    func = module.functions["main"]
+    formation = HyperblockFormation(
+        func, DEFAULT_EPIC, profile.function("main"),
+        priority=lambda env: 1.0, **kwargs
+    )
+    return formation.run(), formation
+
+
+class TestCascadedFeatures:
+    def test_nested_diamonds_both_convert(self):
+        report, _formation = run_formation(NESTED, INPUTS)
+        assert report.regions_converted == 2
+
+    def test_outer_region_sees_merged_branches(self):
+        report, _formation = run_formation(NESTED, INPUTS)
+        # The inner diamond converts first; the outer decision's taken
+        # path flows through the merged inner block, so its
+        # num_branches counts both branches.
+        outer = report.decisions[-1]
+        branch_counts = {p.side: p.num_branches for p in outer.paths}
+        assert branch_counts["taken"] >= 2.0
+        assert branch_counts["fall"] == 1.0
+
+    def test_predict_product_composes(self):
+        report, _formation = run_formation(NESTED, INPUTS)
+        outer = report.decisions[-1]
+        # Predictability products are probabilities in (0, 1]; the
+        # two-branch path's product is at most the single-branch
+        # accuracy of the outer head (its own factor).
+        for path in outer.paths:
+            assert 0.0 < path.predict_product <= 1.0
+        by_side = {p.side: p.predict_product for p in outer.paths}
+        assert by_side["taken"] <= by_side["fall"] + 1e-9
+
+    def test_empty_profile_defaults(self):
+        module = compile_source(NESTED)
+        func = module.functions["main"]
+        formation = HyperblockFormation(
+            func, DEFAULT_EPIC, FunctionProfile(),
+            priority=lambda env: -1.0,
+        )
+        report = formation.run()
+        # Unprofiled edges report the 0.5 default execution ratio.
+        for decision in report.decisions:
+            for path in decision.paths:
+                assert path.exec_ratio == pytest.approx(0.5)

@@ -1,0 +1,113 @@
+"""Property-based scheduler tests: on random straight-line blocks,
+every schedule honours dependences, latencies and resource limits, and
+the bundle execution order is sequentially consistent."""
+
+import random
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.block import Block
+from repro.ir.instr import FUClass, Opcode, binop, load, mov, ret, store
+from repro.ir.values import INT, Imm, VReg
+from repro.machine.descr import DEFAULT_EPIC
+from repro.passes.schedule import build_dag, schedule_block
+
+
+def random_block(seed: int, length: int) -> Block:
+    """A random but well-formed straight-line block over 8 registers
+    plus memory ops through a base address register."""
+    rng = random.Random(seed)
+    regs = [VReg(i, INT) for i in range(8)]
+    base = VReg(100, INT)
+    instrs = [mov(base, Imm(2000))]
+    for reg in regs:
+        instrs.append(mov(reg, Imm(rng.randrange(50))))
+    for _ in range(length):
+        roll = rng.random()
+        dest = rng.choice(regs)
+        if roll < 0.5:
+            op = rng.choice([Opcode.ADD, Opcode.SUB, Opcode.MUL])
+            instrs.append(binop(op, dest, rng.choice(regs),
+                                rng.choice(regs)))
+        elif roll < 0.7:
+            instrs.append(load(dest, base))
+        elif roll < 0.85:
+            instrs.append(store(base, rng.choice(regs)))
+        else:
+            instrs.append(mov(dest, Imm(rng.randrange(100))))
+    instrs.append(ret(regs[0]))
+    return Block("b", instrs)
+
+
+block_specs = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=40),
+)
+
+
+def cycle_map(scheduled):
+    mapping = {}
+    order = {}
+    position = 0
+    for cycle, bundle in enumerate(scheduled.bundles):
+        for instr in bundle:
+            mapping[instr.uid] = cycle
+            order[instr.uid] = position
+            position += 1
+    return mapping, order
+
+
+class TestScheduleProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(block_specs)
+    def test_dependences_and_latencies_honoured(self, spec):
+        seed, length = spec
+        block = random_block(seed, length)
+        dag = build_dag(block, DEFAULT_EPIC)
+        scheduled = schedule_block(block, DEFAULT_EPIC)
+        cycles, order = cycle_map(scheduled)
+        for src_index, succs in enumerate(dag.succs):
+            src = dag.instrs[src_index]
+            for dst_index, latency in succs:
+                dst = dag.instrs[dst_index]
+                assert cycles[dst.uid] >= cycles[src.uid] + latency, (
+                    f"{src} -> {dst} violated (lat {latency})"
+                )
+                # Zero-latency edges sharing a cycle must preserve
+                # textual order (sequential bundle execution).
+                if cycles[dst.uid] == cycles[src.uid]:
+                    assert order[dst.uid] > order[src.uid]
+
+    @settings(max_examples=60, deadline=None)
+    @given(block_specs)
+    def test_resources_never_oversubscribed(self, spec):
+        seed, length = spec
+        block = random_block(seed, length)
+        scheduled = schedule_block(block, DEFAULT_EPIC)
+        for bundle in scheduled.bundles:
+            by_class = defaultdict(int)
+            for instr in bundle:
+                by_class[instr.fu_class] += 1
+            assert len(bundle) <= DEFAULT_EPIC.issue_width
+            for fu_class, used in by_class.items():
+                assert used <= DEFAULT_EPIC.units_for(fu_class)
+
+    @settings(max_examples=60, deadline=None)
+    @given(block_specs)
+    def test_every_instruction_scheduled_exactly_once(self, spec):
+        seed, length = spec
+        block = random_block(seed, length)
+        scheduled = schedule_block(block, DEFAULT_EPIC)
+        scheduled_uids = [i.uid for b in scheduled.bundles for i in b]
+        assert sorted(scheduled_uids) == sorted(i.uid for i in block.instrs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(block_specs)
+    def test_schedule_no_longer_than_serial(self, spec):
+        seed, length = spec
+        block = random_block(seed, length)
+        scheduled = schedule_block(block, DEFAULT_EPIC)
+        # An upper bound: serializing with max latency per instruction.
+        worst = sum(DEFAULT_EPIC.latency(i) for i in block.instrs) + 1
+        assert scheduled.cycles <= worst

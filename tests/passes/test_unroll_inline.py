@@ -1,0 +1,243 @@
+"""Loop unrolling and inlining: eligibility rules and semantic
+preservation."""
+
+from repro.frontend import compile_source
+from repro.ir.instr import Opcode
+from repro.ir.interp import Interpreter
+from repro.passes.cleanup import cleanup_module
+from repro.passes.inline import inline_module
+from repro.passes.unroll import unroll_module
+
+
+def run_module(module, inputs=None):
+    interp = Interpreter(module)
+    for name, values in (inputs or {}).items():
+        interp.set_global(name, values)
+    return interp.run()
+
+
+COUNTED_LOOP = """
+float a[64];
+void main() {
+  float acc = 0.0;
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    acc = acc + a[i] * 2.0;
+  }
+  out(acc);
+  out(i);
+}
+"""
+
+
+class TestUnroll:
+    def _prepared(self, source):
+        module = compile_source(source)
+        cleanup_module(module)
+        return module
+
+    def test_counted_loop_unrolls(self):
+        module = self._prepared(COUNTED_LOOP)
+        report = unroll_module(module, factor=2)
+        assert report.loops_unrolled == 1
+        assert report.copies_added == 1
+
+    def test_unrolled_semantics_preserved(self):
+        inputs = {"a": [0.5 * i for i in range(64)]}
+        module = self._prepared(COUNTED_LOOP)
+        before = run_module(module, inputs)
+        unroll_module(module, factor=4)
+        after = run_module(module, inputs)
+        assert before.output_signature() == after.output_signature()
+        assert after.blocks_executed < before.blocks_executed
+
+    def test_factor_must_divide_trips(self):
+        source = COUNTED_LOOP.replace("i < 64", "i < 63")
+        module = self._prepared(source)
+        report = unroll_module(module, factor=2)
+        assert report.loops_unrolled == 0
+
+    def test_unknown_bound_not_unrolled(self):
+        source = """
+        int n;
+        int a[64];
+        void main() {
+          int acc = 0;
+          int i;
+          for (i = 0; i < n; i = i + 1) { acc = acc + a[i]; }
+          out(acc);
+        }
+        """
+        module = self._prepared(source)
+        report = unroll_module(module, factor=2)
+        assert report.loops_unrolled == 0
+
+    def test_branchy_body_not_unrolled(self):
+        source = """
+        int a[64];
+        void main() {
+          int acc = 0;
+          int i;
+          for (i = 0; i < 64; i = i + 1) {
+            if (a[i] > 0) { acc = acc + 1; }
+          }
+          out(acc);
+        }
+        """
+        module = self._prepared(source)
+        report = unroll_module(module, factor=2)
+        assert report.loops_unrolled == 0
+
+    def test_non_unit_step(self):
+        source = """
+        int a[64];
+        void main() {
+          int acc = 0;
+          int i;
+          for (i = 0; i < 64; i = i + 2) { acc = acc + a[i]; }
+          out(acc);
+        }
+        """
+        inputs = {"a": list(range(64))}
+        module = self._prepared(source)
+        before = run_module(module, inputs)
+        report = unroll_module(module, factor=2)
+        assert report.loops_unrolled == 1
+        after = run_module(module, inputs)
+        assert before.output_signature() == after.output_signature()
+
+    def test_outer_loop_untouched(self):
+        source = """
+        int m[16];
+        void main() {
+          int acc = 0;
+          int i;
+          int j;
+          for (i = 0; i < 4; i = i + 1) {
+            for (j = 0; j < 4; j = j + 1) {
+              acc = acc + m[i * 4 + j];
+            }
+          }
+          out(acc);
+        }
+        """
+        inputs = {"m": list(range(16))}
+        module = self._prepared(source)
+        before = run_module(module, inputs)
+        unroll_module(module, factor=2)
+        after = run_module(module, inputs)
+        assert before.output_signature() == after.output_signature()
+
+
+class TestInline:
+    def test_small_leaf_inlined(self):
+        source = """
+        int double_it(int x) { return x * 2; }
+        void main() { out(double_it(21)); }
+        """
+        module = compile_source(source)
+        report = inline_module(module)
+        assert report.sites_inlined == 1
+        main = module.functions["main"]
+        assert not any(i.op is Opcode.CALL for i in main.instructions())
+        assert run_module(module).outputs == [42]
+
+    def test_semantics_preserved_in_loop(self):
+        source = """
+        int data[32];
+        int weight(int v) { return v * 3 - 1; }
+        void main() {
+          int acc = 0;
+          int i;
+          for (i = 0; i < 32; i = i + 1) { acc = acc + weight(data[i]); }
+          out(acc);
+        }
+        """
+        inputs = {"data": [(i * 5) % 13 for i in range(32)]}
+        module = compile_source(source)
+        before = run_module(module, inputs)
+        inline_module(module)
+        after = run_module(module, inputs)
+        assert before.output_signature() == after.output_signature()
+
+    def test_recursion_not_inlined(self):
+        source = """
+        int fact(int n) {
+          if (n <= 1) { return 1; }
+          return n * fact(n - 1);
+        }
+        void main() { out(fact(6)); }
+        """
+        module = compile_source(source)
+        report = inline_module(module)
+        fact = module.functions["fact"]
+        assert any(i.op is Opcode.CALL for i in fact.instructions())
+        assert run_module(module).outputs == [720]
+
+    def test_mutual_recursion_not_inlined(self):
+        source = """
+        int is_odd(int n) {
+          if (n == 0) { return 0; }
+          return is_even(n - 1);
+        }
+        int is_even(int n) {
+          if (n == 0) { return 1; }
+          return is_odd(n - 1);
+        }
+        void main() { out(is_even(10)); out(is_odd(7)); }
+        """
+        module = compile_source(source)
+        inline_module(module)
+        assert run_module(module).outputs == [1, 1]
+
+    def test_large_callee_skipped(self):
+        body = " ".join(f"x = x + {i};" for i in range(30))
+        source = f"""
+        int big(int x) {{ {body} return x; }}
+        void main() {{ out(big(1)); }}
+        """
+        module = compile_source(source)
+        report = inline_module(module, max_callee_ops=24)
+        assert report.sites_inlined == 0
+
+    def test_callee_with_frame_skipped(self):
+        source = """
+        int scratchy(int x) {
+          int tmp[8];
+          tmp[0] = x;
+          return tmp[0] + 1;
+        }
+        void main() { out(scratchy(4)); }
+        """
+        module = compile_source(source)
+        report = inline_module(module)
+        assert report.sites_inlined == 0
+        assert run_module(module).outputs == [5]
+
+    def test_branchy_callee_inlined(self):
+        source = """
+        int clamp(int x, int lo, int hi) {
+          if (x < lo) { return lo; }
+          if (x > hi) { return hi; }
+          return x;
+        }
+        void main() {
+          out(clamp(5, 0, 10));
+          out(clamp(-3, 0, 10));
+          out(clamp(42, 0, 10));
+        }
+        """
+        module = compile_source(source)
+        report = inline_module(module)
+        assert report.sites_inlined == 3
+        assert run_module(module).outputs == [5, 0, 10]
+
+    def test_helper_of_helper_flattens(self):
+        source = """
+        int inner(int x) { return x + 1; }
+        int outer(int x) { return inner(x) * 2; }
+        void main() { out(outer(10)); }
+        """
+        module = compile_source(source)
+        inline_module(module)
+        assert run_module(module).outputs == [22]

@@ -1,0 +1,223 @@
+"""Behavioural validation of the benchmark programs themselves: the
+codecs really encode/decode, the simulators really simulate, the
+kernels compute what their names promise.  This keeps the suite honest
+— a benchmark that silently computes garbage would still exercise the
+compiler, but its name would lie.
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.interp import Interpreter
+from repro.suite import get
+from repro.suite.programs.huffman import _build_huffman
+from repro.suite.programs.rle import _encode as rle_encode
+from repro.suite.datagen import LCG, rng_for, runlength_data, skewed_bytes
+
+
+def run_bench(name, dataset="train", extra_inputs=None):
+    bench = get(name)
+    module = compile_source(bench.source, name)
+    interp = Interpreter(module, max_steps=5_000_000)
+    inputs = dict(bench.inputs(dataset))
+    if extra_inputs:
+        inputs.update(extra_inputs)
+    for key, values in inputs.items():
+        interp.set_global(key, values)
+    result = interp.run()
+    return result, interp, inputs
+
+
+class TestDatagen:
+    def test_lcg_deterministic(self):
+        assert LCG(7).ints(10, 0, 100) == LCG(7).ints(10, 0, 100)
+
+    def test_lcg_ranges(self):
+        values = LCG(3).ints(500, -5, 5)
+        assert all(-5 <= v <= 5 for v in values)
+        assert min(values) == -5 and max(values) == 5
+
+    def test_lcg_uniform_range(self):
+        values = LCG(4).floats(200, 2.0, 3.0)
+        assert all(2.0 <= v <= 3.0 for v in values)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            LCG(1).randint(5, 4)
+
+    def test_seed_for_distinguishes_datasets(self):
+        from repro.suite.datagen import seed_for
+
+        assert seed_for("x", "train") != seed_for("x", "novel")
+        assert seed_for("x", "train") != seed_for("y", "train")
+
+    def test_runlength_data_has_runs(self):
+        data = runlength_data(LCG(5), 500, run_bias=9)
+        runs = sum(1 for a, b in zip(data, data[1:]) if a == b)
+        assert runs > 150
+
+    def test_skewed_bytes_are_skewed(self):
+        data = skewed_bytes(LCG(6), 1000, hot_fraction=80)
+        hot = sum(1 for v in data if v < 8)
+        assert hot > 700
+
+
+class TestRLE:
+    def test_encoder_matches_python_mirror(self):
+        result, _interp, inputs = run_bench("codrle4")
+        expected = rle_encode(inputs["input"])
+        assert result.outputs[0] == len(expected)
+
+    def test_decoder_inverts_encoder(self):
+        result, interp, _inputs = run_bench("decodrle4")
+        # The decoder's input was produced by encoding the raw stream;
+        # decoding must recover its original length (first output).
+        raw = runlength_data(rng_for("decodrle4", "train"), 700,
+                             run_bias=9)
+        assert result.outputs[0] == len(raw)
+        decoded = interp.read_global("output", len(raw))
+        assert decoded == raw
+
+
+class TestHuffman:
+    def test_decoder_recovers_symbols(self):
+        rng = rng_for("huff_dec", "train")
+        data = skewed_bytes(rng, 280, hot_fraction=70)
+        result, interp, _inputs = run_bench("huff_dec")
+        assert result.outputs[0] == len(data)
+        decoded = interp.read_global("output", len(data))
+        assert decoded == data
+
+    def test_codes_are_prefix_free(self):
+        data = skewed_bytes(rng_for("huff_dec", "train"), 280, 70)
+        codes, _flat = _build_huffman(data)
+        items = sorted(codes.values())
+        for first, second in zip(items, items[1:]):
+            assert not second.startswith(first)
+
+    def test_encoder_bits_beat_fixed_width(self):
+        result, _interp, inputs = run_bench("huff_enc")
+        bits = result.outputs[0]
+        fixed = len(inputs["input"]) * 5  # 32-symbol alphabet = 5 bits
+        assert bits < fixed
+
+
+class TestADPCM:
+    def test_decoder_tracks_waveform(self):
+        """rawdaudio's reconstruction roughly follows the original
+        waveform the deltas encode."""
+        from repro.suite.programs.adpcm import _encode, _samples
+
+        samples = _samples("train", "rawdaudio")
+        result, interp, _inputs = run_bench("rawdaudio")
+        reconstructed = interp.read_global("output", len(samples))
+        errors = [abs(a - b) for a, b in zip(samples, reconstructed)]
+        mean_error = sum(errors) / len(errors)
+        spread = max(samples) - min(samples) or 1
+        assert mean_error < 0.35 * spread
+
+    def test_encoder_deltas_in_range(self):
+        result, interp, inputs = run_bench("rawcaudio")
+        deltas = interp.read_global("output", inputs["input_len"][0])
+        assert all(0 <= d <= 15 for d in deltas)
+
+
+class TestInterpreters:
+    def test_li_evaluates_bytecode(self):
+        result, _interp, _inputs = run_bench("130.li")
+        # halt pushes 42 as the final result
+        assert result.outputs[0] == 42
+
+    def test_m88ksim_hardwired_zero(self):
+        result, interp, _inputs = run_bench("124.m88ksim")
+        regs = interp.read_global("regs", 1)
+        assert regs[0] == 0
+
+    def test_cc1_evaluates_expressions(self):
+        """The MiniC evaluator agrees with Python eval on the token
+        stream."""
+        result, _interp, inputs = run_bench("085.cc1")
+        stream = inputs["stream"]
+        mapping = {10: "+", 11: "-", 12: "*", 13: "(", 14: ")"}
+        total = 0
+        count = 0
+        parts: list[str] = []
+        digits: list[int] = []
+
+        def flush_digits():
+            if digits:
+                value = 0
+                for digit in digits:
+                    value = value * 10 + digit
+                parts.append(str(value))
+                digits.clear()
+
+        for token in stream:
+            if token == 15:
+                flush_digits()
+                total += eval(" ".join(parts))  # generated tokens only
+                count += 1
+                parts.clear()
+            elif token < 10:
+                digits.append(token)
+            else:
+                flush_digits()
+                parts.append(mapping[token])
+        assert result.outputs == [total, count]
+
+
+class TestKernels:
+    def test_eqntott_counts_true_minterms(self):
+        result, _interp, _inputs = run_bench("023.eqntott")
+        count = result.outputs[0]
+
+        def f(a):
+            maj = ((a & 1) + ((a >> 1) & 1) + ((a >> 2) & 1)) >= 2
+            par = (((a >> 3) & 1) ^ ((a >> 4) & 1)) ^ ((a >> 5) & 1)
+            return (maj ^ par) == 1
+
+        expected = sum(1 for a in range(64) if f(a))
+        assert count == expected
+
+    def test_compress_shrinks_repetitive_data(self):
+        result, _interp, inputs = run_bench("129.compress", "train")
+        output_len = result.outputs[0]
+        assert output_len < inputs["input_len"][0] * 0.8
+
+    def test_compress_cannot_shrink_random_data(self):
+        result, _interp, inputs = run_bench("129.compress", "novel")
+        output_len = result.outputs[0]
+        assert output_len > inputs["input_len"][0] * 0.5
+
+    def test_nasa7_cholesky_diagonal_positive(self):
+        _result, interp, _inputs = run_bench("093.nasa7")
+        chol = interp.read_global("chol")
+        diagonal = [chol[i * 24 + i] for i in range(24)]
+        assert all(d > 0 for d in diagonal)
+
+    def test_mipmap_levels_average_texture(self):
+        _result, interp, inputs = run_bench("mipmap")
+        texture = inputs["texture"]
+        levels = interp.read_global("levels")
+        # level 1 (16x16) entry (0,0) is the box filter of the 2x2
+        # top-left texels.
+        expected = (texture[0] + texture[1] + texture[32]
+                    + texture[33] + 2) >> 2
+        assert levels[1024] == min(255, expected)
+
+    def test_osdemo_counts_visible_vertices(self):
+        result, _interp, inputs = run_bench("osdemo")
+        accepted = result.outputs[1]
+        nverts = inputs["nverts"][0]
+        assert 0 < accepted < nverts
+
+    def test_facerec_finds_plausible_position(self):
+        result, _interp, _inputs = run_bench("187.facerec")
+        position = result.outputs[1]
+        assert 0 <= position < 48 * 48
+
+    def test_wave5_conserves_particles(self):
+        _result, interp, inputs = run_bench("146.wave5")
+        charge = interp.read_global("charge")
+        total = sum(charge)
+        assert total == pytest.approx(inputs["nparticles"][0], rel=0.01)

@@ -1,0 +1,101 @@
+"""CLI tests: every subcommand drives the library end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+int data[16];
+int n;
+void main() {
+  int acc = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) { acc = acc + data[i]; }
+  out(acc);
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(PROGRAM)
+    inputs = tmp_path / "inputs.json"
+    inputs.write_text(json.dumps({"data": list(range(16)), "n": [10]}))
+    return str(path), str(inputs)
+
+
+class TestRun:
+    def test_run_prints_counters(self, program_file, capsys):
+        program, inputs = program_file
+        assert main(["run", program, "--inputs", inputs]) == 0
+        output = capsys.readouterr().out
+        assert "outputs          : [45]" in output
+        assert "cycles" in output
+
+    def test_run_machine_choice(self, program_file, capsys):
+        program, inputs = program_file
+        assert main(["run", program, "--inputs", inputs,
+                     "--machine", "itanium", "--prefetch"]) == 0
+        assert "[45]" in capsys.readouterr().out
+
+    def test_bad_inputs_rejected(self, program_file, tmp_path):
+        program, _ = program_file
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(SystemExit):
+            main(["run", program, "--inputs", str(bad)])
+
+
+class TestInterpret:
+    def test_interpret(self, program_file, capsys):
+        program, inputs = program_file
+        assert main(["interpret", program, "--inputs", inputs]) == 0
+        output = capsys.readouterr().out
+        assert "outputs      : [45]" in output
+        assert "steps" in output
+
+
+class TestSuite:
+    def test_suite_listing(self, capsys):
+        assert main(["suite"]) == 0
+        output = capsys.readouterr().out
+        assert "codrle4" in output
+        assert "101.tomcatv" in output
+
+    def test_suite_filters(self, capsys):
+        assert main(["suite", "--category", "fp",
+                     "--suite", "spec2000"]) == 0
+        output = capsys.readouterr().out
+        assert "183.equake" in output
+        assert "codrle4" not in output
+
+
+class TestSimulate:
+    def test_simulate_benchmark(self, capsys):
+        assert main(["simulate", "codrle4"]) == 0
+        output = capsys.readouterr().out
+        assert "codrle4" in output
+        assert "cycles" in output
+
+
+class TestEvolve:
+    def test_evolve_tiny_run(self, capsys):
+        assert main(["evolve", "hyperblock", "codrle4",
+                     "--pop", "8", "--gens", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "train speedup" in output
+        assert "expression" in output
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_machine_rejected(self, program_file):
+        program, _ = program_file
+        with pytest.raises(SystemExit):
+            main(["run", program, "--machine", "cray"])

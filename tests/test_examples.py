@@ -1,0 +1,45 @@
+"""The shipped examples actually run (fast ones in-process)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in EXAMPLES.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 3
+
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "cycles" in output
+        assert "simulated outputs" in output
+
+    def test_custom_hook_runs(self, capsys):
+        module = load_example("custom_compiler_hook.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "stock pipeline" in output
+        assert "identical outputs" in output
+
+    def test_specialize_example_importable(self):
+        # The GP examples are slower; just validate they import and
+        # expose main() (their logic is covered by repro.metaopt tests).
+        module = load_example("specialize_hyperblock.py")
+        assert callable(module.main)
+        module = load_example("general_purpose_prefetch.py")
+        assert callable(module.main)

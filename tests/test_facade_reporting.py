@@ -1,0 +1,108 @@
+"""Top-level facade (repro.compiler) and reporting helpers."""
+
+import pytest
+
+from repro.compiler import compile_and_run, compile_program, interpret
+from repro.machine.descr import ITANIUM_MACHINE
+from repro.passes.pipeline import CompilerOptions
+from repro.reporting import (
+    averages_line,
+    fitness_curve_chart,
+    geometric_mean,
+    single_column_table,
+    speedup_table,
+)
+
+SOURCE = """
+int data[64];
+int n;
+void main() {
+  int acc = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if (data[i] % 2 == 0) { acc = acc + data[i]; }
+  }
+  out(acc);
+}
+"""
+
+INPUTS = {"data": list(range(64)), "n": [60]}
+
+
+class TestFacade:
+    def test_interpret(self):
+        result = interpret(SOURCE, INPUTS)
+        assert result.outputs == [sum(i for i in range(60) if i % 2 == 0)]
+
+    def test_compile_and_run_matches_interpreter(self):
+        sim = compile_and_run(SOURCE, INPUTS)
+        ref = interpret(SOURCE, INPUTS)
+        assert sim.output_signature() == ref.output_signature()
+        assert sim.cycles > 0
+
+    def test_compiled_program_reusable_across_datasets(self):
+        program = compile_program(SOURCE, profile_inputs=INPUTS)
+        first = program.run(INPUTS)
+        other_inputs = {"data": [3] * 64, "n": [64]}
+        second = program.run(other_inputs)
+        assert first.outputs != second.outputs
+        assert second.output_signature() \
+            == interpret(SOURCE, other_inputs).output_signature()
+
+    def test_options_respected(self):
+        options = CompilerOptions(machine=ITANIUM_MACHINE, prefetch=True)
+        program = compile_program(SOURCE, profile_inputs=INPUTS,
+                                  options=options)
+        assert program.options.machine is ITANIUM_MACHINE
+
+    def test_noise_passthrough(self):
+        program = compile_program(SOURCE, profile_inputs=INPUTS)
+        clean = program.run(INPUTS)
+        noisy = program.run(INPUTS, noise_stddev=0.05, noise_seed=1)
+        assert noisy.cycles != clean.cycles
+        assert noisy.outputs == clean.outputs
+
+    def test_report_exposed(self):
+        program = compile_program(SOURCE, profile_inputs=INPUTS)
+        assert "main" in program.report.regalloc
+
+
+class TestReporting:
+    def test_speedup_table_includes_average(self):
+        table = speedup_table("T", [("a", 1.2, 1.1), ("b", 1.0, 0.9)])
+        assert "Average" in table
+        assert "1.100" in table  # (1.2 + 1.0) / 2
+        assert table.splitlines()[0] == "T"
+
+    def test_speedup_table_alignment(self):
+        table = speedup_table("T", [("verylongbenchname", 1.0, 1.0)])
+        rows = table.splitlines()
+        assert len(rows) == 4
+
+    def test_single_column_table(self):
+        table = single_column_table("T", [("x", 2.0), ("y", 4.0)])
+        assert "3.000" in table
+
+    def test_fitness_curve_chart(self):
+        chart = fitness_curve_chart("C", [1.0, 1.1, 1.3])
+        lines = chart.splitlines()
+        assert lines[0] == "C"
+        assert len([l for l in lines if l.startswith("gen")]) == 3
+        # monotone curve: bar lengths monotone
+        bars = [l.count("#") for l in lines if l.startswith("gen")]
+        assert bars == sorted(bars)
+
+    def test_fitness_curve_empty(self):
+        assert "no generations" in fitness_curve_chart("C", [])
+
+    def test_fitness_curve_flat(self):
+        chart = fitness_curve_chart("C", [1.0, 1.0])
+        assert "gen   1" in chart
+
+    def test_averages_line(self):
+        assert averages_line("x", [1.0, 3.0]) == "x: 2.000 (n=2)"
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
