@@ -108,10 +108,33 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_fitness_cache(args: argparse.Namespace):
+    """``--fitness-cache DIR`` / ``--no-fitness-cache`` / the
+    ``REPRO_FITNESS_CACHE`` environment variable, in that order."""
+    from repro.metaopt.fitness_cache import cache_from_env
+
+    return cache_from_env(
+        explicit_dir=getattr(args, "fitness_cache", None),
+        disabled=getattr(args, "no_fitness_cache", False),
+    )
+
+
+def _add_fitness_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fitness-cache", metavar="DIR",
+        help="persist simulation results under DIR (shared across "
+             "runs and figure scripts; defaults to $REPRO_FITNESS_CACHE)")
+    parser.add_argument(
+        "--no-fitness-cache", action="store_true",
+        help="disable the persistent fitness cache even when "
+             "$REPRO_FITNESS_CACHE is set")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.metaopt.harness import EvaluationHarness, case_study
 
-    harness = EvaluationHarness(case_study(args.case))
+    harness = EvaluationHarness(case_study(args.case),
+                                fitness_cache=_resolve_fitness_cache(args))
     result = harness.baseline_result(args.benchmark, args.dataset)
     print(f"benchmark        : {args.benchmark} ({args.dataset} data, "
           f"{harness.case.machine.name})")
@@ -126,13 +149,31 @@ def cmd_evolve(args: argparse.Namespace) -> int:
     from repro.metaopt.harness import EvaluationHarness, case_study
     from repro.metaopt.specialize import specialize
 
+    if args.processes < 1:
+        raise SystemExit("repro evolve: --processes must be >= 1")
     case = case_study(args.case)
-    harness = EvaluationHarness(case, noise_stddev=args.noise)
+    cache = _resolve_fitness_cache(args)
+    harness = EvaluationHarness(case, noise_stddev=args.noise,
+                                fitness_cache=cache)
     params = GPParams(population_size=args.pop, generations=args.gens,
                       seed=args.seed)
     print(f"evolving {args.case} priority for {args.benchmark} "
-          f"(pop {args.pop}, {args.gens} generations)")
-    result = specialize(case, args.benchmark, params, harness=harness)
+          f"(pop {args.pop}, {args.gens} generations, "
+          f"{args.processes} process(es))")
+    if args.processes > 1:
+        from repro.metaopt.parallel import ParallelEvaluator
+
+        cache_dir = str(cache.root) if cache is not None else None
+        with ParallelEvaluator(
+            args.case,
+            processes=args.processes,
+            noise_stddev=args.noise,
+            fitness_cache_dir=cache_dir,
+        ) as evaluator:
+            result = specialize(case, args.benchmark, params,
+                                harness=harness, evaluator=evaluator)
+    else:
+        result = specialize(case, args.benchmark, params, harness=harness)
     for stats in result.history:
         print(f"  gen {stats.generation:3d}: best {stats.best_fitness:.4f} "
               f"(size {stats.best_size})")
@@ -141,6 +182,11 @@ def cmd_evolve(args: argparse.Namespace) -> int:
     print(f"novel speedup : {result.novel_speedup:.4f}")
     print(f"expression    : {unparse(best)}")
     print(f"infix         : {infix(best)}")
+    if cache is not None:
+        stats = cache.stats()
+        print(f"fitness cache : {stats['hits']} hits "
+              f"({stats['disk_hits']} from disk), "
+              f"{stats['stores']} stores -> {cache.root}")
     return 0
 
 
@@ -181,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("hyperblock", "regalloc", "prefetch"))
     sim_parser.add_argument("--dataset", default="train",
                             choices=("train", "novel"))
+    _add_fitness_cache_flags(sim_parser)
     sim_parser.set_defaults(func=cmd_simulate)
 
     evolve_parser = commands.add_parser(
@@ -192,6 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
     evolve_parser.add_argument("--gens", type=int, default=10)
     evolve_parser.add_argument("--seed", type=int, default=0)
     evolve_parser.add_argument("--noise", type=float, default=0.0)
+    evolve_parser.add_argument(
+        "--processes", type=int, default=1,
+        help="fan fitness evaluations out over a process pool "
+             "(1 = serial, the seed-identical reference path)")
+    _add_fitness_cache_flags(evolve_parser)
     evolve_parser.set_defaults(func=cmd_evolve)
 
     return parser

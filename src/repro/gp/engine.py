@@ -44,6 +44,14 @@ class FitnessEvaluator(Protocol):
 
     Returns the speedup of the candidate-compiled benchmark over the
     baseline-compiled benchmark (>1.0 means the candidate wins).
+
+    Evaluators may additionally expose ``evaluate_batch(jobs) ->
+    list[float]`` over ``(tree, benchmark)`` pairs; the engine then
+    ships every uncached pair of a generation in one call, which is
+    what lets a process-pool evaluator keep all workers busy instead
+    of receiving one-job batches.  Batch results must be identical to
+    calling the evaluator pairwise (the pairs of a batch are
+    independent), so batching never changes the evolution.
     """
 
     def __call__(self, tree: Node, benchmark: str) -> float: ...
@@ -150,11 +158,39 @@ class GPEngine:
         self.evaluations += 1
         return speedup
 
+    def _prefetch_fitness(
+        self, population: list[Individual], subset: tuple[str, ...]
+    ) -> None:
+        """Generation batching: collect every uncached, structurally
+        distinct ``(tree, benchmark)`` pair and dispatch them through
+        the evaluator's ``evaluate_batch`` in one shot, filling the
+        memo so the per-individual loop below is pure lookups."""
+        batch_evaluate = getattr(self.evaluator, "evaluate_batch", None)
+        if batch_evaluate is None:
+            return
+        pending: list[tuple[Node, str, tuple]] = []
+        queued: set[tuple] = set()
+        for individual in population:
+            tree_key = individual.tree.structural_key()
+            for name in subset:
+                key = (tree_key, name)
+                if key in self._memo or key in queued:
+                    continue
+                queued.add(key)
+                pending.append((individual.tree, name, key))
+        if not pending:
+            return
+        values = batch_evaluate([(tree, name) for tree, name, _ in pending])
+        for (_, _, key), value in zip(pending, values):
+            self._memo[key] = float(value)
+            self.evaluations += 1
+
     def _assign_fitness(
         self, population: list[Individual], subset: tuple[str, ...]
     ) -> dict[str, float]:
         """Evaluate the population on ``subset``; returns per-benchmark
         population-average speedups (for DSS difficulty updates)."""
+        self._prefetch_fitness(population, subset)
         per_benchmark_totals = {name: 0.0 for name in subset}
         for individual in population:
             speedups = [
@@ -283,16 +319,31 @@ class GPEngine:
         register allocation it survives several generations; this
         statistic lets experiments verify that claim.
         """
-        seeds = [ind for ind in population if ind.origin == "seed"]
-        if not seeds:
+        def fitness_of(ind: Individual) -> float:
+            return ind.fitness if ind.fitness is not None else -1.0
+
+        best_seed = None
+        best_seed_position = -1
+        for position, individual in enumerate(population):
+            if individual.origin != "seed":
+                continue
+            if best_seed is None or fitness_of(individual) > fitness_of(best_seed):
+                best_seed = individual
+                best_seed_position = position
+        if best_seed is None:
             return None
-        ranked = sorted(
-            population,
-            key=lambda ind: ind.fitness if ind.fitness is not None else -1.0,
-            reverse=True,
-        )
-        best_seed_rank = min(ranked.index(seed) for seed in seeds)
-        return best_seed_rank + 1
+        # Rank = how many individuals sort ahead of the best seed in a
+        # stable descending sort: strictly fitter ones, plus equal-
+        # fitness ones appearing earlier in population order.
+        seed_fitness = fitness_of(best_seed)
+        rank = 0
+        for position, individual in enumerate(population):
+            value = fitness_of(individual)
+            if value > seed_fitness or (
+                value == seed_fitness and position < best_seed_position
+            ):
+                rank += 1
+        return rank + 1
 
 
 def _expression_text(tree: Node) -> str:

@@ -16,11 +16,22 @@ Table 3 machine:
 
 Implementation note: for speed, each scheduled block is translated
 once into a generated Python function over a dense register file
-(``R[i]``), with immediates, global addresses and machine constants
-baked in.  Generated code calls the same arithmetic helpers as the
-functional interpreter (``wrap_int`` / ``int_div`` / ``int_rem``), so
-the two engines cannot diverge semantically; the integration suite
-asserts output equality on every benchmark.
+(``R[i]``), with immediates and global addresses baked in.  Generated
+code calls the same arithmetic helpers as the functional interpreter
+(``wrap_int`` / ``int_div`` / ``int_rem``), so the two engines cannot
+diverge semantically; the integration suite asserts output equality on
+every benchmark.
+
+The compiled code objects are cached at module level, keyed by the
+identity of the scheduled function (a content digest of its generated
+source plus layout-independent metadata).  Per-instance state — the
+simulator, its memory, caches, predictor and machine constants — is
+*not* baked into the generated namespace; each block compiles to a
+``__bind`` factory whose closure binds that state at Simulator-
+construction time.  Repeated simulations of the same binary (every
+baseline run, every fitness-memo miss repeated across worker
+processes) therefore skip translation + ``compile`` entirely and only
+pay a cheap closure bind.
 
 Fitness noise (Section 7.1): real-machine measurements are noisy; the
 simulator can inject multiplicative Gaussian noise into the final
@@ -30,7 +41,9 @@ smaller than the attainable speedups.
 
 from __future__ import annotations
 
+import hashlib
 import random
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.ir.function import STACK_BASE
@@ -103,6 +116,52 @@ class _CompiledFunction:
     frame_words: int
     entry: str
     blocks: dict[str, object]  # label -> generated callable
+
+
+@dataclass
+class _FunctionCode:
+    """Instance-independent compilation artifact: one ``__bind``
+    factory per block, ready to close over a Simulator's state."""
+
+    param_indices: list[int]
+    reg_count: int
+    binders: dict[str, object]  # label -> bind factory
+
+
+#: Names and constants shared by all generated code; nothing here
+#: depends on a Simulator instance, so exec'ing into this namespace
+#: once per *scheduled function* (not per simulation) is sound.
+_STATIC_NAMESPACE = {
+    "wi": wrap_int,
+    "idiv": _checked_idiv,
+    "irem": _checked_irem,
+    "fdiv": _checked_fdiv,
+    "RET": _RET[0],
+    "SimError": SimError,
+}
+
+#: Cached code, keyed by scheduled-function identity (source digest +
+#: metadata).  Bounded LRU: a long-running GP search compiles many
+#: distinct candidate binaries, and code objects are not tiny.
+_CODEGEN_CACHE: OrderedDict[tuple, _FunctionCode] = OrderedDict()
+_CODEGEN_CACHE_CAPACITY = 512
+_codegen_hits = 0
+_codegen_misses = 0
+
+
+def codegen_cache_stats() -> dict[str, int]:
+    return {
+        "hits": _codegen_hits,
+        "misses": _codegen_misses,
+        "entries": len(_CODEGEN_CACHE),
+    }
+
+
+def clear_codegen_cache() -> None:
+    global _codegen_hits, _codegen_misses
+    _CODEGEN_CACHE.clear()
+    _codegen_hits = 0
+    _codegen_misses = 0
 
 
 class Simulator:
@@ -214,7 +273,8 @@ class Simulator:
             return f"(fb + {operand.offset})"
         raise SimError(f"cannot translate operand {operand!r}")
 
-    def _instr_lines(self, instr: Instr, reg_index: dict) -> list[str]:
+    def _instr_lines(self, instr: Instr, reg_index: dict,
+                     branch_keys: dict) -> list[str]:
         """Python source lines implementing one instruction."""
         op = instr.op
         src = lambda i: self._operand_expr(instr.srcs[i], reg_index)
@@ -299,7 +359,7 @@ class Simulator:
         if op is Opcode.BR:
             return [
                 f"_t = True if {src(0)} else False",
-                f"if not UPDATE({instr.uid}, _t):",
+                f"if not UPDATE({branch_keys[instr.uid]!r}, _t):",
                 "    S.cycles += PEN",
                 "    S.branch_stall += PEN",
                 f"return {instr.targets[0]!r} if _t else {instr.targets[1]!r}",
@@ -311,8 +371,14 @@ class Simulator:
             return [f"return (RET, {value})"]
         raise SimError(f"unimplemented opcode {op}")  # pragma: no cover
 
-    def _compile_function(self,
-                          function: ScheduledFunction) -> _CompiledFunction:
+    def _translate_function(
+        self, function: ScheduledFunction
+    ) -> tuple[str, list[int], int, dict[str, str]]:
+        """Generate instance-independent Python source for a scheduled
+        function: one ``__bind`` factory per block whose closure
+        parameters carry all per-simulation state.  Returns the source
+        blob, the parameter register indices, the register count, and
+        the label -> factory-name map."""
         reg_index: dict = {}
 
         def index_of(reg) -> int:
@@ -324,44 +390,37 @@ class Simulator:
 
         for param in function.params:
             index_of(param)
+        # Deterministic branch-predictor keys: instruction uids are a
+        # process-global counter, so baking them into generated code
+        # would make recompiles of the same binary cache-miss.  Keys
+        # need only be unique per module (function names are), stable
+        # across recompiles, and injective per branch.
+        branch_keys: dict = {}
         for instr in function.flat_instructions():
-            for reg in list(instr.reads()) + list(instr.writes()):
+            for reg in instr.reads():
                 index_of(reg)
+            for reg in instr.writes():
+                index_of(reg)
+            if instr.op is Opcode.BR:
+                branch_keys[instr.uid] = (
+                    f"{function.name}:{len(branch_keys)}"
+                )
 
-        namespace = {
-            "wi": wrap_int,
-            "idiv": _checked_idiv,
-            "irem": _checked_irem,
-            "fdiv": _checked_fdiv,
-            "S": self,
-            "MEM": self.memory,
-            "OUTS": self.outputs,
-            "LOAD": self.caches.load,
-            "STORE": self.caches.store,
-            "PREFETCH": self.caches.prefetch,
-            "UPDATE": self.predictor.update,
-            "CALL": self._call,
-            "L1": self.machine.load_latency,
-            "PEN": self.machine.mispredict_penalty,
-            "RET": _RET[0],
-            "SimError": SimError,
-        }
-
-        blocks: dict[str, object] = {}
-        for label in function.block_order:
+        chunks: list[str] = []
+        binder_names: dict[str, str] = {}
+        for position, label in enumerate(function.block_order):
             block = function.blocks[label]
-            ops_static = block.op_count
+            instrs = block.flat_instructions()
             lines = [
-                f"def __block(R, fb):",
+                "def __block(R, fb):",
                 f"    S.cycles += {block.cycles}",
                 f"    S.bundles += {block.cycles}",
-                f"    S.dynamic_ops += {ops_static}",
+                f"    S.dynamic_ops += {block.op_count}",
                 "    if S.cycles > S.max_cycles:",
                 "        raise SimError('cycle budget exceeded')",
             ]
-            body_emitted = False
-            for instr in block.flat_instructions():
-                instr_lines = self._instr_lines(instr, reg_index)
+            for instr in instrs:
+                instr_lines = self._instr_lines(instr, reg_index, branch_keys)
                 if instr.guard is not None:
                     guard_expr = f"R[{reg_index[instr.guard]}]"
                     lines.append(f"    if {guard_expr}:")
@@ -371,20 +430,77 @@ class Simulator:
                     lines.append("        S.dynamic_ops -= 1")
                 else:
                     lines.extend(f"    {line}" for line in instr_lines)
-                body_emitted = True
-            if not body_emitted or not block.flat_instructions()[-1].is_terminator:
+            if not instrs or not instrs[-1].is_terminator:
                 raise SimError(f"block {label} lacks a terminator")
-            source = "\n".join(lines)
-            local_ns: dict = {}
-            exec(compile(source, f"<sim:{function.name}:{label}>", "exec"),
-                 namespace, local_ns)
-            blocks[label] = local_ns["__block"]
+            binder = f"__bind_{position}"
+            binder_names[label] = binder
+            chunk = [
+                f"def {binder}(S, MEM, OUTS, LOAD, STORE, PREFETCH, "
+                "UPDATE, CALL, L1, PEN):",
+            ]
+            chunk.extend(f"    {line}" for line in lines)
+            chunk.append("    return __block")
+            chunks.append("\n".join(chunk))
 
+        source = "\n\n".join(chunks)
+        param_indices = [reg_index[param] for param in function.params]
+        return source, param_indices, len(reg_index), binder_names
+
+    def _function_code(self, function: ScheduledFunction) -> _FunctionCode:
+        """Translate-or-recall: the exec/compile step is cached at
+        module level, keyed by the function's content identity."""
+        global _codegen_hits, _codegen_misses
+        source, param_indices, reg_count, binder_names = (
+            self._translate_function(function)
+        )
+        key = (
+            function.name,
+            function.entry_label,
+            function.frame_words,
+            len(function.params),
+            hashlib.sha256(source.encode()).hexdigest(),
+        )
+        cached = _CODEGEN_CACHE.get(key)
+        if cached is not None:
+            _CODEGEN_CACHE.move_to_end(key)
+            _codegen_hits += 1
+            return cached
+        _codegen_misses += 1
+        local_ns: dict = {}
+        exec(compile(source, f"<sim:{function.name}>", "exec"),
+             _STATIC_NAMESPACE, local_ns)
+        code = _FunctionCode(
+            param_indices=param_indices,
+            reg_count=reg_count,
+            binders={label: local_ns[name]
+                     for label, name in binder_names.items()},
+        )
+        _CODEGEN_CACHE[key] = code
+        while len(_CODEGEN_CACHE) > _CODEGEN_CACHE_CAPACITY:
+            _CODEGEN_CACHE.popitem(last=False)
+        return code
+
+    def _compile_function(self,
+                          function: ScheduledFunction) -> _CompiledFunction:
+        code = self._function_code(function)
+        bindings = (
+            self,
+            self.memory,
+            self.outputs,
+            self.caches.load,
+            self.caches.store,
+            self.caches.prefetch,
+            self.predictor.update,
+            self._call,
+            self.machine.load_latency,
+            self.machine.mispredict_penalty,
+        )
         return _CompiledFunction(
             name=function.name,
-            param_indices=[reg_index[param] for param in function.params],
-            reg_count=len(reg_index),
+            param_indices=list(code.param_indices),
+            reg_count=code.reg_count,
             frame_words=function.frame_words,
             entry=function.entry_label,
-            blocks=blocks,
+            blocks={label: binder(*bindings)
+                    for label, binder in code.binders.items()},
         )

@@ -1,0 +1,210 @@
+"""Persistent, content-addressed fitness cache.
+
+The paper memoizes benchmark fitnesses in memory because "fitness
+evaluations for our problem are costly".  That memo dies with the
+process, so every figure script and every resumed run re-simulates the
+same candidates from scratch.  This module adds the missing layer: a
+disk-backed store of :class:`~repro.machine.sim.SimResult` records,
+content-addressed by everything that determines a simulation's outcome:
+
+* the candidate expression's structural key (native-callable
+  priorities are *never* persisted — their identity is process-local);
+* the benchmark name and dataset;
+* a fingerprint of the machine description;
+* a fingerprint of the compiler + simulator source ("pipeline
+  fingerprint"), so any change to a pass, the IR, the frontend or the
+  simulator invalidates the whole cache rather than serving stale
+  cycle counts;
+* the harness noise level (noisy measurements are seeded from the memo
+  key, hence reproducible, hence cacheable — but only at the same
+  noise setting).
+
+Entries are one JSON file each under ``root/<xx>/<digest>.json`` (two-
+level fan-out keeps directories small); writes go to a temp file in the
+same directory followed by :func:`os.replace`, so concurrent workers
+sharing a cache directory can never observe a torn entry — last writer
+wins with identical bytes.  An in-memory write-through dict serves
+repeated lookups without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.machine.descr import MachineDescription
+from repro.machine.sim import SimResult
+
+#: Bump manually on semantic changes that the source fingerprint cannot
+#: see (e.g. a change in how cache keys themselves are formed).
+CACHE_FORMAT_VERSION = 1
+
+_PIPELINE_FINGERPRINT: str | None = None
+
+
+def pipeline_fingerprint() -> str:
+    """Digest of every ``repro`` source file that can affect a cycle
+    count.  Computed once per process; any edit to the compiler, IR,
+    simulator, suite or GP evaluation semantics changes the digest and
+    therefore invalidates all previously cached fitnesses."""
+    global _PIPELINE_FINGERPRINT
+    if _PIPELINE_FINGERPRINT is None:
+        import repro
+
+        package_root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _PIPELINE_FINGERPRINT = digest.hexdigest()[:16]
+    return _PIPELINE_FINGERPRINT
+
+
+def machine_fingerprint(machine: MachineDescription) -> str:
+    """Stable digest of a machine description (frozen dataclass repr)."""
+    return hashlib.sha256(repr(machine).encode()).hexdigest()[:16]
+
+
+def is_persistable_priority_key(priority_key: tuple) -> bool:
+    """Only expression trees have process-independent identity; native
+    callables are keyed by ``id()`` and must stay in-memory only."""
+    return bool(priority_key) and priority_key[0] == "tree"
+
+
+class FitnessCache:
+    """Disk-backed simulation-result store with a write-through memory
+    layer.
+
+    ``root=None`` builds a memory-only cache (useful for tests and for
+    keeping one in-process layer of indirection regardless of whether
+    persistence is enabled).
+    """
+
+    def __init__(self, root: str | os.PathLike | None) -> None:
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, SimResult] = {}
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys -----------------------------------------------------------
+    def result_key(
+        self,
+        case_name: str,
+        machine: MachineDescription,
+        noise_stddev: float,
+        priority_key: tuple,
+        benchmark: str,
+        dataset: str,
+    ) -> str | None:
+        """Content address for one simulation, or ``None`` when the
+        priority has no stable cross-process identity."""
+        if not is_persistable_priority_key(priority_key):
+            return None
+        payload = repr((
+            CACHE_FORMAT_VERSION,
+            pipeline_fingerprint(),
+            case_name,
+            machine_fingerprint(machine),
+            float(noise_stddev),
+            priority_key,
+            benchmark,
+            dataset,
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- lookup / store -------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> SimResult | None:
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        if self.root is not None:
+            path = self._path_for(key)
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                data = None
+            if data is not None:
+                try:
+                    result = SimResult(**data)
+                except TypeError:
+                    result = None  # stale schema — treat as a miss
+                if result is not None:
+                    self._memory[key] = result
+                    self.hits += 1
+                    self.disk_hits += 1
+                    return result
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: SimResult) -> None:
+        self._memory[key] = result
+        self.stores += 1
+        if self.root is None:
+            return
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = dataclasses.asdict(result)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(data, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries survive)."""
+        self._memory.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "in_memory": len(self._memory),
+        }
+
+
+def cache_from_env(
+    explicit_dir: str | None = None,
+    disabled: bool = False,
+    env_var: str = "REPRO_FITNESS_CACHE",
+) -> FitnessCache | None:
+    """Resolve CLI/env configuration into a cache (or ``None``).
+
+    Precedence: ``disabled`` beats everything; an explicit directory
+    beats the ``REPRO_FITNESS_CACHE`` environment variable; with
+    neither set, persistence is off.
+    """
+    if disabled:
+        return None
+    directory = explicit_dir or os.environ.get(env_var)
+    if not directory:
+        return None
+    return FitnessCache(directory)

@@ -13,12 +13,22 @@ are so costly"):
 * baseline cycle counts, per (benchmark, dataset);
 * candidate cycle counts, per (expression structure, benchmark,
   dataset).
+
+A fourth, optional level persists across processes: attach a
+:class:`~repro.metaopt.fitness_cache.FitnessCache` and every
+tree-keyed simulation result is written through to disk and recalled
+on the next run (or by a sibling worker sharing the cache directory),
+skipping compile + simulate entirely.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.metaopt.fitness_cache import FitnessCache
 from repro.frontend import compile_source
 from repro.gp.nodes import Node
 from repro.machine.descr import (
@@ -154,10 +164,13 @@ class EvaluationHarness:
     case: CaseStudy
     noise_stddev: float = 0.0
     max_interp_steps: int = 10_000_000
+    #: optional persistent layer (repro.metaopt.fitness_cache)
+    fitness_cache: "FitnessCache | None" = None
     _prepared: dict[str, PreparedProgram] = field(default_factory=dict)
     _cycles_memo: dict[tuple, SimResult] = field(default_factory=dict)
     compile_count: int = 0
     sim_count: int = 0
+    cache_hits: int = 0
 
     # -- candidate-independent stages ------------------------------------
     def prepared(self, benchmark: str) -> PreparedProgram:
@@ -181,6 +194,23 @@ class EvaluationHarness:
         if cached is not None:
             return cached
 
+        persist_key = None
+        if self.fitness_cache is not None:
+            persist_key = self.fitness_cache.result_key(
+                case_name=self.case.name,
+                machine=self.case.machine,
+                noise_stddev=self.noise_stddev,
+                priority_key=key[0],
+                benchmark=benchmark,
+                dataset=dataset,
+            )
+        if persist_key is not None:
+            stored = self.fitness_cache.get(persist_key)
+            if stored is not None:
+                self._cycles_memo[key] = stored
+                self.cache_hits += 1
+                return stored
+
         prep = self.prepared(benchmark)
         options = self.case.options_for(_as_hook(priority))
         scheduled, _report = compile_backend(prep, options)
@@ -200,6 +230,8 @@ class EvaluationHarness:
         result = simulator.run()
         self.sim_count += 1
         self._cycles_memo[key] = result
+        if persist_key is not None:
+            self.fitness_cache.put(persist_key, result)
         return result
 
     def baseline_result(self, benchmark: str,
@@ -215,9 +247,33 @@ class EvaluationHarness:
             return 0.0
         return baseline / candidate
 
-    def evaluator(self, dataset: str = "train"):
+    def evaluator(self, dataset: str = "train") -> "HarnessEvaluator":
         """A ``(tree, benchmark) -> speedup`` callable for the GP
-        engine (fitness = speedup over baseline, Table 2)."""
-        def evaluate(tree: Node, benchmark: str) -> float:
-            return self.speedup(tree, benchmark, dataset)
-        return evaluate
+        engine (fitness = speedup over baseline, Table 2).  The object
+        also implements ``evaluate_batch`` so the engine's generation-
+        batching fast path works uniformly; here the batch is simply
+        evaluated in order, preserving the serial seed semantics."""
+        return HarnessEvaluator(self, dataset)
+
+
+@dataclass
+class HarnessEvaluator:
+    """Serial fitness evaluator bound to one harness and dataset.
+
+    Implements both halves of the engine's evaluator protocol: the
+    single-pair ``__call__`` and the generation-level
+    ``evaluate_batch``.  The batch form is the reference semantics the
+    parallel evaluator must reproduce bit-identically.
+    """
+
+    harness: EvaluationHarness
+    dataset: str = "train"
+
+    def __call__(self, tree: Node, benchmark: str) -> float:
+        return self.harness.speedup(tree, benchmark, self.dataset)
+
+    def evaluate_batch(self, jobs) -> list[float]:
+        return [
+            self.harness.speedup(tree, benchmark, self.dataset)
+            for tree, benchmark in jobs
+        ]

@@ -16,10 +16,27 @@ Usage::
         result = engine.run()
 
 The evaluator is a drop-in replacement for
-``EvaluationHarness.evaluator()``; the GP engine's per-generation loop
-is sequential, but because fitnesses are memoized the costly calls are
-exactly the new (tree, benchmark) pairs, and those are what the pool
-spreads out via :meth:`evaluate_batch`.
+``EvaluationHarness.evaluator()``.  The GP engine batches each
+generation's uncached ``(tree, benchmark)`` pairs into one
+:meth:`evaluate_batch` call, which fans them out over the pool with
+``imap_unordered`` (results are reassembled by job index, so completion
+order never affects fitness values).  Workers stay warm across
+generations — the pool, and with it every worker's prepared-program and
+cycle caches, lives until :meth:`close`.
+
+With ``processes=1`` no pool is created at all: the batch runs in-
+process on a lazily built harness, making the parallel path a strict
+superset of the serial seed path (and trivially bit-identical to it).
+
+Candidate trees travel as s-expression text, which is cheap and
+version-independent; ``parse(unparse(tree))`` is structurally exact
+(including float constants), so worker-side memo keys and noise seeds
+match the serial path bit-for-bit.
+
+Passing ``fitness_cache_dir`` gives every worker (and the serial
+fallback) a shared persistent :class:`~repro.metaopt.fitness_cache.
+FitnessCache`; entry writes are atomic, so concurrent workers may race
+benignly on the same key.
 """
 
 from __future__ import annotations
@@ -32,70 +49,183 @@ from repro.gp.parse import unparse
 
 _WORKER_HARNESS = None
 _WORKER_CASE = None
+#: (case_name, noise_stddev, fitness_cache_dir) the globals were built
+#: for — a forked worker only reuses an inherited harness when its own
+#: configuration matches exactly.
+_WORKER_SIGNATURE = None
 
 
-def _worker_init(case_name: str, noise_stddev: float) -> None:
-    global _WORKER_HARNESS, _WORKER_CASE
-    from repro.metaopt.harness import EvaluationHarness, case_study
+def _worker_init(case_name: str, noise_stddev: float,
+                 fitness_cache_dir: str | None) -> None:
+    """Build the per-worker harness — unless this worker was forked
+    from a pre-warmed parent, in which case the module globals already
+    carry a harness whose prepared-program and baseline-cycle caches
+    came along copy-on-write."""
+    global _WORKER_HARNESS, _WORKER_CASE, _WORKER_SIGNATURE
+    signature = (case_name, noise_stddev, fitness_cache_dir)
+    if _WORKER_HARNESS is not None and _WORKER_SIGNATURE == signature:
+        return
+    from repro.metaopt.harness import case_study
 
     _WORKER_CASE = case_study(case_name)
-    _WORKER_HARNESS = EvaluationHarness(_WORKER_CASE,
-                                        noise_stddev=noise_stddev)
+    _WORKER_HARNESS = _make_harness(_WORKER_CASE, noise_stddev,
+                                    fitness_cache_dir)
+    _WORKER_SIGNATURE = signature
 
 
-def _worker_evaluate(job: tuple[str, str, str]) -> float:
-    tree_text, benchmark, dataset = job
+def _make_harness(case, noise_stddev: float, fitness_cache_dir: str | None):
+    from repro.metaopt.harness import EvaluationHarness
+
+    cache = None
+    if fitness_cache_dir is not None:
+        from repro.metaopt.fitness_cache import FitnessCache
+
+        cache = FitnessCache(fitness_cache_dir)
+    return EvaluationHarness(case, noise_stddev=noise_stddev,
+                             fitness_cache=cache)
+
+
+def _worker_evaluate(job: tuple[int, str, str, str]) -> tuple[int, float]:
+    index, tree_text, benchmark, dataset = job
     from repro.metaopt.priority import PriorityFunction
 
     priority = PriorityFunction.from_text(tree_text, _WORKER_CASE.pset)
-    return _WORKER_HARNESS.speedup(priority.tree, benchmark, dataset)
+    return index, _WORKER_HARNESS.speedup(priority.tree, benchmark, dataset)
 
 
 class ParallelEvaluator:
     """Process-pool fitness evaluation for one case study.
 
-    Each worker builds its own harness on first use; candidate trees
-    travel as s-expression text (cheap and version-independent).
-    Results are memoized in the parent as well, so the GP engine's own
-    memoization layer sees a plain callable.
+    Each worker builds its own harness on first use; results are
+    memoized in the parent as well, so the GP engine's own memoization
+    layer sees a plain callable plus an ``evaluate_batch`` fast path.
     """
 
     def __init__(self, case_name: str, processes: int = 2,
-                 noise_stddev: float = 0.0) -> None:
+                 noise_stddev: float = 0.0,
+                 fitness_cache_dir: str | None = None) -> None:
         if processes < 1:
             raise ValueError("processes must be >= 1")
         self.case_name = case_name
         self.processes = processes
         self.noise_stddev = noise_stddev
+        self.fitness_cache_dir = (
+            str(fitness_cache_dir) if fitness_cache_dir is not None else None
+        )
         self._pool: multiprocessing.pool.Pool | None = None
+        self._serial_harness = None
         self._memo: dict[tuple, float] = {}
         self.jobs_dispatched = 0
+        self.batches_dispatched = 0
 
     # -- lifecycle ------------------------------------------------------
+    def prewarm(self, benchmarks: Iterable[str],
+                dataset: str = "train") -> None:
+        """Run the candidate-independent work (frontend, profiling,
+        baseline compile + simulate) for ``benchmarks`` once in the
+        parent, *before* the pool forks.  Workers then inherit the
+        warmed harness copy-on-write instead of each redoing it —
+        without this, N workers pay N redundant prepares per benchmark.
+
+        No-op for benchmarks already warmed; safe to call repeatedly.
+        Benchmarks first seen after the pool exists are prepared
+        per-worker as before (e.g. late DSS subset members).
+        """
+        global _WORKER_HARNESS, _WORKER_CASE, _WORKER_SIGNATURE
+        if self.processes == 1:
+            harness = self._ensure_serial_harness()
+        else:
+            if self._pool is not None:
+                return  # workers already forked; too late to share
+            signature = (self.case_name, self.noise_stddev,
+                         self.fitness_cache_dir)
+            if _WORKER_HARNESS is None or _WORKER_SIGNATURE != signature:
+                from repro.metaopt.harness import case_study
+
+                _WORKER_CASE = case_study(self.case_name)
+                _WORKER_HARNESS = _make_harness(
+                    _WORKER_CASE, self.noise_stddev,
+                    self.fitness_cache_dir)
+                _WORKER_SIGNATURE = signature
+            harness = _WORKER_HARNESS
+        for benchmark in benchmarks:
+            harness.prepared(benchmark)
+            harness.baseline_result(benchmark, dataset)
+
     def _ensure_pool(self):
         if self._pool is None:
             context = multiprocessing.get_context("fork")
             self._pool = context.Pool(
                 self.processes,
                 initializer=_worker_init,
-                initargs=(self.case_name, self.noise_stddev),
+                initargs=(self.case_name, self.noise_stddev,
+                          self.fitness_cache_dir),
             )
         return self._pool
 
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+    def _ensure_serial_harness(self):
+        if self._serial_harness is None:
+            from repro.metaopt.harness import case_study
+
+            self._serial_harness = _make_harness(
+                case_study(self.case_name), self.noise_stddev,
+                self.fitness_cache_dir,
+            )
+        return self._serial_harness
+
+    def close(self, force: bool = False) -> None:
+        """Shut the pool down.
+
+        The default path lets in-flight jobs finish (``close`` +
+        ``join``); ``force=True`` is the escape hatch that terminates
+        workers immediately, used when unwinding from an error.
+        """
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        try:
+            if force:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+        except BaseException:
+            pool.terminate()
+            pool.join()
+            raise
 
     def __enter__(self) -> "ParallelEvaluator":
-        self._ensure_pool()
+        if self.processes > 1:
+            self._ensure_pool()
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc_info) -> None:
+        self.close(force=exc_type is not None)
 
     # -- evaluation --------------------------------------------------------
+    def _run_batch(self, pending: list[tuple[str, str, str]]) -> list[float]:
+        """Evaluate unmemoized jobs; returns values in job order."""
+        if self.processes == 1:
+            harness = self._ensure_serial_harness()
+            from repro.metaopt.priority import PriorityFunction
+
+            results = []
+            for tree_text, benchmark, dataset in pending:
+                priority = PriorityFunction.from_text(
+                    tree_text, harness.case.pset)
+                results.append(
+                    harness.speedup(priority.tree, benchmark, dataset))
+            return results
+        pool = self._ensure_pool()
+        indexed = [(index,) + job for index, job in enumerate(pending)]
+        chunksize = max(1, len(indexed) // (self.processes * 4))
+        results: list[float | None] = [None] * len(pending)
+        for index, value in pool.imap_unordered(
+            _worker_evaluate, indexed, chunksize=chunksize
+        ):
+            results[index] = value
+        return results
+
     def evaluate_batch(
         self,
         jobs: Iterable[tuple[Node, str]],
@@ -107,15 +237,21 @@ class ParallelEvaluator:
                  for tree, benchmark in jobs]
         pending = []
         pending_keys = []
+        queued = set()
         for (tree, benchmark), key in zip(jobs, keyed):
-            if key not in self._memo:
+            if key not in self._memo and key not in queued:
+                queued.add(key)
                 pending.append((unparse(tree), benchmark, dataset))
                 pending_keys.append(key)
         if pending:
-            pool = self._ensure_pool()
-            results = pool.map(_worker_evaluate, pending)
+            if self.processes > 1 and self._pool is None:
+                # First dispatch: warm the parent before forking so
+                # every worker inherits the prepared programs.
+                self.prewarm(sorted({job[1] for job in pending}), dataset)
+            values = self._run_batch(pending)
             self.jobs_dispatched += len(pending)
-            for key, value in zip(pending_keys, results):
+            self.batches_dispatched += 1
+            for key, value in zip(pending_keys, values):
                 self._memo[key] = value
         return [self._memo[key] for key in keyed]
 

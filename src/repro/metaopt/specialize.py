@@ -45,6 +45,7 @@ def specialize(
     harness: EvaluationHarness | None = None,
     noise_stddev: float = 0.0,
     seed_baseline: bool = True,
+    evaluator=None,
 ) -> SpecializationResult:
     """Evolve a priority function for a single benchmark.
 
@@ -52,6 +53,10 @@ def specialize(
     the initial population (used by the random-search ablation — the
     paper notes the seed "had no impact on the final solution" for
     hyperblock selection and prefetching).
+
+    ``evaluator`` overrides the fitness evaluator driving the GP loop
+    (e.g. a :class:`~repro.metaopt.parallel.ParallelEvaluator`); the
+    final train/novel re-scores always run on ``harness``.
     """
     params = params or GPParams()
     harness = harness or EvaluationHarness(case, noise_stddev=noise_stddev)
@@ -59,7 +64,8 @@ def specialize(
     seeds = (case.baseline_tree(),) if seed_baseline else ()
     engine = GPEngine(
         pset=case.pset,
-        evaluator=harness.evaluator("train"),
+        evaluator=evaluator if evaluator is not None
+        else harness.evaluator("train"),
         benchmarks=(benchmark,),
         params=params,
         seed_trees=seeds,

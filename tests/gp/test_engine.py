@@ -193,3 +193,95 @@ class TestDiversityStats:
         first = result.history[0].unique_structures
         last = result.history[-1].unique_structures
         assert last <= first + 5
+
+
+class _BatchingFitness:
+    """Callable evaluator that also exposes ``evaluate_batch`` and
+    records how work arrives, for asserting the engine's generation
+    batching."""
+
+    def __init__(self):
+        self.single_calls = 0
+        self.batch_sizes = []
+
+    def __call__(self, tree, benchmark):
+        self.single_calls += 1
+        return regression_fitness(tree, benchmark)
+
+    def evaluate_batch(self, jobs):
+        jobs = list(jobs)
+        self.batch_sizes.append(len(jobs))
+        return [regression_fitness(tree, benchmark)
+                for tree, benchmark in jobs]
+
+
+class TestGenerationBatching:
+    def test_uncached_pairs_arrive_in_one_batch(self):
+        evaluator = _BatchingFitness()
+        engine = GPEngine(PSET, evaluator, ("toy",),
+                          small_params(generations=4))
+        engine.run()
+        # every fitness came through evaluate_batch, never pairwise
+        assert evaluator.single_calls == 0
+        assert evaluator.batch_sizes
+        # generation 0 ships the whole population in one call
+        assert evaluator.batch_sizes[0] <= 30
+        assert evaluator.batch_sizes[0] >= 2
+        # later generations only ship new (uncached) individuals
+        assert all(size < 30 for size in evaluator.batch_sizes[1:])
+
+    def test_batching_identical_to_pairwise(self):
+        batched = GPEngine(PSET, _BatchingFitness(), ("toy",),
+                           small_params(generations=6)).run()
+        pairwise = GPEngine(PSET, regression_fitness, ("toy",),
+                            small_params(generations=6)).run()
+        assert batched.fitness_curve() == pairwise.fitness_curve()
+        assert batched.best.tree == pairwise.best.tree
+        assert batched.evaluations == pairwise.evaluations
+
+    def test_batch_deduplicates_structural_twins(self):
+        evaluator = _BatchingFitness()
+        engine = GPEngine(
+            PSET, evaluator, ("toy",),
+            small_params(population_size=10, generations=1),
+            seed_trees=(parse("(add x y)"),
+                        parse("(add x y)")),
+        )
+        engine.run()
+        # two structurally identical seeds -> one evaluation
+        assert evaluator.batch_sizes[0] == 9
+
+
+class TestBaselineRankFast:
+    def test_matches_quadratic_reference(self):
+        import random
+
+        from repro.gp.select import Individual
+
+        rng = random.Random(5)
+        trees = [parse("x"),
+                 parse("y")]
+        engine = GPEngine(PSET, regression_fitness, ("toy",),
+                          small_params())
+        for trial in range(200):
+            population = []
+            for index in range(rng.randrange(2, 12)):
+                population.append(Individual(
+                    tree=rng.choice(trees),
+                    fitness=rng.choice([None, 0.0, 0.25, 0.5, 0.5, 1.0]),
+                    origin=rng.choice(["seed", "random", "crossover"]),
+                ))
+
+            def reference(pop):
+                seeds = [ind for ind in pop if ind.origin == "seed"]
+                if not seeds:
+                    return None
+                ranked = sorted(
+                    pop,
+                    key=lambda ind: (ind.fitness
+                                     if ind.fitness is not None else -1.0),
+                    reverse=True,
+                )
+                return min(ranked.index(seed) for seed in seeds) + 1
+
+            assert engine._baseline_rank(population) == reference(population)

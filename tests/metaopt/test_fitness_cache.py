@@ -1,0 +1,156 @@
+"""Persistent fitness cache: disk round-trips, key discrimination,
+invalidation, and the warm-rerun guarantee (a second run touching only
+cached candidates performs zero compiles and zero simulations)."""
+
+import json
+
+import pytest
+
+from repro.machine.descr import DEFAULT_EPIC, REGALLOC_MACHINE
+from repro.machine.sim import SimResult
+from repro.metaopt.fitness_cache import (
+    FitnessCache,
+    cache_from_env,
+    machine_fingerprint,
+    pipeline_fingerprint,
+)
+from repro.metaopt.harness import EvaluationHarness, case_study
+
+
+def sample_result(cycles=1234):
+    return SimResult(cycles=cycles, return_value=None, outputs=[7, 8],
+                     dynamic_ops=10, bundles=5)
+
+
+class TestKeying:
+    def test_tree_keys_stable_and_discriminating(self):
+        cache = FitnessCache(None)
+        base = dict(case_name="hyperblock", machine=DEFAULT_EPIC,
+                    noise_stddev=0.0,
+                    priority_key=("tree", ("rconst", 1.0)),
+                    benchmark="codrle4", dataset="train")
+        key = cache.result_key(**base)
+        assert key == cache.result_key(**base)
+        for change in (
+            {"case_name": "regalloc"},
+            {"machine": REGALLOC_MACHINE},
+            {"noise_stddev": 0.02},
+            {"priority_key": ("tree", ("rconst", 2.0))},
+            {"benchmark": "codrle5"},
+            {"dataset": "novel"},
+        ):
+            assert cache.result_key(**{**base, **change}) != key
+
+    def test_native_priorities_never_persisted(self):
+        cache = FitnessCache(None)
+        key = cache.result_key(
+            case_name="hyperblock", machine=DEFAULT_EPIC, noise_stddev=0.0,
+            priority_key=("native", "<lambda>", 12345),
+            benchmark="codrle4", dataset="train")
+        assert key is None
+
+    def test_fingerprints_are_stable(self):
+        assert pipeline_fingerprint() == pipeline_fingerprint()
+        assert (machine_fingerprint(DEFAULT_EPIC)
+                == machine_fingerprint(DEFAULT_EPIC))
+        assert (machine_fingerprint(DEFAULT_EPIC)
+                != machine_fingerprint(REGALLOC_MACHINE))
+
+
+class TestRoundTrip:
+    def test_disk_roundtrip_across_instances(self, tmp_path):
+        writer = FitnessCache(tmp_path)
+        key = writer.result_key(
+            case_name="hyperblock", machine=DEFAULT_EPIC, noise_stddev=0.0,
+            priority_key=("tree", ("rconst", 1.0)),
+            benchmark="codrle4", dataset="train")
+        result = sample_result()
+        writer.put(key, result)
+
+        reader = FitnessCache(tmp_path)
+        recalled = reader.get(key)
+        assert recalled == result
+        assert reader.disk_hits == 1
+        # second lookup is served from memory
+        reader.get(key)
+        assert reader.disk_hits == 1
+
+    def test_memory_only_cache(self):
+        cache = FitnessCache(None)
+        key = "a" * 64
+        cache.put(key, sample_result())
+        assert cache.get(key).cycles == 1234
+        cache.clear_memory()
+        assert cache.get(key) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = FitnessCache(tmp_path)
+        key = "b" * 64
+        cache.put(key, sample_result())
+        path = cache._path_for(key)
+        path.write_text("not json {")
+        fresh = FitnessCache(tmp_path)
+        assert fresh.get(key) is None
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        cache = FitnessCache(tmp_path)
+        key = "c" * 64
+        path = cache._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"cycles": 1, "no_such_field": 2}))
+        assert cache.get(key) is None
+
+
+class TestEnvResolution:
+    def test_disabled_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FITNESS_CACHE", str(tmp_path))
+        assert cache_from_env(disabled=True) is None
+
+    def test_explicit_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FITNESS_CACHE", str(tmp_path / "env"))
+        cache = cache_from_env(explicit_dir=str(tmp_path / "explicit"))
+        assert cache.root == tmp_path / "explicit"
+
+    def test_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FITNESS_CACHE", str(tmp_path / "env"))
+        assert cache_from_env().root == tmp_path / "env"
+
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FITNESS_CACHE", raising=False)
+        assert cache_from_env() is None
+
+
+class TestHarnessIntegration:
+    def test_warm_rerun_skips_all_simulation(self, tmp_path):
+        from repro.metaopt.priority import PriorityFunction
+
+        case = case_study("hyperblock")
+        tree = PriorityFunction.from_text(
+            "(add exec_ratio 2.0)", case.pset).tree
+
+        cold = EvaluationHarness(case, fitness_cache=FitnessCache(tmp_path))
+        cold_speedup = cold.speedup(tree, "codrle4")
+        assert cold.sim_count == 2 and cold.compile_count == 2
+
+        warm = EvaluationHarness(case, fitness_cache=FitnessCache(tmp_path))
+        warm_speedup = warm.speedup(tree, "codrle4")
+        assert warm_speedup == cold_speedup  # bit-identical
+        assert warm.sim_count == 0
+        assert warm.compile_count == 0
+        assert warm.cache_hits == 2  # baseline + candidate
+
+    def test_noise_levels_do_not_cross_contaminate(self, tmp_path):
+        case = case_study("hyperblock")
+        tree = case.baseline_tree()
+        clean = EvaluationHarness(case, fitness_cache=FitnessCache(tmp_path))
+        noisy = EvaluationHarness(case, noise_stddev=0.5,
+                                  fitness_cache=FitnessCache(tmp_path))
+        clean_cycles = clean.simulate(tree, "codrle4").cycles
+        noisy_cycles = noisy.simulate(tree, "codrle4").cycles
+        assert noisy.cache_hits == 0
+        # and the noisy measurement is reproducible from its own entry
+        noisy_again = EvaluationHarness(case, noise_stddev=0.5,
+                                        fitness_cache=FitnessCache(tmp_path))
+        assert noisy_again.simulate(tree, "codrle4").cycles == noisy_cycles
+        assert noisy_again.sim_count == 0
+        assert clean_cycles == clean.simulate(tree, "codrle4").cycles

@@ -46,3 +46,85 @@ class TestParallelEvaluator:
             )
             result = engine.run()
         assert result.best.fitness >= 1.0 - 1e-9
+
+    def test_serial_fallback_skips_pool(self):
+        case = case_study("hyperblock")
+        baseline = case.baseline_tree()
+        with ParallelEvaluator("hyperblock", processes=1) as serial:
+            value = serial(baseline, "codrle4")
+            assert serial._pool is None  # never spawned
+        sequential = EvaluationHarness(case).speedup(baseline, "codrle4")
+        assert value == sequential
+
+    def test_close_is_idempotent_and_restartable(self):
+        case = case_study("hyperblock")
+        baseline = case.baseline_tree()
+        evaluator = ParallelEvaluator("hyperblock", processes=2)
+        first = evaluator(baseline, "codrle4")
+        evaluator.close()
+        evaluator.close()  # idempotent
+        evaluator.close(force=True)
+        # a fresh pool is built on demand after close()
+        assert evaluator.evaluate_batch([(baseline, "codrle4")]) == [first]
+        evaluator.close()
+
+
+def _run_engine(evaluator, case, processes_label):
+    engine = GPEngine(
+        pset=case.pset,
+        evaluator=evaluator,
+        benchmarks=("codrle4",),
+        params=GPParams(population_size=8, generations=3, seed=11),
+        seed_trees=(case.baseline_tree(),),
+    )
+    result = engine.run()
+    from repro.gp.parse import unparse
+
+    return (result.fitness_curve(), unparse(result.best.tree),
+            result.evaluations)
+
+
+class TestParallelSerialEquivalence:
+    """Batching and process fan-out must never change the evolution:
+    the fitness curve and champion are bit-identical to the serial
+    seed path for any worker count."""
+
+    def test_processes_1_2_4_identical(self):
+        case = case_study("hyperblock")
+        reference = _run_engine(
+            EvaluationHarness(case).evaluator("train"), case, "serial")
+        for processes in (1, 2, 4):
+            with ParallelEvaluator("hyperblock",
+                                   processes=processes) as evaluator:
+                outcome = _run_engine(evaluator, case, str(processes))
+            assert outcome == reference, f"processes={processes} diverged"
+
+
+class TestPersistentCacheIntegration:
+    def test_second_run_zero_simulator_invocations(self, tmp_path):
+        case = case_study("hyperblock")
+        cache_dir = str(tmp_path / "fitness")
+
+        with ParallelEvaluator("hyperblock", processes=1,
+                               fitness_cache_dir=cache_dir) as cold:
+            cold_outcome = _run_engine(cold, case, "cold")
+            assert cold._serial_harness.sim_count > 0
+
+        with ParallelEvaluator("hyperblock", processes=1,
+                               fitness_cache_dir=cache_dir) as warm:
+            warm_outcome = _run_engine(warm, case, "warm")
+            assert warm._serial_harness.sim_count == 0
+            assert warm._serial_harness.compile_count == 0
+        assert warm_outcome == cold_outcome
+
+    def test_pool_workers_share_cache_with_serial(self, tmp_path):
+        case = case_study("hyperblock")
+        cache_dir = str(tmp_path / "fitness")
+        with ParallelEvaluator("hyperblock", processes=2,
+                               fitness_cache_dir=cache_dir) as cold:
+            cold_outcome = _run_engine(cold, case, "pool")
+        with ParallelEvaluator("hyperblock", processes=1,
+                               fitness_cache_dir=cache_dir) as warm:
+            warm_outcome = _run_engine(warm, case, "warm-serial")
+            assert warm._serial_harness.sim_count == 0
+        assert warm_outcome == cold_outcome

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Micro-benchmark for the evaluation fast path.
+
+Runs the same specialized GP search three ways and reports candidate
+evaluations per second:
+
+1. **serial** — the seed path: ``GPEngine`` over
+   ``EvaluationHarness.evaluator()`` in one process;
+2. **parallel** — ``ParallelEvaluator`` with ``--processes`` workers,
+   exercising generation batching + ``imap_unordered`` fan-out;
+3. **warm-cache** — a re-run against a persistent fitness cache
+   populated by a prior run; asserts **zero** simulator invocations.
+
+All three searches must produce bit-identical fitness curves and the
+same champion expression; the script fails loudly if they do not.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_eval.py \
+        [--case hyperblock] [--benchmark 102.swim] \
+        [--pop 16] [--gens 4] [--processes 4] [--cache-dir DIR]
+
+The default benchmark (``102.swim``) is one of the costlier kernels —
+parallel fan-out only pays once per-candidate simulation time
+dominates the one-off per-worker warm-up (frontend + profiling of the
+benchmark); on trivially cheap benchmarks the serial path wins, which
+is exactly why ``ParallelEvaluator`` keeps ``processes=1`` as a
+zero-overhead fallback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.gp.engine import GPEngine, GPParams
+from repro.gp.parse import unparse
+from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.parallel import ParallelEvaluator
+
+
+def run_engine(case, evaluator, args):
+    engine = GPEngine(
+        pset=case.pset,
+        evaluator=evaluator,
+        benchmarks=(args.benchmark,),
+        params=GPParams(population_size=args.pop, generations=args.gens,
+                        seed=args.seed),
+        seed_trees=(case.baseline_tree(),),
+    )
+    started = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def report(label, result, elapsed):
+    rate = result.evaluations / elapsed if elapsed > 0 else float("inf")
+    print(f"{label:<12s}: {result.evaluations:4d} evaluations in "
+          f"{elapsed:7.2f}s  ->  {rate:8.2f} eval/s")
+    return rate
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--case", default="hyperblock")
+    parser.add_argument("--benchmark", default="102.swim")
+    parser.add_argument("--pop", type=int, default=16)
+    parser.add_argument("--gens", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--processes", type=int, default=4)
+    parser.add_argument("--cache-dir",
+                        help="persistent cache directory (default: a "
+                             "temporary directory, removed afterwards)")
+    args = parser.parse_args(argv)
+
+    case = case_study(args.case)
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    print(f"specialized {args.case} run on {args.benchmark} "
+          f"(pop {args.pop}, {args.gens} generations, "
+          f"{cores} CPU core(s) available)")
+    if cores < args.processes:
+        print(f"note: {args.processes} workers on {cores} core(s) is "
+              f"CPU-bound — parallel speedup needs >= {args.processes} "
+              f"cores; the warm-cache row is hardware-independent")
+    print()
+
+    serial_result, serial_time = run_engine(
+        case, EvaluationHarness(case).evaluator("train"), args)
+    serial_rate = report("serial", serial_result, serial_time)
+
+    with ParallelEvaluator(args.case,
+                           processes=args.processes) as evaluator:
+        parallel_result, parallel_time = run_engine(case, evaluator, args)
+    parallel_rate = report(f"parallel x{args.processes}",
+                           parallel_result, parallel_time)
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-fitness-")
+    try:
+        with ParallelEvaluator(args.case, processes=args.processes,
+                               fitness_cache_dir=cache_dir) as evaluator:
+            run_engine(case, evaluator, args)  # populate the cache
+        with ParallelEvaluator(args.case, processes=1,
+                               fitness_cache_dir=cache_dir) as evaluator:
+            warm_result, warm_time = run_engine(case, evaluator, args)
+            warm_sims = evaluator._serial_harness.sim_count
+    finally:
+        if not args.cache_dir:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+    warm_rate = report("warm-cache", warm_result, warm_time)
+
+    print(f"\nspeedup parallel/serial : {parallel_rate / serial_rate:5.2f}x")
+    print(f"speedup warm/serial     : {warm_rate / serial_rate:5.2f}x")
+    print(f"warm-run simulator invocations: {warm_sims}")
+
+    failures = []
+    for label, result in (("parallel", parallel_result),
+                          ("warm-cache", warm_result)):
+        if result.fitness_curve() != serial_result.fitness_curve():
+            failures.append(f"{label} fitness curve diverged from serial")
+        if unparse(result.best.tree) != unparse(serial_result.best.tree):
+            failures.append(f"{label} champion diverged from serial")
+    if warm_sims != 0:
+        failures.append(
+            f"warm cache run executed {warm_sims} simulations (expected 0)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("determinism: serial, parallel and warm-cache runs are "
+              "bit-identical")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
