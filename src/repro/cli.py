@@ -17,6 +17,18 @@ Subcommands::
     python -m repro evolve CASE BENCHMARK [--pop N] [--gens N] [...]
         Run Meta Optimization: evolve a priority function for one
         benchmark of a case study and report speedups.
+
+    python -m repro generalize CASE --train B1,B2,... [--test ...]
+        Evolve one general-purpose priority function over a training
+        suite with dynamic subset selection, optionally
+        cross-validating on an unseen test suite.
+
+``evolve`` and ``generalize`` are campaign commands: ``--run-dir``
+persists config/telemetry/checkpoints under a run directory,
+``--resume`` continues a killed run bit-identically, and ``--json``
+prints the machine-readable ``result.json`` payload instead of the
+human summary (also available on ``simulate``).  See
+``docs/EXPERIMENTS_API.md``.
 """
 
 from __future__ import annotations
@@ -119,6 +131,27 @@ def _resolve_fitness_cache(args: argparse.Namespace):
     )
 
 
+def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--run-dir", metavar="DIR",
+        help="execute inside run directory DIR: persists config.json, "
+             "events.jsonl, per-generation checkpoints, and result.json")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed run from DIR's last checkpoint "
+             "(bit-identical to an uninterrupted run); the campaign "
+             "config is read from DIR/config.json, so CASE and other "
+             "campaign flags are ignored")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable result.json payload instead "
+             "of the human summary")
+    parser.add_argument(
+        "--stop-after-generation", type=int, metavar="N",
+        help="checkpoint generation N (0-based) and stop, as if the "
+             "run had been killed — for testing resume workflows")
+
+
 def _add_fitness_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fitness-cache", metavar="DIR",
@@ -136,58 +169,171 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     harness = EvaluationHarness(case_study(args.case),
                                 fitness_cache=_resolve_fitness_cache(args))
     result = harness.baseline_result(args.benchmark, args.dataset)
+    if args.json:
+        print(json.dumps({
+            "schema": 1,
+            "benchmark": args.benchmark,
+            "dataset": args.dataset,
+            "machine": harness.case.machine.name,
+            "case": args.case,
+            "outputs": result.outputs,
+            "return_value": result.return_value,
+            "cycles": result.cycles,
+            "dynamic_ops": result.dynamic_ops,
+            "squashed_ops": result.squashed_ops,
+            "memory_stall_cycles": result.memory_stall_cycles,
+            "branch_stall_cycles": result.branch_stall_cycles,
+            "l1_hit_rate": result.l1_hit_rate,
+            "branch_accuracy": result.branch_accuracy,
+            "prefetch_count": result.prefetch_count,
+        }, indent=2, sort_keys=True))
+        return 0
     print(f"benchmark        : {args.benchmark} ({args.dataset} data, "
           f"{harness.case.machine.name})")
     _print_sim_result(result)
     return 0
 
 
-def cmd_evolve(args: argparse.Namespace) -> int:
-    from repro.gp.engine import GPParams
+def _fitness_cache_dir(args: argparse.Namespace) -> str | None:
+    cache = _resolve_fitness_cache(args)
+    return str(cache.root) if cache is not None else None
+
+
+def _comma_list(text: str | None) -> tuple[str, ...]:
+    if not text:
+        return ()
+    return tuple(name.strip() for name in text.split(",") if name.strip())
+
+
+def _run_campaign(args: argparse.Namespace, config) -> int:
+    """Shared driver of ``evolve`` and ``generalize``: build the
+    runner, execute (or resume), render the outcome."""
+    from repro.experiments import ExperimentRunner, PrettySink
+
+    sinks = () if args.json else (PrettySink(),)
+    stop_after = getattr(args, "stop_after_generation", None)
+    if args.resume:
+        if args.run_dir is None:
+            raise SystemExit("--resume requires --run-dir (the run "
+                             "directory holds the campaign's config)")
+        runner = ExperimentRunner.from_run_dir(
+            args.run_dir, sinks=sinks, stop_after_generation=stop_after)
+    else:
+        runner = ExperimentRunner(
+            config, run_dir=args.run_dir, sinks=sinks,
+            stop_after_generation=stop_after)
+    try:
+        outcome = runner.run(resume=args.resume)
+    except KeyboardInterrupt:
+        print("\ninterrupted — rerun with --resume "
+              f"{'--run-dir ' + str(args.run_dir) if args.run_dir else ''} "
+              "to continue from the last checkpoint", file=sys.stderr)
+        return 130
+
+    if outcome.interrupted:
+        payload = {"interrupted": True,
+                   "next_generation": outcome.next_generation}
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"stopped after generation "
+                  f"{outcome.next_generation - 1}; resume with --resume")
+        return 0
+    if args.json:
+        print(json.dumps(outcome.payload, indent=2, sort_keys=True))
+        return 0
+    return _print_campaign_summary(outcome)
+
+
+def _print_campaign_summary(outcome) -> int:
     from repro.gp.parse import infix, unparse
     from repro.gp.simplify import simplify
-    from repro.metaopt.harness import EvaluationHarness, case_study
-    from repro.metaopt.specialize import specialize
+
+    if outcome.specialization is not None:
+        result = outcome.specialization
+        best = simplify(result.best_tree)
+        print(f"train speedup : {result.train_speedup:.4f}")
+        print(f"novel speedup : {result.novel_speedup:.4f}")
+    else:
+        result = outcome.generalization
+        best = simplify(result.best_tree)
+        print(f"avg train speedup : {result.average_train_speedup():.4f}")
+        print(f"avg novel speedup : {result.average_novel_speedup():.4f}")
+        for score in result.training:
+            print(f"  {score.benchmark:<16s} train {score.train_speedup:.4f}"
+                  f"  novel {score.novel_speedup:.4f}")
+        cross = outcome.cross_validation
+        if cross is not None:
+            print(f"cross-validation on {cross.machine_name}: "
+                  f"avg novel {cross.average_novel_speedup():.4f}")
+            for score in cross.scores:
+                print(f"  {score.benchmark:<16s} "
+                      f"train {score.train_speedup:.4f}"
+                      f"  novel {score.novel_speedup:.4f}")
+    print(f"expression    : {unparse(best)}")
+    print(f"infix         : {infix(best)}")
+    if outcome.run_dir is not None:
+        print(f"run directory : {outcome.run_dir}")
+    return 0
+
+
+def cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig
+    from repro.gp.engine import GPParams
 
     if args.processes < 1:
         raise SystemExit("repro evolve: --processes must be >= 1")
-    case = case_study(args.case)
-    cache = _resolve_fitness_cache(args)
-    harness = EvaluationHarness(case, noise_stddev=args.noise,
-                                fitness_cache=cache)
-    params = GPParams(population_size=args.pop, generations=args.gens,
-                      seed=args.seed)
-    print(f"evolving {args.case} priority for {args.benchmark} "
-          f"(pop {args.pop}, {args.gens} generations, "
-          f"{args.processes} process(es))")
-    if args.processes > 1:
-        from repro.metaopt.parallel import ParallelEvaluator
-
-        cache_dir = str(cache.root) if cache is not None else None
-        with ParallelEvaluator(
-            args.case,
-            processes=args.processes,
+    config = None
+    if not args.resume:
+        if not args.case or not args.benchmark:
+            raise SystemExit("repro evolve: CASE and BENCHMARK are "
+                             "required (unless resuming with --resume)")
+        config = ExperimentConfig(
+            mode="specialize",
+            case=args.case,
+            benchmark=args.benchmark,
+            params=GPParams(population_size=args.pop,
+                            generations=args.gens, seed=args.seed),
             noise_stddev=args.noise,
-            fitness_cache_dir=cache_dir,
-        ) as evaluator:
-            result = specialize(case, args.benchmark, params,
-                                harness=harness, evaluator=evaluator)
-    else:
-        result = specialize(case, args.benchmark, params, harness=harness)
-    for stats in result.history:
-        print(f"  gen {stats.generation:3d}: best {stats.best_fitness:.4f} "
-              f"(size {stats.best_size})")
-    best = simplify(result.best_tree)
-    print(f"train speedup : {result.train_speedup:.4f}")
-    print(f"novel speedup : {result.novel_speedup:.4f}")
-    print(f"expression    : {unparse(best)}")
-    print(f"infix         : {infix(best)}")
-    if cache is not None:
-        stats = cache.stats()
-        print(f"fitness cache : {stats['hits']} hits "
-              f"({stats['disk_hits']} from disk), "
-              f"{stats['stores']} stores -> {cache.root}")
-    return 0
+            processes=args.processes,
+            fitness_cache_dir=_fitness_cache_dir(args),
+        )
+        if not args.json:
+            print(f"evolving {args.case} priority for {args.benchmark} "
+                  f"(pop {args.pop}, {args.gens} generations, "
+                  f"{args.processes} process(es))")
+    return _run_campaign(args, config)
+
+
+def cmd_generalize(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig
+    from repro.gp.engine import GPParams
+
+    if args.processes < 1:
+        raise SystemExit("repro generalize: --processes must be >= 1")
+    config = None
+    if not args.resume:
+        training = _comma_list(args.train)
+        if not args.case or not training:
+            raise SystemExit("repro generalize: CASE and --train are "
+                             "required (unless resuming with --resume)")
+        config = ExperimentConfig(
+            mode="generalize",
+            case=args.case,
+            training_set=training,
+            test_set=_comma_list(args.test),
+            params=GPParams(population_size=args.pop,
+                            generations=args.gens, seed=args.seed),
+            noise_stddev=args.noise,
+            processes=args.processes,
+            fitness_cache_dir=_fitness_cache_dir(args),
+            subset_size=args.subset_size,
+        )
+        if not args.json:
+            print(f"evolving general-purpose {args.case} priority over "
+                  f"{len(training)} benchmarks (pop {args.pop}, "
+                  f"{args.gens} generations, DSS)")
+    return _run_campaign(args, config)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -227,14 +373,18 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("hyperblock", "regalloc", "prefetch"))
     sim_parser.add_argument("--dataset", default="train",
                             choices=("train", "novel"))
+    sim_parser.add_argument("--json", action="store_true",
+                            help="print machine-readable JSON instead of "
+                                 "the counter table")
     _add_fitness_cache_flags(sim_parser)
     sim_parser.set_defaults(func=cmd_simulate)
 
     evolve_parser = commands.add_parser(
         "evolve", help="evolve a specialized priority function")
     evolve_parser.add_argument(
-        "case", choices=("hyperblock", "regalloc", "prefetch"))
-    evolve_parser.add_argument("benchmark")
+        "case", nargs="?",
+        choices=("hyperblock", "regalloc", "prefetch", "scheduling"))
+    evolve_parser.add_argument("benchmark", nargs="?")
     evolve_parser.add_argument("--pop", type=int, default=24)
     evolve_parser.add_argument("--gens", type=int, default=10)
     evolve_parser.add_argument("--seed", type=int, default=0)
@@ -244,7 +394,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan fitness evaluations out over a process pool "
              "(1 = serial, the seed-identical reference path)")
     _add_fitness_cache_flags(evolve_parser)
+    _add_campaign_flags(evolve_parser)
     evolve_parser.set_defaults(func=cmd_evolve)
+
+    general_parser = commands.add_parser(
+        "generalize",
+        help="evolve one general-purpose priority function over a "
+             "training suite (DSS), optionally cross-validating")
+    general_parser.add_argument(
+        "case", nargs="?",
+        choices=("hyperblock", "regalloc", "prefetch", "scheduling"))
+    general_parser.add_argument(
+        "--train", help="comma-separated training benchmarks")
+    general_parser.add_argument(
+        "--test", help="comma-separated unseen benchmarks to "
+                       "cross-validate the evolved function on")
+    general_parser.add_argument(
+        "--subset-size", type=int, default=None,
+        help="DSS subset size (default: |train|/2 + 1)")
+    general_parser.add_argument("--pop", type=int, default=24)
+    general_parser.add_argument("--gens", type=int, default=10)
+    general_parser.add_argument("--seed", type=int, default=0)
+    general_parser.add_argument("--noise", type=float, default=0.0)
+    general_parser.add_argument("--processes", type=int, default=1)
+    _add_fitness_cache_flags(general_parser)
+    _add_campaign_flags(general_parser)
+    general_parser.set_defaults(func=cmd_generalize)
 
     return parser
 

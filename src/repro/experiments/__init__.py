@@ -1,0 +1,50 @@
+"""Checkpointable, observable experiment campaigns.
+
+The layer between the GP machinery (:mod:`repro.gp`,
+:mod:`repro.metaopt`) and anything long-running: campaigns execute in
+run directories with durable config, JSONL telemetry, per-generation
+checkpoints, and a final canonical ``result.json`` — and a killed run
+resumes bit-identically.  See ``docs/EXPERIMENTS_API.md``.
+"""
+
+from repro.experiments.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.experiments.config import CASES, MODES, ExperimentConfig
+from repro.experiments.events import (
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    MultiSink,
+    PrettySink,
+)
+from repro.experiments.runner import (
+    RESULT_SCHEMA,
+    ExperimentResult,
+    ExperimentRunner,
+    run_experiment,
+)
+
+__all__ = [
+    "CASES",
+    "CHECKPOINT_VERSION",
+    "EVENT_TYPES",
+    "EventSink",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "JsonlSink",
+    "MODES",
+    "MemorySink",
+    "MultiSink",
+    "PrettySink",
+    "RESULT_SCHEMA",
+    "SCHEMA_VERSION",
+    "load_checkpoint",
+    "run_experiment",
+    "save_checkpoint",
+]

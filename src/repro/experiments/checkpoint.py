@@ -1,0 +1,48 @@
+"""Atomic experiment checkpoints.
+
+A checkpoint is one pickle file holding the engine snapshot
+(:meth:`repro.gp.engine.GPEngine.state_dict` — population, RNG state,
+fitness memo, DSS state, history) plus the config it belongs to.  The
+write is atomic (temp file + ``os.replace`` in the same directory), so
+a run killed mid-checkpoint leaves the previous checkpoint intact and a
+run killed between checkpoints simply replays the last completed
+generation's successor on resume — either way the resumed run is
+bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+#: Format version of the checkpoint payload.
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(path, config_dict: dict, engine_state: dict) -> None:
+    """Atomically write a checkpoint next to its final location."""
+    path = Path(path)
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "config": config_dict,
+        "engine": engine_state,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path) -> dict:
+    """Read a checkpoint; raises :class:`FileNotFoundError` when the
+    run has never checkpointed and :class:`ValueError` on a version the
+    runner does not understand."""
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {payload.get('version')!r}")
+    return payload

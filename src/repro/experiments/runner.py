@@ -1,0 +1,448 @@
+"""The checkpointable experiment runner.
+
+:class:`ExperimentRunner` executes a specialize or generalize campaign
+described by an :class:`~repro.experiments.config.ExperimentConfig`
+inside a *run directory*::
+
+    runs/<name>/
+        config.json          the campaign description (self-describing)
+        events.jsonl         append-only structured telemetry
+        checkpoint.pkl       atomic snapshot after each generation
+        populations/         per-generation population dumps (JSONL)
+        result.json          final scores, canonical JSON
+
+Checkpoints capture the full engine state (population, RNG, fitness
+memo, DSS state, history), so a run killed at any generation and
+restarted with ``resume=True`` produces a ``result.json`` byte-identical
+to the uninterrupted run — for the serial and the process-pool
+evaluator alike.  Without a run directory the runner still works
+(events to the given sinks, no persistence), which is what the
+back-compat ``specialize()`` / ``generalize()`` wrappers rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.checkpoint import load_checkpoint, save_checkpoint
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.events import (
+    SCHEMA_VERSION,
+    EventSink,
+    JsonlSink,
+    MultiSink,
+)
+
+#: Version stamp of the ``result.json`` payload.
+RESULT_SCHEMA = 1
+
+CONFIG_FILENAME = "config.json"
+EVENTS_FILENAME = "events.jsonl"
+CHECKPOINT_FILENAME = "checkpoint.pkl"
+RESULT_FILENAME = "result.json"
+POPULATIONS_DIRNAME = "populations"
+
+
+@dataclass
+class ExperimentResult:
+    """What :meth:`ExperimentRunner.run` hands back.
+
+    ``interrupted`` runs carry no scores — only ``next_generation``,
+    the generation a resume will continue from.  Finished runs carry
+    the mode-specific result object plus ``payload``, the exact dict
+    serialized to ``result.json``.
+    """
+
+    config: ExperimentConfig
+    run_dir: Path | None
+    resumed: bool
+    interrupted: bool = False
+    next_generation: int | None = None
+    specialization: object | None = None
+    generalization: object | None = None
+    cross_validation: object | None = None
+    payload: dict | None = None
+
+
+class ExperimentRunner:
+    """Drives one campaign; every future scaling layer plugs in here."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        run_dir=None,
+        sinks: tuple[EventSink, ...] = (),
+        harness=None,
+        stop_after_generation: int | None = None,
+    ) -> None:
+        self.config = config
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.sinks = tuple(sinks)
+        self._harness = harness
+        #: deterministic interruption point (0-based generation index);
+        #: the runner checkpoints that generation and stops as if
+        #: killed — the testable stand-in for a real SIGKILL.
+        self.stop_after_generation = stop_after_generation
+
+    @classmethod
+    def from_run_dir(cls, run_dir, sinks: tuple[EventSink, ...] = (),
+                     stop_after_generation: int | None = None,
+                     ) -> "ExperimentRunner":
+        """Reconstruct a runner from a run directory's ``config.json``
+        (the entry point of ``--resume``)."""
+        run_dir = Path(run_dir)
+        config_path = run_dir / CONFIG_FILENAME
+        if not config_path.exists():
+            raise FileNotFoundError(
+                f"{config_path} not found — not a run directory")
+        config = ExperimentConfig.from_json_dict(
+            json.loads(config_path.read_text()))
+        return cls(config, run_dir=run_dir, sinks=sinks,
+                   stop_after_generation=stop_after_generation)
+
+    # -- assembly --------------------------------------------------------
+    def _build_harness(self):
+        from repro.metaopt.fitness_cache import FitnessCache
+        from repro.metaopt.harness import EvaluationHarness, case_study
+
+        if self._harness is not None:
+            return self._harness
+        cache = None
+        if self.config.fitness_cache_dir is not None:
+            cache = FitnessCache(self.config.fitness_cache_dir)
+        return EvaluationHarness(
+            case_study(self.config.case),
+            noise_stddev=self.config.noise_stddev,
+            fitness_cache=cache,
+        )
+
+    def _build_engine(self, harness, evaluator):
+        config = self.config
+        if config.mode == "specialize":
+            from repro.metaopt.specialize import build_specialize_engine
+
+            return build_specialize_engine(
+                harness.case, config.benchmark, config.params, harness,
+                seed_baseline=config.seed_baseline, evaluator=evaluator,
+            )
+        from repro.metaopt.generalize import build_generalize_engine
+
+        return build_generalize_engine(
+            harness.case, config.training_set, config.params, harness,
+            subset_size=config.subset_size,
+            seed_baseline=config.seed_baseline, evaluator=evaluator,
+        )
+
+    def _finalize(self, harness, gp_result):
+        config = self.config
+        if config.mode == "specialize":
+            from repro.metaopt.specialize import finalize_specialization
+
+            spec = finalize_specialization(harness, config.benchmark,
+                                           gp_result)
+            return spec, None, None
+        from repro.metaopt.generalize import (
+            cross_validate,
+            finalize_generalization,
+        )
+
+        gen = finalize_generalization(
+            harness.case, harness, config.training_set, gp_result,
+            seed_baseline=config.seed_baseline,
+        )
+        cross = None
+        if config.test_set:
+            cross = cross_validate(harness.case, gen.best_tree,
+                                   config.test_set, harness=harness)
+        return None, gen, cross
+
+    # -- run-dir plumbing -------------------------------------------------
+    def _prepare_run_dir(self, resume: bool):
+        checkpoint_path = self.run_dir / CHECKPOINT_FILENAME
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        if resume:
+            if not checkpoint_path.exists():
+                raise FileNotFoundError(
+                    f"cannot resume: {checkpoint_path} does not exist")
+        else:
+            if checkpoint_path.exists():
+                raise FileExistsError(
+                    f"{self.run_dir} already holds a run — pass "
+                    "resume=True (--resume) to continue it, or choose "
+                    "a fresh run directory")
+            config_path = self.run_dir / CONFIG_FILENAME
+            config_path.write_text(
+                json.dumps(self.config.to_json_dict(), indent=2,
+                           sort_keys=True) + "\n")
+        (self.run_dir / POPULATIONS_DIRNAME).mkdir(exist_ok=True)
+        return checkpoint_path
+
+    def _snapshot_population(self, generation: int, population) -> None:
+        from repro.gp.parse import unparse
+
+        path = (self.run_dir / POPULATIONS_DIRNAME /
+                f"gen_{generation:04d}.jsonl")
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for index, individual in enumerate(population):
+                json.dump(
+                    {
+                        "index": index,
+                        "expression": unparse(individual.tree),
+                        "fitness": individual.fitness,
+                        "origin": individual.origin,
+                        "size": individual.size,
+                    },
+                    handle, sort_keys=True)
+                handle.write("\n")
+        tmp.replace(path)
+
+    def _counters(self, harness, evaluator) -> dict[str, int]:
+        counters = dict(harness.stats())
+        if evaluator is not None:
+            counters.update(evaluator.stats())
+        return counters
+
+    # -- result payload ----------------------------------------------------
+    def _history_payload(self, history) -> list[dict]:
+        return [
+            {
+                "generation": stats.generation,
+                "subset": list(stats.subset),
+                "best_fitness": stats.best_fitness,
+                "mean_fitness": stats.mean_fitness,
+                "best_size": stats.best_size,
+                "mean_size": stats.mean_size,
+                "unique_structures": stats.unique_structures,
+                "baseline_rank": stats.baseline_rank,
+                "best_expression": stats.best_expression,
+            }
+            for stats in history
+        ]
+
+    def _result_payload(self, spec, gen, cross) -> dict:
+        config = self.config
+        payload = {
+            "schema": RESULT_SCHEMA,
+            "mode": config.mode,
+            "case": config.case,
+            "config": config.to_json_dict(),
+        }
+        if spec is not None:
+            payload.update({
+                "benchmark": spec.benchmark,
+                "best_expression": spec.best_expression,
+                "train_speedup": spec.train_speedup,
+                "novel_speedup": spec.novel_speedup,
+                "baseline_cycles_train": spec.baseline_cycles_train,
+                "best_cycles_train": spec.best_cycles_train,
+                "evaluations": spec.evaluations,
+                "history": self._history_payload(spec.history),
+            })
+        if gen is not None:
+            payload.update({
+                "best_expression": gen.best_expression,
+                "training": [
+                    {
+                        "benchmark": score.benchmark,
+                        "train_speedup": score.train_speedup,
+                        "novel_speedup": score.novel_speedup,
+                    }
+                    for score in gen.training
+                ],
+                "average_train_speedup": gen.average_train_speedup(),
+                "average_novel_speedup": gen.average_novel_speedup(),
+                "evaluations": gen.evaluations,
+                "history": self._history_payload(gen.history),
+            })
+            payload["cross_validation"] = None if cross is None else {
+                "machine": cross.machine_name,
+                "scores": [
+                    {
+                        "benchmark": score.benchmark,
+                        "train_speedup": score.train_speedup,
+                        "novel_speedup": score.novel_speedup,
+                    }
+                    for score in cross.scores
+                ],
+                "average_train_speedup": cross.average_train_speedup(),
+                "average_novel_speedup": cross.average_novel_speedup(),
+            }
+        return payload
+
+    # -- main entry --------------------------------------------------------
+    def run(self, resume: bool = False) -> ExperimentResult:
+        config = self.config
+        run_started = time.monotonic()
+
+        checkpoint_path = None
+        owned_sinks: list[EventSink] = []
+        if self.run_dir is not None:
+            checkpoint_path = self._prepare_run_dir(resume)
+            owned_sinks.append(JsonlSink(self.run_dir / EVENTS_FILENAME))
+        elif resume:
+            raise ValueError("resume requires a run directory")
+        sink = MultiSink(list(self.sinks) + owned_sinks)
+
+        harness = self._build_harness()
+        evaluator = None
+        evaluator_context = nullcontext()
+        if config.processes > 1:
+            from repro.metaopt.parallel import ParallelEvaluator
+
+            evaluator = ParallelEvaluator(
+                config.case,
+                processes=config.processes,
+                noise_stddev=config.noise_stddev,
+                fitness_cache_dir=config.fitness_cache_dir,
+            )
+            evaluator_context = evaluator
+
+        engine = self._build_engine(harness, evaluator)
+        if resume:
+            snapshot = load_checkpoint(checkpoint_path)
+            if snapshot["config"] != config.to_json_dict():
+                raise ValueError(
+                    "checkpoint was written by a different configuration "
+                    f"than {self.run_dir / CONFIG_FILENAME} describes")
+            engine.restore_state(snapshot["engine"])
+
+        if self.run_dir is not None:
+            engine.on_generation = lambda stats: self._snapshot_population(
+                stats.generation, engine.population)
+
+        sink.emit({
+            "event": "run_started",
+            "schema": SCHEMA_VERSION,
+            "mode": config.mode,
+            "case": config.case,
+            "resumed": bool(resume),
+            "start_generation": engine.generation,
+            "config": config.to_json_dict(),
+        })
+
+        interrupted = False
+        try:
+            with evaluator_context:
+                while not engine.done:
+                    generation_started = time.monotonic()
+                    before = self._counters(harness, evaluator)
+                    evaluations_before = engine.evaluations
+                    stats = engine.step()
+                    wall_s = time.monotonic() - generation_started
+                    after = self._counters(harness, evaluator)
+
+                    if checkpoint_path is not None and (
+                        engine.generation % config.checkpoint_every == 0
+                        or engine.done
+                    ):
+                        save_checkpoint(checkpoint_path,
+                                        config.to_json_dict(),
+                                        engine.state_dict())
+                        checkpointed = True
+                    else:
+                        checkpointed = False
+
+                    sink.emit({
+                        "event": "generation",
+                        "generation": stats.generation,
+                        "subset": list(stats.subset),
+                        "best_fitness": stats.best_fitness,
+                        "mean_fitness": stats.mean_fitness,
+                        "best_size": stats.best_size,
+                        "mean_size": stats.mean_size,
+                        "unique_structures": stats.unique_structures,
+                        "baseline_rank": stats.baseline_rank,
+                        "best_expression": stats.best_expression,
+                        "evaluations_total": engine.evaluations,
+                        "new_evaluations":
+                            engine.evaluations - evaluations_before,
+                        "counters": {
+                            key: after[key] - before.get(key, 0)
+                            for key in after
+                        },
+                        "wall_s": wall_s,
+                    })
+                    if checkpointed:
+                        sink.emit({
+                            "event": "checkpoint_saved",
+                            "generation": stats.generation,
+                            "path": str(checkpoint_path),
+                        })
+
+                    if (self.stop_after_generation is not None
+                            and stats.generation >= self.stop_after_generation
+                            and not engine.done):
+                        interrupted = True
+                        break
+
+                if interrupted:
+                    sink.emit({
+                        "event": "run_interrupted",
+                        "next_generation": engine.generation,
+                    })
+                    return ExperimentResult(
+                        config=config,
+                        run_dir=self.run_dir,
+                        resumed=bool(resume),
+                        interrupted=True,
+                        next_generation=engine.generation,
+                    )
+
+                # final re-scores always run on the serial harness
+                spec, gen, cross = self._finalize(harness, engine.result())
+
+            payload = self._result_payload(spec, gen, cross)
+            if self.run_dir is not None:
+                result_path = self.run_dir / RESULT_FILENAME
+                tmp = result_path.with_name(result_path.name + ".tmp")
+                tmp.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                               + "\n")
+                tmp.replace(result_path)
+            sink.emit({
+                "event": "run_finished",
+                "result": payload,
+                "wall_s": time.monotonic() - run_started,
+            })
+            return ExperimentResult(
+                config=config,
+                run_dir=self.run_dir,
+                resumed=bool(resume),
+                specialization=spec,
+                generalization=gen,
+                cross_validation=cross,
+                payload=payload,
+            )
+        except KeyboardInterrupt:
+            # The last completed generation is already checkpointed;
+            # tell the stream where a resume will pick up, then let the
+            # interrupt propagate (the CLI turns it into exit code 130).
+            sink.emit({
+                "event": "run_interrupted",
+                "next_generation": engine.generation,
+            })
+            raise
+        finally:
+            for owned in owned_sinks:
+                owned.close()
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    run_dir=None,
+    sinks: tuple[EventSink, ...] = (),
+    resume: bool = False,
+    harness=None,
+    stop_after_generation: int | None = None,
+) -> ExperimentResult:
+    """One-call form of :class:`ExperimentRunner` — the unified
+    experiment API the CLI and new Python code share."""
+    runner = ExperimentRunner(
+        config, run_dir=run_dir, sinks=sinks, harness=harness,
+        stop_after_generation=stop_after_generation,
+    )
+    return runner.run(resume=resume)

@@ -83,6 +83,27 @@ class DSSState:
                 self.age[name] += 1
         return chosen
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot of difficulty, age, and the sampler RNG —
+        what resuming a checkpointed DSS run needs to keep drawing the
+        same subsets as the uninterrupted run."""
+        return {
+            "version": 1,
+            "difficulty": dict(self.difficulty),
+            "age": dict(self.age),
+            "rng_state": self.rng.getstate(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported DSS state version {state.get('version')!r}")
+        if set(state["difficulty"]) != set(self.benchmarks):
+            raise ValueError("DSS snapshot covers a different benchmark set")
+        self.difficulty = dict(state["difficulty"])
+        self.age = dict(state["age"])
+        self.rng.setstate(state["rng_state"])
+
     def record_results(self, speedups: dict[str, float]) -> None:
         """Update difficulty from this generation's population results.
 

@@ -23,10 +23,19 @@ Fitness                       average speedup over the baseline
 Fitness evaluations are memoized per ``(expression, benchmark)`` because
 they are costly — the paper notes the same ("Our system memoizes
 benchmark fitnesses").
+
+The loop is *resumable*: :meth:`GPEngine.step` advances exactly one
+generation, and :meth:`GPEngine.state_dict` /
+:meth:`GPEngine.restore_state` serialize everything the remaining
+generations depend on (population, RNG state, fitness memo, DSS state,
+history).  A run checkpointed after generation *k* and restored into a
+fresh engine continues bit-identically to the run that never stopped —
+the substrate for :mod:`repro.experiments`.
 """
 
 from __future__ import annotations
 
+import copy
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
@@ -146,6 +155,12 @@ class GPEngine:
         self.generator = TreeGenerator(self.pset, rng=self.rng)
         self._memo: dict[tuple, float] = {}
         self.evaluations = 0
+        #: lazily built by the first :meth:`step` (or restored from a
+        #: checkpoint); between steps it holds the population the next
+        #: generation will evaluate.
+        self.population: list[Individual] | None = None
+        self.generation = 0
+        self.history: list[GenerationStats] = []
 
     # -- fitness --------------------------------------------------------
     def _speedup(self, tree: Node, benchmark: str) -> float:
@@ -246,50 +261,139 @@ class GPEngine:
         return Individual(tree=child_tree, origin=origin)
 
     # -- main loop --------------------------------------------------------
-    def run(self) -> GPResult:
-        population = self.initial_population()
-        history: list[GenerationStats] = []
+    @property
+    def done(self) -> bool:
+        """True once every generation has been evaluated."""
+        return self.generation >= self.params.generations
 
-        for generation in range(self.params.generations):
-            if self.dss is not None:
-                subset = tuple(self.dss.select_subset())
-            else:
-                subset = self.benchmarks
-            bench_means = self._assign_fitness(population, subset)
-            if self.dss is not None:
-                self.dss.record_results(bench_means)
+    def step(self) -> GenerationStats:
+        """Advance the evolution by exactly one generation.
 
-            champion = best_of(population)
-            stats = GenerationStats(
-                generation=generation,
-                subset=subset,
-                best_fitness=champion.fitness or 0.0,
-                mean_fitness=sum(ind.fitness or 0.0 for ind in population)
-                / len(population),
-                best_size=champion.size,
-                best_expression=_expression_text(champion.tree),
-                baseline_rank=self._baseline_rank(population),
-                unique_structures=len(
-                    {ind.tree.structural_key() for ind in population}
-                ),
-                mean_size=sum(ind.size for ind in population)
-                / len(population),
-            )
-            history.append(stats)
-            if self.on_generation is not None:
-                self.on_generation(stats)
+        Evaluates the current population (on the DSS subset when DSS is
+        active), records stats, and — unless this was the final
+        generation — breeds the next population.  The engine is in a
+        checkpointable state between any two calls: serializing with
+        :meth:`state_dict` here and restoring later continues the run
+        bit-identically.
+        """
+        if self.done:
+            raise RuntimeError("evolution already finished")
+        if self.population is None:
+            self.population = self.initial_population()
+        population = self.population
 
-            if generation == self.params.generations - 1:
-                break
-            population = self._next_generation(population, champion)
+        if self.dss is not None:
+            subset = tuple(self.dss.select_subset())
+        else:
+            subset = self.benchmarks
+        bench_means = self._assign_fitness(population, subset)
+        if self.dss is not None:
+            self.dss.record_results(bench_means)
 
         champion = best_of(population)
+        stats = GenerationStats(
+            generation=self.generation,
+            subset=subset,
+            best_fitness=champion.fitness or 0.0,
+            mean_fitness=sum(ind.fitness or 0.0 for ind in population)
+            / len(population),
+            best_size=champion.size,
+            best_expression=_expression_text(champion.tree),
+            baseline_rank=self._baseline_rank(population),
+            unique_structures=len(
+                {ind.tree.structural_key() for ind in population}
+            ),
+            mean_size=sum(ind.size for ind in population)
+            / len(population),
+        )
+        self.history.append(stats)
+        if self.on_generation is not None:
+            self.on_generation(stats)
+
+        self.generation += 1
+        if not self.done:
+            self.population = self._next_generation(population, champion)
+        return stats
+
+    def result(self) -> GPResult:
+        """The champion and history of the generations run so far."""
+        if self.population is None:
+            raise RuntimeError("evolution has not started")
         return GPResult(
-            best=champion,
-            history=history,
-            population=population,
+            best=best_of(self.population),
+            history=self.history,
+            population=self.population,
             evaluations=self.evaluations,
         )
+
+    def run(self) -> GPResult:
+        while not self.done:
+            self.step()
+        if self.population is None:  # degenerate generations <= 0
+            self.population = self.initial_population()
+        return self.result()
+
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything the remaining generations depend on, as picklable
+        plain data.  Trees travel as s-expression text
+        (``parse(unparse(t))`` is structurally exact, so memo keys and
+        noise seeds match bit-for-bit after a round-trip)."""
+        return {
+            "version": 1,
+            "generation": self.generation,
+            "evaluations": self.evaluations,
+            "rng_state": self.rng.getstate(),
+            "memo": dict(self._memo),
+            "population": None if self.population is None else [
+                {
+                    "tree": _expression_text(ind.tree),
+                    "fitness": ind.fitness,
+                    "evaluations": ind.evaluations,
+                    "origin": ind.origin,
+                }
+                for ind in self.population
+            ],
+            "history": copy.deepcopy(self.history),
+            "dss": None if self.dss is None else self.dss.state_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this engine.
+
+        The engine must have been constructed with the same pset,
+        params, benchmarks, seeds, and evaluator configuration as the
+        one that produced the snapshot; only the mutable run state is
+        carried by the snapshot itself.
+        """
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported engine state version {state.get('version')!r}")
+        from repro.gp.parse import parse
+
+        bool_features = self.pset.bool_feature_set()
+        self.generation = state["generation"]
+        self.evaluations = state["evaluations"]
+        self.rng.setstate(state["rng_state"])
+        self._memo = dict(state["memo"])
+        if state["population"] is None:
+            self.population = None
+        else:
+            self.population = [
+                Individual(
+                    tree=parse(entry["tree"], bool_features),
+                    fitness=entry["fitness"],
+                    evaluations=entry["evaluations"],
+                    origin=entry["origin"],
+                )
+                for entry in state["population"]
+            ]
+        self.history = copy.deepcopy(state["history"])
+        if state["dss"] is not None:
+            if self.dss is None:
+                raise ValueError("snapshot carries DSS state but this "
+                                 "engine has no DSSState attached")
+            self.dss.restore_state(state["dss"])
 
     def _next_generation(
         self, population: list[Individual], champion: Individual

@@ -39,29 +39,48 @@ class GeneralizationResult:
         return unparse(self.best_tree)
 
     def average_train_speedup(self) -> float:
-        return sum(s.train_speedup for s in self.training) / len(self.training)
+        """Mean train-data speedup across the training benchmarks.
+
+        Raises :class:`ValueError` when no training scores were
+        recorded (the documented contract — previously this surfaced as
+        a bare ``ZeroDivisionError``).
+        """
+        return _mean([s.train_speedup for s in self.training],
+                     "GeneralizationResult.training")
 
     def average_novel_speedup(self) -> float:
-        return sum(s.novel_speedup for s in self.training) / len(self.training)
+        """Mean novel-data speedup; raises :class:`ValueError` when no
+        training scores were recorded."""
+        return _mean([s.novel_speedup for s in self.training],
+                     "GeneralizationResult.training")
 
     def fitness_curve(self) -> list[float]:
         return [stats.best_fitness for stats in self.history]
 
 
-def generalize(
+def _mean(values: list[float], what: str) -> float:
+    if not values:
+        raise ValueError(
+            f"cannot average over an empty {what} list — the run "
+            "recorded no benchmark scores")
+    return sum(values) / len(values)
+
+
+def build_generalize_engine(
     case: CaseStudy,
     training_set: tuple[str, ...],
-    params: GPParams | None = None,
-    harness: EvaluationHarness | None = None,
+    params: GPParams,
+    harness: EvaluationHarness,
     subset_size: int | None = None,
-    noise_stddev: float = 0.0,
     seed_baseline: bool = True,
-) -> GeneralizationResult:
-    """Evolve one priority function over ``training_set`` using DSS."""
+    evaluator=None,
+) -> GPEngine:
+    """The DSS-driven GP engine of a generalization campaign, not yet
+    run.  Stepping it yourself (checkpointing between generations,
+    including the attached :class:`~repro.gp.dss.DSSState`) is what
+    :class:`repro.experiments.ExperimentRunner` does."""
     if not training_set:
         raise ValueError("training set must not be empty")
-    params = params or GPParams()
-    harness = harness or EvaluationHarness(case, noise_stddev=noise_stddev)
     if subset_size is None:
         subset_size = max(1, min(len(training_set), len(training_set) // 2 + 1))
 
@@ -73,20 +92,35 @@ def generalize(
         rng=_random.Random(params.seed + 10_007),
     )
     seeds = (case.baseline_tree(),) if seed_baseline else ()
-    engine = GPEngine(
+    return GPEngine(
         pset=case.pset,
-        evaluator=harness.evaluator("train"),
+        evaluator=evaluator if evaluator is not None
+        else harness.evaluator("train"),
         benchmarks=tuple(training_set),
         params=params,
         seed_trees=seeds,
         dss=dss,
     )
-    result = engine.run()
 
-    # Re-rank the final population on the *full* training set: with DSS
-    # each individual's last fitness reflects only its last subset.
-    # The baseline always competes here (when seeded), so the champion
-    # is never worse than the stock heuristic on the training suite.
+
+def finalize_generalization(
+    case: CaseStudy,
+    harness: EvaluationHarness,
+    training_set: tuple[str, ...],
+    result,
+    seed_baseline: bool = True,
+) -> GeneralizationResult:
+    """Re-rank the final population on the full training set and score
+    the winner.
+
+    With DSS each individual's last fitness reflects only its last
+    subset, so the top slice of the population (plus the baseline, when
+    seeded) is re-scored on every training benchmark.  The baseline
+    always competes here, so the champion is never worse than the stock
+    heuristic on the training suite.  Re-scores run on ``harness`` (the
+    serial reference path), so parallel and resumed runs finalize
+    identically.
+    """
     best_tree = None
     best_score = float("-inf")
     candidates = {result.best.tree.structural_key(): result.best.tree}
@@ -126,6 +160,34 @@ def generalize(
     )
 
 
+def generalize(
+    case: CaseStudy,
+    training_set: tuple[str, ...],
+    params: GPParams | None = None,
+    harness: EvaluationHarness | None = None,
+    subset_size: int | None = None,
+    noise_stddev: float = 0.0,
+    seed_baseline: bool = True,
+) -> GeneralizationResult:
+    """Evolve one priority function over ``training_set`` using DSS.
+
+    .. deprecated::
+        This kwarg-threading entry point is kept for back-compat.  New
+        code should build a :class:`repro.experiments.ExperimentConfig`
+        (mode ``"generalize"``) and call
+        :func:`repro.experiments.run_experiment`, which adds run
+        directories, JSONL telemetry, and ``--resume`` support.
+    """
+    params = params or GPParams()
+    harness = harness or EvaluationHarness(case, noise_stddev=noise_stddev)
+    engine = build_generalize_engine(
+        case, training_set, params, harness,
+        subset_size=subset_size, seed_baseline=seed_baseline,
+    )
+    return finalize_generalization(case, harness, tuple(training_set),
+                                   engine.run(), seed_baseline=seed_baseline)
+
+
 @dataclass
 class CrossValidationResult:
     """Best general-purpose function applied to an unseen test set."""
@@ -134,10 +196,14 @@ class CrossValidationResult:
     machine_name: str
 
     def average_train_speedup(self) -> float:
-        return sum(s.train_speedup for s in self.scores) / len(self.scores)
+        """Raises :class:`ValueError` on an empty test set (same
+        contract as :class:`GeneralizationResult`)."""
+        return _mean([s.train_speedup for s in self.scores],
+                     "CrossValidationResult.scores")
 
     def average_novel_speedup(self) -> float:
-        return sum(s.novel_speedup for s in self.scores) / len(self.scores)
+        return _mean([s.novel_speedup for s in self.scores],
+                     "CrossValidationResult.scores")
 
 
 def cross_validate(

@@ -171,6 +171,9 @@ class EvaluationHarness:
     compile_count: int = 0
     sim_count: int = 0
     cache_hits: int = 0
+    #: total simulated machine cycles across fresh (uncached) runs —
+    #: the "simulated time" counterpart of wall-clock telemetry
+    sim_cycles: int = 0
 
     # -- candidate-independent stages ------------------------------------
     def prepared(self, benchmark: str) -> PreparedProgram:
@@ -229,6 +232,7 @@ class EvaluationHarness:
             simulator.set_global(name, values)
         result = simulator.run()
         self.sim_count += 1
+        self.sim_cycles += result.cycles
         self._cycles_memo[key] = result
         if persist_key is not None:
             self.fitness_cache.put(persist_key, result)
@@ -246,6 +250,19 @@ class EvaluationHarness:
         if candidate <= 0:
             return 0.0
         return baseline / candidate
+
+    def stats(self) -> dict[str, int]:
+        """Telemetry counters for event streams and progress reports."""
+        counters = {
+            "compiles": self.compile_count,
+            "sims": self.sim_count,
+            "sim_cycles": self.sim_cycles,
+            "persistent_cache_hits": self.cache_hits,
+        }
+        if self.fitness_cache is not None:
+            for key, value in self.fitness_cache.stats().items():
+                counters[f"fitness_cache_{key}"] = value
+        return counters
 
     def evaluator(self, dataset: str = "train") -> "HarnessEvaluator":
         """A ``(tree, benchmark) -> speedup`` callable for the GP

@@ -220,10 +220,19 @@ class ParallelEvaluator:
         indexed = [(index,) + job for index, job in enumerate(pending)]
         chunksize = max(1, len(indexed) // (self.processes * 4))
         results: list[float | None] = [None] * len(pending)
-        for index, value in pool.imap_unordered(
-            _worker_evaluate, indexed, chunksize=chunksize
-        ):
-            results[index] = value
+        try:
+            for index, value in pool.imap_unordered(
+                _worker_evaluate, indexed, chunksize=chunksize
+            ):
+                results[index] = value
+        except KeyboardInterrupt:
+            # Ctrl-C mid-batch: the pool's workers got the signal too
+            # and may be wedged in partial jobs — terminate instead of
+            # draining, then let the interrupt reach the caller (the
+            # experiment runner checkpoints every generation, so the
+            # in-flight generation is simply re-run on resume).
+            self.close(force=True)
+            raise
         return results
 
     def evaluate_batch(
@@ -259,3 +268,15 @@ class ParallelEvaluator:
         """GPEngine-compatible single evaluation (uses the pool so the
         worker-side caches stay warm)."""
         return self.evaluate_batch([(tree, benchmark)])[0]
+
+    def stats(self) -> dict[str, int]:
+        """Telemetry counters for event streams and progress reports."""
+        counters = {
+            "processes": self.processes,
+            "jobs_dispatched": self.jobs_dispatched,
+            "batches_dispatched": self.batches_dispatched,
+        }
+        if self._serial_harness is not None:
+            for key, value in self._serial_harness.stats().items():
+                counters[key] = value
+        return counters

@@ -38,6 +38,57 @@ class SpecializationResult:
         return [stats.best_fitness for stats in self.history]
 
 
+def build_specialize_engine(
+    case: CaseStudy,
+    benchmark: str,
+    params: GPParams,
+    harness: EvaluationHarness,
+    seed_baseline: bool = True,
+    evaluator=None,
+) -> GPEngine:
+    """The GP engine of a specialization campaign, not yet run.
+
+    ``evaluator`` overrides the fitness evaluator driving the GP loop
+    (e.g. a :class:`~repro.metaopt.parallel.ParallelEvaluator`); the
+    final train/novel re-scores always run on ``harness``.  Stepping
+    this engine yourself (checkpointing between generations) is what
+    :class:`repro.experiments.ExperimentRunner` does.
+    """
+    seeds = (case.baseline_tree(),) if seed_baseline else ()
+    return GPEngine(
+        pset=case.pset,
+        evaluator=evaluator if evaluator is not None
+        else harness.evaluator("train"),
+        benchmarks=(benchmark,),
+        params=params,
+        seed_trees=seeds,
+    )
+
+
+def finalize_specialization(
+    harness: EvaluationHarness,
+    benchmark: str,
+    result,
+) -> SpecializationResult:
+    """Score the evolved champion on train and novel data.
+
+    ``result`` is the :class:`~repro.gp.engine.GPResult` of a finished
+    specialize engine.  Re-scores always run on ``harness`` (the serial
+    reference path), so parallel and resumed runs finalize identically.
+    """
+    best = result.best.tree
+    return SpecializationResult(
+        benchmark=benchmark,
+        best_tree=best,
+        train_speedup=harness.speedup(best, benchmark, "train"),
+        novel_speedup=harness.speedup(best, benchmark, "novel"),
+        history=result.history,
+        evaluations=result.evaluations,
+        baseline_cycles_train=harness.baseline_result(benchmark).cycles,
+        best_cycles_train=harness.simulate(best, benchmark).cycles,
+    )
+
+
 def specialize(
     case: CaseStudy,
     benchmark: str,
@@ -54,34 +105,16 @@ def specialize(
     paper notes the seed "had no impact on the final solution" for
     hyperblock selection and prefetching).
 
-    ``evaluator`` overrides the fitness evaluator driving the GP loop
-    (e.g. a :class:`~repro.metaopt.parallel.ParallelEvaluator`); the
-    final train/novel re-scores always run on ``harness``.
+    .. deprecated::
+        This kwarg-threading entry point is kept for back-compat.  New
+        code should build a :class:`repro.experiments.ExperimentConfig`
+        and call :func:`repro.experiments.run_experiment`, which adds
+        run directories, JSONL telemetry, and ``--resume`` support.
     """
     params = params or GPParams()
     harness = harness or EvaluationHarness(case, noise_stddev=noise_stddev)
-
-    seeds = (case.baseline_tree(),) if seed_baseline else ()
-    engine = GPEngine(
-        pset=case.pset,
-        evaluator=evaluator if evaluator is not None
-        else harness.evaluator("train"),
-        benchmarks=(benchmark,),
-        params=params,
-        seed_trees=seeds,
+    engine = build_specialize_engine(
+        case, benchmark, params, harness,
+        seed_baseline=seed_baseline, evaluator=evaluator,
     )
-    result = engine.run()
-    best = result.best.tree
-
-    train_speedup = harness.speedup(best, benchmark, "train")
-    novel_speedup = harness.speedup(best, benchmark, "novel")
-    return SpecializationResult(
-        benchmark=benchmark,
-        best_tree=best,
-        train_speedup=train_speedup,
-        novel_speedup=novel_speedup,
-        history=result.history,
-        evaluations=result.evaluations,
-        baseline_cycles_train=harness.baseline_result(benchmark).cycles,
-        best_cycles_train=harness.simulate(best, benchmark).cycles,
-    )
+    return finalize_specialization(harness, benchmark, engine.run())

@@ -1,0 +1,77 @@
+"""ExperimentConfig: validation and JSON round-trips."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.gp.engine import GPParams
+
+
+def spec_config(**overrides):
+    defaults = dict(mode="specialize", case="hyperblock",
+                    benchmark="codrle4",
+                    params=GPParams(population_size=8, generations=2))
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            spec_config(mode="optimize")
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError):
+            spec_config(case="vectorize")
+
+    def test_specialize_requires_benchmark(self):
+        with pytest.raises(ValueError):
+            spec_config(benchmark=None)
+
+    def test_generalize_requires_training_set(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(mode="generalize", case="hyperblock")
+
+    def test_processes_validated(self):
+        with pytest.raises(ValueError):
+            spec_config(processes=0)
+
+    def test_checkpoint_every_validated(self):
+        with pytest.raises(ValueError):
+            spec_config(checkpoint_every=0)
+
+    def test_frozen(self):
+        config = spec_config()
+        with pytest.raises(AttributeError):
+            config.case = "regalloc"
+
+    def test_list_suites_normalized_to_tuples(self):
+        config = ExperimentConfig(
+            mode="generalize", case="hyperblock",
+            training_set=["a", "b"], test_set=["c"])
+        assert config.training_set == ("a", "b")
+        assert config.test_set == ("c",)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        config = ExperimentConfig(
+            mode="generalize", case="prefetch",
+            training_set=("a", "b"), test_set=("c",),
+            params=GPParams(population_size=12, generations=5, seed=3),
+            noise_stddev=0.01, processes=2, subset_size=1)
+        data = config.to_json_dict()
+        assert isinstance(data["params"], dict)
+        assert data["training_set"] == ["a", "b"]
+        restored = ExperimentConfig.from_json_dict(data)
+        assert restored == config
+
+    def test_json_dict_is_jsonable(self):
+        import json
+
+        json.dumps(spec_config().to_json_dict())
+
+    def test_unknown_fields_rejected(self):
+        data = spec_config().to_json_dict()
+        data["shards"] = 4
+        with pytest.raises(ValueError):
+            ExperimentConfig.from_json_dict(data)

@@ -1,0 +1,133 @@
+"""Event sinks and the documented event-stream schema.
+
+The golden field sets below ARE the schema contract of
+``docs/EXPERIMENTS_API.md``; a failure here means either a regression
+or an intentional schema change that must bump
+``repro.experiments.events.SCHEMA_VERSION`` and update the docs.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentRunner,
+    JsonlSink,
+    MemorySink,
+    MultiSink,
+    PrettySink,
+)
+from repro.gp.engine import GPParams
+
+GOLDEN_FIELDS = {
+    "run_started": {"event", "schema", "mode", "case", "resumed",
+                    "start_generation", "config"},
+    "generation": {"event", "generation", "subset", "best_fitness",
+                   "mean_fitness", "best_size", "mean_size",
+                   "unique_structures", "baseline_rank",
+                   "best_expression", "evaluations_total",
+                   "new_evaluations", "counters", "wall_s"},
+    "checkpoint_saved": {"event", "generation", "path"},
+    "run_interrupted": {"event", "next_generation"},
+    "run_finished": {"event", "result", "wall_s"},
+}
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        mode="specialize", case="hyperblock", benchmark="codrle4",
+        params=GPParams(population_size=8, generations=2, seed=0))
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def run_events(tmp_path_factory):
+    """One tiny persisted run; yields (memory events, jsonl lines)."""
+    run_dir = tmp_path_factory.mktemp("events") / "run"
+    memory = MemorySink()
+    ExperimentRunner(tiny_config(), run_dir=run_dir,
+                     sinks=(memory,)).run()
+    lines = [json.loads(line) for line in
+             (run_dir / "events.jsonl").read_text().splitlines()]
+    return memory, lines
+
+
+class TestSchema:
+    def test_event_sequence(self, run_events):
+        memory, _ = run_events
+        kinds = [event["event"] for event in memory.events]
+        assert kinds == ["run_started",
+                        "generation", "checkpoint_saved",
+                        "generation", "checkpoint_saved",
+                        "run_finished"]
+
+    def test_golden_field_sets(self, run_events):
+        memory, _ = run_events
+        for event in memory.events:
+            assert set(event) == GOLDEN_FIELDS[event["event"]], \
+                f"schema drift in {event['event']!r}"
+
+    def test_jsonl_mirrors_memory_sink(self, run_events):
+        memory, lines = run_events
+        assert [e["event"] for e in lines] == \
+            [e["event"] for e in memory.events]
+
+    def test_events_json_serializable(self, run_events):
+        memory, _ = run_events
+        for event in memory.events:
+            json.dumps(event)
+
+    def test_generation_events_carry_progress(self, run_events):
+        memory, _ = run_events
+        generations = memory.of_type("generation")
+        assert [e["generation"] for e in generations] == [0, 1]
+        for event in generations:
+            assert event["best_fitness"] > 0
+            assert event["new_evaluations"] >= 0
+            assert event["wall_s"] >= 0
+            assert isinstance(event["counters"], dict)
+
+    def test_run_finished_embeds_result_payload(self, run_events):
+        memory, _ = run_events
+        finished = memory.of_type("run_finished")[0]
+        assert finished["result"]["mode"] == "specialize"
+        assert "train_speedup" in finished["result"]
+
+
+class TestSinks:
+    def test_memory_sink_filters(self):
+        sink = MemorySink()
+        sink.emit({"event": "a"})
+        sink.emit({"event": "b"})
+        assert len(sink.of_type("a")) == 1
+
+    def test_multi_sink_fans_out(self):
+        first, second = MemorySink(), MemorySink()
+        multi = MultiSink([first, second])
+        multi.emit({"event": "x"})
+        assert first.events == second.events == [{"event": "x"}]
+
+    def test_jsonl_sink_appends(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for value in (1, 2):
+            sink = JsonlSink(path)
+            sink.emit({"event": "tick", "value": value})
+            sink.close()
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [line["value"] for line in lines] == [1, 2]
+
+    def test_pretty_sink_narrates(self, capsys):
+        sink = PrettySink()
+        sink.emit({"event": "run_started", "resumed": False,
+                   "mode": "specialize", "case": "hyperblock",
+                   "start_generation": 0})
+        sink.emit({"event": "generation", "generation": 0,
+                   "subset": ["codrle4"], "best_fitness": 1.25,
+                   "best_size": 3, "new_evaluations": 8,
+                   "wall_s": 0.5})
+        output = capsys.readouterr().out
+        assert "starting specialize run" in output
+        assert "best 1.2500" in output

@@ -1,0 +1,239 @@
+"""Resume-equals-uninterrupted determinism, run-directory layout, and
+checkpoint plumbing — the acceptance criteria of the experiments
+subsystem.  Campaigns here are tiny (pop 8, 2–4 generations) but real:
+they compile and simulate actual suite benchmarks.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentRunner,
+    MemorySink,
+    load_checkpoint,
+    run_experiment,
+    save_checkpoint,
+)
+from repro.gp.engine import GPParams
+
+
+def spec_config(generations=4, processes=1, **overrides):
+    defaults = dict(
+        mode="specialize", case="hyperblock", benchmark="codrle4",
+        params=GPParams(population_size=8, generations=generations,
+                        seed=0),
+        processes=processes)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def gen_config(generations=3):
+    return ExperimentConfig(
+        mode="generalize", case="hyperblock",
+        training_set=("rawcaudio", "codrle4"),
+        test_set=("decodrle4",),
+        params=GPParams(population_size=8, generations=generations,
+                        seed=2),
+        subset_size=1)
+
+
+def run_full(config, run_dir):
+    ExperimentRunner(config, run_dir=run_dir).run()
+    return (run_dir / "result.json").read_bytes()
+
+
+def run_killed_then_resumed(config, run_dir, stop_after):
+    outcome = ExperimentRunner(
+        config, run_dir=run_dir,
+        stop_after_generation=stop_after).run()
+    assert outcome.interrupted
+    assert outcome.next_generation == stop_after + 1
+    assert not (run_dir / "result.json").exists()
+    ExperimentRunner.from_run_dir(run_dir).run(resume=True)
+    return (run_dir / "result.json").read_bytes()
+
+
+class TestResumeDeterminism:
+    @pytest.mark.parametrize("stop_after", [0, 1, 2])
+    def test_serial_resume_byte_identical(self, tmp_path, stop_after):
+        config = spec_config()
+        full = run_full(config, tmp_path / "full")
+        resumed = run_killed_then_resumed(config, tmp_path / "killed",
+                                          stop_after)
+        assert resumed == full
+
+    def test_parallel_resume_byte_identical(self, tmp_path):
+        config = spec_config(generations=3, processes=2)
+        full = run_full(config, tmp_path / "full")
+        resumed = run_killed_then_resumed(config, tmp_path / "killed",
+                                          stop_after=1)
+        assert resumed == full
+
+    def test_serial_and_parallel_agree(self, tmp_path):
+        serial = json.loads(run_full(spec_config(generations=3),
+                                     tmp_path / "serial"))
+        parallel = json.loads(run_full(
+            spec_config(generations=3, processes=2), tmp_path / "pool"))
+        serial.pop("config"), parallel.pop("config")
+        assert serial == parallel
+
+    def test_generalize_dss_resume_byte_identical(self, tmp_path):
+        config = gen_config()
+        full = run_full(config, tmp_path / "full")
+        resumed = run_killed_then_resumed(config, tmp_path / "killed",
+                                          stop_after=0)
+        assert resumed == full
+
+    def test_double_kill_then_resume(self, tmp_path):
+        """Kill, resume, kill again, resume again — each leg continues
+        from the latest checkpoint."""
+        config = spec_config(generations=4)
+        full = run_full(config, tmp_path / "full")
+        run_dir = tmp_path / "killed"
+        assert ExperimentRunner(
+            config, run_dir=run_dir,
+            stop_after_generation=0).run().interrupted
+        assert ExperimentRunner.from_run_dir(
+            run_dir, stop_after_generation=2).run(resume=True).interrupted
+        ExperimentRunner.from_run_dir(run_dir).run(resume=True)
+        assert (run_dir / "result.json").read_bytes() == full
+
+    def test_keyboard_interrupt_leaves_resumable_checkpoint(self, tmp_path):
+        """A real interrupt (not the test flag) mid-run still resumes
+        bit-identically — the sink raises after the second generation's
+        checkpoint is on disk."""
+        config = spec_config()
+        full = run_full(config, tmp_path / "full")
+
+        class Bomb(MemorySink):
+            def emit(self, event):
+                super().emit(event)
+                if (event["event"] == "generation"
+                        and event["generation"] == 1):
+                    raise KeyboardInterrupt
+
+        run_dir = tmp_path / "killed"
+        with pytest.raises(KeyboardInterrupt):
+            ExperimentRunner(config, run_dir=run_dir,
+                             sinks=(Bomb(),)).run()
+        ExperimentRunner.from_run_dir(run_dir).run(resume=True)
+        assert (run_dir / "result.json").read_bytes() == full
+
+
+class TestRunDirectory:
+    def test_layout(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_full(spec_config(generations=2), run_dir)
+        assert (run_dir / "config.json").exists()
+        assert (run_dir / "events.jsonl").exists()
+        assert (run_dir / "checkpoint.pkl").exists()
+        assert (run_dir / "result.json").exists()
+        snapshots = sorted(
+            p.name for p in (run_dir / "populations").iterdir())
+        assert snapshots == ["gen_0000.jsonl", "gen_0001.jsonl"]
+
+    def test_population_snapshot_contents(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_full(spec_config(generations=2), run_dir)
+        lines = [json.loads(line) for line in
+                 (run_dir / "populations/gen_0000.jsonl")
+                 .read_text().splitlines()]
+        assert len(lines) == 8
+        for entry in lines:
+            assert entry["expression"]
+            assert entry["fitness"] is not None
+            assert entry["size"] >= 1
+
+    def test_config_json_reconstructs_config(self, tmp_path):
+        run_dir = tmp_path / "run"
+        config = spec_config(generations=2)
+        run_full(config, run_dir)
+        restored = ExperimentConfig.from_json_dict(
+            json.loads((run_dir / "config.json").read_text()))
+        assert restored == config
+
+    def test_fresh_start_into_used_dir_refused(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_full(spec_config(generations=2), run_dir)
+        with pytest.raises(FileExistsError):
+            ExperimentRunner(spec_config(generations=2),
+                             run_dir=run_dir).run()
+
+    def test_resume_without_checkpoint_refused(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ExperimentRunner(spec_config(), run_dir=tmp_path / "empty") \
+                .run(resume=True)
+
+    def test_resume_without_run_dir_refused(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(spec_config()).run(resume=True)
+
+    def test_resume_with_mismatched_config_refused(self, tmp_path):
+        run_dir = tmp_path / "run"
+        assert ExperimentRunner(spec_config(), run_dir=run_dir,
+                                stop_after_generation=0).run().interrupted
+        other = spec_config(params=GPParams(population_size=8,
+                                            generations=4, seed=1))
+        with pytest.raises(ValueError):
+            ExperimentRunner(other, run_dir=run_dir).run(resume=True)
+
+    def test_resume_finished_run_rewrites_identical_result(self, tmp_path):
+        run_dir = tmp_path / "run"
+        first = run_full(spec_config(generations=2), run_dir)
+        ExperimentRunner.from_run_dir(run_dir).run(resume=True)
+        assert (run_dir / "result.json").read_bytes() == first
+
+
+class TestWithoutRunDir:
+    def test_in_memory_run(self):
+        memory = MemorySink()
+        outcome = run_experiment(spec_config(generations=2),
+                                 sinks=(memory,))
+        assert outcome.payload["mode"] == "specialize"
+        assert outcome.specialization.train_speedup >= 1.0 - 1e-9
+        assert memory.of_type("generation")
+
+    def test_matches_legacy_specialize_wrapper(self):
+        from repro.metaopt.harness import case_study
+        from repro.metaopt.specialize import specialize
+
+        config = spec_config(generations=2)
+        outcome = run_experiment(config)
+        legacy = specialize(case_study("hyperblock"), "codrle4",
+                            config.params)
+        assert outcome.specialization.best_expression == \
+            legacy.best_expression
+        assert outcome.specialization.train_speedup == \
+            legacy.train_speedup
+
+    def test_matches_legacy_generalize_wrapper(self):
+        from repro.metaopt.generalize import generalize
+        from repro.metaopt.harness import case_study
+
+        config = gen_config(generations=2)
+        outcome = run_experiment(config)
+        legacy = generalize(case_study("hyperblock"),
+                            config.training_set, config.params,
+                            subset_size=config.subset_size)
+        assert outcome.generalization.best_expression == \
+            legacy.best_expression
+
+
+class TestCheckpointFile:
+    def test_atomic_round_trip(self, tmp_path):
+        path = tmp_path / "checkpoint.pkl"
+        save_checkpoint(path, {"case": "hyperblock"}, {"generation": 3})
+        payload = load_checkpoint(path)
+        assert payload["config"] == {"case": "hyperblock"}
+        assert payload["engine"] == {"generation": 3}
+        assert not path.with_name("checkpoint.pkl.tmp").exists()
+
+    def test_version_check(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "checkpoint.pkl"
+        path.write_bytes(pickle.dumps({"version": 99}))
+        with pytest.raises(ValueError):
+            load_checkpoint(path)

@@ -252,6 +252,87 @@ class TestGenerationBatching:
         assert evaluator.batch_sizes[0] == 9
 
 
+class TestSteppedCheckpointing:
+    def test_step_matches_run(self):
+        stepped = GPEngine(PSET, regression_fitness, ("toy",),
+                           small_params(generations=6))
+        while not stepped.done:
+            stepped.step()
+        monolithic = GPEngine(PSET, regression_fitness, ("toy",),
+                              small_params(generations=6)).run()
+        assert stepped.result().fitness_curve() == \
+            monolithic.fitness_curve()
+        assert stepped.result().best.tree == monolithic.best.tree
+
+    def test_step_after_done_rejected(self):
+        engine = GPEngine(PSET, regression_fitness, ("toy",),
+                          small_params(generations=2))
+        engine.run()
+        with pytest.raises(RuntimeError):
+            engine.step()
+
+    @pytest.mark.parametrize("stop_at", [1, 4, 9])
+    def test_state_round_trip_continues_identically(self, stop_at):
+        reference = GPEngine(PSET, regression_fitness, ("toy",),
+                             small_params()).run()
+
+        first = GPEngine(PSET, regression_fitness, ("toy",),
+                         small_params())
+        for _ in range(stop_at):
+            first.step()
+        state = first.state_dict()
+
+        second = GPEngine(PSET, regression_fitness, ("toy",),
+                          small_params())
+        second.restore_state(state)
+        resumed = second.run()
+        assert resumed.fitness_curve() == reference.fitness_curve()
+        assert resumed.best.tree == reference.best.tree
+        assert resumed.evaluations == reference.evaluations
+
+    def test_state_round_trip_with_dss(self):
+        import random as _random
+
+        benchmarks = ("b0", "b1", "b2", "b3")
+
+        def build():
+            dss = DSSState(benchmarks, subset_size=2,
+                           rng=_random.Random(1))
+            return GPEngine(PSET, regression_fitness, benchmarks,
+                            small_params(generations=8), dss=dss)
+
+        reference = build().run()
+        first = build()
+        for _ in range(3):
+            first.step()
+        second = build()
+        second.restore_state(first.state_dict())
+        resumed = second.run()
+        assert [s.subset for s in resumed.history] == \
+            [s.subset for s in reference.history]
+        assert resumed.fitness_curve() == reference.fitness_curve()
+
+    def test_state_is_picklable_and_detached(self):
+        import pickle
+
+        engine = GPEngine(PSET, regression_fitness, ("toy",),
+                          small_params(generations=4))
+        engine.step()
+        state = pickle.loads(pickle.dumps(engine.state_dict()))
+        engine.step()  # mutating the engine must not affect the snapshot
+        fresh = GPEngine(PSET, regression_fitness, ("toy",),
+                         small_params(generations=4))
+        fresh.restore_state(state)
+        assert fresh.generation == 1
+        assert len(fresh.history) == 1
+
+    def test_unsupported_state_version_rejected(self):
+        engine = GPEngine(PSET, regression_fitness, ("toy",),
+                          small_params())
+        with pytest.raises(ValueError):
+            engine.restore_state({"version": 99})
+
+
 class TestBaselineRankFast:
     def test_matches_quadratic_reference(self):
         import random

@@ -79,6 +79,26 @@ class TestGeneralize:
         assert result.average_train_speedup() == pytest.approx(1.0)
         assert result.machine_name == hb_harness.case.machine.name
 
+    def test_empty_training_averages_raise_clearly(self):
+        """The documented contract: averaging with no recorded scores
+        raises ValueError, not a bare ZeroDivisionError."""
+        from repro.metaopt.generalize import (
+            CrossValidationResult,
+            GeneralizationResult,
+        )
+
+        result = GeneralizationResult(best_tree=None, training=[],
+                                      history=[], evaluations=0)
+        with pytest.raises(ValueError, match="empty"):
+            result.average_train_speedup()
+        with pytest.raises(ValueError, match="empty"):
+            result.average_novel_speedup()
+        cross = CrossValidationResult(scores=[], machine_name="epic")
+        with pytest.raises(ValueError, match="empty"):
+            cross.average_train_speedup()
+        with pytest.raises(ValueError, match="empty"):
+            cross.average_novel_speedup()
+
     def test_cross_validate_other_machine(self):
         from repro.machine.descr import REGALLOC_MACHINE_B
 

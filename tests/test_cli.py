@@ -89,6 +89,78 @@ class TestEvolve:
         assert "train speedup" in output
         assert "expression" in output
 
+    def test_evolve_json_payload(self, capsys):
+        assert main(["evolve", "hyperblock", "codrle4",
+                     "--pop", "8", "--gens", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "specialize"
+        assert payload["benchmark"] == "codrle4"
+        assert payload["train_speedup"] >= 1.0 - 1e-9
+        assert len(payload["history"]) == 2
+        assert payload["config"]["params"]["population_size"] == 8
+
+    def test_evolve_requires_case_and_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["evolve", "--pop", "8"])
+
+    def test_evolve_kill_and_resume_byte_identical(self, tmp_path, capsys):
+        args = ["evolve", "hyperblock", "codrle4",
+                "--pop", "8", "--gens", "2", "--json"]
+        assert main(args + ["--run-dir", str(tmp_path / "full")]) == 0
+        capsys.readouterr()
+
+        assert main(args + ["--run-dir", str(tmp_path / "killed"),
+                            "--stop-after-generation", "0"]) == 0
+        interrupted = json.loads(capsys.readouterr().out)
+        assert interrupted == {"interrupted": True, "next_generation": 1}
+
+        assert main(["evolve", "--resume", "--json",
+                     "--run-dir", str(tmp_path / "killed")]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "killed/result.json").read_bytes() == \
+            (tmp_path / "full/result.json").read_bytes()
+
+    def test_evolve_resume_requires_run_dir(self):
+        with pytest.raises(SystemExit):
+            main(["evolve", "--resume"])
+
+
+class TestGeneralize:
+    def test_generalize_tiny_run(self, capsys):
+        assert main(["generalize", "hyperblock",
+                     "--train", "rawcaudio,codrle4",
+                     "--pop", "8", "--gens", "2",
+                     "--subset-size", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "avg train speedup" in output
+        assert "rawcaudio" in output
+
+    def test_generalize_json_with_cross_validation(self, capsys):
+        assert main(["generalize", "hyperblock",
+                     "--train", "rawcaudio,codrle4",
+                     "--test", "decodrle4",
+                     "--pop", "8", "--gens", "2",
+                     "--subset-size", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "generalize"
+        assert [s["benchmark"] for s in payload["training"]] == \
+            ["rawcaudio", "codrle4"]
+        assert payload["cross_validation"]["scores"][0]["benchmark"] == \
+            "decodrle4"
+
+    def test_generalize_requires_training_set(self):
+        with pytest.raises(SystemExit):
+            main(["generalize", "hyperblock", "--pop", "8"])
+
+
+class TestSimulateJson:
+    def test_simulate_json_counters(self, capsys):
+        assert main(["simulate", "codrle4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "codrle4"
+        assert payload["cycles"] > 0
+        assert 0.0 <= payload["l1_hit_rate"] <= 1.0
+
 
 class TestParser:
     def test_requires_subcommand(self):
