@@ -14,6 +14,15 @@ Subcommands::
     python -m repro simulate BENCHMARK [--dataset train|novel] [...]
         Compile + simulate one suite benchmark, print machine counters.
 
+    python -m repro verify PROGRAM.mc [--inputs data.json] [--machine M]
+        Compile a MiniC file with the IR verifier on and check the
+        optimized binary against the reference interpreter
+        (differential oracle); non-zero exit on any divergence.
+
+    python -m repro fuzz [--count N] [--seed S] [--machine M]
+        Generate N random well-defined MiniC programs and run each
+        through the differential oracle, shrinking any failure.
+
     python -m repro evolve CASE BENCHMARK [--pop N] [--gens N] [...]
         Run Meta Optimization: evolve a priority function for one
         benchmark of a case study and report speedups.
@@ -104,6 +113,91 @@ def cmd_interpret(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.passes.pipeline import CompilerOptions
+    from repro.verify.differential import run_differential
+
+    source = Path(args.program).read_text()
+    inputs = _load_inputs(args.inputs)
+    options = CompilerOptions(
+        machine=MACHINES[args.machine],
+        prefetch=args.prefetch,
+        unroll_factor=args.unroll,
+        verify_ir=not args.no_verify_ir,
+    )
+    result = run_differential(source, inputs, options,
+                              max_steps=args.max_steps, name=args.program)
+    if args.json:
+        payload = {"schema": 1, "program": args.program}
+        payload.update(result.to_json_dict())
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if result.equivalent else 1
+    if result.equivalent:
+        detail = ""
+        if result.interp_fault is not None:
+            detail = " (both engines faulted identically)"
+        print(f"{args.program}: interpreter and simulator agree{detail}")
+        return 0
+    print(f"{args.program}: DIVERGENCE "
+          f"({len(result.divergences)} channel(s))", file=sys.stderr)
+    for divergence in result.divergences:
+        print(f"  {divergence}", file=sys.stderr)
+    print(f"  options: {result.options_summary}", file=sys.stderr)
+    return 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.passes.pipeline import CompilerOptions
+    from repro.verify.fuzz import fuzz
+
+    options = CompilerOptions(
+        machine=MACHINES[args.machine],
+        prefetch=args.prefetch,
+        verify_ir=not args.no_verify_ir,
+    )
+
+    def progress(index, seed, equivalent):
+        if not args.json and not equivalent:
+            print(f"  case {index} (seed {seed}): DIVERGENCE",
+                  file=sys.stderr)
+
+    report = fuzz(args.count, seed=args.seed, options=options,
+                  max_steps=args.max_steps, shrink=not args.no_shrink,
+                  on_case=progress)
+
+    if args.save_dir and report.failures:
+        save_root = Path(args.save_dir)
+        save_root.mkdir(parents=True, exist_ok=True)
+        for failure in report.failures:
+            stem = save_root / f"fuzz-{failure.seed}"
+            stem.with_suffix(".mc").write_text(failure.minimized_source)
+            stem.with_suffix(".inputs.json").write_text(
+                json.dumps(failure.inputs))
+            stem.with_suffix(".report.json").write_text(
+                json.dumps(failure.result.to_json_dict(), indent=2,
+                           sort_keys=True))
+
+    if args.json:
+        payload = {"schema": 1}
+        payload.update(report.to_json_dict())
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    print(f"fuzz: {report.count} programs (seed {report.seed}, "
+          f"machine {args.machine})")
+    print(f"  passed        : {report.passed}")
+    print(f"  agreed faults : {report.agreed_faults}")
+    print(f"  divergences   : {len(report.failures)}")
+    if report.generator_errors:
+        print(f"  generator errors: {len(report.generator_errors)}")
+        for seed, error in report.generator_errors:
+            print(f"    seed {seed}: {error}", file=sys.stderr)
+    for failure in report.failures:
+        print(f"  seed {failure.seed}: {failure.result.first} "
+              f"(minimized to {len(failure.minimized_source.splitlines())} "
+              f"lines, -{failure.removed_stmts} stmts)", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_suite(args: argparse.Namespace) -> int:
     from repro.suite import all_benchmarks
 
@@ -150,6 +244,14 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
         "--stop-after-generation", type=int, metavar="N",
         help="checkpoint generation N (0-based) and stop, as if the "
              "run had been killed — for testing resume workflows")
+
+
+def _add_verify_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="differential guard: check every fresh simulation against "
+             "the reference interpreter; miscompiling candidates get "
+             "worst-case fitness and are never persisted to the cache")
 
 
 def _add_fitness_cache_flags(parser: argparse.ArgumentParser) -> None:
@@ -297,6 +399,7 @@ def cmd_evolve(args: argparse.Namespace) -> int:
             noise_stddev=args.noise,
             processes=args.processes,
             fitness_cache_dir=_fitness_cache_dir(args),
+            verify_outputs=args.verify,
         )
         if not args.json:
             print(f"evolving {args.case} priority for {args.benchmark} "
@@ -328,6 +431,7 @@ def cmd_generalize(args: argparse.Namespace) -> int:
             processes=args.processes,
             fitness_cache_dir=_fitness_cache_dir(args),
             subset_size=args.subset_size,
+            verify_outputs=args.verify,
         )
         if not args.json:
             print(f"evolving general-purpose {args.case} priority over "
@@ -358,6 +462,42 @@ def build_parser() -> argparse.ArgumentParser:
     interp_parser.add_argument("program")
     interp_parser.add_argument("--inputs")
     interp_parser.set_defaults(func=cmd_interpret)
+
+    verify_parser = commands.add_parser(
+        "verify", help="differential-check a MiniC file: interpreter "
+                       "vs optimized simulation, IR verifier on")
+    verify_parser.add_argument("program")
+    verify_parser.add_argument("--inputs", help="JSON file of global inputs")
+    verify_parser.add_argument("--machine", choices=sorted(MACHINES),
+                               default="epic")
+    verify_parser.add_argument("--prefetch", action="store_true")
+    verify_parser.add_argument("--unroll", type=int, default=2,
+                               help="unroll factor (default 2)")
+    verify_parser.add_argument("--no-verify-ir", action="store_true",
+                               help="skip the per-stage IR verifier and "
+                                    "only compare observables")
+    verify_parser.add_argument("--max-steps", type=int, default=10_000_000)
+    verify_parser.add_argument("--json", action="store_true",
+                               help="print the divergence report as JSON")
+    verify_parser.set_defaults(func=cmd_verify)
+
+    fuzz_parser = commands.add_parser(
+        "fuzz", help="differential-fuzz the pipeline with random "
+                     "well-defined MiniC programs")
+    fuzz_parser.add_argument("--count", type=int, default=100)
+    fuzz_parser.add_argument("--seed", type=int, default=0)
+    fuzz_parser.add_argument("--machine", choices=sorted(MACHINES),
+                             default="epic")
+    fuzz_parser.add_argument("--prefetch", action="store_true")
+    fuzz_parser.add_argument("--no-verify-ir", action="store_true")
+    fuzz_parser.add_argument("--no-shrink", action="store_true",
+                             help="report divergences without minimizing")
+    fuzz_parser.add_argument("--max-steps", type=int, default=500_000)
+    fuzz_parser.add_argument("--save-dir", metavar="DIR",
+                             help="write each failure's minimized program, "
+                                  "inputs and report under DIR")
+    fuzz_parser.add_argument("--json", action="store_true")
+    fuzz_parser.set_defaults(func=cmd_fuzz)
 
     suite_parser = commands.add_parser(
         "suite", help="list registered benchmarks")
@@ -393,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=1,
         help="fan fitness evaluations out over a process pool "
              "(1 = serial, the seed-identical reference path)")
+    _add_verify_flag(evolve_parser)
     _add_fitness_cache_flags(evolve_parser)
     _add_campaign_flags(evolve_parser)
     evolve_parser.set_defaults(func=cmd_evolve)
@@ -417,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
     general_parser.add_argument("--seed", type=int, default=0)
     general_parser.add_argument("--noise", type=float, default=0.0)
     general_parser.add_argument("--processes", type=int, default=1)
+    _add_verify_flag(general_parser)
     _add_fitness_cache_flags(general_parser)
     _add_campaign_flags(general_parser)
     general_parser.set_defaults(func=cmd_generalize)

@@ -45,6 +45,9 @@ class ExperimentConfig:
     noise_stddev: float = 0.0
     processes: int = 1
     fitness_cache_dir: str | None = None
+    #: differential guard: verify every fresh simulation against the
+    #: interpreter and give miscompiling candidates worst-case fitness
+    verify_outputs: bool = False
     seed_baseline: bool = True
     subset_size: int | None = None
     #: checkpoint every N completed generations (1 = every generation,

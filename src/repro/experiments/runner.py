@@ -118,6 +118,7 @@ class ExperimentRunner:
             case_study(self.config.case),
             noise_stddev=self.config.noise_stddev,
             fitness_cache=cache,
+            verify_outputs=self.config.verify_outputs,
         )
 
     def _build_engine(self, harness, evaluator):
@@ -299,6 +300,7 @@ class ExperimentRunner:
                 processes=config.processes,
                 noise_stddev=config.noise_stddev,
                 fitness_cache_dir=config.fitness_cache_dir,
+                verify_outputs=config.verify_outputs,
             )
             evaluator_context = evaluator
 

@@ -211,6 +211,14 @@ class Simulator:
         for index, value in enumerate(values):
             self.memory[base + offset + index] = value
 
+    def read_global(self, name: str, count: int | None = None) -> list:
+        """Final contents of a global array (unwritten words read 0),
+        mirroring ``Interpreter.read_global`` for differential checks."""
+        array = self.scheduled.module.globals[name]
+        base = self._layout[name]
+        length = array.size if count is None else count
+        return [self.memory.get(base + i, 0) for i in range(length)]
+
     def run(self, entry: str = "main",
             args: tuple[float | int, ...] = ()) -> SimResult:
         if entry not in self.scheduled.functions:

@@ -105,9 +105,16 @@ class FitnessCache:
         priority_key: tuple,
         benchmark: str,
         dataset: str,
+        verified: bool = False,
     ) -> str | None:
         """Content address for one simulation, or ``None`` when the
-        priority has no stable cross-process identity."""
+        priority has no stable cross-process identity.
+
+        ``verified`` marks entries produced under the harness's
+        differential guard (``verify_outputs=True``).  It is part of
+        the key so a guarded run never reuses an unverified entry —
+        and vice versa — even for the same candidate.
+        """
         if not is_persistable_priority_key(priority_key):
             return None
         payload = repr((
@@ -119,6 +126,7 @@ class FitnessCache:
             priority_key,
             benchmark,
             dataset,
+            bool(verified),
         ))
         return hashlib.sha256(payload.encode()).hexdigest()
 

@@ -166,8 +166,18 @@ class EvaluationHarness:
     max_interp_steps: int = 10_000_000
     #: optional persistent layer (repro.metaopt.fitness_cache)
     fitness_cache: "FitnessCache | None" = None
+    #: differential guard: check every fresh simulation against the
+    #: functional interpreter and give miscompiling candidates
+    #: worst-case fitness instead of crediting a wrong-answer speedup
+    verify_outputs: bool = False
     _prepared: dict[str, PreparedProgram] = field(default_factory=dict)
     _cycles_memo: dict[tuple, SimResult] = field(default_factory=dict)
+    #: per-(benchmark, dataset) interpreter reference observables
+    _reference_memo: dict[tuple, tuple] = field(default_factory=dict)
+    #: memo keys whose simulation diverged from the interpreter
+    _diverged: set = field(default_factory=set)
+    #: (benchmark, dataset, Divergence) records for reporting
+    divergences: list = field(default_factory=list)
     compile_count: int = 0
     sim_count: int = 0
     cache_hits: int = 0
@@ -206,6 +216,7 @@ class EvaluationHarness:
                 priority_key=key[0],
                 benchmark=benchmark,
                 dataset=dataset,
+                verified=self.verify_outputs,
             )
         if persist_key is not None:
             stored = self.fitness_cache.get(persist_key)
@@ -234,9 +245,66 @@ class EvaluationHarness:
         self.sim_count += 1
         self.sim_cycles += result.cycles
         self._cycles_memo[key] = result
-        if persist_key is not None:
+        diverged = False
+        if self.verify_outputs:
+            diverged = self._check_against_reference(
+                key, benchmark, dataset, simulator, result, scheduled)
+        if persist_key is not None and not diverged:
             self.fitness_cache.put(persist_key, result)
         return result
+
+    # -- differential guard ------------------------------------------------
+    def _reference(self, benchmark: str, dataset: str) -> tuple:
+        """Interpreter observables for (benchmark, dataset): a
+        ``(result, globals, fault)`` triple, memoized."""
+        ref_key = (benchmark, dataset)
+        cached = self._reference_memo.get(ref_key)
+        if cached is not None:
+            return cached
+        from repro.ir.interp import Interpreter, InterpError
+
+        prep = self.prepared(benchmark)
+        bench = get_benchmark(benchmark)
+        interp = Interpreter(prep.module, max_steps=self.max_interp_steps)
+        for name, values in bench.inputs(dataset).items():
+            interp.set_global(name, values)
+        result = fault = None
+        globals_snapshot: dict[str, list] = {}
+        try:
+            result = interp.run()
+            globals_snapshot = {
+                name: interp.read_global(name)
+                for name in prep.module.globals
+            }
+        except InterpError as exc:
+            fault = str(exc)
+        cached = (result, globals_snapshot, fault)
+        self._reference_memo[ref_key] = cached
+        return cached
+
+    def _check_against_reference(self, key, benchmark: str, dataset: str,
+                                 simulator: Simulator, result: SimResult,
+                                 scheduled) -> bool:
+        """Compare a fresh simulation against the interpreter; record
+        and flag any divergence.  Returns True when diverged."""
+        from repro.verify.differential import compare_executions
+
+        interp_result, interp_globals, interp_fault = self._reference(
+            benchmark, dataset)
+        sim_globals = {
+            name: simulator.read_global(name)
+            for name in scheduled.module.globals
+        }
+        divergences = compare_executions(
+            interp_result, result, interp_globals, sim_globals,
+            interp_fault=interp_fault, sim_fault=None,
+        )
+        if not divergences:
+            return False
+        self._diverged.add(key)
+        for divergence in divergences:
+            self.divergences.append((benchmark, dataset, divergence))
+        return True
 
     def baseline_result(self, benchmark: str,
                         dataset: str = "train") -> SimResult:
@@ -244,9 +312,16 @@ class EvaluationHarness:
 
     def speedup(self, priority, benchmark: str,
                 dataset: str = "train") -> float:
-        """Execution-time speedup of ``priority`` over the baseline."""
+        """Execution-time speedup of ``priority`` over the baseline.
+
+        With ``verify_outputs`` on, a candidate whose binary diverged
+        from the interpreter gets worst-case fitness (0.0): a wrong
+        answer computed quickly must never look like a speedup.
+        """
         baseline = self.baseline_result(benchmark, dataset).cycles
         candidate = self.simulate(priority, benchmark, dataset).cycles
+        if (_priority_key(priority), benchmark, dataset) in self._diverged:
+            return 0.0
         if candidate <= 0:
             return 0.0
         return baseline / candidate
@@ -259,6 +334,8 @@ class EvaluationHarness:
             "sim_cycles": self.sim_cycles,
             "persistent_cache_hits": self.cache_hits,
         }
+        if self.verify_outputs:
+            counters["divergences"] = len(self.divergences)
         if self.fitness_cache is not None:
             for key, value in self.fitness_cache.stats().items():
                 counters[f"fitness_cache_{key}"] = value

@@ -49,31 +49,34 @@ from repro.gp.parse import unparse
 
 _WORKER_HARNESS = None
 _WORKER_CASE = None
-#: (case_name, noise_stddev, fitness_cache_dir) the globals were built
+#: (case_name, noise_stddev, fitness_cache_dir, verify_outputs) the
+#: globals were built
 #: for — a forked worker only reuses an inherited harness when its own
 #: configuration matches exactly.
 _WORKER_SIGNATURE = None
 
 
 def _worker_init(case_name: str, noise_stddev: float,
-                 fitness_cache_dir: str | None) -> None:
+                 fitness_cache_dir: str | None,
+                 verify_outputs: bool = False) -> None:
     """Build the per-worker harness — unless this worker was forked
     from a pre-warmed parent, in which case the module globals already
     carry a harness whose prepared-program and baseline-cycle caches
     came along copy-on-write."""
     global _WORKER_HARNESS, _WORKER_CASE, _WORKER_SIGNATURE
-    signature = (case_name, noise_stddev, fitness_cache_dir)
+    signature = (case_name, noise_stddev, fitness_cache_dir, verify_outputs)
     if _WORKER_HARNESS is not None and _WORKER_SIGNATURE == signature:
         return
     from repro.metaopt.harness import case_study
 
     _WORKER_CASE = case_study(case_name)
     _WORKER_HARNESS = _make_harness(_WORKER_CASE, noise_stddev,
-                                    fitness_cache_dir)
+                                    fitness_cache_dir, verify_outputs)
     _WORKER_SIGNATURE = signature
 
 
-def _make_harness(case, noise_stddev: float, fitness_cache_dir: str | None):
+def _make_harness(case, noise_stddev: float, fitness_cache_dir: str | None,
+                  verify_outputs: bool = False):
     from repro.metaopt.harness import EvaluationHarness
 
     cache = None
@@ -82,7 +85,8 @@ def _make_harness(case, noise_stddev: float, fitness_cache_dir: str | None):
 
         cache = FitnessCache(fitness_cache_dir)
     return EvaluationHarness(case, noise_stddev=noise_stddev,
-                             fitness_cache=cache)
+                             fitness_cache=cache,
+                             verify_outputs=verify_outputs)
 
 
 def _worker_evaluate(job: tuple[int, str, str, str]) -> tuple[int, float]:
@@ -103,12 +107,14 @@ class ParallelEvaluator:
 
     def __init__(self, case_name: str, processes: int = 2,
                  noise_stddev: float = 0.0,
-                 fitness_cache_dir: str | None = None) -> None:
+                 fitness_cache_dir: str | None = None,
+                 verify_outputs: bool = False) -> None:
         if processes < 1:
             raise ValueError("processes must be >= 1")
         self.case_name = case_name
         self.processes = processes
         self.noise_stddev = noise_stddev
+        self.verify_outputs = verify_outputs
         self.fitness_cache_dir = (
             str(fitness_cache_dir) if fitness_cache_dir is not None else None
         )
@@ -138,14 +144,14 @@ class ParallelEvaluator:
             if self._pool is not None:
                 return  # workers already forked; too late to share
             signature = (self.case_name, self.noise_stddev,
-                         self.fitness_cache_dir)
+                         self.fitness_cache_dir, self.verify_outputs)
             if _WORKER_HARNESS is None or _WORKER_SIGNATURE != signature:
                 from repro.metaopt.harness import case_study
 
                 _WORKER_CASE = case_study(self.case_name)
                 _WORKER_HARNESS = _make_harness(
                     _WORKER_CASE, self.noise_stddev,
-                    self.fitness_cache_dir)
+                    self.fitness_cache_dir, self.verify_outputs)
                 _WORKER_SIGNATURE = signature
             harness = _WORKER_HARNESS
         for benchmark in benchmarks:
@@ -159,7 +165,7 @@ class ParallelEvaluator:
                 self.processes,
                 initializer=_worker_init,
                 initargs=(self.case_name, self.noise_stddev,
-                          self.fitness_cache_dir),
+                          self.fitness_cache_dir, self.verify_outputs),
             )
         return self._pool
 
@@ -169,7 +175,7 @@ class ParallelEvaluator:
 
             self._serial_harness = _make_harness(
                 case_study(self.case_name), self.noise_stddev,
-                self.fitness_cache_dir,
+                self.fitness_cache_dir, self.verify_outputs,
             )
         return self._serial_harness
 

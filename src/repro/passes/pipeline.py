@@ -57,6 +57,7 @@ from repro.passes.regalloc import (
 from repro.passes.schedule import SchedulePriority, schedule_module
 from repro.passes.unroll import unroll_module
 from repro.profile.profiler import ModuleProfile, collect_profile
+from repro.verify.ir_verifier import verify_module, verify_scheduled
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,11 @@ class CompilerOptions:
     prefetch_priority: PrefetchPriority = orc_confidence
     schedule_priority: SchedulePriority | None = None
     hyperblock_threshold: float = 0.10
+    #: Run the structural IR verifier between every pipeline stage
+    #: (and on the final schedule).  Off by default: it roughly doubles
+    #: compile time, so the GP loop enables it only when hunting a
+    #: miscompile (see docs/VERIFY.md).
+    verify_ir: bool = False
 
     def with_priorities(
         self,
@@ -120,12 +126,21 @@ def prepare(
     input.  The input module is not mutated."""
     options = options or CompilerOptions()
     working = module.clone()
+
+    def checkpoint(stage: str) -> None:
+        if options.verify_ir:
+            verify_module(working, stage=stage)
+
+    checkpoint("input")
     if options.inline:
         inline_module(working)
+        checkpoint("inline")
     cleanup_module(working)
+    checkpoint("cleanup")
     if options.unroll_factor >= 2:
         unroll_module(working, options.unroll_factor)
         cleanup_module(working)
+        checkpoint("unroll")
     profile = collect_profile(working, train_inputs, max_steps=max_steps)
     return PreparedProgram(module=working, profile=profile, options=options)
 
@@ -140,6 +155,11 @@ def compile_backend(
     working = prepared.module.clone()
     report = BackendReport()
 
+    def checkpoint(stage: str, allocated: bool = False) -> None:
+        if options.verify_ir:
+            verify_module(working, stage=stage, allocated=allocated,
+                          machine=options.machine if allocated else None)
+
     if options.hyperblock:
         for name, function in working.functions.items():
             report.hyperblock[name] = form_hyperblocks(
@@ -150,6 +170,7 @@ def compile_backend(
                 rel_threshold=options.hyperblock_threshold,
             )
         cleanup_module(working)
+        checkpoint("hyperblock")
 
     if options.prefetch:
         for name, function in working.functions.items():
@@ -159,6 +180,7 @@ def compile_backend(
                 prepared.profile.function(name),
                 options.prefetch_priority,
             )
+        checkpoint("prefetch")
 
     for name, function in working.functions.items():
         freq = {
@@ -169,9 +191,12 @@ def compile_backend(
         report.regalloc[name] = allocate_function(
             function, options.machine, options.spill_priority, freq
         )
+    checkpoint("regalloc", allocated=True)
 
     scheduled = schedule_module(working, options.machine,
                                 options.schedule_priority)
+    if options.verify_ir:
+        verify_scheduled(scheduled, options.machine)
     return scheduled, report
 
 

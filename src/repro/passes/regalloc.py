@@ -205,6 +205,12 @@ class _FunctionAllocator:
             function.params
         )
         entry_list = [reg for reg in entry_live if isinstance(reg, VReg)]
+        for reg in entry_list:
+            # an unused param has no range yet, but still needs a colour
+            # (``_rewrite`` maps every param to a physical register)
+            if reg not in ranges:
+                range_of(reg)
+            interference.setdefault(reg, set())
         for position, left in enumerate(entry_list):
             for right in entry_list[position + 1:]:
                 connect(left, right)

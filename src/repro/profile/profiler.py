@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ir.function import Module
-from repro.ir.interp import Interpreter, RunResult
+from repro.ir.interp import Interpreter, InterpError, RunResult
 from repro.machine.branch import TwoBitPredictor
 
 
@@ -93,9 +93,16 @@ def collect_profile(
                          on_edge=on_edge, on_branch=on_branch)
     for name, values in (inputs or {}).items():
         interp.set_global(name, values)
-    result = interp.run(entry=entry, args=args)
-    profile.run_result = result
-    profile.total_steps = result.steps
+    try:
+        result = interp.run(entry=entry, args=args)
+    except InterpError:
+        # A program that faults on the training input (e.g. division by
+        # zero) still has to compile; the counts collected up to the
+        # fault are the best profile available.
+        result = None
+    if result is not None:
+        profile.run_result = result
+        profile.total_steps = result.steps
 
     # Entry blocks are executed once per call but produce no edge event;
     # reconstruct their counts from outgoing edges.

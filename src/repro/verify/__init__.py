@@ -1,0 +1,51 @@
+"""``repro.verify`` — the compiler's correctness substrate.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.verify.ir_verifier` — structural IR invariant checks
+  (CFG/terminator consistency, def-before-use along the dominator
+  tree, predicate-use legality after if-conversion, register-
+  assignment validity after allocation, VLIW bundle sanity), runnable
+  between any two pipeline stages via ``CompilerOptions(verify_ir=True)``;
+* :mod:`repro.verify.differential` — the interpreter↔simulator
+  differential oracle: compile a MiniC program, execute it on both
+  engines, and demand bit-identical observables (``out`` stream,
+  return value, final global memory);
+* :mod:`repro.verify.fuzz` — a seeded random MiniC program generator
+  plus input generator and greedy test-case minimizer, driving the
+  oracle at scale (``repro fuzz``).
+
+Exports are resolved lazily (PEP 562) so that
+:mod:`repro.passes.pipeline` can import the verifier without creating
+an import cycle through :mod:`repro.compiler`.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "IRVerifyError": "repro.verify.ir_verifier",
+    "VerifyIssue": "repro.verify.ir_verifier",
+    "verify_function": "repro.verify.ir_verifier",
+    "verify_module": "repro.verify.ir_verifier",
+    "verify_scheduled": "repro.verify.ir_verifier",
+    "Divergence": "repro.verify.differential",
+    "DifferentialResult": "repro.verify.differential",
+    "run_differential": "repro.verify.differential",
+    "values_equal": "repro.verify.differential",
+    "FuzzProgram": "repro.verify.fuzz",
+    "FuzzReport": "repro.verify.fuzz",
+    "generate_program": "repro.verify.fuzz",
+    "fuzz": "repro.verify.fuzz",
+    "minimize": "repro.verify.fuzz",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

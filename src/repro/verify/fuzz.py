@@ -1,0 +1,497 @@
+"""Seeded MiniC fuzzer for the differential oracle.
+
+Generates random but *well-defined* MiniC programs — every construct
+that would be undefined behaviour is closed off by construction, so any
+interpreter↔simulator disagreement is a compiler bug, never a property
+of the program:
+
+* integer divisors are ``((e & 7) + 1)`` and float divisors
+  ``(e * e + 0.125)`` — never zero;
+* array indices are masked with ``& (size - 1)`` against power-of-two
+  array sizes — never out of bounds;
+* loops use dedicated counter variables that nothing else assigns,
+  with literal bounds (2–10) and nesting ≤ 2 — always terminating;
+* helper calls are non-recursive (at most one helper, which calls
+  nothing).
+
+Floats may still produce ``inf``/``nan`` — that is fine, because both
+engines run identical IEEE-double arithmetic and the oracle compares
+bit patterns.
+
+The generator builds a small statement tree, renders it to source, and
+keeps the tree attached to the :class:`FuzzProgram` so the greedy
+minimizer can delete subtrees (statements, whole loops, arms) and
+re-test, shrinking a divergent program to a near-minimal reproducer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.passes.pipeline import CompilerOptions
+from repro.verify.differential import DifferentialResult, run_differential
+
+#: power-of-two sizes keep index masking trivially in bounds
+_ARRAY_SIZES = (8, 16, 32, 64)
+_INDENT = "  "
+
+
+@dataclass
+class _Stmt:
+    """One node of the generated statement tree."""
+
+    text: str = ""  # simple statement (used when header is empty)
+    header: str = ""  # "if (...)", "for (...)", "while (...)"
+    body: list["_Stmt"] = field(default_factory=list)
+    orelse: list["_Stmt"] = field(default_factory=list)
+    #: minimizer may try deleting this node (declarations and loop
+    #: counter updates are pinned: deleting them either breaks
+    #: compilation or termination)
+    deletable: bool = True
+
+    def render(self, lines: list[str], depth: int) -> None:
+        pad = _INDENT * depth
+        if not self.header:
+            lines.append(pad + self.text)
+            return
+        lines.append(f"{pad}{self.header} {{")
+        for stmt in self.body:
+            stmt.render(lines, depth + 1)
+        lines.append(pad + "}")
+        if self.orelse:
+            lines.append(pad + "else {")
+            for stmt in self.orelse:
+                stmt.render(lines, depth + 1)
+            lines.append(pad + "}")
+
+
+@dataclass
+class _FuncTree:
+    signature: str  # e.g. "void main()" or "int h0(int a0, int a1)"
+    decls: list[_Stmt]
+    stmts: list[_Stmt]
+    tail: list[_Stmt]  # outs / return — pinned
+
+
+@dataclass
+class FuzzProgram:
+    """One generated test case."""
+
+    seed: int
+    source: str
+    inputs: dict[str, list]
+    _globals: list[str] = field(default_factory=list, repr=False)
+    _funcs: list[_FuncTree] = field(default_factory=list, repr=False)
+
+    def render(self) -> str:
+        lines = [f"// fuzz seed={self.seed}"]
+        lines.extend(self._globals)
+        for func in self._funcs:
+            lines.append("")
+            lines.append(f"{func.signature} {{")
+            for stmt in func.decls + func.stmts + func.tail:
+                stmt.render(lines, 1)
+            lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+class _Generator:
+    """Builds one random program from a seeded RNG."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.int_arrays: list[tuple[str, int]] = []
+        self.float_arrays: list[tuple[str, int]] = []
+        self._counter = 0
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    # -- expressions -----------------------------------------------------
+    def int_expr(self, ivars: list[str], depth: int) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.3:
+            if ivars and rng.random() < 0.6:
+                return rng.choice(ivars)
+            return str(rng.randint(-64, 64))
+        pick = rng.random()
+        a = self.int_expr(ivars, depth - 1)
+        if pick < 0.10 and self.int_arrays:
+            name, size = rng.choice(self.int_arrays)
+            return f"{name}[({a}) & {size - 1}]"
+        b = self.int_expr(ivars, depth - 1)
+        if pick < 0.45:
+            op = rng.choice(("+", "-", "*"))
+            return f"({a} {op} {b})"
+        if pick < 0.60:
+            op = rng.choice(("&", "|", "^"))
+            return f"({a} {op} {b})"
+        if pick < 0.70:
+            op = rng.choice(("/", "%"))
+            return f"({a} {op} (({b} & 7) + 1))"
+        if pick < 0.78:
+            op = rng.choice(("<<", ">>"))
+            return f"({a} {op} ({b} & 7))"
+        if pick < 0.90:
+            rel = rng.choice(("<", "<=", ">", ">=", "==", "!="))
+            return f"({a} {rel} {b})"
+        if pick < 0.95:
+            return f"abs({a})"
+        return f"(-{a})"
+
+    def float_expr(self, ivars: list[str], fvars: list[str],
+                   depth: int) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.3:
+            if fvars and rng.random() < 0.6:
+                return rng.choice(fvars)
+            return f"{rng.uniform(-8.0, 8.0):.3f}"
+        pick = rng.random()
+        a = self.float_expr(ivars, fvars, depth - 1)
+        if pick < 0.10 and self.float_arrays:
+            name, size = rng.choice(self.float_arrays)
+            index = self.int_expr(ivars, depth - 1)
+            return f"{name}[({index}) & {size - 1}]"
+        if pick < 0.20:
+            return f"sqrt(fabs({a}))"
+        if pick < 0.28:
+            return f"fabs({a})"
+        b = self.float_expr(ivars, fvars, depth - 1)
+        if pick < 0.70:
+            op = rng.choice(("+", "-", "*"))
+            return f"({a} {op} {b})"
+        if pick < 0.82:
+            return f"({a} / ({b} * {b} + 0.125))"
+        # mixed int/float arithmetic exercises itof
+        return f"({self.int_expr(ivars, depth - 1)} + {a})"
+
+    def cond(self, ivars: list[str], depth: int) -> str:
+        a = self.int_expr(ivars, depth)
+        b = self.int_expr(ivars, depth)
+        rel = self.rng.choice(("<", "<=", ">", ">=", "==", "!="))
+        return f"({a} {rel} {b})"
+
+    # -- statements ------------------------------------------------------
+    def _block(self, ivars: list[str], fvars: list[str],
+               decls: list[_Stmt], stmt_budget: int, loop_depth: int,
+               allow_call: str | None) -> list[_Stmt]:
+        rng = self.rng
+        stmts: list[_Stmt] = []
+        while stmt_budget > 0:
+            stmt_budget -= 1
+            pick = rng.random()
+            if pick < 0.28 and ivars:
+                target = rng.choice(ivars)
+                stmts.append(_Stmt(
+                    text=f"{target} = {self.int_expr(ivars, 3)};"))
+            elif pick < 0.40 and fvars:
+                target = rng.choice(fvars)
+                stmts.append(_Stmt(
+                    text=f"{target} = "
+                         f"{self.float_expr(ivars, fvars, 3)};"))
+            elif pick < 0.52 and (self.int_arrays or self.float_arrays):
+                pool = ([(n, s, "int") for n, s in self.int_arrays]
+                        + [(n, s, "float") for n, s in self.float_arrays])
+                name, size, kind = rng.choice(pool)
+                index = self.int_expr(ivars, 2)
+                value = (self.int_expr(ivars, 3) if kind == "int"
+                         else self.float_expr(ivars, fvars, 3))
+                stmts.append(_Stmt(
+                    text=f"{name}[({index}) & {size - 1}] = {value};"))
+            elif pick < 0.60:
+                value = (self.int_expr(ivars, 3) if rng.random() < 0.7
+                         or not fvars
+                         else self.float_expr(ivars, fvars, 3))
+                stmts.append(_Stmt(text=f"out({value});"))
+            elif pick < 0.66 and allow_call and ivars:
+                target = rng.choice(ivars)
+                args = f"{self.int_expr(ivars, 2)}, " \
+                       f"{self.int_expr(ivars, 2)}"
+                stmts.append(_Stmt(
+                    text=f"{target} = {allow_call}({args});"))
+            elif pick < 0.82:
+                body = self._block(ivars, fvars, decls,
+                                   rng.randint(1, 3), loop_depth,
+                                   allow_call)
+                node = _Stmt(header=f"if {self.cond(ivars, 2)}",
+                             body=body)
+                if rng.random() < 0.5:
+                    node.orelse = self._block(ivars, fvars, decls,
+                                              rng.randint(1, 2),
+                                              loop_depth, allow_call)
+                stmts.append(node)
+            elif loop_depth < 2:
+                counter = self._fresh("l")
+                decls.append(_Stmt(text=f"int {counter} = 0;",
+                                   deletable=False))
+                bound = rng.randint(2, 10)
+                body = self._block(ivars, fvars, decls,
+                                   rng.randint(1, 3), loop_depth + 1,
+                                   allow_call)
+                if rng.random() < 0.5:
+                    stmts.append(_Stmt(
+                        header=f"for ({counter} = 0; {counter} < {bound};"
+                               f" {counter} = {counter} + 1)",
+                        body=body))
+                else:
+                    # while form: the counter update is pinned so the
+                    # minimizer cannot create an infinite loop
+                    body.append(_Stmt(
+                        text=f"{counter} = {counter} + 1;",
+                        deletable=False))
+                    stmts.append(_Stmt(
+                        header=f"while ({counter} < {bound})",
+                        body=body))
+        return stmts
+
+    def _function(self, name: str, params: list[str],
+                  returns_int: bool, stmt_budget: int,
+                  allow_call: str | None) -> _FuncTree:
+        rng = self.rng
+        ivars = list(params)
+        fvars: list[str] = []
+        decls: list[_Stmt] = []
+        for _ in range(rng.randint(2, 4)):
+            var = self._fresh("i")
+            decls.append(_Stmt(text=f"int {var} = {rng.randint(-32, 32)};",
+                               deletable=False))
+            ivars.append(var)
+        for _ in range(rng.randint(1, 3)):
+            var = self._fresh("f")
+            decls.append(_Stmt(
+                text=f"float {var} = {rng.uniform(-4.0, 4.0):.3f};",
+                deletable=False))
+            fvars.append(var)
+
+        stmts = self._block(ivars, fvars, decls, stmt_budget, 0,
+                            allow_call)
+
+        tail: list[_Stmt] = []
+        if returns_int:
+            tail.append(_Stmt(text=f"return {self.int_expr(ivars, 2)};",
+                              deletable=False))
+            signature = (f"int {name}("
+                         + ", ".join(f"int {p}" for p in params) + ")")
+        else:
+            # observe every scalar so dead-code elimination cannot hide
+            # a miscompiled computation
+            for var in ivars:
+                tail.append(_Stmt(text=f"out({var});", deletable=False))
+            for var in fvars:
+                tail.append(_Stmt(text=f"out({var});", deletable=False))
+            signature = f"void {name}()"
+        return _FuncTree(signature=signature, decls=decls, stmts=stmts,
+                         tail=tail)
+
+    # -- whole program ---------------------------------------------------
+    def program(self) -> FuzzProgram:
+        rng = self.rng
+        globals_src: list[str] = []
+        inputs: dict[str, list] = {}
+        for index in range(rng.randint(2, 4)):
+            name = f"g{index}"
+            size = rng.choice(_ARRAY_SIZES)
+            if rng.random() < 0.65:
+                globals_src.append(f"int {name}[{size}];")
+                self.int_arrays.append((name, size))
+                inputs[name] = [rng.randint(-100, 100)
+                                for _ in range(size)]
+            else:
+                globals_src.append(f"float {name}[{size}];")
+                self.float_arrays.append((name, size))
+                inputs[name] = [round(rng.uniform(-8.0, 8.0), 3)
+                                for _ in range(size)]
+
+        funcs: list[_FuncTree] = []
+        helper_name = None
+        if rng.random() < 0.5:
+            helper_name = "h0"
+            funcs.append(self._function(
+                helper_name, ["a0", "a1"], returns_int=True,
+                stmt_budget=rng.randint(2, 5), allow_call=None))
+        funcs.append(self._function(
+            "main", [], returns_int=False,
+            stmt_budget=rng.randint(4, 9), allow_call=helper_name))
+
+        program = FuzzProgram(seed=self.seed, source="", inputs=inputs,
+                              _globals=globals_src, _funcs=funcs)
+        program.source = program.render()
+        return program
+
+
+def generate_program(seed: int) -> FuzzProgram:
+    """One deterministic random program for ``seed``."""
+    return _Generator(seed).program()
+
+
+# ---------------------------------------------------------------------------
+# Minimization
+# ---------------------------------------------------------------------------
+
+
+def _deletable_nodes(program: FuzzProgram) -> list[tuple[list, int]]:
+    """(container, index) of every node the minimizer may remove,
+    deepest first so inner statements go before their enclosing loop."""
+    found: list[tuple[list, int]] = []
+
+    def walk(container: list[_Stmt]) -> None:
+        for index, stmt in enumerate(container):
+            walk(stmt.body)
+            walk(stmt.orelse)
+            if stmt.deletable:
+                found.append((container, index))
+
+    for func in program._funcs:
+        walk(func.stmts)
+    return found
+
+
+def minimize(
+    program: FuzzProgram,
+    options: CompilerOptions | None = None,
+    max_steps: int = 500_000,
+) -> tuple[FuzzProgram, int]:
+    """Greedy divergence-preserving shrink.
+
+    Repeatedly deletes statements (deepest first) as long as the
+    program still diverges, until a fixed point.  Returns the shrunk
+    program and the number of deleted statements.  A program without
+    its generator tree is returned unchanged.
+    """
+    if not program._funcs:
+        return program, 0
+
+    def still_fails(candidate: FuzzProgram) -> bool:
+        try:
+            result = run_differential(candidate.source, candidate.inputs,
+                                      options, max_steps=max_steps)
+        except Exception:
+            return False  # deletion broke compilation: reject
+        return not result.equivalent
+
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for container, index in _deletable_nodes(program):
+            stmt = container[index]
+            del container[index]
+            program.source = program.render()
+            if still_fails(program):
+                removed += 1
+                changed = True
+                break  # node list is stale; re-walk
+            container.insert(index, stmt)
+            program.source = program.render()
+    return program, removed
+
+
+# ---------------------------------------------------------------------------
+# Campaign driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuzzFailure:
+    """One divergent case, with its shrunk reproducer."""
+
+    seed: int
+    source: str
+    minimized_source: str
+    inputs: dict[str, list]
+    result: DifferentialResult
+    removed_stmts: int = 0
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    count: int
+    seed: int
+    passed: int = 0
+    agreed_faults: int = 0  # both engines faulted identically
+    failures: list[FuzzFailure] = field(default_factory=list)
+    generator_errors: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.generator_errors
+
+    def to_json_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "seed": self.seed,
+            "passed": self.passed,
+            "agreed_faults": self.agreed_faults,
+            "failures": [
+                {
+                    "seed": f.seed,
+                    "source": f.source,
+                    "minimized_source": f.minimized_source,
+                    "inputs": f.inputs,
+                    "removed_stmts": f.removed_stmts,
+                    "report": f.result.to_json_dict(),
+                }
+                for f in self.failures
+            ],
+            "generator_errors": [
+                {"seed": s, "error": e} for s, e in self.generator_errors
+            ],
+        }
+
+
+def case_seed(campaign_seed: int, index: int) -> int:
+    """Stable per-case seed: reproducible independently of ``count``."""
+    return (campaign_seed << 20) ^ index
+
+
+def fuzz(
+    count: int,
+    seed: int = 0,
+    options: CompilerOptions | None = None,
+    max_steps: int = 500_000,
+    shrink: bool = True,
+    on_case=None,
+) -> FuzzReport:
+    """Run ``count`` generated programs through the differential oracle.
+
+    ``on_case(index, seed, equivalent)`` is an optional progress hook.
+    Divergent cases are greedily minimized (``shrink=False`` skips it).
+    """
+    report = FuzzReport(count=count, seed=seed)
+    for index in range(count):
+        this_seed = case_seed(seed, index)
+        try:
+            program = generate_program(this_seed)
+            result = run_differential(program.source, program.inputs,
+                                      options, max_steps=max_steps)
+        except Exception as exc:  # generator produced invalid MiniC
+            report.generator_errors.append((this_seed, repr(exc)))
+            if on_case is not None:
+                on_case(index, this_seed, False)
+            continue
+        if result.equivalent:
+            report.passed += 1
+            if result.interp_fault is not None:
+                report.agreed_faults += 1
+        else:
+            original = program.source
+            removed = 0
+            if shrink:
+                program, removed = minimize(program, options,
+                                            max_steps=max_steps)
+            report.failures.append(FuzzFailure(
+                seed=this_seed,
+                source=original,
+                minimized_source=program.source,
+                inputs=program.inputs,
+                result=result,
+                removed_stmts=removed,
+            ))
+        if on_case is not None:
+            on_case(index, this_seed, result.equivalent)
+    return report

@@ -171,3 +171,99 @@ class TestParser:
         program, _ = program_file
         with pytest.raises(SystemExit):
             main(["run", program, "--machine", "cray"])
+
+
+class TestVerify:
+    def test_clean_program_exits_zero(self, program_file, capsys):
+        program, inputs = program_file
+        assert main(["verify", program, "--inputs", inputs]) == 0
+        assert "agree" in capsys.readouterr().out
+
+    def test_json_schema(self, program_file, capsys):
+        program, inputs = program_file
+        assert main(["verify", program, "--inputs", inputs,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["equivalent"] is True
+        assert payload["divergences"] == []
+        assert payload["options"]["machine"] == "epic-default"
+
+    def test_known_bad_case_exits_nonzero_with_report(
+            self, program_file, capsys, monkeypatch):
+        """Fault injection: a corrupted simulation must produce a
+        non-zero exit and a structured JSON divergence report."""
+        from repro.machine import sim as sim_mod
+
+        original = sim_mod.Simulator.run
+
+        def corrupted(self, entry="main"):
+            result = original(self, entry)
+            result.outputs = [value + 1 for value in result.outputs]
+            return result
+
+        monkeypatch.setattr(sim_mod.Simulator, "run", corrupted)
+        program, inputs = program_file
+        assert main(["verify", program, "--inputs", inputs,
+                     "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["equivalent"] is False
+        first = payload["divergences"][0]
+        assert first["channel"] == "out"
+        assert first["interp_value"] == 45
+        assert first["sim_value"] == 46
+
+    def test_human_divergence_report(self, program_file, capsys,
+                                     monkeypatch):
+        from repro.machine import sim as sim_mod
+
+        original = sim_mod.Simulator.run
+
+        def corrupted(self, entry="main"):
+            result = original(self, entry)
+            result.outputs = [value + 1 for value in result.outputs]
+            return result
+
+        monkeypatch.setattr(sim_mod.Simulator, "run", corrupted)
+        program, inputs = program_file
+        assert main(["verify", program, "--inputs", inputs]) == 1
+        assert "DIVERGENCE" in capsys.readouterr().err
+
+
+class TestFuzz:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--count", "3", "--seed", "11"]) == 0
+        output = capsys.readouterr().out
+        assert "passed        : 3" in output
+
+    def test_json_schema(self, capsys):
+        assert main(["fuzz", "--count", "2", "--seed", "11",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["count"] == 2
+        assert payload["passed"] == 2
+        assert payload["failures"] == []
+
+    def test_injected_failure_saved_and_nonzero(self, tmp_path, capsys,
+                                                monkeypatch):
+        from repro.machine import sim as sim_mod
+
+        original = sim_mod.Simulator.run
+
+        def corrupted(self, entry="main"):
+            result = original(self, entry)
+            result.outputs = list(result.outputs) + [777]
+            return result
+
+        monkeypatch.setattr(sim_mod.Simulator, "run", corrupted)
+        save_dir = tmp_path / "found"
+        assert main(["fuzz", "--count", "1", "--seed", "0",
+                     "--no-shrink", "--save-dir", str(save_dir),
+                     "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["failures"]) == 1
+        saved = sorted(path.name for path in save_dir.iterdir())
+        assert any(name.endswith(".mc") for name in saved)
+        assert any(name.endswith(".inputs.json") for name in saved)
+        assert any(name.endswith(".report.json") for name in saved)

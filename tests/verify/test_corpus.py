@@ -1,0 +1,57 @@
+"""Auto-collected differential regression corpus (tests/corpus/).
+
+Every ``NAME.mc`` + ``NAME.inputs.json`` pair under ``tests/corpus/``
+is run through the differential oracle under two configurations —
+default EPIC and Itanium + prefetch — with the per-stage IR verifier
+on.  A new fuzzer-found reproducer dropped into the directory is picked
+up automatically; see ``tests/corpus/README.md``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.machine.descr import ITANIUM_MACHINE
+from repro.passes.pipeline import CompilerOptions
+from repro.verify.differential import run_differential
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+CONFIGS = {
+    "default": CompilerOptions(verify_ir=True),
+    "itanium-prefetch": CompilerOptions(machine=ITANIUM_MACHINE,
+                                        prefetch=True, verify_ir=True),
+}
+
+
+def corpus_entries():
+    entries = sorted(CORPUS_DIR.glob("*.mc"))
+    assert entries, f"no corpus programs under {CORPUS_DIR}"
+    return entries
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize(
+    "program_path", corpus_entries(), ids=lambda path: path.stem)
+def test_corpus_program_is_equivalent(program_path, config_name):
+    inputs_path = program_path.with_suffix("").with_suffix(".inputs.json")
+    inputs = (json.loads(inputs_path.read_text())
+              if inputs_path.exists() else {})
+    result = run_differential(
+        program_path.read_text(), inputs, CONFIGS[config_name],
+        name=program_path.stem,
+    )
+    assert result.equivalent, (
+        f"{program_path.stem} under {config_name}: {result.first}"
+    )
+
+
+def test_every_program_has_inputs_file():
+    for program_path in corpus_entries():
+        inputs_path = program_path.with_suffix("").with_suffix(
+            ".inputs.json")
+        assert inputs_path.exists(), (
+            f"{program_path.name} is missing {inputs_path.name} "
+            "(use {} for no inputs)"
+        )

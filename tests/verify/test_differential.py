@@ -1,0 +1,148 @@
+"""Differential oracle: observable equality, divergence reporting."""
+
+import math
+
+from repro.machine import sim as sim_mod
+from repro.passes.pipeline import CompilerOptions
+from repro.verify.differential import (
+    Divergence,
+    compare_executions,
+    run_differential,
+    values_equal,
+)
+
+SOURCE = """
+int data[8];
+float scale[4];
+void main() {
+  int i;
+  int acc = 0;
+  float facc = 0.0;
+  for (i = 0; i < 8; i = i + 1) { acc = acc + data[i]; }
+  for (i = 0; i < 4; i = i + 1) { facc = facc + scale[i] * acc; }
+  data[0] = acc;
+  out(acc);
+  out(facc);
+}
+"""
+
+INPUTS = {"data": [3, -1, 4, -1, 5, -9, 2, 6],
+          "scale": [0.5, -0.25, 1.5, 2.0]}
+
+FAULTING = """
+int n;
+void main() {
+  out(100 / n);
+}
+"""
+
+
+class TestValuesEqual:
+    def test_ints(self):
+        assert values_equal(3, 3)
+        assert not values_equal(3, 4)
+
+    def test_int_float_distinct(self):
+        assert not values_equal(1, 1.0)
+
+    def test_nan_equals_nan(self):
+        assert values_equal(float("nan"), float("nan"))
+        assert not values_equal(float("nan"), 0.0)
+
+    def test_signed_zero_distinct(self):
+        assert not values_equal(0.0, -0.0)
+        assert values_equal(-0.0, -0.0)
+
+    def test_inf(self):
+        assert values_equal(math.inf, math.inf)
+        assert not values_equal(math.inf, -math.inf)
+
+
+class TestCompareExecutions:
+    def test_both_faults_agree(self):
+        assert compare_executions(None, None, {}, {},
+                                  interp_fault="div0",
+                                  sim_fault="div0 too") == []
+
+    def test_one_sided_fault_diverges(self):
+        divergences = compare_executions(None, None, {}, {},
+                                         interp_fault="div0",
+                                         sim_fault=None)
+        assert divergences[0].channel == "fault"
+
+
+class TestRunDifferential:
+    def test_clean_program_equivalent(self):
+        result = run_differential(SOURCE, INPUTS)
+        assert result.equivalent
+        assert result.divergences == []
+        assert result.options_summary["machine"] == "epic-default"
+
+    def test_verify_ir_composes(self):
+        options = CompilerOptions(verify_ir=True)
+        result = run_differential(SOURCE, INPUTS, options)
+        assert result.equivalent
+
+    def test_agreed_fault_is_equivalent(self):
+        result = run_differential(FAULTING, {"n": [0]})
+        assert result.equivalent
+        assert result.interp_fault is not None
+        assert result.sim_fault is not None
+
+    def test_injected_miscompile_reported(self, monkeypatch):
+        original = sim_mod.Simulator.run
+
+        def corrupted(self, entry="main"):
+            result = original(self, entry)
+            result.outputs = [value + 1 if isinstance(value, int) else value
+                              for value in result.outputs]
+            return result
+
+        monkeypatch.setattr(sim_mod.Simulator, "run", corrupted)
+        result = run_differential(SOURCE, INPUTS)
+        assert not result.equivalent
+        first = result.first
+        assert first is not None and first.channel == "out"
+        payload = result.to_json_dict()
+        assert payload["equivalent"] is False
+        assert payload["divergences"][0]["channel"] == "out"
+        assert payload["options"]["machine"] == "epic-default"
+
+    def test_global_channel_names_symbol(self, monkeypatch):
+        original = sim_mod.Simulator.run
+
+        def corrupt_memory(self, entry="main"):
+            result = original(self, entry)
+            base = self._layout["data"]
+            self.memory[base] = self.memory.get(base, 0) + 7
+            return result
+
+        monkeypatch.setattr(sim_mod.Simulator, "run", corrupt_memory)
+        result = run_differential(SOURCE, INPUTS)
+        assert not result.equivalent
+        channels = {d.channel for d in result.divergences}
+        assert "global" in channels
+        diverged = next(d for d in result.divergences
+                        if d.channel == "global")
+        assert diverged.symbol == "data"
+        assert diverged.index == 0
+
+
+class TestDivergenceRendering:
+    def test_str_and_json(self):
+        divergence = Divergence(channel="global", detail="differs",
+                                symbol="data", index=3,
+                                interp_value=1, sim_value=2)
+        text = str(divergence)
+        assert "global data[3]" in text
+        payload = divergence.to_json_dict()
+        assert payload["symbol"] == "data"
+        assert payload["index"] == 3
+
+    def test_json_encodes_nonfinite_floats(self):
+        divergence = Divergence(channel="out", detail="nan",
+                                interp_value=float("nan"),
+                                sim_value=float("-inf"))
+        payload = divergence.to_json_dict()
+        assert payload["interp_value"] == "nan"
+        assert payload["sim_value"] == "-inf"

@@ -1,0 +1,90 @@
+"""Fuzzer: determinism, well-definedness, campaign driver, minimizer."""
+
+from repro.frontend import compile_source
+from repro.machine import sim as sim_mod
+from repro.verify.differential import run_differential
+from repro.verify.fuzz import case_seed, fuzz, generate_program, minimize
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        left = generate_program(42)
+        right = generate_program(42)
+        assert left.source == right.source
+        assert left.inputs == right.inputs
+
+    def test_distinct_seeds_distinct_programs(self):
+        assert generate_program(1).source != generate_program(2).source
+
+    def test_generated_programs_compile(self):
+        for seed in range(10):
+            program = generate_program(seed)
+            module = compile_source(program.source, f"fuzz-{seed}")
+            assert "main" in module.functions
+
+    def test_case_seed_stable(self):
+        # per-case seeds must not depend on the campaign size
+        assert case_seed(5, 3) == case_seed(5, 3)
+        assert case_seed(5, 3) != case_seed(5, 4)
+        assert case_seed(5, 3) != case_seed(6, 3)
+
+
+class TestCampaign:
+    def test_small_campaign_is_clean(self):
+        report = fuzz(8, seed=0)
+        assert report.ok
+        assert report.passed == 8
+        assert report.failures == []
+        assert report.generator_errors == []
+
+    def test_report_json_schema(self):
+        report = fuzz(2, seed=1)
+        payload = report.to_json_dict()
+        assert set(payload) == {"count", "seed", "passed", "agreed_faults",
+                                "failures", "generator_errors"}
+
+    def test_campaign_catches_injected_miscompile(self, monkeypatch):
+        original = sim_mod.Simulator.run
+
+        def corrupted(self, entry="main"):
+            result = original(self, entry)
+            result.outputs = list(result.outputs) + [12345]
+            return result
+
+        monkeypatch.setattr(sim_mod.Simulator, "run", corrupted)
+        report = fuzz(2, seed=0, shrink=False)
+        assert not report.ok
+        assert len(report.failures) == 2
+        failure = report.failures[0]
+        assert failure.result.first is not None
+        assert failure.minimized_source == failure.source  # shrink off
+
+
+class TestMinimizer:
+    def test_minimizer_shrinks_injected_failure(self, monkeypatch):
+        original = sim_mod.Simulator.run
+
+        def corrupted(self, entry="main"):
+            result = original(self, entry)
+            result.outputs = list(result.outputs) + [12345]
+            return result
+
+        monkeypatch.setattr(sim_mod.Simulator, "run", corrupted)
+        program = generate_program(case_seed(0, 0))
+        before = program.source
+        shrunk, removed = minimize(program, max_steps=200_000)
+        # every deletable statement can go: the injected bug fires on
+        # any program, so the minimizer should reach a skeleton
+        assert removed > 0
+        assert len(shrunk.source) < len(before)
+        result = run_differential(shrunk.source, shrunk.inputs,
+                                  max_steps=200_000)
+        assert not result.equivalent  # still reproduces
+
+    def test_minimizer_keeps_divergence_free_program_intact(self):
+        program = generate_program(case_seed(0, 1))
+        before = program.source
+        shrunk, removed = minimize(program, max_steps=200_000)
+        # no divergence -> first deletion never "still fails" -> no-op
+        assert removed == 0
+        assert shrunk.source == before
