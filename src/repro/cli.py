@@ -14,6 +14,10 @@ Subcommands::
     python -m repro simulate BENCHMARK [--dataset train|novel] [...]
         Compile + simulate one suite benchmark, print machine counters.
 
+    python -m repro profile BENCHMARK [--case C] [--trace FILE]
+        Compile + simulate one benchmark with observability on and
+        print per-pass timing and simulator counter tables.
+
     python -m repro verify PROGRAM.mc [--inputs data.json] [--machine M]
         Compile a MiniC file with the IR verifier on and check the
         optimized binary against the reference interpreter
@@ -38,6 +42,13 @@ persists config/telemetry/checkpoints under a run directory,
 prints the machine-readable ``result.json`` payload instead of the
 human summary (also available on ``simulate``).  See
 ``docs/EXPERIMENTS_API.md``.
+
+``simulate``, ``evolve``, and ``generalize`` also take ``--trace FILE``
+(write a Chrome ``trace_event`` JSON of the run, loadable in
+``chrome://tracing`` / Perfetto) and ``--metrics`` (collect
+:mod:`repro.obs` metrics: on campaigns, per-generation ``metrics``
+events land in ``events.jsonl``; on ``simulate``, a counter summary is
+printed).  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -83,6 +94,95 @@ def _print_sim_result(result) -> None:
     print(f"L1 hit rate      : {result.l1_hit_rate:.2%}")
     print(f"branch accuracy  : {result.branch_accuracy:.2%}")
     print(f"prefetches       : {result.prefetch_count}")
+
+
+#: Pipeline stage display order for the profile tables.
+_STAGE_ORDER = ("inline", "cleanup", "unroll", "profile",
+                "hyperblock", "prefetch", "regalloc", "schedule")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a Chrome trace_event JSON of this run to FILE "
+             "(load in chrome://tracing or https://ui.perfetto.dev)")
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect repro.obs metrics: campaigns emit per-generation "
+             "'metrics' events into events.jsonl; simulate prints a "
+             "counter summary")
+
+
+def _print_pass_table(snapshot: dict) -> None:
+    """Per-pass timing + IR delta table from a metrics snapshot."""
+    counters = snapshot["counters"]
+    histograms = snapshot["histograms"]
+    stages = [name[len("pipeline.pass_seconds."):]
+              for name in histograms
+              if name.startswith("pipeline.pass_seconds.")]
+    ordered = [s for s in _STAGE_ORDER if s in stages]
+    ordered += sorted(s for s in stages if s not in _STAGE_ORDER)
+    print(f"{'pass':<12s}{'runs':>6s}{'total_s':>11s}{'mean_s':>11s}"
+          f"{'ir_delta':>10s}")
+    for stage in ordered:
+        data = histograms[f"pipeline.pass_seconds.{stage}"]
+        runs = counters.get(f"pipeline.pass_runs.{stage}", data["count"])
+        mean = data["sum"] / data["count"] if data["count"] else 0.0
+        delta = counters.get(f"pipeline.ir_delta.{stage}", 0)
+        print(f"{stage:<12s}{runs:>6d}{data['sum']:>11.4f}{mean:>11.5f}"
+              f"{delta:>+10d}")
+
+
+def _print_counter_table(snapshot: dict, prefix: str, title: str) -> None:
+    rows = sorted((name[len(prefix):], value)
+                  for name, value in snapshot["counters"].items()
+                  if name.startswith(prefix))
+    if not rows:
+        return
+    print(f"{title:<24s}{'value':>12s}")
+    for name, value in rows:
+        print(f"{name:<24s}{value:>12}")
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.metaopt.harness import EvaluationHarness, case_study
+
+    registry = obs.enable_metrics()
+    tracer = obs.enable_tracing() if args.trace else None
+    try:
+        harness = EvaluationHarness(case_study(args.case))
+        result = harness.baseline_result(args.benchmark, args.dataset)
+    finally:
+        obs.disable_metrics()
+        if tracer is not None:
+            obs.disable_tracing()
+    snapshot = registry.snapshot()
+    if tracer is not None:
+        tracer.write(args.trace)
+
+    if args.json:
+        print(json.dumps({
+            "schema": 1,
+            "benchmark": args.benchmark,
+            "case": args.case,
+            "dataset": args.dataset,
+            "machine": harness.case.machine.name,
+            "cycles": result.cycles,
+            "metrics": snapshot,
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"profile of {args.benchmark} ({args.case} baseline, "
+          f"{args.dataset} data, {harness.case.machine.name})")
+    print()
+    _print_pass_table(snapshot)
+    print()
+    _print_counter_table(snapshot, "sim.", "simulator counter")
+    print()
+    _print_sim_result(result)
+    if tracer is not None:
+        print(f"trace written    : {args.trace}")
+    return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -266,13 +366,23 @@ def _add_fitness_cache_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.metaopt.harness import EvaluationHarness, case_study
 
-    harness = EvaluationHarness(case_study(args.case),
-                                fitness_cache=_resolve_fitness_cache(args))
-    result = harness.baseline_result(args.benchmark, args.dataset)
+    tracer = obs.enable_tracing() if args.trace else None
+    registry = obs.enable_metrics() if args.metrics else None
+    try:
+        harness = EvaluationHarness(case_study(args.case),
+                                    fitness_cache=_resolve_fitness_cache(args))
+        result = harness.baseline_result(args.benchmark, args.dataset)
+    finally:
+        if registry is not None:
+            obs.disable_metrics()
+        if tracer is not None:
+            obs.disable_tracing()
+            tracer.write(args.trace)
     if args.json:
-        print(json.dumps({
+        payload = {
             "schema": 1,
             "benchmark": args.benchmark,
             "dataset": args.dataset,
@@ -288,11 +398,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             "l1_hit_rate": result.l1_hit_rate,
             "branch_accuracy": result.branch_accuracy,
             "prefetch_count": result.prefetch_count,
-        }, indent=2, sort_keys=True))
+        }
+        if registry is not None:
+            payload["metrics"] = registry.snapshot()
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"benchmark        : {args.benchmark} ({args.dataset} data, "
           f"{harness.case.machine.name})")
     _print_sim_result(result)
+    if registry is not None:
+        print()
+        _print_counter_table(registry.snapshot(), "sim.",
+                             "simulator counter")
+    if tracer is not None:
+        print(f"trace written    : {args.trace}")
     return 0
 
 
@@ -310,20 +429,26 @@ def _comma_list(text: str | None) -> tuple[str, ...]:
 def _run_campaign(args: argparse.Namespace, config) -> int:
     """Shared driver of ``evolve`` and ``generalize``: build the
     runner, execute (or resume), render the outcome."""
+    from repro import obs
     from repro.experiments import ExperimentRunner, PrettySink
 
     sinks = () if args.json else (PrettySink(),)
     stop_after = getattr(args, "stop_after_generation", None)
+    collect_metrics = bool(getattr(args, "metrics", False))
+    trace_path = getattr(args, "trace", None)
     if args.resume:
         if args.run_dir is None:
             raise SystemExit("--resume requires --run-dir (the run "
                              "directory holds the campaign's config)")
         runner = ExperimentRunner.from_run_dir(
-            args.run_dir, sinks=sinks, stop_after_generation=stop_after)
+            args.run_dir, sinks=sinks, stop_after_generation=stop_after,
+            collect_metrics=collect_metrics)
     else:
         runner = ExperimentRunner(
             config, run_dir=args.run_dir, sinks=sinks,
-            stop_after_generation=stop_after)
+            stop_after_generation=stop_after,
+            collect_metrics=collect_metrics)
+    tracer = obs.enable_tracing() if trace_path else None
     try:
         outcome = runner.run(resume=args.resume)
     except KeyboardInterrupt:
@@ -331,6 +456,11 @@ def _run_campaign(args: argparse.Namespace, config) -> int:
               f"{'--run-dir ' + str(args.run_dir) if args.run_dir else ''} "
               "to continue from the last checkpoint", file=sys.stderr)
         return 130
+    finally:
+        if tracer is not None:
+            obs.disable_tracing()
+            tracer.write(trace_path)
+            print(f"trace written to {trace_path}", file=sys.stderr)
 
     if outcome.interrupted:
         payload = {"interrupted": True,
@@ -517,7 +647,26 @@ def build_parser() -> argparse.ArgumentParser:
                             help="print machine-readable JSON instead of "
                                  "the counter table")
     _add_fitness_cache_flags(sim_parser)
+    _add_obs_flags(sim_parser)
     sim_parser.set_defaults(func=cmd_simulate)
+
+    profile_parser = commands.add_parser(
+        "profile", help="compile + simulate one benchmark with "
+                        "observability on; print per-pass timing and "
+                        "simulator counter tables")
+    profile_parser.add_argument("benchmark")
+    profile_parser.add_argument(
+        "--case", default="hyperblock",
+        choices=("hyperblock", "regalloc", "prefetch"))
+    profile_parser.add_argument("--dataset", default="train",
+                                choices=("train", "novel"))
+    profile_parser.add_argument(
+        "--trace", metavar="FILE",
+        help="also write a Chrome trace_event JSON to FILE")
+    profile_parser.add_argument(
+        "--json", action="store_true",
+        help="print the full metrics snapshot as JSON instead of tables")
+    profile_parser.set_defaults(func=cmd_profile)
 
     evolve_parser = commands.add_parser(
         "evolve", help="evolve a specialized priority function")
@@ -536,6 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_verify_flag(evolve_parser)
     _add_fitness_cache_flags(evolve_parser)
     _add_campaign_flags(evolve_parser)
+    _add_obs_flags(evolve_parser)
     evolve_parser.set_defaults(func=cmd_evolve)
 
     general_parser = commands.add_parser(
@@ -561,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_verify_flag(general_parser)
     _add_fitness_cache_flags(general_parser)
     _add_campaign_flags(general_parser)
+    _add_obs_flags(general_parser)
     general_parser.set_defaults(func=cmd_generalize)
 
     return parser

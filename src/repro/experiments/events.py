@@ -23,10 +23,17 @@ field of the ``run_started`` event; the event types are:
 ``run_finished``
     ``{event, result, wall_s}`` — ``result`` is the same payload
     written to ``result.json``.
+``metrics`` (schema 2)
+    ``{event, generation, metrics}`` — emitted right after each
+    ``generation`` event when the runner collects observability
+    metrics (:mod:`repro.obs`).  ``metrics`` is a snapshot delta
+    (``diff_snapshots``): the counters, gauges, and histograms the
+    generation moved.  Purely observational — never part of
+    ``result.json``, so resumed runs stay byte-identical.
 
-Only ``wall_s`` and ``counters`` are timing-dependent; everything else
-is deterministic for a given config, which is what the golden-schema
-tests pin down.
+Only ``wall_s``, ``counters``, and ``metrics`` are timing-dependent;
+everything else is deterministic for a given config, which is what the
+golden-schema tests pin down.
 """
 
 from __future__ import annotations
@@ -36,12 +43,16 @@ import sys
 from typing import IO
 
 #: Version stamp of the event schema, carried by ``run_started``.
-SCHEMA_VERSION = 1
+#: Version 2 added the optional per-generation ``metrics`` event; every
+#: version-1 event is unchanged, so v1 consumers can read v2 streams by
+#: ignoring unknown event types.
+SCHEMA_VERSION = 2
 
 #: Every event type the runner can emit.
 EVENT_TYPES = (
     "run_started",
     "generation",
+    "metrics",
     "checkpoint_saved",
     "run_interrupted",
     "run_finished",

@@ -78,6 +78,7 @@ class ExperimentRunner:
         sinks: tuple[EventSink, ...] = (),
         harness=None,
         stop_after_generation: int | None = None,
+        collect_metrics: bool = False,
     ) -> None:
         self.config = config
         self.run_dir = Path(run_dir) if run_dir is not None else None
@@ -87,10 +88,16 @@ class ExperimentRunner:
         #: the runner checkpoints that generation and stops as if
         #: killed — the testable stand-in for a real SIGKILL.
         self.stop_after_generation = stop_after_generation
+        #: emit a per-generation ``metrics`` event (repro.obs snapshot
+        #: delta).  A runner-level switch, not an ExperimentConfig
+        #: field: metrics are observational, never part of the
+        #: run's identity or its result.json.
+        self.collect_metrics = collect_metrics
 
     @classmethod
     def from_run_dir(cls, run_dir, sinks: tuple[EventSink, ...] = (),
                      stop_after_generation: int | None = None,
+                     collect_metrics: bool = False,
                      ) -> "ExperimentRunner":
         """Reconstruct a runner from a run directory's ``config.json``
         (the entry point of ``--resume``)."""
@@ -102,7 +109,8 @@ class ExperimentRunner:
         config = ExperimentConfig.from_json_dict(
             json.loads(config_path.read_text()))
         return cls(config, run_dir=run_dir, sinks=sinks,
-                   stop_after_generation=stop_after_generation)
+                   stop_after_generation=stop_after_generation,
+                   collect_metrics=collect_metrics)
 
     # -- assembly --------------------------------------------------------
     def _build_harness(self):
@@ -280,6 +288,14 @@ class ExperimentRunner:
         config = self.config
         run_started = time.monotonic()
 
+        registry = None
+        owns_metrics = False
+        if self.collect_metrics:
+            from repro import obs
+
+            owns_metrics = not obs.metrics_enabled()
+            registry = obs.enable_metrics()
+
         checkpoint_path = None
         owned_sinks: list[EventSink] = []
         if self.run_dir is not None:
@@ -333,6 +349,8 @@ class ExperimentRunner:
                 while not engine.done:
                     generation_started = time.monotonic()
                     before = self._counters(harness, evaluator)
+                    metrics_before = (registry.snapshot()
+                                      if registry is not None else None)
                     evaluations_before = engine.evaluations
                     stats = engine.step()
                     wall_s = time.monotonic() - generation_started
@@ -369,6 +387,15 @@ class ExperimentRunner:
                         },
                         "wall_s": wall_s,
                     })
+                    if registry is not None:
+                        from repro.obs.metrics import diff_snapshots
+
+                        sink.emit({
+                            "event": "metrics",
+                            "generation": stats.generation,
+                            "metrics": diff_snapshots(metrics_before,
+                                                      registry.snapshot()),
+                        })
                     if checkpointed:
                         sink.emit({
                             "event": "checkpoint_saved",
@@ -429,6 +456,10 @@ class ExperimentRunner:
             })
             raise
         finally:
+            if owns_metrics:
+                from repro import obs
+
+                obs.disable_metrics()
             for owned in owned_sinks:
                 owned.close()
 
@@ -440,11 +471,13 @@ def run_experiment(
     resume: bool = False,
     harness=None,
     stop_after_generation: int | None = None,
+    collect_metrics: bool = False,
 ) -> ExperimentResult:
     """One-call form of :class:`ExperimentRunner` — the unified
     experiment API the CLI and new Python code share."""
     runner = ExperimentRunner(
         config, run_dir=run_dir, sinks=sinks, harness=harness,
         stop_after_generation=stop_after_generation,
+        collect_metrics=collect_metrics,
     )
     return runner.run(resume=resume)

@@ -37,9 +37,11 @@ from __future__ import annotations
 
 import copy
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
+from repro import obs
 from repro.gp.dss import DSSState
 from repro.gp.generate import PrimitiveSet, TreeGenerator
 from repro.gp.crossover import crossover
@@ -127,6 +129,17 @@ class GPResult:
     def fitness_curve(self) -> list[float]:
         """Best fitness per generation — the y-axis of Figures 5/10/14."""
         return [stats.best_fitness for stats in self.history]
+
+
+def _timed(registry, name: str, fn, *args):
+    """Call ``fn(*args)``, timing it into ``registry``'s histogram
+    ``name`` when metrics are enabled (plain call when disabled)."""
+    if registry is None:
+        return fn(*args)
+    start = time.perf_counter()
+    result = fn(*args)
+    registry.observe(name, time.perf_counter() - start)
+    return result
 
 
 class GPEngine:
@@ -238,26 +251,31 @@ class GPEngine:
     def _offspring(self, population: list[Individual]) -> Individual:
         """One new expression: crossover of tournament winners, with a
         ``mutation_rate`` chance of an additional mutation."""
+        registry = obs.metrics()
         mother = tournament(population, self.rng, self.params.tournament_size)
         father = tournament(population, self.rng, self.params.tournament_size)
-        child_tree, _ = crossover(
-            mother.tree, father.tree, self.rng, self.params.max_tree_depth
-        )
+        child_tree, _ = _timed(registry, "gp.crossover_seconds", crossover,
+                               mother.tree, father.tree, self.rng,
+                               self.params.max_tree_depth)
+        if registry is not None:
+            registry.inc("gp.crossovers")
         origin = "crossover"
         if self.rng.random() < self.params.mutation_rate:
-            child_tree = mutate(
-                child_tree, self.generator, self.rng, self.params.max_tree_depth
-            )
+            child_tree = _timed(registry, "gp.mutation_seconds", mutate,
+                                child_tree, self.generator, self.rng,
+                                self.params.max_tree_depth)
             origin = "mutation"
         # Anti-clone guard: crossover between near-identical parents (a
         # common state once a small population converges) can reproduce
         # a parent exactly; force a mutation so replacement always
         # injects new genetic material.
         if child_tree == mother.tree or child_tree == father.tree:
-            child_tree = mutate(
-                child_tree, self.generator, self.rng, self.params.max_tree_depth
-            )
+            child_tree = _timed(registry, "gp.mutation_seconds", mutate,
+                                child_tree, self.generator, self.rng,
+                                self.params.max_tree_depth)
             origin = "mutation"
+        if registry is not None and origin == "mutation":
+            registry.inc("gp.mutations")
         return Individual(tree=child_tree, origin=origin)
 
     # -- main loop --------------------------------------------------------
@@ -281,38 +299,63 @@ class GPEngine:
         if self.population is None:
             self.population = self.initial_population()
         population = self.population
+        registry = obs.metrics()
 
-        if self.dss is not None:
-            subset = tuple(self.dss.select_subset())
-        else:
-            subset = self.benchmarks
-        bench_means = self._assign_fitness(population, subset)
-        if self.dss is not None:
-            self.dss.record_results(bench_means)
+        with obs.span("engine:generation", generation=self.generation):
+            if self.dss is not None:
+                subset = tuple(self.dss.select_subset())
+            else:
+                subset = self.benchmarks
+            evaluations_before = self.evaluations
+            eval_start = time.perf_counter()
+            with obs.span("engine:evaluation", generation=self.generation,
+                          benchmarks=len(subset)):
+                bench_means = self._assign_fitness(population, subset)
+            if registry is not None:
+                registry.observe("gp.eval_seconds",
+                                 time.perf_counter() - eval_start)
+                registry.inc("gp.evaluations",
+                             self.evaluations - evaluations_before)
+            if self.dss is not None:
+                self.dss.record_results(bench_means)
 
-        champion = best_of(population)
-        stats = GenerationStats(
-            generation=self.generation,
-            subset=subset,
-            best_fitness=champion.fitness or 0.0,
-            mean_fitness=sum(ind.fitness or 0.0 for ind in population)
-            / len(population),
-            best_size=champion.size,
-            best_expression=_expression_text(champion.tree),
-            baseline_rank=self._baseline_rank(population),
-            unique_structures=len(
-                {ind.tree.structural_key() for ind in population}
-            ),
-            mean_size=sum(ind.size for ind in population)
-            / len(population),
-        )
-        self.history.append(stats)
-        if self.on_generation is not None:
-            self.on_generation(stats)
+            champion = best_of(population)
+            stats = GenerationStats(
+                generation=self.generation,
+                subset=subset,
+                best_fitness=champion.fitness or 0.0,
+                mean_fitness=sum(ind.fitness or 0.0 for ind in population)
+                / len(population),
+                best_size=champion.size,
+                best_expression=_expression_text(champion.tree),
+                baseline_rank=self._baseline_rank(population),
+                unique_structures=len(
+                    {ind.tree.structural_key() for ind in population}
+                ),
+                mean_size=sum(ind.size for ind in population)
+                / len(population),
+            )
+            self.history.append(stats)
+            if registry is not None:
+                registry.set_gauge("gp.generation", self.generation)
+                registry.set_gauge("gp.best_fitness", stats.best_fitness)
+                registry.set_gauge("gp.unique_structures",
+                                   stats.unique_structures)
+                registry.set_gauge("gp.population_size", len(population))
+                registry.set_gauge("gp.memo_size", len(self._memo))
+                registry.set_gauge("gp.dss_subset_size", len(subset))
+            if self.on_generation is not None:
+                self.on_generation(stats)
 
-        self.generation += 1
-        if not self.done:
-            self.population = self._next_generation(population, champion)
+            self.generation += 1
+            if not self.done:
+                breed_start = time.perf_counter()
+                with obs.span("engine:breed", generation=stats.generation):
+                    self.population = self._next_generation(
+                        population, champion)
+                if registry is not None:
+                    registry.observe("gp.breed_seconds",
+                                     time.perf_counter() - breed_start)
         return stats
 
     def result(self) -> GPResult:

@@ -46,6 +46,7 @@ import random
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import obs
 from repro.ir.function import STACK_BASE
 from repro.ir.instr import Instr, Opcode, Rel
 from repro.ir.interp import int_div, int_rem, wrap_int
@@ -223,13 +224,15 @@ class Simulator:
             args: tuple[float | int, ...] = ()) -> SimResult:
         if entry not in self.scheduled.functions:
             raise SimError(f"no scheduled function {entry!r}")
-        value = self._call(entry, tuple(args))
+        with obs.span("sim:run", entry=entry,
+                      module=self.scheduled.module.name):
+            value = self._call(entry, tuple(args))
         cycles = self.cycles
         if self.noise_stddev > 0.0:
             factor = max(0.5, self._noise_rng.gauss(1.0, self.noise_stddev))
             cycles = int(round(cycles * factor))
         level1 = self.caches.levels[0].stats
-        return SimResult(
+        result = SimResult(
             cycles=cycles,
             return_value=value,
             outputs=list(self.outputs),
@@ -243,6 +246,28 @@ class Simulator:
             branch_accuracy=self.predictor.stats.accuracy,
             prefetch_count=self.caches.prefetches,
         )
+        registry = obs.metrics()
+        if registry is not None:
+            self._record_metrics(registry, result, level1)
+        return result
+
+    def _record_metrics(self, registry, result: SimResult, level1) -> None:
+        """Aggregate counters, recorded once per run() — never in the
+        generated inner-loop code, so the fast path stays untouched."""
+        registry.inc("sim.runs")
+        registry.inc("sim.cycles", result.cycles)
+        registry.inc("sim.dynamic_ops", result.dynamic_ops)
+        registry.inc("sim.squashed_ops", result.squashed_ops)
+        registry.inc("sim.bundles", result.bundles)
+        registry.inc("sim.memory_stall_cycles", result.memory_stall_cycles)
+        registry.inc("sim.branch_stall_cycles", result.branch_stall_cycles)
+        registry.inc("sim.loads", result.load_count)
+        registry.inc("sim.l1_hits", level1.hits)
+        registry.inc("sim.l1_misses", level1.misses)
+        registry.inc("sim.prefetches", result.prefetch_count)
+        registry.inc("sim.branch_predictions", self.predictor.stats.predictions)
+        registry.inc("sim.branch_mispredicts",
+                     self.predictor.stats.mispredictions)
 
     # -- execution ---------------------------------------------------------------
     def _call(self, name: str, args: tuple):
@@ -472,8 +497,10 @@ class Simulator:
         if cached is not None:
             _CODEGEN_CACHE.move_to_end(key)
             _codegen_hits += 1
+            obs.inc("sim.codegen_hits")
             return cached
         _codegen_misses += 1
+        obs.inc("sim.codegen_misses")
         local_ns: dict = {}
         exec(compile(source, f"<sim:{function.name}>", "exec"),
              _STATIC_NAMESPACE, local_ns)

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.metaopt.fitness_cache import FitnessCache
+from repro import obs
 from repro.frontend import compile_source
 from repro.gp.nodes import Node
 from repro.machine.descr import (
@@ -223,12 +224,14 @@ class EvaluationHarness:
             if stored is not None:
                 self._cycles_memo[key] = stored
                 self.cache_hits += 1
+                obs.inc("harness.persistent_cache_hits")
                 return stored
 
         prep = self.prepared(benchmark)
         options = self.case.options_for(_as_hook(priority))
         scheduled, _report = compile_backend(prep, options)
         self.compile_count += 1
+        obs.inc("harness.compiles")
 
         bench = get_benchmark(benchmark)
         simulator = Simulator(
@@ -244,6 +247,7 @@ class EvaluationHarness:
         result = simulator.run()
         self.sim_count += 1
         self.sim_cycles += result.cycles
+        obs.inc("harness.sims")
         self._cycles_memo[key] = result
         diverged = False
         if self.verify_outputs:

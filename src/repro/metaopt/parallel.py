@@ -44,8 +44,10 @@ from __future__ import annotations
 import multiprocessing
 from typing import Iterable
 
+from repro import obs
 from repro.gp.nodes import Node
 from repro.gp.parse import unparse
+from repro.obs.metrics import diff_snapshots
 
 _WORKER_HARNESS = None
 _WORKER_CASE = None
@@ -54,16 +56,30 @@ _WORKER_CASE = None
 #: for — a forked worker only reuses an inherited harness when its own
 #: configuration matches exactly.
 _WORKER_SIGNATURE = None
+#: Snapshot of the worker registry at the last shipped delta; baselines
+#: out both the parent state inherited via fork and earlier jobs, so
+#: each job's delta carries only its own activity.
+_WORKER_METRICS_MARK = None
 
 
 def _worker_init(case_name: str, noise_stddev: float,
                  fitness_cache_dir: str | None,
-                 verify_outputs: bool = False) -> None:
+                 verify_outputs: bool = False,
+                 collect_metrics: bool = False) -> None:
     """Build the per-worker harness — unless this worker was forked
     from a pre-warmed parent, in which case the module globals already
     carry a harness whose prepared-program and baseline-cycle caches
     came along copy-on-write."""
     global _WORKER_HARNESS, _WORKER_CASE, _WORKER_SIGNATURE
+    global _WORKER_METRICS_MARK
+    if collect_metrics:
+        # Reuses a registry inherited copy-on-write (enable_metrics is
+        # idempotent); the mark excludes its pre-fork contents from the
+        # first delta shipped back.
+        _WORKER_METRICS_MARK = obs.enable_metrics().snapshot()
+    else:
+        obs.disable_metrics()
+        _WORKER_METRICS_MARK = None
     signature = (case_name, noise_stddev, fitness_cache_dir, verify_outputs)
     if _WORKER_HARNESS is not None and _WORKER_SIGNATURE == signature:
         return
@@ -89,12 +105,25 @@ def _make_harness(case, noise_stddev: float, fitness_cache_dir: str | None,
                              verify_outputs=verify_outputs)
 
 
-def _worker_evaluate(job: tuple[int, str, str, str]) -> tuple[int, float]:
+def _worker_evaluate(
+    job: tuple[int, str, str, str]
+) -> tuple[int, float, dict | None]:
+    """Evaluate one job; ships a metrics *delta* (everything this
+    worker recorded since its last shipped job) alongside the value so
+    the parent can fold per-worker activity into its own registry."""
+    global _WORKER_METRICS_MARK
     index, tree_text, benchmark, dataset = job
     from repro.metaopt.priority import PriorityFunction
 
     priority = PriorityFunction.from_text(tree_text, _WORKER_CASE.pset)
-    return index, _WORKER_HARNESS.speedup(priority.tree, benchmark, dataset)
+    value = _WORKER_HARNESS.speedup(priority.tree, benchmark, dataset)
+    registry = obs.metrics()
+    if registry is None:
+        return index, value, None
+    snapshot = registry.snapshot()
+    delta = diff_snapshots(_WORKER_METRICS_MARK or {}, snapshot)
+    _WORKER_METRICS_MARK = snapshot
+    return index, value, delta
 
 
 class ParallelEvaluator:
@@ -165,7 +194,8 @@ class ParallelEvaluator:
                 self.processes,
                 initializer=_worker_init,
                 initargs=(self.case_name, self.noise_stddev,
-                          self.fitness_cache_dir, self.verify_outputs),
+                          self.fitness_cache_dir, self.verify_outputs,
+                          obs.metrics_enabled()),
             )
         return self._pool
 
@@ -226,11 +256,14 @@ class ParallelEvaluator:
         indexed = [(index,) + job for index, job in enumerate(pending)]
         chunksize = max(1, len(indexed) // (self.processes * 4))
         results: list[float | None] = [None] * len(pending)
+        registry = obs.metrics()
         try:
-            for index, value in pool.imap_unordered(
+            for index, value, delta in pool.imap_unordered(
                 _worker_evaluate, indexed, chunksize=chunksize
             ):
                 results[index] = value
+                if delta is not None and registry is not None:
+                    registry.merge_snapshot(delta)
         except KeyboardInterrupt:
             # Ctrl-C mid-batch: the pool's workers got the signal too
             # and may be wedged in partial jobs — terminate instead of
@@ -266,6 +299,8 @@ class ParallelEvaluator:
             values = self._run_batch(pending)
             self.jobs_dispatched += len(pending)
             self.batches_dispatched += 1
+            obs.inc("parallel.jobs", len(pending))
+            obs.inc("parallel.batches")
             for key, value in zip(pending_keys, values):
                 self._memo[key] = value
         return [self._memo[key] for key in keyed]

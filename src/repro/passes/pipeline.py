@@ -29,8 +29,11 @@ The pipeline is split at the profiling point:
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.ir.function import Module
 from repro.machine.descr import DEFAULT_EPIC, MachineDescription
 from repro.machine.vliw import ScheduledModule
@@ -58,6 +61,38 @@ from repro.passes.schedule import SchedulePriority, schedule_module
 from repro.passes.unroll import unroll_module
 from repro.profile.profiler import ModuleProfile, collect_profile
 from repro.verify.ir_verifier import verify_module, verify_scheduled
+
+
+def _instr_count(module: Module) -> int:
+    """Total instruction count — the IR size metric passes report."""
+    return sum(
+        len(block.instrs)
+        for function in module.functions.values()
+        for block in function.blocks.values()
+    )
+
+
+@contextmanager
+def _staged(name: str, working: Module):
+    """Observability wrapper for one pipeline stage: a ``pass:<name>``
+    span nested in the surrounding pipeline span, a timing histogram
+    (``pipeline.pass_seconds.<name>``), a run counter, and the stage's
+    IR size delta (``pipeline.ir_delta.<name>``, signed).  With
+    observability disabled this is a single guard check."""
+    if not obs.enabled():
+        yield
+        return
+    registry = obs.metrics()
+    before = _instr_count(working) if registry is not None else 0
+    start = time.perf_counter()
+    with obs.span(f"pass:{name}"):
+        yield
+    if registry is not None:
+        registry.observe(f"pipeline.pass_seconds.{name}",
+                         time.perf_counter() - start)
+        registry.inc(f"pipeline.pass_runs.{name}")
+        registry.inc(f"pipeline.ir_delta.{name}",
+                     _instr_count(working) - before)
 
 
 @dataclass(frozen=True)
@@ -132,16 +167,22 @@ def prepare(
             verify_module(working, stage=stage)
 
     checkpoint("input")
-    if options.inline:
-        inline_module(working)
-        checkpoint("inline")
-    cleanup_module(working)
-    checkpoint("cleanup")
-    if options.unroll_factor >= 2:
-        unroll_module(working, options.unroll_factor)
-        cleanup_module(working)
-        checkpoint("unroll")
-    profile = collect_profile(working, train_inputs, max_steps=max_steps)
+    with obs.span("pipeline:prepare", module=module.name):
+        if options.inline:
+            with _staged("inline", working):
+                inline_module(working)
+            checkpoint("inline")
+        with _staged("cleanup", working):
+            cleanup_module(working)
+        checkpoint("cleanup")
+        if options.unroll_factor >= 2:
+            with _staged("unroll", working):
+                unroll_module(working, options.unroll_factor)
+                cleanup_module(working)
+            checkpoint("unroll")
+        with _staged("profile", working):
+            profile = collect_profile(working, train_inputs,
+                                      max_steps=max_steps)
     return PreparedProgram(module=working, profile=profile, options=options)
 
 
@@ -160,43 +201,48 @@ def compile_backend(
             verify_module(working, stage=stage, allocated=allocated,
                           machine=options.machine if allocated else None)
 
-    if options.hyperblock:
-        for name, function in working.functions.items():
-            report.hyperblock[name] = form_hyperblocks(
-                function,
-                options.machine,
-                prepared.profile.function(name),
-                options.hyperblock_priority,
-                rel_threshold=options.hyperblock_threshold,
-            )
-        cleanup_module(working)
-        checkpoint("hyperblock")
+    with obs.span("pipeline:backend", module=prepared.module.name):
+        if options.hyperblock:
+            with _staged("hyperblock", working):
+                for name, function in working.functions.items():
+                    report.hyperblock[name] = form_hyperblocks(
+                        function,
+                        options.machine,
+                        prepared.profile.function(name),
+                        options.hyperblock_priority,
+                        rel_threshold=options.hyperblock_threshold,
+                    )
+                cleanup_module(working)
+            checkpoint("hyperblock")
 
-    if options.prefetch:
-        for name, function in working.functions.items():
-            report.prefetch[name] = insert_prefetches(
-                function,
-                options.machine,
-                prepared.profile.function(name),
-                options.prefetch_priority,
-            )
-        checkpoint("prefetch")
+        if options.prefetch:
+            with _staged("prefetch", working):
+                for name, function in working.functions.items():
+                    report.prefetch[name] = insert_prefetches(
+                        function,
+                        options.machine,
+                        prepared.profile.function(name),
+                        options.prefetch_priority,
+                    )
+            checkpoint("prefetch")
 
-    for name, function in working.functions.items():
-        freq = {
-            label: float(count)
-            for label, count
-            in prepared.profile.function(name).block_counts.items()
-        }
-        report.regalloc[name] = allocate_function(
-            function, options.machine, options.spill_priority, freq
-        )
-    checkpoint("regalloc", allocated=True)
+        with _staged("regalloc", working):
+            for name, function in working.functions.items():
+                freq = {
+                    label: float(count)
+                    for label, count
+                    in prepared.profile.function(name).block_counts.items()
+                }
+                report.regalloc[name] = allocate_function(
+                    function, options.machine, options.spill_priority, freq
+                )
+        checkpoint("regalloc", allocated=True)
 
-    scheduled = schedule_module(working, options.machine,
-                                options.schedule_priority)
-    if options.verify_ir:
-        verify_scheduled(scheduled, options.machine)
+        with _staged("schedule", working):
+            scheduled = schedule_module(working, options.machine,
+                                        options.schedule_priority)
+        if options.verify_ir:
+            verify_scheduled(scheduled, options.machine)
     return scheduled, report
 
 

@@ -116,6 +116,11 @@ class AllocationReport:
     spill_stores: int = 0
     ranges: int = 0
     constrained: int = 0
+    #: Equation 2 priority of every constrained range, keyed by the
+    #: virtual register's stable string form.  Later rounds overwrite
+    #: earlier entries for the same range (the post-spill priorities
+    #: are the ones that decided the final colouring).
+    priorities: dict[str, float] = field(default_factory=dict)
 
 
 class AllocationError(RuntimeError):
@@ -316,6 +321,9 @@ class _FunctionAllocator:
                 live_range.priority = self._compute_priority(
                     live_range, loop_depth, has_call,
                     forbidden_ratio=0.0,
+                )
+                self.report.priorities[str(live_range.reg)] = (
+                    live_range.priority
                 )
             # Unspillable ranges colour first regardless of priority.
             constrained.sort(

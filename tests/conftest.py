@@ -1,0 +1,19 @@
+"""Shared pytest configuration for the whole suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden files (tests/golden/*.json) with the "
+             "current behaviour instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request):
+    """True when the run should rewrite golden files."""
+    return request.config.getoption("--update-goldens")

@@ -28,6 +28,7 @@ GOLDEN_FIELDS = {
                    "unique_structures", "baseline_rank",
                    "best_expression", "evaluations_total",
                    "new_evaluations", "counters", "wall_s"},
+    "metrics": {"event", "generation", "metrics"},
     "checkpoint_saved": {"event", "generation", "path"},
     "run_interrupted": {"event", "next_generation"},
     "run_finished": {"event", "result", "wall_s"},
@@ -94,6 +95,53 @@ class TestSchema:
         finished = memory.of_type("run_finished")[0]
         assert finished["result"]["mode"] == "specialize"
         assert "train_speedup" in finished["result"]
+
+    def test_schema_version_covers_metrics_event(self):
+        from repro.experiments.events import EVENT_TYPES, SCHEMA_VERSION
+
+        assert SCHEMA_VERSION == 2
+        assert "metrics" in EVENT_TYPES
+        assert set(EVENT_TYPES) == set(GOLDEN_FIELDS)
+
+
+class TestMetricsEvents:
+    """collect_metrics=True adds per-generation ``metrics`` events."""
+
+    @pytest.fixture(scope="class")
+    def metrics_events(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("metrics-events") / "run"
+        memory = MemorySink()
+        ExperimentRunner(tiny_config(), run_dir=run_dir, sinks=(memory,),
+                         collect_metrics=True).run()
+        return memory
+
+    def test_one_metrics_event_per_generation(self, metrics_events):
+        metrics = metrics_events.of_type("metrics")
+        generations = metrics_events.of_type("generation")
+        assert [e["generation"] for e in metrics] == \
+            [e["generation"] for e in generations]
+
+    def test_metrics_event_schema(self, metrics_events):
+        for event in metrics_events.of_type("metrics"):
+            assert set(event) == GOLDEN_FIELDS["metrics"]
+            snapshot = event["metrics"]
+            assert set(snapshot) == {"counters", "gauges", "histograms"}
+            json.dumps(event)
+
+    def test_metrics_deltas_carry_generation_activity(self, metrics_events):
+        first = metrics_events.of_type("metrics")[0]["metrics"]
+        assert first["counters"]["gp.evaluations"] > 0
+        assert first["counters"]["harness.sims"] > 0
+        assert first["gauges"]["gp.best_fitness"] > 0
+        assert "gp.eval_seconds" in first["histograms"]
+
+    def test_metrics_disabled_by_default(self, run_events):
+        memory, _ = run_events
+        assert memory.of_type("metrics") == []
+
+    def test_metrics_never_reach_result_json(self, metrics_events):
+        finished = metrics_events.of_type("run_finished")[0]
+        assert "metrics" not in finished["result"]
 
 
 class TestSinks:

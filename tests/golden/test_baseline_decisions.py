@@ -1,0 +1,143 @@
+"""Golden-file regression tests for the baseline heuristic decisions.
+
+The paper's three case studies each replace one hand-written priority
+function; everything downstream (which regions convert, which ranges
+get colours, which loads get prefetches) hangs off those numbers.
+These tests pin, for every benchmark in the suite, the decisions each
+baseline heuristic makes:
+
+* **hyperblock** — Equation 1 path priorities (rounded) and the
+  convert/reject verdict for every region the pass considered;
+* **regalloc**  — Equation 2 savings (rounded) for every constrained
+  live range, plus which ranges spilled;
+* **prefetch**  — the Boolean verdict for every candidate load.
+
+A diff here means the *heuristic input features or the decision logic
+changed*, which silently shifts every published number in the repro.
+When the change is intentional, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-goldens
+
+and review the JSON diff like any other code change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.metaopt.harness import case_study
+from repro.passes.pipeline import compile_backend, prepare
+from repro.suite.registry import all_benchmarks, get as get_benchmark
+
+GOLDEN_PATH = Path(__file__).parent / "baseline_decisions.json"
+
+#: Decision values are rounded before pinning so the goldens survive
+#: harmless float-formatting churn but still catch real changes.
+DIGITS = 6
+
+BENCHMARKS = sorted(all_benchmarks())
+
+
+def _hyperblock_entry(report):
+    return [
+        {
+            "head": decision.head,
+            "join": decision.join,
+            "priorities": [round(p, DIGITS) for p in decision.priorities],
+            "converted": decision.converted,
+        }
+        for decision in report.decisions
+    ]
+
+
+def _regalloc_entry(report):
+    return {
+        "constrained": report.constrained,
+        "spilled": sorted(report.spilled),
+        "priorities": {
+            reg: round(priority, DIGITS)
+            for reg, priority in sorted(report.priorities.items())
+        },
+    }
+
+
+def _prefetch_entry(report):
+    return [[label, verdict] for label, verdict in report.decisions]
+
+
+def baseline_decisions(benchmark: str) -> dict:
+    """All three baseline heuristics' decisions on one benchmark."""
+    bench = get_benchmark(benchmark)
+    entry = {}
+    for case_name in ("hyperblock", "regalloc", "prefetch"):
+        case = case_study(case_name)
+        module = compile_source(bench.source, bench.name)
+        prepared = prepare(module, bench.inputs("train"), case.options)
+        _scheduled, report = compile_backend(prepared)
+        if case_name == "hyperblock":
+            entry["hyperblock"] = {
+                name: _hyperblock_entry(rep)
+                for name, rep in sorted(report.hyperblock.items())
+                if rep.decisions
+            }
+        elif case_name == "regalloc":
+            entry["regalloc"] = {
+                name: _regalloc_entry(rep)
+                for name, rep in sorted(report.regalloc.items())
+                if rep.constrained or rep.spilled
+            }
+        else:
+            entry["prefetch"] = {
+                name: _prefetch_entry(rep)
+                for name, rep in sorted(report.prefetch.items())
+                if rep.decisions
+            }
+    return entry
+
+
+def load_goldens() -> dict:
+    if not GOLDEN_PATH.exists():
+        return {}
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def store_golden(benchmark: str, entry: dict) -> None:
+    goldens = load_goldens()
+    goldens[benchmark] = entry
+    GOLDEN_PATH.write_text(
+        json.dumps(goldens, indent=1, sort_keys=True) + "\n")
+
+
+# the parameter is named bench_name (not "benchmark") to stay clear
+# of the pytest-benchmark plugin's fixture of that name
+@pytest.mark.parametrize("bench_name", BENCHMARKS)
+def test_baseline_decisions(bench_name, update_goldens):
+    entry = baseline_decisions(bench_name)
+    if update_goldens:
+        store_golden(bench_name, entry)
+        return
+    goldens = load_goldens()
+    assert bench_name in goldens, (
+        f"no golden entry for {bench_name!r}; run pytest tests/golden "
+        "--update-goldens")
+    assert entry == goldens[bench_name], (
+        f"baseline heuristic decisions changed on {bench_name!r}; if "
+        "intentional, regenerate with --update-goldens and review the "
+        "JSON diff")
+
+
+def test_goldens_cover_exactly_the_suite():
+    """The golden file tracks the benchmark registry 1:1 — a new
+    benchmark must get an entry, a removed one must drop its stale
+    entry."""
+    assert sorted(load_goldens()) == BENCHMARKS
+
+
+def test_goldens_have_decisions_somewhere():
+    """Sanity: the pinned file is not vacuously empty."""
+    goldens = load_goldens()
+    assert any(entry["hyperblock"] for entry in goldens.values())
+    assert any(entry["regalloc"] for entry in goldens.values())
+    assert any(entry["prefetch"] for entry in goldens.values())

@@ -1,0 +1,154 @@
+"""Metrics registry: instruments, snapshots, and the merge algebra."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+)
+
+
+class TestInstruments:
+    def test_counter_sums(self):
+        registry = MetricsRegistry()
+        registry.inc("jobs")
+        registry.inc("jobs", 4)
+        assert registry.counter("jobs").value == 5
+
+    def test_counter_accepts_negative_increments(self):
+        registry = MetricsRegistry()
+        registry.inc("ir_delta", -7)
+        registry.inc("ir_delta", 3)
+        assert registry.counter("ir_delta").value == -4
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("best", 1.2)
+        registry.set_gauge("best", 1.1)
+        assert registry.gauge("best").value == 1.1
+
+    def test_histogram_buckets_observations(self):
+        histogram = Histogram("t", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(105.0)
+        assert histogram.mean == pytest.approx(26.25)
+
+    def test_histogram_boundary_goes_to_lower_bucket(self):
+        histogram = Histogram("t", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.counts == [1, 0, 0]
+
+    def test_histogram_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=(1.0, 1.0))
+
+    def test_default_buckets_strictly_increasing(self):
+        assert list(DEFAULT_TIME_BUCKETS) == \
+            sorted(set(DEFAULT_TIME_BUCKETS))
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+
+class TestSnapshots:
+    def make_registry(self):
+        registry = MetricsRegistry()
+        registry.inc("sims", 3)
+        registry.set_gauge("best", 1.5)
+        registry.observe("secs", 0.2, buckets=(0.1, 1.0))
+        return registry
+
+    def test_snapshot_is_plain_json_data(self):
+        import json
+
+        snapshot = self.make_registry().snapshot()
+        json.dumps(snapshot)
+        assert snapshot["counters"] == {"sims": 3}
+        assert snapshot["gauges"] == {"best": 1.5}
+        assert snapshot["histograms"]["secs"]["counts"] == [0, 1, 0]
+
+    def test_snapshot_is_a_copy(self):
+        registry = self.make_registry()
+        snapshot = registry.snapshot()
+        registry.inc("sims")
+        registry.observe("secs", 0.05, buckets=(0.1, 1.0))
+        assert snapshot["counters"]["sims"] == 3
+        assert snapshot["histograms"]["secs"]["count"] == 1
+
+    def test_merge_adds_counters_and_histograms(self):
+        first = self.make_registry()
+        second = self.make_registry()
+        first.merge_snapshot(second.snapshot())
+        assert first.counter("sims").value == 6
+        histogram = first.histogram("secs")
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(0.4)
+        assert histogram.counts == [0, 2, 0]
+
+    def test_merge_gauges_last_write_win(self):
+        first = self.make_registry()
+        first.merge_snapshot({"gauges": {"best": 2.5}})
+        assert first.gauge("best").value == 2.5
+
+    def test_merge_rejects_mismatched_buckets(self):
+        registry = self.make_registry()
+        with pytest.raises(ValueError):
+            registry.merge_snapshot({
+                "histograms": {"secs": {"buckets": [0.5, 2.0],
+                                        "counts": [0, 1, 0],
+                                        "sum": 0.2, "count": 1}},
+            })
+
+
+class TestDiffSnapshots:
+    def test_diff_then_merge_round_trips(self):
+        registry = MetricsRegistry()
+        registry.inc("sims", 2)
+        registry.observe("secs", 0.2, buckets=(0.1, 1.0))
+        before = registry.snapshot()
+        registry.inc("sims", 3)
+        registry.inc("compiles")
+        registry.set_gauge("best", 1.4)
+        registry.observe("secs", 0.05, buckets=(0.1, 1.0))
+        after = registry.snapshot()
+
+        delta = diff_snapshots(before, after)
+        assert delta["counters"] == {"sims": 3, "compiles": 1}
+        assert delta["histograms"]["secs"]["count"] == 1
+        assert delta["histograms"]["secs"]["counts"] == [1, 0, 0]
+
+        replay = MetricsRegistry()
+        replay.merge_snapshot(before)
+        replay.merge_snapshot(delta)
+        assert replay.snapshot()["counters"] == after["counters"]
+        assert replay.snapshot()["histograms"] == after["histograms"]
+
+    def test_diff_drops_idle_instruments(self):
+        registry = MetricsRegistry()
+        registry.inc("sims", 2)
+        registry.observe("secs", 0.2)
+        before = registry.snapshot()
+        registry.inc("compiles")
+        delta = diff_snapshots(before, registry.snapshot())
+        assert "sims" not in delta["counters"]
+        assert "secs" not in delta["histograms"]
+
+    def test_diff_against_empty_baseline(self):
+        registry = MetricsRegistry()
+        registry.inc("sims", 2)
+        registry.observe("secs", 0.2)
+        delta = diff_snapshots({}, registry.snapshot())
+        assert delta["counters"] == {"sims": 2}
+        assert delta["histograms"]["secs"]["count"] == 1

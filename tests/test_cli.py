@@ -267,3 +267,91 @@ class TestFuzz:
         assert any(name.endswith(".mc") for name in saved)
         assert any(name.endswith(".inputs.json") for name in saved)
         assert any(name.endswith(".report.json") for name in saved)
+
+
+class TestProfile:
+    def test_profile_prints_tables(self, capsys):
+        assert main(["profile", "codrle4"]) == 0
+        output = capsys.readouterr().out
+        assert "profile of codrle4" in output
+        # per-pass timing table
+        for column in ("pass", "runs", "total_s", "mean_s", "ir_delta"):
+            assert column in output
+        for stage in ("inline", "cleanup", "regalloc", "schedule"):
+            assert stage in output
+        # simulator counter table
+        assert "simulator counter" in output
+        assert "cycles" in output
+
+    def test_profile_json_payload(self, capsys):
+        assert main(["profile", "codrle4", "--case", "regalloc",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["benchmark"] == "codrle4"
+        assert payload["case"] == "regalloc"
+        assert payload["cycles"] > 0
+        metrics = payload["metrics"]
+        assert metrics["counters"]["sim.runs"] == 1
+        assert "pipeline.pass_seconds.regalloc" in metrics["histograms"]
+
+    def test_profile_writes_chrome_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["profile", "codrle4", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        loaded = json.loads(trace.read_text())
+        assert set(loaded) == {"traceEvents", "displayTimeUnit"}
+        names = {event["name"] for event in loaded["traceEvents"]}
+        assert "pipeline:backend" in names
+        assert "sim:run" in names
+
+    def test_profile_leaves_observability_disabled(self, capsys):
+        from repro import obs
+
+        assert main(["profile", "codrle4"]) == 0
+        capsys.readouterr()
+        assert not obs.enabled()
+
+    def test_profile_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile"])
+
+
+class TestObsFlags:
+    def test_simulate_metrics_flag(self, capsys):
+        assert main(["simulate", "codrle4", "--metrics"]) == 0
+        output = capsys.readouterr().out
+        assert "simulator counter" in output
+
+    def test_simulate_json_with_metrics(self, capsys):
+        assert main(["simulate", "codrle4", "--metrics", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["counters"]["sim.runs"] == 1
+
+    def test_simulate_json_without_metrics_has_no_key(self, capsys):
+        assert main(["simulate", "codrle4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" not in payload
+
+    def test_evolve_metrics_events_in_run_dir(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(["evolve", "hyperblock", "codrle4",
+                     "--pop", "8", "--gens", "2", "--metrics",
+                     "--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        events = [json.loads(line) for line in
+                  (run_dir / "events.jsonl").read_text().splitlines()]
+        metrics = [e for e in events if e["event"] == "metrics"]
+        assert [e["generation"] for e in metrics] == [0, 1]
+        assert metrics[0]["metrics"]["counters"]["gp.evaluations"] > 0
+
+    def test_evolve_trace_flag(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["evolve", "hyperblock", "codrle4",
+                     "--pop", "8", "--gens", "2",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        names = {event["name"] for event in
+                 json.loads(trace.read_text())["traceEvents"]}
+        assert "engine:generation" in names
+        assert "engine:evaluation" in names

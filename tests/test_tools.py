@@ -37,3 +37,71 @@ class TestHelpers:
 
     def test_load_missing_returns_none(self):
         assert tool.load("definitely-not-a-result") is None
+
+
+import bench_eval  # noqa: E402
+
+
+class TestMedianIqr:
+    def test_single_sample_has_zero_iqr(self):
+        assert bench_eval.median_iqr([4.2]) == (4.2, 0.0)
+
+    def test_median_and_iqr(self):
+        median, iqr = bench_eval.median_iqr([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert median == 3.0
+        assert iqr == 2.0
+
+    def test_outlier_does_not_swing_median(self):
+        median, _ = bench_eval.median_iqr([10.0, 10.1, 9.9, 1000.0, 10.0])
+        assert median == 10.0
+
+
+class TestBenchPayloadSchema:
+    def make_payload(self):
+        mode = {"evaluations": 24, "repeats": 2,
+                "seconds": [1.0, 1.1], "rates": [24.0, 21.8],
+                "median_seconds": 1.05, "median_rate": 22.9,
+                "iqr_rate": 1.1}
+        return {
+            "schema": bench_eval.BENCH_SCHEMA,
+            "case": "hyperblock", "benchmark": "codrle4",
+            "pop": 8, "gens": 2, "seed": 7, "processes": 2,
+            "repeats": 2,
+            "modes": {name: dict(mode) for name in bench_eval.MODES},
+            "speedup_parallel": 1.5, "speedup_warm": 3.0,
+            "warm_sim_invocations": 0,
+            "determinism_ok": True, "failures": [],
+        }
+
+    def test_valid_payload_passes(self):
+        assert bench_eval.validate_bench_payload(self.make_payload()) == []
+
+    def test_wrong_schema_flagged(self):
+        payload = self.make_payload()
+        payload["schema"] = 99
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("schema" in problem for problem in problems)
+
+    def test_missing_mode_flagged(self):
+        payload = self.make_payload()
+        del payload["modes"]["warm"]
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("modes.warm" in problem for problem in problems)
+
+    def test_non_numeric_rate_flagged(self):
+        payload = self.make_payload()
+        payload["modes"]["serial"]["median_rate"] = "fast"
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("serial.median_rate" in problem for problem in problems)
+
+    def test_empty_rates_flagged(self):
+        payload = self.make_payload()
+        payload["modes"]["parallel"]["rates"] = []
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("parallel.rates" in problem for problem in problems)
+
+    def test_bool_determinism_required(self):
+        payload = self.make_payload()
+        payload["determinism_ok"] = "yes"
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("determinism_ok" in problem for problem in problems)

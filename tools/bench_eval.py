@@ -8,17 +8,29 @@ evaluations per second:
    ``EvaluationHarness.evaluator()`` in one process;
 2. **parallel** — ``ParallelEvaluator`` with ``--processes`` workers,
    exercising generation batching + ``imap_unordered`` fan-out;
-3. **warm-cache** — a re-run against a persistent fitness cache
-   populated by a prior run; asserts **zero** simulator invocations.
+3. **warm** — a re-run against a persistent fitness cache populated by
+   a prior run; asserts **zero** simulator invocations.
 
-All three searches must produce bit-identical fitness curves and the
-same champion expression; the script fails loudly if they do not.
+Each mode runs ``--repeats`` times (every repeat a fresh engine and
+fresh caches); the summary reports the **median** rate with the
+interquartile range, so one noisy repeat cannot swing the number the
+CI perf gate reads.  All timing uses ``time.perf_counter``.
+
+All runs must produce bit-identical fitness curves and the same
+champion expression; the script fails loudly if they do not.
+
+``--json-out FILE`` writes the canonical ``BENCH_eval.json`` payload
+(schema below, validated by :func:`validate_bench_payload`) — the data
+point the ROADMAP's perf trajectory tracks.  ``--trace FILE`` writes a
+Chrome ``trace_event`` JSON of one (extra, untimed) serial run.
+``--quick`` shrinks the workload for CI smoke jobs.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_eval.py \
         [--case hyperblock] [--benchmark 102.swim] \
-        [--pop 16] [--gens 4] [--processes 4] [--cache-dir DIR]
+        [--pop 16] [--gens 4] [--processes 4] [--repeats 3] \
+        [--cache-dir DIR] [--json-out BENCH_eval.json] [--trace t.json]
 
 The default benchmark (``102.swim``) is one of the costlier kernels —
 parallel fan-out only pays once per-candidate simulation time
@@ -31,8 +43,10 @@ zero-overhead fallback.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import shutil
+import statistics
 import sys
 import tempfile
 import time
@@ -41,6 +55,12 @@ from repro.gp.engine import GPEngine, GPParams
 from repro.gp.parse import unparse
 from repro.metaopt.harness import EvaluationHarness, case_study
 from repro.metaopt.parallel import ParallelEvaluator
+
+#: Version stamp of the BENCH_eval.json payload.
+BENCH_SCHEMA = 1
+
+#: Mode keys of the ``modes`` object, in report order.
+MODES = ("serial", "parallel", "warm")
 
 
 def run_engine(case, evaluator, args):
@@ -58,11 +78,79 @@ def run_engine(case, evaluator, args):
     return result, elapsed
 
 
-def report(label, result, elapsed):
-    rate = result.evaluations / elapsed if elapsed > 0 else float("inf")
-    print(f"{label:<12s}: {result.evaluations:4d} evaluations in "
-          f"{elapsed:7.2f}s  ->  {rate:8.2f} eval/s")
-    return rate
+def median_iqr(values: list[float]) -> tuple[float, float]:
+    """Median and interquartile range; IQR is 0.0 below 2 samples."""
+    median = statistics.median(values)
+    if len(values) < 2:
+        return median, 0.0
+    quartiles = statistics.quantiles(values, n=4, method="inclusive")
+    return median, quartiles[2] - quartiles[0]
+
+
+def mode_summary(results: list, times: list[float]) -> dict:
+    rates = [result.evaluations / elapsed if elapsed > 0 else 0.0
+             for result, elapsed in zip(results, times)]
+    median_rate, iqr_rate = median_iqr(rates)
+    median_seconds, _ = median_iqr(times)
+    return {
+        "evaluations": results[0].evaluations,
+        "repeats": len(results),
+        "seconds": times,
+        "rates": rates,
+        "median_seconds": median_seconds,
+        "median_rate": median_rate,
+        "iqr_rate": iqr_rate,
+    }
+
+
+def report(label: str, summary: dict) -> None:
+    print(f"{label:<12s}: {summary['evaluations']:4d} evaluations, "
+          f"median {summary['median_seconds']:7.2f}s over "
+          f"{summary['repeats']} repeat(s)  ->  "
+          f"{summary['median_rate']:8.2f} eval/s "
+          f"(IQR {summary['iqr_rate']:.2f})")
+
+
+def validate_bench_payload(payload: dict) -> list[str]:
+    """Schema check for BENCH_eval.json; returns a list of problems
+    (empty when valid).  Used by the CI bench-smoke job and the tests."""
+    problems = []
+    if payload.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema must be {BENCH_SCHEMA}, "
+                        f"got {payload.get('schema')!r}")
+    for key in ("case", "benchmark"):
+        if not isinstance(payload.get(key), str):
+            problems.append(f"{key} must be a string")
+    for key in ("pop", "gens", "seed", "processes", "repeats",
+                "warm_sim_invocations"):
+        if not isinstance(payload.get(key), int):
+            problems.append(f"{key} must be an integer")
+    if not isinstance(payload.get("determinism_ok"), bool):
+        problems.append("determinism_ok must be a boolean")
+    if not isinstance(payload.get("failures"), list):
+        problems.append("failures must be a list")
+    modes = payload.get("modes")
+    if not isinstance(modes, dict):
+        problems.append("modes must be an object")
+        return problems
+    for mode in MODES:
+        entry = modes.get(mode)
+        if not isinstance(entry, dict):
+            problems.append(f"modes.{mode} missing")
+            continue
+        for key in ("median_rate", "iqr_rate", "median_seconds"):
+            if not isinstance(entry.get(key), (int, float)):
+                problems.append(f"modes.{mode}.{key} must be a number")
+        for key in ("rates", "seconds"):
+            if not isinstance(entry.get(key), list) or not entry.get(key):
+                problems.append(f"modes.{mode}.{key} must be a "
+                                "non-empty list")
+        if not isinstance(entry.get("evaluations"), int):
+            problems.append(f"modes.{mode}.evaluations must be an integer")
+    for key in ("speedup_parallel", "speedup_warm"):
+        if not isinstance(payload.get(key), (int, float)):
+            problems.append(f"{key} must be a number")
+    return problems
 
 
 def main(argv=None) -> int:
@@ -73,66 +161,151 @@ def main(argv=None) -> int:
     parser.add_argument("--gens", type=int, default=4)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--processes", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per mode; the summary reports the "
+                             "median rate with IQR (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke preset: codrle4, pop 8, gens 2, "
+                             "2 processes, 2 repeats")
+    parser.add_argument("--json-out", metavar="FILE",
+                        help="write the canonical BENCH_eval.json "
+                             "payload to FILE")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a Chrome trace_event JSON of one "
+                             "extra, untimed serial run to FILE")
     parser.add_argument("--cache-dir",
                         help="persistent cache directory (default: a "
                              "temporary directory, removed afterwards)")
     args = parser.parse_args(argv)
+    if args.quick:
+        args.benchmark = "codrle4"
+        args.pop = 8
+        args.gens = 2
+        args.processes = 2
+        args.repeats = 2
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
 
     case = case_study(args.case)
     cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
         else (os.cpu_count() or 1)
     print(f"specialized {args.case} run on {args.benchmark} "
-          f"(pop {args.pop}, {args.gens} generations, "
-          f"{cores} CPU core(s) available)")
+          f"(pop {args.pop}, {args.gens} generations, {args.repeats} "
+          f"repeat(s), {cores} CPU core(s) available)")
     if cores < args.processes:
         print(f"note: {args.processes} workers on {cores} core(s) is "
               f"CPU-bound — parallel speedup needs >= {args.processes} "
               f"cores; the warm-cache row is hardware-independent")
     print()
 
-    serial_result, serial_time = run_engine(
-        case, EvaluationHarness(case).evaluator("train"), args)
-    serial_rate = report("serial", serial_result, serial_time)
+    serial_results, serial_times = [], []
+    for _ in range(args.repeats):
+        result, elapsed = run_engine(
+            case, EvaluationHarness(case).evaluator("train"), args)
+        serial_results.append(result)
+        serial_times.append(elapsed)
+    serial = mode_summary(serial_results, serial_times)
+    report("serial", serial)
 
-    with ParallelEvaluator(args.case,
-                           processes=args.processes) as evaluator:
-        parallel_result, parallel_time = run_engine(case, evaluator, args)
-    parallel_rate = report(f"parallel x{args.processes}",
-                           parallel_result, parallel_time)
+    parallel_results, parallel_times = [], []
+    for _ in range(args.repeats):
+        with ParallelEvaluator(args.case,
+                               processes=args.processes) as evaluator:
+            result, elapsed = run_engine(case, evaluator, args)
+        parallel_results.append(result)
+        parallel_times.append(elapsed)
+    parallel = mode_summary(parallel_results, parallel_times)
+    report(f"parallel x{args.processes}", parallel)
 
     cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-fitness-")
+    warm_results, warm_times, warm_sims = [], [], 0
     try:
         with ParallelEvaluator(args.case, processes=args.processes,
                                fitness_cache_dir=cache_dir) as evaluator:
             run_engine(case, evaluator, args)  # populate the cache
-        with ParallelEvaluator(args.case, processes=1,
-                               fitness_cache_dir=cache_dir) as evaluator:
-            warm_result, warm_time = run_engine(case, evaluator, args)
-            warm_sims = evaluator._serial_harness.sim_count
+        for _ in range(args.repeats):
+            with ParallelEvaluator(args.case, processes=1,
+                                   fitness_cache_dir=cache_dir) as evaluator:
+                result, elapsed = run_engine(case, evaluator, args)
+                warm_sims += evaluator._serial_harness.sim_count
+            warm_results.append(result)
+            warm_times.append(elapsed)
     finally:
         if not args.cache_dir:
             shutil.rmtree(cache_dir, ignore_errors=True)
-    warm_rate = report("warm-cache", warm_result, warm_time)
+    warm = mode_summary(warm_results, warm_times)
+    report("warm-cache", warm)
 
-    print(f"\nspeedup parallel/serial : {parallel_rate / serial_rate:5.2f}x")
-    print(f"speedup warm/serial     : {warm_rate / serial_rate:5.2f}x")
+    speedup_parallel = (parallel["median_rate"] / serial["median_rate"]
+                        if serial["median_rate"] else 0.0)
+    speedup_warm = (warm["median_rate"] / serial["median_rate"]
+                    if serial["median_rate"] else 0.0)
+    print(f"\nspeedup parallel/serial : {speedup_parallel:5.2f}x (median)")
+    print(f"speedup warm/serial     : {speedup_warm:5.2f}x (median)")
     print(f"warm-run simulator invocations: {warm_sims}")
 
     failures = []
-    for label, result in (("parallel", parallel_result),
-                          ("warm-cache", warm_result)):
-        if result.fitness_curve() != serial_result.fitness_curve():
-            failures.append(f"{label} fitness curve diverged from serial")
-        if unparse(result.best.tree) != unparse(serial_result.best.tree):
-            failures.append(f"{label} champion diverged from serial")
+    reference = serial_results[0]
+    for label, results in (("serial", serial_results[1:]),
+                           ("parallel", parallel_results),
+                           ("warm-cache", warm_results)):
+        for result in results:
+            if result.fitness_curve() != reference.fitness_curve():
+                failures.append(f"{label} fitness curve diverged "
+                                "from serial")
+                break
+            if unparse(result.best.tree) != unparse(reference.best.tree):
+                failures.append(f"{label} champion diverged from serial")
+                break
     if warm_sims != 0:
         failures.append(
-            f"warm cache run executed {warm_sims} simulations (expected 0)")
+            f"warm cache runs executed {warm_sims} simulations (expected 0)")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
         print("determinism: serial, parallel and warm-cache runs are "
               "bit-identical")
+
+    if args.trace:
+        from repro import obs
+
+        tracer = obs.enable_tracing()
+        try:
+            run_engine(case, EvaluationHarness(case).evaluator("train"),
+                       args)
+        finally:
+            obs.disable_tracing()
+        tracer.write(args.trace)
+        print(f"trace written to {args.trace}")
+
+    if args.json_out:
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "case": args.case,
+            "benchmark": args.benchmark,
+            "pop": args.pop,
+            "gens": args.gens,
+            "seed": args.seed,
+            "processes": args.processes,
+            "repeats": args.repeats,
+            "modes": {"serial": serial, "parallel": parallel, "warm": warm},
+            "speedup_parallel": speedup_parallel,
+            "speedup_warm": speedup_warm,
+            "warm_sim_invocations": warm_sims,
+            "determinism_ok": not failures,
+            "failures": failures,
+        }
+        problems = validate_bench_payload(payload)
+        if problems:  # pragma: no cover - internal consistency guard
+            for problem in problems:
+                print(f"FAIL: BENCH_eval.json schema: {problem}",
+                      file=sys.stderr)
+            failures.extend(problems)
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+
     return 1 if failures else 0
 
 
