@@ -36,12 +36,30 @@ Subcommands::
         suite with dynamic subset selection, optionally
         cross-validating on an unseen test suite.
 
+    python -m repro artifacts list|show|verify [ID] [--store DIR]
+        Inspect the heuristic artifact store (content-addressed
+        evolved priority functions written by ``--publish``).
+
+    python -m repro serve [--port P] [--workers N] [...]
+        Run the compile/evaluate HTTP daemon: bounded job queue, warm
+        workers, 429 backpressure, SIGTERM drain (docs/SERVING.md).
+
+    python -m repro submit BENCHMARK [--artifact ID] [--url URL]
+        Send one evaluation to a running daemon and wait for the
+        result (byte-identical to ``repro simulate --json``).
+
 ``evolve`` and ``generalize`` are campaign commands: ``--run-dir``
 persists config/telemetry/checkpoints under a run directory,
-``--resume`` continues a killed run bit-identically, and ``--json``
-prints the machine-readable ``result.json`` payload instead of the
-human summary (also available on ``simulate``).  See
+``--resume`` continues a killed run bit-identically, ``--publish``
+writes the winning expression to the artifact store at campaign end,
+and ``--json`` prints the machine-readable ``result.json`` payload
+instead of the human summary (also available on ``simulate``).  See
 ``docs/EXPERIMENTS_API.md``.
+
+``--json`` is uniform: every subcommand that accepts it prints exactly
+one JSON object on stdout, on success and on failure alike (failures
+are ``{"schema": 1, "ok": false, "error": ...}`` with a non-zero
+exit).
 
 ``simulate``, ``evolve``, and ``generalize`` also take ``--trace FILE``
 (write a Chrome ``trace_event`` JSON of the run, loadable in
@@ -325,6 +343,20 @@ def _resolve_fitness_cache(args: argparse.Namespace):
     )
 
 
+def _resolve_publish_dir(args: argparse.Namespace) -> str | None:
+    """``--publish [DIR]``: explicit DIR, or the default artifact
+    store (``$REPRO_ARTIFACT_STORE`` / ``./artifacts``) when the flag
+    is given bare.  None when not publishing."""
+    publish = getattr(args, "publish", None)
+    if publish is None:
+        return None
+    if publish != "":
+        return publish
+    from repro.serve.registry import registry_from_env
+
+    return str(registry_from_env().root)
+
+
 def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--run-dir", metavar="DIR",
@@ -344,6 +376,12 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
         "--stop-after-generation", type=int, metavar="N",
         help="checkpoint generation N (0-based) and stop, as if the "
              "run had been killed — for testing resume workflows")
+    parser.add_argument(
+        "--publish", nargs="?", const="", metavar="DIR",
+        help="at campaign end, package the best evolved expression as "
+             "a content-addressed heuristic artifact under DIR "
+             "(default: $REPRO_ARTIFACT_STORE or ./artifacts); deploy "
+             "it with 'repro simulate --artifact' or 'repro serve'")
 
 
 def _add_verify_flag(parser: argparse.ArgumentParser) -> None:
@@ -365,16 +403,40 @@ def _add_fitness_cache_flags(parser: argparse.ArgumentParser) -> None:
              "$REPRO_FITNESS_CACHE is set")
 
 
+def _load_artifact(args: argparse.Namespace):
+    """Resolve ``--artifact``/``--artifact-store`` into a loaded
+    artifact (or None) and the case name to simulate under."""
+    from repro.serve.artifact import ArtifactError
+    from repro.serve.registry import registry_from_env
+
+    case_name = args.case
+    if not getattr(args, "artifact", None):
+        return None, case_name
+    registry = registry_from_env(getattr(args, "artifact_store", None))
+    artifact = registry.load(args.artifact)
+    if artifact.case != case_name and case_name != "hyperblock":
+        raise ArtifactError(
+            f"artifact {artifact.short_id} targets {artifact.case}, "
+            f"--case says {case_name}")
+    return artifact, artifact.case
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.metaopt.harness import EvaluationHarness, case_study
+    from repro.serve.jobs import simulation_payload
 
+    artifact, case_name = _load_artifact(args)
     tracer = obs.enable_tracing() if args.trace else None
     registry = obs.enable_metrics() if args.metrics else None
     try:
-        harness = EvaluationHarness(case_study(args.case),
+        harness = EvaluationHarness(case_study(case_name),
                                     fitness_cache=_resolve_fitness_cache(args))
-        result = harness.baseline_result(args.benchmark, args.dataset)
+        if artifact is not None:
+            result = harness.simulate(artifact.tree(), args.benchmark,
+                                      args.dataset)
+        else:
+            result = harness.baseline_result(args.benchmark, args.dataset)
     finally:
         if registry is not None:
             obs.disable_metrics()
@@ -382,29 +444,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             obs.disable_tracing()
             tracer.write(args.trace)
     if args.json:
-        payload = {
-            "schema": 1,
-            "benchmark": args.benchmark,
-            "dataset": args.dataset,
-            "machine": harness.case.machine.name,
-            "case": args.case,
-            "outputs": result.outputs,
-            "return_value": result.return_value,
-            "cycles": result.cycles,
-            "dynamic_ops": result.dynamic_ops,
-            "squashed_ops": result.squashed_ops,
-            "memory_stall_cycles": result.memory_stall_cycles,
-            "branch_stall_cycles": result.branch_stall_cycles,
-            "l1_hit_rate": result.l1_hit_rate,
-            "branch_accuracy": result.branch_accuracy,
-            "prefetch_count": result.prefetch_count,
-        }
+        payload = simulation_payload(
+            case_name, harness.case.machine.name, args.benchmark,
+            args.dataset, result,
+            artifact_id=(artifact.artifact_id
+                         if artifact is not None else None))
         if registry is not None:
             payload["metrics"] = registry.snapshot()
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"benchmark        : {args.benchmark} ({args.dataset} data, "
           f"{harness.case.machine.name})")
+    if artifact is not None:
+        print(f"artifact         : {artifact.short_id} ({artifact.case})")
     _print_sim_result(result)
     if registry is not None:
         print()
@@ -436,22 +488,27 @@ def _run_campaign(args: argparse.Namespace, config) -> int:
     stop_after = getattr(args, "stop_after_generation", None)
     collect_metrics = bool(getattr(args, "metrics", False))
     trace_path = getattr(args, "trace", None)
+    publish_dir = _resolve_publish_dir(args)
     if args.resume:
         if args.run_dir is None:
             raise SystemExit("--resume requires --run-dir (the run "
                              "directory holds the campaign's config)")
         runner = ExperimentRunner.from_run_dir(
             args.run_dir, sinks=sinks, stop_after_generation=stop_after,
-            collect_metrics=collect_metrics)
+            collect_metrics=collect_metrics, publish_dir=publish_dir)
     else:
         runner = ExperimentRunner(
             config, run_dir=args.run_dir, sinks=sinks,
             stop_after_generation=stop_after,
-            collect_metrics=collect_metrics)
+            collect_metrics=collect_metrics, publish_dir=publish_dir)
     tracer = obs.enable_tracing() if trace_path else None
     try:
         outcome = runner.run(resume=args.resume)
     except KeyboardInterrupt:
+        if args.json:
+            print(json.dumps({"interrupted": True, "resumable": True},
+                             indent=2, sort_keys=True))
+            return 130
         print("\ninterrupted — rerun with --resume "
               f"{'--run-dir ' + str(args.run_dir) if args.run_dir else ''} "
               "to continue from the last checkpoint", file=sys.stderr)
@@ -472,7 +529,13 @@ def _run_campaign(args: argparse.Namespace, config) -> int:
                   f"{outcome.next_generation - 1}; resume with --resume")
         return 0
     if args.json:
-        print(json.dumps(outcome.payload, indent=2, sort_keys=True))
+        payload = outcome.payload
+        if outcome.artifact_id is not None:
+            # result.json itself stays artifact-free (resume
+            # byte-identity); only the printed copy names the artifact.
+            payload = dict(payload)
+            payload["artifact_id"] = outcome.artifact_id
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     return _print_campaign_summary(outcome)
 
@@ -506,6 +569,9 @@ def _print_campaign_summary(outcome) -> int:
     print(f"infix         : {infix(best)}")
     if outcome.run_dir is not None:
         print(f"run directory : {outcome.run_dir}")
+    if outcome.artifact_id is not None:
+        print(f"artifact      : {outcome.artifact_id[:12]} "
+              f"(full id {outcome.artifact_id})")
     return 0
 
 
@@ -568,6 +634,109 @@ def cmd_generalize(args: argparse.Namespace) -> int:
                   f"{len(training)} benchmarks (pop {args.pop}, "
                   f"{args.gens} generations, DSS)")
     return _run_campaign(args, config)
+
+
+def cmd_artifacts(args: argparse.Namespace) -> int:
+    from repro.serve.registry import registry_from_env
+
+    registry = registry_from_env(args.store)
+    if args.action == "list":
+        rows = registry.list()
+        if args.json:
+            print(json.dumps({"schema": 1, "store": str(registry.root),
+                              "artifacts": rows},
+                             indent=2, sort_keys=True))
+            return 0
+        print(f"artifact store: {registry.root} ({len(rows)} artifact(s))")
+        if rows:
+            print(f"{'id':<14s}{'case':<12s}{'machine':<12s}expression")
+            for row in rows:
+                expr = row.get("expression", "?")
+                if len(expr) > 40:
+                    expr = expr[:37] + "..."
+                print(f"{row['artifact_id'][:12]:<14s}"
+                      f"{row['case']:<12s}"
+                      f"{row.get('machine', '?'):<12s}{expr}")
+        return 0
+    if args.action == "show":
+        artifact = registry.load(args.id)
+        if args.json:
+            print(json.dumps(artifact.to_json_dict(), indent=2,
+                             sort_keys=True))
+            return 0
+        print(f"artifact   : {artifact.artifact_id}")
+        print(f"case       : {artifact.case}")
+        print(f"machine    : {artifact.machine_name} "
+              f"({artifact.machine_fingerprint})")
+        print(f"pipeline   : {artifact.pipeline_fingerprint}")
+        print(f"config     : {artifact.config_fingerprint}")
+        print(f"expression : {artifact.expression}")
+        for key, value in sorted(artifact.metrics.items()):
+            print(f"  {key}: {value}")
+        return 0
+    # verify
+    problems = registry.verify(args.id)
+    if args.json:
+        print(json.dumps({"schema": 1, "artifact": args.id,
+                          "ok": not problems, "problems": problems},
+                         indent=2, sort_keys=True))
+        return 0 if not problems else 1
+    if not problems:
+        print(f"{args.id}: OK")
+        return 0
+    print(f"{args.id}: {len(problems)} problem(s)", file=sys.stderr)
+    for problem in problems:
+        print(f"  {problem}", file=sys.stderr)
+    return 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.registry import registry_from_env
+    from repro.serve.server import ReproServer
+
+    if args.metrics:
+        from repro import obs
+
+        obs.enable_metrics()
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        capacity=args.queue_capacity,
+        job_timeout=args.job_timeout,
+        registry=registry_from_env(args.artifact_store),
+        fitness_cache_dir=_fitness_cache_dir(args),
+    )
+    print(f"serving on {server.url} "
+          f"({args.workers} worker(s), queue capacity "
+          f"{args.queue_capacity})", flush=True)
+    return server.serve_forever(drain_timeout=args.drain_timeout)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.url, timeout=args.timeout,
+                         retries=args.retries)
+    payload = client.evaluate(
+        args.benchmark,
+        case=args.case,
+        dataset=args.dataset,
+        artifact=args.artifact,
+        timeout=args.timeout,
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"benchmark        : {payload['benchmark']} "
+          f"({payload['dataset']} data, {payload['machine']})")
+    if payload.get("artifact"):
+        print(f"artifact         : {payload['artifact'][:12]}")
+    print(f"cycles           : {payload['cycles']}")
+    print(f"dynamic ops      : {payload['dynamic_ops']} "
+          f"(+{payload['squashed_ops']} squashed)")
+    print(f"outputs          : {payload['outputs']}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -646,6 +815,15 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--json", action="store_true",
                             help="print machine-readable JSON instead of "
                                  "the counter table")
+    sim_parser.add_argument(
+        "--artifact", metavar="ID",
+        help="simulate under a published heuristic artifact (id or "
+             "unambiguous prefix) instead of the case baseline; the "
+             "artifact's case study wins over --case")
+    sim_parser.add_argument(
+        "--artifact-store", metavar="DIR",
+        help="artifact store directory (default: "
+             "$REPRO_ARTIFACT_STORE or ./artifacts)")
     _add_fitness_cache_flags(sim_parser)
     _add_obs_flags(sim_parser)
     sim_parser.set_defaults(func=cmd_simulate)
@@ -714,13 +892,104 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(general_parser)
     general_parser.set_defaults(func=cmd_generalize)
 
+    artifacts_parser = commands.add_parser(
+        "artifacts", help="inspect the heuristic artifact store")
+    artifacts_parser.add_argument(
+        "action", choices=("list", "show", "verify"))
+    artifacts_parser.add_argument(
+        "id", nargs="?",
+        help="artifact id or unambiguous prefix (show/verify)")
+    artifacts_parser.add_argument(
+        "--store", metavar="DIR",
+        help="artifact store directory (default: "
+             "$REPRO_ARTIFACT_STORE or ./artifacts)")
+    artifacts_parser.add_argument("--json", action="store_true")
+    artifacts_parser.set_defaults(func=cmd_artifacts)
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the compile/evaluate HTTP daemon "
+                      "(see docs/SERVING.md)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8347,
+                              help="listen port (0 = ephemeral)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="warm worker threads draining the "
+                                   "job queue")
+    serve_parser.add_argument("--queue-capacity", type=int, default=16,
+                              help="bounded queue size; beyond this, "
+                                   "submissions get 429 + Retry-After")
+    serve_parser.add_argument("--job-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-job deadline (queued or running "
+                                   "past it, a job is marked timeout)")
+    serve_parser.add_argument("--drain-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="max seconds the SIGTERM drain waits "
+                                   "for in-flight jobs")
+    serve_parser.add_argument(
+        "--artifact-store", metavar="DIR",
+        help="artifact store served under /v1/artifacts (default: "
+             "$REPRO_ARTIFACT_STORE or ./artifacts)")
+    serve_parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect repro.obs metrics and expose them on /metrics")
+    _add_fitness_cache_flags(serve_parser)
+    serve_parser.set_defaults(func=cmd_serve)
+
+    submit_parser = commands.add_parser(
+        "submit", help="submit one evaluation to a running "
+                       "'repro serve' daemon and wait for the result")
+    submit_parser.add_argument("benchmark")
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8347",
+        help="base URL of the serving daemon")
+    submit_parser.add_argument(
+        "--case", default=None,
+        choices=("hyperblock", "regalloc", "prefetch", "scheduling"),
+        help="case study (default: the artifact's, else hyperblock)")
+    submit_parser.add_argument("--dataset", default="train",
+                               choices=("train", "novel"))
+    submit_parser.add_argument("--artifact", metavar="ID",
+                               help="evaluate under this published "
+                                    "artifact (id or prefix)")
+    submit_parser.add_argument("--timeout", type=float, default=60.0)
+    submit_parser.add_argument("--retries", type=int, default=5)
+    submit_parser.add_argument("--json", action="store_true")
+    submit_parser.set_defaults(func=cmd_submit)
+
     return parser
+
+
+def _json_failure(message: str, code: int) -> int:
+    """The uniform ``--json`` failure document: every subcommand that
+    fails under ``--json`` emits exactly one JSON object on stdout."""
+    print(json.dumps({"schema": 1, "ok": False, "error": message},
+                     indent=2, sort_keys=True))
+    return code
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    json_mode = bool(getattr(args, "json", False))
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        raise
+    except SystemExit as exc:
+        # Subcommands raise SystemExit("message") on usage errors;
+        # under --json that human text must become the JSON error
+        # document (single object on stdout, non-zero exit).
+        if json_mode and isinstance(exc.code, str):
+            return _json_failure(exc.code, 2)
+        raise
+    except Exception as exc:
+        # Domain errors (unknown benchmark, bad artifact, unreadable
+        # run dir, ...): JSON object under --json, otherwise keep the
+        # original exception so non-JSON behaviour is unchanged.
+        if json_mode:
+            return _json_failure(f"{type(exc).__name__}: {exc}", 1)
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

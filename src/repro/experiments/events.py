@@ -30,6 +30,12 @@ field of the ``run_started`` event; the event types are:
     (``diff_snapshots``): the counters, gauges, and histograms the
     generation moved.  Purely observational — never part of
     ``result.json``, so resumed runs stay byte-identical.
+``artifact_published`` (schema 3)
+    ``{event, artifact_id, store}`` — the campaign's best expression
+    was packaged as a heuristic artifact (``publish_dir`` /
+    ``--publish``; see ``docs/SERVING.md``).  Emitted just before
+    ``run_finished``.  Like ``metrics``, a deployment side effect:
+    never part of ``result.json``.
 
 Only ``wall_s``, ``counters``, and ``metrics`` are timing-dependent;
 everything else is deterministic for a given config, which is what the
@@ -43,10 +49,11 @@ import sys
 from typing import IO
 
 #: Version stamp of the event schema, carried by ``run_started``.
-#: Version 2 added the optional per-generation ``metrics`` event; every
-#: version-1 event is unchanged, so v1 consumers can read v2 streams by
+#: Version 2 added the optional per-generation ``metrics`` event;
+#: version 3 the optional ``artifact_published`` event.  Every earlier
+#: event is unchanged, so old consumers can read new streams by
 #: ignoring unknown event types.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Every event type the runner can emit.
 EVENT_TYPES = (
@@ -55,6 +62,7 @@ EVENT_TYPES = (
     "metrics",
     "checkpoint_saved",
     "run_interrupted",
+    "artifact_published",
     "run_finished",
 )
 

@@ -66,6 +66,9 @@ class ExperimentResult:
     generalization: object | None = None
     cross_validation: object | None = None
     payload: dict | None = None
+    #: content address of the heuristic artifact written at campaign
+    #: end (``publish_dir`` set and the run finished), else None
+    artifact_id: str | None = None
 
 
 class ExperimentRunner:
@@ -79,6 +82,7 @@ class ExperimentRunner:
         harness=None,
         stop_after_generation: int | None = None,
         collect_metrics: bool = False,
+        publish_dir=None,
     ) -> None:
         self.config = config
         self.run_dir = Path(run_dir) if run_dir is not None else None
@@ -93,11 +97,19 @@ class ExperimentRunner:
         #: field: metrics are observational, never part of the
         #: run's identity or its result.json.
         self.collect_metrics = collect_metrics
+        #: artifact store directory: when set, the best evolved
+        #: expression is packaged as a content-addressed
+        #: :class:`~repro.serve.artifact.HeuristicArtifact` at campaign
+        #: end.  Runner-level like ``collect_metrics`` — publishing is
+        #: a deployment side effect, never part of the run's identity,
+        #: so result.json (and resume byte-identity) are unaffected.
+        self.publish_dir = publish_dir
 
     @classmethod
     def from_run_dir(cls, run_dir, sinks: tuple[EventSink, ...] = (),
                      stop_after_generation: int | None = None,
                      collect_metrics: bool = False,
+                     publish_dir=None,
                      ) -> "ExperimentRunner":
         """Reconstruct a runner from a run directory's ``config.json``
         (the entry point of ``--resume``)."""
@@ -110,7 +122,8 @@ class ExperimentRunner:
             json.loads(config_path.read_text()))
         return cls(config, run_dir=run_dir, sinks=sinks,
                    stop_after_generation=stop_after_generation,
-                   collect_metrics=collect_metrics)
+                   collect_metrics=collect_metrics,
+                   publish_dir=publish_dir)
 
     # -- assembly --------------------------------------------------------
     def _build_harness(self):
@@ -283,6 +296,42 @@ class ExperimentRunner:
             }
         return payload
 
+    # -- publish -----------------------------------------------------------
+    def _publish(self, harness, spec, gen) -> str:
+        """Package the campaign's best expression as a heuristic
+        artifact in ``publish_dir``; returns the artifact id."""
+        from repro.serve.artifact import build_artifact
+        from repro.serve.registry import ArtifactRegistry
+
+        config = self.config
+        if spec is not None:
+            expression = spec.best_expression
+            metrics = {
+                "benchmark": spec.benchmark,
+                "train_speedup": spec.train_speedup,
+                "novel_speedup": spec.novel_speedup,
+                "evaluations": spec.evaluations,
+            }
+        else:
+            expression = gen.best_expression
+            metrics = {
+                "training_set": list(config.training_set),
+                "average_train_speedup": gen.average_train_speedup(),
+                "average_novel_speedup": gen.average_novel_speedup(),
+                "evaluations": gen.evaluations,
+            }
+        if self.run_dir is not None:
+            metrics["run_dir"] = str(self.run_dir)
+        artifact = build_artifact(
+            case=config.case,
+            expression=expression,
+            machine=harness.case.machine,
+            training_config=config.to_json_dict(),
+            metrics=metrics,
+        )
+        registry = ArtifactRegistry(self.publish_dir)
+        return registry.save(artifact)
+
     # -- main entry --------------------------------------------------------
     def run(self, resume: bool = False) -> ExperimentResult:
         config = self.config
@@ -432,6 +481,14 @@ class ExperimentRunner:
                 tmp.write_text(json.dumps(payload, indent=2, sort_keys=True)
                                + "\n")
                 tmp.replace(result_path)
+            artifact_id = None
+            if self.publish_dir is not None:
+                artifact_id = self._publish(harness, spec, gen)
+                sink.emit({
+                    "event": "artifact_published",
+                    "artifact_id": artifact_id,
+                    "store": str(self.publish_dir),
+                })
             sink.emit({
                 "event": "run_finished",
                 "result": payload,
@@ -445,6 +502,7 @@ class ExperimentRunner:
                 generalization=gen,
                 cross_validation=cross,
                 payload=payload,
+                artifact_id=artifact_id,
             )
         except KeyboardInterrupt:
             # The last completed generation is already checkpointed;
@@ -472,6 +530,7 @@ def run_experiment(
     harness=None,
     stop_after_generation: int | None = None,
     collect_metrics: bool = False,
+    publish_dir=None,
 ) -> ExperimentResult:
     """One-call form of :class:`ExperimentRunner` — the unified
     experiment API the CLI and new Python code share."""
@@ -479,5 +538,6 @@ def run_experiment(
         config, run_dir=run_dir, sinks=sinks, harness=harness,
         stop_after_generation=stop_after_generation,
         collect_metrics=collect_metrics,
+        publish_dir=publish_dir,
     )
     return runner.run(resume=resume)

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -144,25 +145,33 @@ _STATIC_NAMESPACE = {
 #: Cached code, keyed by scheduled-function identity (source digest +
 #: metadata).  Bounded LRU: a long-running GP search compiles many
 #: distinct candidate binaries, and code objects are not tiny.
+#: Shared by every thread in the process (the serving daemon runs
+#: simulations from a worker pool), so all access goes through
+#: ``_CODEGEN_LOCK``; the expensive exec/compile step itself runs
+#: outside the lock — a racing double-translate is benign, last
+#: writer wins with an identical code object.
 _CODEGEN_CACHE: OrderedDict[tuple, _FunctionCode] = OrderedDict()
 _CODEGEN_CACHE_CAPACITY = 512
+_CODEGEN_LOCK = threading.Lock()
 _codegen_hits = 0
 _codegen_misses = 0
 
 
 def codegen_cache_stats() -> dict[str, int]:
-    return {
-        "hits": _codegen_hits,
-        "misses": _codegen_misses,
-        "entries": len(_CODEGEN_CACHE),
-    }
+    with _CODEGEN_LOCK:
+        return {
+            "hits": _codegen_hits,
+            "misses": _codegen_misses,
+            "entries": len(_CODEGEN_CACHE),
+        }
 
 
 def clear_codegen_cache() -> None:
     global _codegen_hits, _codegen_misses
-    _CODEGEN_CACHE.clear()
-    _codegen_hits = 0
-    _codegen_misses = 0
+    with _CODEGEN_LOCK:
+        _CODEGEN_CACHE.clear()
+        _codegen_hits = 0
+        _codegen_misses = 0
 
 
 class Simulator:
@@ -493,14 +502,18 @@ class Simulator:
             len(function.params),
             hashlib.sha256(source.encode()).hexdigest(),
         )
-        cached = _CODEGEN_CACHE.get(key)
-        if cached is not None:
-            _CODEGEN_CACHE.move_to_end(key)
-            _codegen_hits += 1
-            obs.inc("sim.codegen_hits")
-            return cached
-        _codegen_misses += 1
+        with _CODEGEN_LOCK:
+            cached = _CODEGEN_CACHE.get(key)
+            if cached is not None:
+                _CODEGEN_CACHE.move_to_end(key)
+                _codegen_hits += 1
+                obs.inc("sim.codegen_hits")
+                return cached
+            _codegen_misses += 1
         obs.inc("sim.codegen_misses")
+        # Translate outside the lock: exec/compile is the expensive
+        # part, and two threads racing on the same key produce
+        # identical code objects (last writer wins benignly).
         local_ns: dict = {}
         exec(compile(source, f"<sim:{function.name}>", "exec"),
              _STATIC_NAMESPACE, local_ns)
@@ -510,9 +523,10 @@ class Simulator:
             binders={label: local_ns[name]
                      for label, name in binder_names.items()},
         )
-        _CODEGEN_CACHE[key] = code
-        while len(_CODEGEN_CACHE) > _CODEGEN_CACHE_CAPACITY:
-            _CODEGEN_CACHE.popitem(last=False)
+        with _CODEGEN_LOCK:
+            _CODEGEN_CACHE[key] = code
+            while len(_CODEGEN_CACHE) > _CODEGEN_CACHE_CAPACITY:
+                _CODEGEN_CACHE.popitem(last=False)
         return code
 
     def _compile_function(self,

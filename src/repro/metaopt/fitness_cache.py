@@ -34,6 +34,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 
 from repro.machine.descr import MachineDescription
@@ -91,6 +92,10 @@ class FitnessCache:
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
         self._memory: dict[str, SimResult] = {}
+        # One instance may be shared by the serving daemon's worker
+        # threads; the lock covers the memory layer and the counters
+        # (disk entries were already safe: atomic-rename writes).
+        self._lock = threading.Lock()
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
@@ -136,10 +141,11 @@ class FitnessCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> SimResult | None:
-        cached = self._memory.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
         if self.root is not None:
             path = self._path_for(key)
             try:
@@ -152,16 +158,19 @@ class FitnessCache:
                 except TypeError:
                     result = None  # stale schema — treat as a miss
                 if result is not None:
-                    self._memory[key] = result
-                    self.hits += 1
-                    self.disk_hits += 1
+                    with self._lock:
+                        self._memory[key] = result
+                        self.hits += 1
+                        self.disk_hits += 1
                     return result
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return None
 
     def put(self, key: str, result: SimResult) -> None:
-        self._memory[key] = result
-        self.stores += 1
+        with self._lock:
+            self._memory[key] = result
+            self.stores += 1
         if self.root is None:
             return
         path = self._path_for(key)
@@ -183,20 +192,23 @@ class FitnessCache:
 
     # -- maintenance ----------------------------------------------------
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries survive)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     def stats(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "disk_hits": self.disk_hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "in_memory": len(self._memory),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "in_memory": len(self._memory),
+            }
 
 
 def cache_from_env(

@@ -115,6 +115,13 @@ class CompilerOptions:
     #: compile time, so the GP loop enables it only when hunting a
     #: miscompile (see docs/VERIFY.md).
     verify_ir: bool = False
+    #: Deployed heuristic: a :class:`~repro.serve.artifact.
+    #: HeuristicArtifact` (duck-typed: anything with ``install(options)
+    #: -> CompilerOptions``).  Resolved at the top of
+    #: :func:`compile_backend` — the artifact's evolved priority is
+    #: swapped into the hook its pass kind names, so any compile can
+    #: run under a published artifact (see docs/SERVING.md).
+    heuristic_artifact: object | None = None
 
     def with_priorities(
         self,
@@ -193,6 +200,8 @@ def compile_backend(
     """Clone the prepared module and run the candidate-dependent
     backend: hyperblocking, prefetching, allocation, scheduling."""
     options = options or prepared.options
+    if options.heuristic_artifact is not None:
+        options = options.heuristic_artifact.install(options)
     working = prepared.module.clone()
     report = BackendReport()
 

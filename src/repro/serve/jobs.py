@@ -1,0 +1,448 @@
+"""Bounded job queue + warm worker pool for the serving daemon.
+
+Design goals, in order:
+
+* **Explicit backpressure.**  The queue is bounded; :meth:`JobQueue.
+  submit` raises :class:`QueueFull` (with a suggested retry delay)
+  instead of blocking or growing without bound, and the HTTP layer
+  turns that into ``429 Retry-After``.  A saturated server sheds load,
+  it never deadlocks or OOMs.
+* **Warm workers.**  Each worker thread keeps an
+  :class:`~repro.metaopt.harness.EvaluationHarness` per case study
+  (prepared programs, baseline cycles, candidate memo) alive across
+  requests, and all workers share the module-level simulator codegen
+  cache and optional persistent fitness cache — the Compilation-
+  Forking insight that a long-lived compiler service amortizes warm
+  state over many requests.
+* **Bounded job lifecycle.**  Queued jobs can be cancelled; every job
+  carries a deadline.  A job still queued at its deadline is marked
+  ``timeout`` without running; a job whose handler outlives the
+  deadline has its result discarded and is marked ``timeout`` (the
+  simulator's own cycle budget bounds actual handler runtime).
+* **Graceful drain.**  :meth:`JobQueue.drain` stops intake, finishes
+  every in-flight and queued job, and joins the workers — the SIGTERM
+  path of :mod:`repro.serve.server`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro import obs
+
+#: Job states; ``queued`` and ``running`` are live, the rest terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "timeout")
+
+#: Finished jobs retained for ``GET /v1/jobs/<id>`` before eviction.
+FINISHED_JOBS_RETAINED = 1024
+
+
+class QueueFull(RuntimeError):
+    """The bounded queue rejected a submission (shed, don't block)."""
+
+    def __init__(self, capacity: int, retry_after: float) -> None:
+        super().__init__(
+            f"job queue at capacity ({capacity}); retry in "
+            f"{retry_after:.1f}s")
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+@dataclass
+class Job:
+    """One unit of server work and its full lifecycle record."""
+
+    id: str
+    kind: str
+    params: dict
+    deadline: float | None
+    state: str = "queued"
+    result: dict | None = None
+    error: str | None = None
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    def to_json_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "result": self.result,
+            "error": self.error,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed", "cancelled", "timeout")
+
+
+class JobQueue:
+    """Fixed worker pool draining a bounded FIFO of :class:`Job`.
+
+    ``handler(kind, params)`` runs on a worker thread and returns the
+    job's JSON result dict (or raises; the exception text becomes the
+    job's ``error``).
+    """
+
+    def __init__(
+        self,
+        handler,
+        workers: int = 2,
+        capacity: int = 16,
+        job_timeout: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.handler = handler
+        self.capacity = capacity
+        self.job_timeout = job_timeout
+        self._pending: deque[Job] = deque()
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._running = 0
+        self._accepting = True
+        self._stopped = False
+        self._ids = itertools.count(1)
+        self.counters = {
+            "submitted": 0, "rejected": 0, "done": 0, "failed": 0,
+            "cancelled": 0, "timeout": 0,
+        }
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"serve-worker-{index}", daemon=True)
+            for index in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- intake ----------------------------------------------------------
+    def submit(self, kind: str, params: dict) -> Job:
+        """Enqueue a job or raise :class:`QueueFull`/:class:`
+        RuntimeError` (draining)."""
+        with self._lock:
+            if not self._accepting:
+                raise RuntimeError("queue is draining; not accepting jobs")
+            if len(self._pending) >= self.capacity:
+                self.counters["rejected"] += 1
+                obs.inc("serve.jobs_rejected")
+                # Suggest waiting roughly one queue-drain interval:
+                # scale with backlog so clients back off harder when
+                # the queue is deeper.
+                retry = max(0.1, 0.05 * len(self._pending))
+                raise QueueFull(self.capacity, retry)
+            deadline = (time.monotonic() + self.job_timeout
+                        if self.job_timeout is not None else None)
+            job = Job(id=f"job-{next(self._ids):06d}", kind=kind,
+                      params=params, deadline=deadline)
+            self._jobs[job.id] = job
+            self._evict_finished_locked()
+            self._pending.append(job)
+            self.counters["submitted"] += 1
+            obs.inc("serve.jobs_submitted")
+            self._work_ready.notify()
+            return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a *queued* job; running jobs finish (their results
+        stand).  Returns True when the job was cancelled."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "queued":
+                return False
+            job.state = "cancelled"
+            job.finished_at = time.time()
+            self.counters["cancelled"] += 1
+            obs.inc("serve.jobs_cancelled")
+            return True
+
+    # -- worker side -----------------------------------------------------
+    def _next_job_locked(self) -> Job | None:
+        while self._pending:
+            job = self._pending.popleft()
+            if job.state != "queued":
+                continue  # cancelled while waiting
+            if (job.deadline is not None
+                    and time.monotonic() > job.deadline):
+                job.state = "timeout"
+                job.error = "timed out waiting in queue"
+                job.finished_at = time.time()
+                self.counters["timeout"] += 1
+                obs.inc("serve.jobs_timeout")
+                continue
+            return job
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                job = self._next_job_locked()
+                while job is None and not self._stopped:
+                    self._idle.notify_all()
+                    self._work_ready.wait()
+                    job = self._next_job_locked()
+                if job is None:
+                    self._idle.notify_all()
+                    return
+                job.state = "running"
+                job.started_at = time.time()
+                self._running += 1
+            started = time.monotonic()
+            try:
+                result = self.handler(job.kind, job.params)
+                error = None
+            except Exception as exc:  # noqa: BLE001 — job isolation
+                result = None
+                error = f"{type(exc).__name__}: {exc}"
+            elapsed = time.monotonic() - started
+            with self._lock:
+                self._running -= 1
+                if (job.deadline is not None
+                        and time.monotonic() > job.deadline):
+                    job.state = "timeout"
+                    job.error = (f"exceeded job timeout "
+                                 f"({self.job_timeout:.1f}s); result "
+                                 "discarded")
+                    job.result = None
+                    self.counters["timeout"] += 1
+                    obs.inc("serve.jobs_timeout")
+                elif error is not None:
+                    job.state = "failed"
+                    job.error = error
+                    self.counters["failed"] += 1
+                    obs.inc("serve.jobs_failed")
+                else:
+                    job.state = "done"
+                    job.result = result
+                    self.counters["done"] += 1
+                    obs.inc("serve.jobs_done")
+                    obs.observe("serve.job_seconds", elapsed)
+                job.finished_at = time.time()
+                self._idle.notify_all()
+
+    def _evict_finished_locked(self) -> None:
+        finished = [job_id for job_id, job in self._jobs.items()
+                    if job.finished]
+        excess = len(finished) - FINISHED_JOBS_RETAINED
+        for job_id in finished[:max(0, excess)]:
+            del self._jobs[job_id]
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def accepting(self) -> bool:
+        with self._lock:
+            return self._accepting
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop intake, wait for queued + running jobs to finish, stop
+        the workers.  Returns True when fully drained."""
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        with self._lock:
+            self._accepting = False
+            while self._pending or self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._work_ready.notify_all()
+                if not self._idle.wait(timeout=remaining):
+                    return False
+            self._stopped = True
+            self._work_ready.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        return True
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                **self.counters,
+                "depth": len(self._pending),
+                "running": self._running,
+                "capacity": self.capacity,
+                "workers": len(self._workers),
+                "accepting": self._accepting,
+            }
+
+
+# ---------------------------------------------------------------------------
+# Domain handlers: the work the daemon actually runs.
+# ---------------------------------------------------------------------------
+
+class HarnessPool:
+    """Per-thread :class:`EvaluationHarness` instances, keyed by
+    (case, noise): each worker keeps its own warm compile/simulate
+    caches while all workers share the process-wide codegen cache and
+    any persistent fitness cache directory."""
+
+    def __init__(self, fitness_cache_dir: str | None = None) -> None:
+        self.fitness_cache_dir = fitness_cache_dir
+        self._local = threading.local()
+
+    def get(self, case_name: str, noise_stddev: float = 0.0):
+        from repro.metaopt.fitness_cache import FitnessCache
+        from repro.metaopt.harness import EvaluationHarness, case_study
+
+        harnesses = getattr(self._local, "harnesses", None)
+        if harnesses is None:
+            harnesses = self._local.harnesses = {}
+        key = (case_name, float(noise_stddev))
+        harness = harnesses.get(key)
+        if harness is None:
+            cache = (FitnessCache(self.fitness_cache_dir)
+                     if self.fitness_cache_dir is not None else None)
+            harness = EvaluationHarness(
+                case_study(case_name), noise_stddev=noise_stddev,
+                fitness_cache=cache)
+            harnesses[key] = harness
+        return harness
+
+
+def simulation_payload(case_name: str, machine_name: str, benchmark: str,
+                       dataset: str, result,
+                       artifact_id: str | None = None) -> dict:
+    """The canonical simulation-result document.
+
+    Single source of truth for ``repro simulate --json``, ``POST
+    /v1/evaluate`` results, and ``repro submit`` — byte-identical (as
+    canonical sorted-keys JSON) no matter which path produced it.
+    """
+    payload = {
+        "schema": 1,
+        "benchmark": benchmark,
+        "dataset": dataset,
+        "machine": machine_name,
+        "case": case_name,
+        "outputs": result.outputs,
+        "return_value": result.return_value,
+        "cycles": result.cycles,
+        "dynamic_ops": result.dynamic_ops,
+        "squashed_ops": result.squashed_ops,
+        "memory_stall_cycles": result.memory_stall_cycles,
+        "branch_stall_cycles": result.branch_stall_cycles,
+        "l1_hit_rate": result.l1_hit_rate,
+        "branch_accuracy": result.branch_accuracy,
+        "prefetch_count": result.prefetch_count,
+    }
+    if artifact_id is not None:
+        payload["artifact"] = artifact_id
+    return payload
+
+
+def run_evaluate(params: dict, harness_pool: HarnessPool,
+                 registry=None) -> dict:
+    """Execute one evaluate request: simulate a suite benchmark under
+    the case baseline or a deployed artifact."""
+    from repro.serve.artifact import ArtifactError
+
+    benchmark = params.get("benchmark")
+    if not benchmark:
+        raise ValueError("evaluate requires 'benchmark'")
+    case_name = params.get("case", "hyperblock")
+    dataset = params.get("dataset", "train")
+    if dataset not in ("train", "novel"):
+        raise ValueError(f"unknown dataset {dataset!r}")
+    noise = float(params.get("noise", 0.0))
+    artifact_ref = params.get("artifact")
+
+    artifact = None
+    if artifact_ref:
+        if registry is None:
+            raise ArtifactError("no artifact store configured")
+        artifact = registry.load(artifact_ref)
+        if artifact.case != case_name:
+            if "case" in params:
+                raise ArtifactError(
+                    f"artifact {artifact.short_id} targets "
+                    f"{artifact.case}, request says {case_name}")
+            case_name = artifact.case
+
+    harness = harness_pool.get(case_name, noise)
+    if artifact is not None:
+        result = harness.simulate(artifact.tree(), benchmark, dataset)
+    else:
+        result = harness.baseline_result(benchmark, dataset)
+    return simulation_payload(
+        case_name, harness.case.machine.name, benchmark, dataset, result,
+        artifact_id=artifact.artifact_id if artifact is not None else None)
+
+
+def run_compile(params: dict, registry=None) -> dict:
+    """Execute one compile request: MiniC source through the full
+    pipeline (optionally under an artifact), returning static stats
+    and, when inputs are supplied, a simulation of the binary."""
+    from repro.cli import MACHINES
+    from repro.compiler import compile_program
+    from repro.passes.pipeline import CompilerOptions
+    from repro.serve.artifact import ArtifactError
+
+    source = params.get("source")
+    if not source:
+        raise ValueError("compile requires 'source' (MiniC text)")
+    machine_name = params.get("machine", "epic")
+    if machine_name not in MACHINES:
+        raise ValueError(f"unknown machine {machine_name!r}")
+
+    artifact = None
+    if params.get("artifact"):
+        if registry is None:
+            raise ArtifactError("no artifact store configured")
+        artifact = registry.load(params["artifact"])
+
+    options = CompilerOptions(
+        machine=MACHINES[machine_name],
+        prefetch=bool(params.get("prefetch", False)),
+        unroll_factor=int(params.get("unroll", 2)),
+        heuristic_artifact=artifact,
+    )
+    inputs = params.get("inputs") or {}
+    if not isinstance(inputs, dict):
+        raise ValueError("'inputs' must be a JSON object of globals")
+    program = compile_program(source, profile_inputs=inputs,
+                              options=options,
+                              name=params.get("name", "request"))
+    functions = {
+        name: {
+            "blocks": len(func.block_order),
+            "static_cycles": func.static_cycles(),
+            "frame_words": func.frame_words,
+        }
+        for name, func in program.scheduled.functions.items()
+    }
+    payload = {
+        "schema": 1,
+        "machine": machine_name,
+        "functions": functions,
+        "artifact": (artifact.artifact_id
+                     if artifact is not None else None),
+    }
+    if params.get("run", False):
+        result = program.run(inputs)
+        payload["simulation"] = {
+            "outputs": result.outputs,
+            "return_value": result.return_value,
+            "cycles": result.cycles,
+            "dynamic_ops": result.dynamic_ops,
+        }
+    return payload

@@ -1,0 +1,146 @@
+"""Content-addressed on-disk store of heuristic artifacts.
+
+Layout mirrors the fitness cache: one JSON document per artifact under
+``root/<id[:2]>/<id>.json``, written via temp-file + ``os.replace`` so
+concurrent publishers can never leave a torn document (identical
+content produces identical bytes, so the last writer wins benignly).
+Lookup accepts unambiguous id prefixes, like git.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.serve.artifact import ArtifactError, HeuristicArtifact
+
+#: Environment variable naming the default artifact store directory.
+ARTIFACT_STORE_ENV = "REPRO_ARTIFACT_STORE"
+
+#: Fallback store location when neither a flag nor the env var is set.
+DEFAULT_STORE_DIR = "artifacts"
+
+
+class ArtifactRegistry:
+    """Save/load/list/verify heuristic artifacts under one directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # -- paths -----------------------------------------------------------
+    def path_for(self, artifact_id: str) -> Path:
+        return self.root / artifact_id[:2] / f"{artifact_id}.json"
+
+    def _iter_paths(self):
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or len(shard.name) != 2:
+                continue
+            yield from sorted(shard.glob("*.json"))
+
+    # -- store -----------------------------------------------------------
+    def save(self, artifact: HeuristicArtifact) -> str:
+        """Write the artifact; returns its content-address id.
+        Idempotent: re-saving identical content rewrites identical
+        bytes."""
+        artifact_id = artifact.artifact_id
+        path = self.path_for(artifact_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(artifact.to_json_dict(), indent=2,
+                             sort_keys=True) + "\n"
+        with self._lock:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        return artifact_id
+
+    # -- lookup ----------------------------------------------------------
+    def resolve(self, ref: str) -> str:
+        """Expand an id or unambiguous prefix to the full artifact id."""
+        if not ref:
+            raise ArtifactError("empty artifact reference")
+        exact = self.path_for(ref)
+        if exact.exists():
+            return ref
+        matches = [path.stem for path in self._iter_paths()
+                   if path.stem.startswith(ref)]
+        if not matches:
+            raise ArtifactError(
+                f"no artifact matching {ref!r} in {self.root}")
+        if len(matches) > 1:
+            raise ArtifactError(
+                f"ambiguous artifact reference {ref!r}: matches "
+                f"{', '.join(m[:12] for m in sorted(matches))}")
+        return matches[0]
+
+    def load(self, ref: str) -> HeuristicArtifact:
+        artifact_id = self.resolve(ref)
+        path = self.path_for(artifact_id)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(f"cannot read artifact {ref!r}: {exc}")
+        artifact = HeuristicArtifact.from_json_dict(data)
+        if artifact.artifact_id != artifact_id:
+            raise ArtifactError(
+                f"store corruption: {path} holds content "
+                f"{artifact.short_id}, filed under {artifact_id[:12]}")
+        return artifact
+
+    def __contains__(self, artifact_id: str) -> bool:
+        return self.path_for(artifact_id).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._iter_paths())
+
+    # -- listing / verification ------------------------------------------
+    def list(self) -> list[dict]:
+        """Summaries of every stored artifact, newest first."""
+        rows = []
+        for path in self._iter_paths():
+            try:
+                artifact = HeuristicArtifact.from_json_dict(
+                    json.loads(path.read_text()))
+            except (OSError, ValueError):
+                rows.append({"artifact_id": path.stem, "case": "?",
+                             "error": "unreadable", "created_at": 0.0})
+                continue
+            rows.append({
+                "artifact_id": artifact.artifact_id,
+                "case": artifact.case,
+                "machine": artifact.machine_name,
+                "expression": artifact.expression,
+                "metrics": artifact.metrics,
+                "created_at": artifact.created_at,
+            })
+        rows.sort(key=lambda row: (-row["created_at"], row["artifact_id"]))
+        return rows
+
+    def verify(self, ref: str) -> list[str]:
+        """Problems with one stored artifact (empty list = valid)."""
+        try:
+            artifact = self.load(ref)
+        except ArtifactError as exc:
+            return [str(exc)]
+        return artifact.verify()
+
+
+def registry_from_env(explicit_dir: str | None = None) -> ArtifactRegistry:
+    """Resolve the artifact store: explicit flag beats
+    ``$REPRO_ARTIFACT_STORE`` beats ``./artifacts``."""
+    directory = (explicit_dir or os.environ.get(ARTIFACT_STORE_ENV)
+                 or DEFAULT_STORE_DIR)
+    return ArtifactRegistry(directory)

@@ -1,0 +1,333 @@
+"""The serving daemon: a zero-dependency compile/evaluate HTTP service.
+
+``repro serve`` runs a :class:`ThreadingHTTPServer` JSON API in front
+of the bounded :class:`~repro.serve.jobs.JobQueue`:
+
+=============================  ==========================================
+``POST /v1/compile``           enqueue a MiniC compile (``202`` + job id)
+``POST /v1/evaluate``          enqueue a benchmark simulation, baseline
+                               or under a deployed artifact
+``GET  /v1/jobs/<id>``         poll a job's state and result
+``POST /v1/jobs/<id>/cancel``  cancel a queued job
+``GET  /v1/artifacts``         list the artifact store
+``GET  /v1/artifacts/<id>``    one artifact document
+``GET  /healthz``              liveness + queue depth (``ok``/``draining``)
+``GET  /metrics``              server/queue counters + repro.obs snapshot
+=============================  ==========================================
+
+Overload never blocks or grows the queue: a full queue answers ``429``
+with a ``Retry-After`` header, an oversized body ``413``, and a
+draining server ``503``.  ``SIGTERM``/``SIGINT`` trigger a graceful
+drain — stop accepting, finish every in-flight and queued job, flush a
+final metrics snapshot — before the process exits.  Request handling
+rides :mod:`repro.obs`: every request is a ``serve:request`` span and
+a ``serve.requests.*`` counter.
+
+See ``docs/SERVING.md`` for the full API reference and curl examples.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import obs
+from repro.serve.jobs import (
+    HarnessPool,
+    JobQueue,
+    QueueFull,
+    run_compile,
+    run_evaluate,
+)
+
+#: Largest request body accepted (bytes) — beyond this is a 413.
+MAX_BODY_BYTES = 1 << 20
+
+#: API version prefix of every resource route.
+API_PREFIX = "/v1"
+
+
+class _ApiError(Exception):
+    """An error with a fixed HTTP status, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+class ReproServer:
+    """The daemon: HTTP front, job queue, warm workers, drain logic."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        capacity: int = 16,
+        job_timeout: float | None = None,
+        registry=None,
+        fitness_cache_dir: str | None = None,
+        handler=None,
+    ) -> None:
+        self.registry = registry
+        self.harness_pool = HarnessPool(fitness_cache_dir=fitness_cache_dir)
+        self.queue = JobQueue(
+            handler=handler if handler is not None else self._execute,
+            workers=workers,
+            capacity=capacity,
+            job_timeout=job_timeout,
+        )
+        self.request_counters: dict[str, int] = {}
+        self._counter_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._serve_thread: threading.Thread | None = None
+        handler_cls = _make_handler(self)
+        self.httpd = ThreadingHTTPServer((host, port), handler_cls)
+        self.httpd.daemon_threads = True
+
+    # -- addresses -------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- job execution ---------------------------------------------------
+    def _execute(self, kind: str, params: dict) -> dict:
+        with obs.span(f"serve:job:{kind}"):
+            if kind == "evaluate":
+                return run_evaluate(params, self.harness_pool,
+                                    registry=self.registry)
+            if kind == "compile":
+                return run_compile(params, registry=self.registry)
+            raise ValueError(f"unknown job kind {kind!r}")
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        """Serve in a background thread (tests, in-process embedding)."""
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever, name="serve-http", daemon=True)
+        self._serve_thread.start()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown: refuse new jobs, finish in-flight ones,
+        stop the HTTP listener.  Idempotent; returns True when every
+        job finished within ``timeout``."""
+        already = self._draining.is_set()
+        self._draining.set()
+        if already:
+            self._drained.wait(timeout=timeout)
+            return self._drained.is_set()
+        drained = self.queue.drain(timeout=timeout)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        self._drained.set()
+        return drained
+
+    def serve_forever(self, drain_timeout: float | None = None) -> int:
+        """Blocking entry point of ``repro serve``: installs SIGTERM /
+        SIGINT handlers that trigger a graceful drain."""
+        stop = threading.Event()
+
+        def request_drain(signum, frame):
+            stop.set()
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, request_drain)
+        self.start()
+        try:
+            stop.wait()
+            print("serve: drain requested — finishing in-flight jobs",
+                  file=sys.stderr)
+            drained = self.drain(timeout=drain_timeout)
+            snapshot = self.metrics_payload()
+            print("serve: final metrics "
+                  + json.dumps(snapshot["queue"], sort_keys=True),
+                  file=sys.stderr)
+            print("serve: drained" if drained
+                  else "serve: drain timed out with jobs unfinished",
+                  file=sys.stderr)
+            return 0 if drained else 1
+        finally:
+            for signum, old in previous.items():
+                signal.signal(signum, old)
+
+    # -- introspection ---------------------------------------------------
+    def count_request(self, key: str) -> None:
+        with self._counter_lock:
+            self.request_counters[key] = (
+                self.request_counters.get(key, 0) + 1)
+        obs.inc(f"serve.requests.{key}")
+
+    def health_payload(self) -> dict:
+        stats = self.queue.stats()
+        return {
+            "status": "draining" if self._draining.is_set() else "ok",
+            "queue_depth": stats["depth"],
+            "running": stats["running"],
+            "capacity": stats["capacity"],
+            "workers": stats["workers"],
+        }
+
+    def metrics_payload(self) -> dict:
+        from repro.machine.sim import codegen_cache_stats
+
+        registry = obs.metrics()
+        return {
+            "schema": 1,
+            "queue": self.queue.stats(),
+            "requests": dict(sorted(self.request_counters.items())),
+            "codegen_cache": codegen_cache_stats(),
+            "obs": registry.snapshot() if registry is not None else None,
+        }
+
+
+def _make_handler(server: ReproServer):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        # Quiet by default; errors still reach the error log.
+        def log_message(self, format, *args):  # noqa: A002
+            pass
+
+        # -- plumbing ----------------------------------------------------
+        def _send_json(self, status: int, payload: dict,
+                       headers: dict | None = None) -> None:
+            body = (json.dumps(payload, indent=2, sort_keys=True)
+                    + "\n").encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+            server.count_request(str(status))
+
+        def _read_body(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                raise _ApiError(
+                    413, f"request body {length} bytes exceeds the "
+                         f"{MAX_BODY_BYTES}-byte limit")
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                return {}
+            try:
+                data = json.loads(raw)
+            except ValueError as exc:
+                raise _ApiError(400, f"request body is not JSON: {exc}")
+            if not isinstance(data, dict):
+                raise _ApiError(400, "request body must be a JSON object")
+            return data
+
+        def _submit(self, kind: str) -> None:
+            params = self._read_body()
+            try:
+                job = server.queue.submit(kind, params)
+            except QueueFull as exc:
+                raise _ApiError(
+                    429, str(exc),
+                    headers={"Retry-After":
+                             f"{max(1, round(exc.retry_after))}"})
+            except RuntimeError as exc:
+                raise _ApiError(503, str(exc),
+                                headers={"Retry-After": "5"})
+            self._send_json(202, {
+                "job_id": job.id,
+                "state": job.state,
+                "href": f"{API_PREFIX}/jobs/{job.id}",
+            })
+
+        # -- routing -----------------------------------------------------
+        def _route(self) -> None:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            method = self.command
+            with obs.span("serve:request", method=method, path=path):
+                if method == "GET" and path == "/healthz":
+                    self._send_json(200, server.health_payload())
+                elif method == "GET" and path == "/metrics":
+                    self._send_json(200, server.metrics_payload())
+                elif method == "POST" and path == f"{API_PREFIX}/evaluate":
+                    self._submit("evaluate")
+                elif method == "POST" and path == f"{API_PREFIX}/compile":
+                    self._submit("compile")
+                elif method == "GET" and path == f"{API_PREFIX}/artifacts":
+                    if server.registry is None:
+                        raise _ApiError(404, "no artifact store configured")
+                    self._send_json(200, {
+                        "artifacts": server.registry.list()})
+                elif (method == "GET"
+                        and path.startswith(f"{API_PREFIX}/artifacts/")):
+                    self._get_artifact(
+                        path[len(f"{API_PREFIX}/artifacts/"):])
+                elif (method == "POST"
+                        and path.startswith(f"{API_PREFIX}/jobs/")
+                        and path.endswith("/cancel")):
+                    job_id = path[len(f"{API_PREFIX}/jobs/"):-len("/cancel")]
+                    self._cancel_job(job_id)
+                elif (method == "GET"
+                        and path.startswith(f"{API_PREFIX}/jobs/")):
+                    self._get_job(path[len(f"{API_PREFIX}/jobs/"):])
+                else:
+                    raise _ApiError(404, f"no route {method} {path}")
+
+        def _get_artifact(self, ref: str) -> None:
+            from repro.serve.artifact import ArtifactError
+
+            if server.registry is None:
+                raise _ApiError(404, "no artifact store configured")
+            try:
+                artifact = server.registry.load(ref)
+            except ArtifactError as exc:
+                raise _ApiError(404, str(exc))
+            self._send_json(200, artifact.to_json_dict())
+
+        def _get_job(self, job_id: str) -> None:
+            job = server.queue.get(job_id)
+            if job is None:
+                raise _ApiError(404, f"unknown job {job_id!r}")
+            self._send_json(200, job.to_json_dict())
+
+        def _cancel_job(self, job_id: str) -> None:
+            job = server.queue.get(job_id)
+            if job is None:
+                raise _ApiError(404, f"unknown job {job_id!r}")
+            cancelled = server.queue.cancel(job_id)
+            self._send_json(200, {
+                "job_id": job_id,
+                "cancelled": cancelled,
+                "state": job.state,
+            })
+
+        def _handle(self) -> None:
+            try:
+                self._route()
+            except _ApiError as exc:
+                self._send_json(exc.status, {"error": str(exc)},
+                                headers=exc.headers)
+            except Exception as exc:  # noqa: BLE001 — keep serving
+                self._send_json(500, {
+                    "error": f"{type(exc).__name__}: {exc}"})
+
+        def do_GET(self) -> None:  # noqa: N802
+            self._handle()
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._handle()
+
+    return Handler

@@ -31,6 +31,7 @@ GOLDEN_FIELDS = {
     "metrics": {"event", "generation", "metrics"},
     "checkpoint_saved": {"event", "generation", "path"},
     "run_interrupted": {"event", "next_generation"},
+    "artifact_published": {"event", "artifact_id", "store"},
     "run_finished": {"event", "result", "wall_s"},
 }
 
@@ -96,11 +97,12 @@ class TestSchema:
         assert finished["result"]["mode"] == "specialize"
         assert "train_speedup" in finished["result"]
 
-    def test_schema_version_covers_metrics_event(self):
+    def test_schema_version_covers_optional_events(self):
         from repro.experiments.events import EVENT_TYPES, SCHEMA_VERSION
 
-        assert SCHEMA_VERSION == 2
+        assert SCHEMA_VERSION == 3
         assert "metrics" in EVENT_TYPES
+        assert "artifact_published" in EVENT_TYPES
         assert set(EVENT_TYPES) == set(GOLDEN_FIELDS)
 
 
@@ -179,3 +181,42 @@ class TestSinks:
         output = capsys.readouterr().out
         assert "starting specialize run" in output
         assert "best 1.2500" in output
+
+
+class TestArtifactPublishedEvent:
+    """publish_dir=... adds one ``artifact_published`` event (and
+    nothing to result.json)."""
+
+    @pytest.fixture(scope="class")
+    def publish_events(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("publish-events")
+        memory = MemorySink()
+        result = ExperimentRunner(tiny_config(), run_dir=base / "run",
+                                  sinks=(memory,),
+                                  publish_dir=base / "store").run()
+        return memory, result, base
+
+    def test_event_emitted_before_run_finished(self, publish_events):
+        memory, _, _ = publish_events
+        kinds = [event["event"] for event in memory.events]
+        assert kinds[-2:] == ["artifact_published", "run_finished"]
+        published = memory.of_type("artifact_published")[0]
+        assert set(published) == GOLDEN_FIELDS["artifact_published"]
+
+    def test_artifact_lands_in_store_and_result(self, publish_events):
+        from repro.serve.registry import ArtifactRegistry
+
+        memory, result, base = publish_events
+        published = memory.of_type("artifact_published")[0]
+        assert result.artifact_id == published["artifact_id"]
+        registry = ArtifactRegistry(base / "store")
+        artifact = registry.load(published["artifact_id"])
+        assert artifact.case == "hyperblock"
+        assert artifact.verify() == []
+
+    def test_result_json_stays_artifact_free(self, publish_events):
+        memory, _, base = publish_events
+        result_doc = json.loads((base / "run" / "result.json").read_text())
+        assert "artifact_id" not in result_doc
+        finished = memory.of_type("run_finished")[0]
+        assert "artifact_id" not in finished["result"]

@@ -1,0 +1,191 @@
+"""Thread-safety of the process-wide caches the daemon's workers share.
+
+The serving daemon runs compiles and simulations on many threads at
+once; the module-level simulator codegen cache and the
+:class:`FitnessCache` memory layer are the two pieces of shared
+mutable state.  These tests hammer both from 8 threads and assert the
+counters stay consistent and every thread observes correct results —
+under a racy implementation they fail with KeyError/RuntimeError
+(dict mutation during iteration) or silently lost counts.
+"""
+
+import threading
+
+from repro.machine.sim import (
+    Simulator,
+    clear_codegen_cache,
+    codegen_cache_stats,
+)
+from repro.metaopt.fitness_cache import FitnessCache
+from repro.suite.registry import get as get_benchmark
+
+THREADS = 8
+ROUNDS = 12
+
+
+def run_threads(target):
+    errors = []
+
+    def wrapped(slot):
+        try:
+            target(slot)
+        except Exception as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(slot,))
+               for slot in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    assert errors == [], errors
+
+
+class TestCodegenCacheUnderThreads:
+    def test_concurrent_simulations_agree_and_count(self):
+        """8 threads simulate the same benchmark: every thread gets the
+        same cycle count and hits + misses == lookups."""
+        from repro.compiler import compile_program
+
+        bench = get_benchmark("codrle4")
+        program = compile_program(bench.source, name=bench.name)
+        inputs = bench.inputs("train")
+        clear_codegen_cache()
+
+        cycles = [None] * THREADS
+        barrier = threading.Barrier(THREADS)
+
+        def worker(slot):
+            barrier.wait()  # maximize overlap on the cold cache
+            seen = set()
+            for _ in range(ROUNDS):
+                simulator = Simulator(program.scheduled,
+                                      program.options.machine)
+                for name, values in inputs.items():
+                    simulator.set_global(name, values)
+                seen.add(simulator.run().cycles)
+            assert len(seen) == 1
+            cycles[slot] = seen.pop()
+
+        run_threads(worker)
+        assert len(set(cycles)) == 1
+
+        stats = codegen_cache_stats()
+        functions = len(program.scheduled.functions)
+        lookups = THREADS * ROUNDS * functions
+        # No lost updates: every lookup is accounted a hit or a miss.
+        assert stats["hits"] + stats["misses"] == lookups
+        # The racy window allows benign duplicate translation, but
+        # never more misses than one per thread per function.
+        assert functions <= stats["misses"] <= THREADS * functions
+        assert stats["entries"] >= functions
+
+    def test_stats_and_clear_race_free(self):
+        """Readers/clearers interleaving with simulations must never
+        corrupt the cache dict."""
+        from repro.compiler import compile_program
+
+        bench = get_benchmark("codrle4")
+        program = compile_program(bench.source, name=bench.name)
+        inputs = bench.inputs("train")
+        stop = threading.Event()
+
+        def simulate(slot):
+            while not stop.is_set():
+                simulator = Simulator(program.scheduled,
+                                      program.options.machine)
+                for name, values in inputs.items():
+                    simulator.set_global(name, values)
+                simulator.run()
+
+        def churn(slot):
+            for _ in range(50):
+                codegen_cache_stats()
+                clear_codegen_cache()
+            stop.set()
+
+        def worker(slot):
+            (churn if slot == 0 else simulate)(slot)
+
+        run_threads(worker)
+        stats = codegen_cache_stats()
+        assert stats["hits"] >= 0 and stats["misses"] >= 0
+
+
+class TestFitnessCacheUnderThreads:
+    def _result(self, n):
+        from repro.machine.sim import SimResult
+
+        return SimResult(cycles=n, return_value=None, outputs=[],
+                         dynamic_ops=n)
+
+    def test_concurrent_put_get_consistent_counters(self, tmp_path):
+        cache = FitnessCache(tmp_path / "cache")
+        barrier = threading.Barrier(THREADS)
+
+        def worker(slot):
+            barrier.wait()
+            for n in range(ROUNDS):
+                key = f"{'k' * 62}{slot}{n}"  # 64-char unique keys
+                assert cache.get(key) is None  # cold
+                cache.put(key, self._result(n))
+                stored = cache.get(key)
+                assert stored is not None and stored.cycles == n
+                cache.get(f"{'m' * 62}{slot}{n}")  # guaranteed miss
+
+        run_threads(worker)
+        stats = cache.stats()
+        writes = THREADS * ROUNDS
+        assert stats["stores"] == writes
+        assert stats["hits"] == writes
+        assert stats["misses"] == 2 * writes
+        assert stats["in_memory"] == writes
+        assert len(cache) == writes
+
+    def test_shared_hot_key_all_threads_hit(self, tmp_path):
+        cache = FitnessCache(tmp_path / "cache")
+        key = "a" * 64
+        cache.put(key, self._result(42))
+        barrier = threading.Barrier(THREADS)
+
+        def worker(slot):
+            barrier.wait()
+            for _ in range(ROUNDS * 10):
+                stored = cache.get(key)
+                assert stored is not None and stored.cycles == 42
+
+        run_threads(worker)
+        assert cache.stats()["hits"] == THREADS * ROUNDS * 10
+
+    def test_disk_layer_atomic_under_writers(self, tmp_path):
+        """All 8 threads write the same key concurrently; the on-disk
+        document is never torn (a fresh cache can always read it)."""
+        cache = FitnessCache(tmp_path / "cache")
+        key = "b" * 64
+        barrier = threading.Barrier(THREADS)
+
+        def worker(slot):
+            barrier.wait()
+            for n in range(ROUNDS):
+                cache.put(key, self._result(slot * 1000 + n))
+
+        run_threads(worker)
+        fresh = FitnessCache(tmp_path / "cache")
+        stored = fresh.get(key)
+        assert stored is not None  # readable, i.e. not torn
+        assert fresh.stats()["disk_hits"] == 1
+
+    def test_memory_only_cache_safe(self):
+        cache = FitnessCache(None)
+        barrier = threading.Barrier(THREADS)
+
+        def worker(slot):
+            barrier.wait()
+            for n in range(ROUNDS):
+                cache.put(f"{'c' * 62}{slot}{n}", self._result(n))
+                cache.clear_memory() if slot == 0 and n % 3 == 0 else None
+                len(cache)
+                cache.stats()
+
+        run_threads(worker)
+        assert cache.stats()["stores"] == THREADS * ROUNDS

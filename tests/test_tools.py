@@ -105,3 +105,61 @@ class TestBenchPayloadSchema:
         payload["determinism_ok"] = "yes"
         problems = bench_eval.validate_bench_payload(payload)
         assert any("determinism_ok" in problem for problem in problems)
+
+
+import bench_serve  # noqa: E402
+
+
+class TestServePercentiles:
+    def test_percentile_nearest_rank(self):
+        values = [float(n) for n in range(1, 101)]
+        assert bench_serve.percentile(values, 0.50) == 50.0
+        assert bench_serve.percentile(values, 0.95) == 95.0
+        assert bench_serve.percentile(values, 0.99) == 99.0
+
+    def test_percentile_edges(self):
+        assert bench_serve.percentile([], 0.5) == 0.0
+        assert bench_serve.percentile([7.0], 0.99) == 7.0
+
+    def test_latency_summary(self):
+        summary = bench_serve.latency_summary([0.1, 0.2, 0.3, 0.4])
+        assert summary["p50"] == 0.2
+        assert summary["max"] == 0.4
+        assert abs(summary["mean"] - 0.25) < 1e-12
+
+
+class TestServePayloadSchema:
+    def make_payload(self):
+        return {
+            "schema": bench_serve.BENCH_SCHEMA,
+            "benchmark": "codrle4", "case": "hyperblock",
+            "clients": 8, "requests": 24, "workers": 2, "capacity": 2,
+            "completed": 24, "errors": 0, "error_messages": [],
+            "client_retries": 3, "shed_429": 3,
+            "elapsed_seconds": 1.0, "throughput_rps": 24.0,
+            "latency_seconds": {"p50": 0.01, "p95": 0.9, "p99": 1.0,
+                                "mean": 0.2, "max": 1.1},
+            "identical_payloads": True,
+            "queue": {"done": 25},
+        }
+
+    def test_valid_payload_passes(self):
+        assert bench_serve.validate_serve_payload(self.make_payload()) == []
+
+    def test_wrong_schema_flagged(self):
+        payload = self.make_payload()
+        payload["schema"] = 0
+        problems = bench_serve.validate_serve_payload(payload)
+        assert any("schema" in problem for problem in problems)
+
+    def test_missing_percentile_flagged(self):
+        payload = self.make_payload()
+        del payload["latency_seconds"]["p99"]
+        problems = bench_serve.validate_serve_payload(payload)
+        assert any("p99" in problem for problem in problems)
+
+    def test_non_integer_counts_flagged(self):
+        payload = self.make_payload()
+        payload["shed_429"] = "three"
+        problems = bench_serve.validate_serve_payload(payload)
+        assert any("shed_429" in problem for problem in problems)

@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Load generator for the serving daemon.
+
+Boots an in-process :class:`~repro.serve.server.ReproServer` on an
+ephemeral port, drives it with ``--clients`` concurrent
+:class:`ServeClient` threads issuing ``--requests`` evaluate calls in
+total, and reports **throughput** (requests/s) plus **latency
+percentiles** (p50/p95/p99, submit→result wall time per request).
+
+The queue is deliberately small relative to the client count
+(``--capacity``), so a run also exercises the backpressure path: the
+summary reports how many submissions the daemon shed with ``429``
+(clients retry with backoff until served) — a healthy run completes
+*every* request despite shedding, and all responses are byte-identical
+as canonical JSON.
+
+``--json-out FILE`` writes the canonical ``BENCH_serve.json`` payload
+(schema below, validated by :func:`validate_serve_payload`) — the
+artifact the ``serve-smoke`` CI job checks and archives.  ``--quick``
+shrinks the workload for CI.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_serve.py \
+        [--clients 8] [--requests 64] [--benchmark codrle4] \
+        [--workers 2] [--capacity 4] [--json-out BENCH_serve.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import threading
+import time
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer
+
+#: Version stamp of the BENCH_serve.json payload.
+BENCH_SCHEMA = 1
+
+#: Keys of the ``latency_seconds`` object.
+PERCENTILES = ("p50", "p95", "p99")
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      math.ceil(fraction * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+def latency_summary(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "p50": percentile(ordered, 0.50),
+        "p95": percentile(ordered, 0.95),
+        "p99": percentile(ordered, 0.99),
+        "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+        "max": ordered[-1] if ordered else 0.0,
+    }
+
+
+def validate_serve_payload(payload: dict) -> list[str]:
+    """Schema check for BENCH_serve.json; returns a list of problems
+    (empty when valid).  Used by the serve-smoke CI job and the tests."""
+    problems = []
+    if payload.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema must be {BENCH_SCHEMA}, "
+                        f"got {payload.get('schema')!r}")
+    for key in ("benchmark", "case"):
+        if not isinstance(payload.get(key), str):
+            problems.append(f"{key} must be a string")
+    for key in ("clients", "requests", "workers", "capacity",
+                "completed", "errors", "client_retries", "shed_429"):
+        if not isinstance(payload.get(key), int):
+            problems.append(f"{key} must be an integer")
+    for key in ("elapsed_seconds", "throughput_rps"):
+        if not isinstance(payload.get(key), (int, float)):
+            problems.append(f"{key} must be a number")
+    if not isinstance(payload.get("identical_payloads"), bool):
+        problems.append("identical_payloads must be a boolean")
+    latency = payload.get("latency_seconds")
+    if not isinstance(latency, dict):
+        problems.append("latency_seconds must be an object")
+    else:
+        for key in (*PERCENTILES, "mean", "max"):
+            if not isinstance(latency.get(key), (int, float)):
+                problems.append(f"latency_seconds.{key} must be a number")
+    if not isinstance(payload.get("queue"), dict):
+        problems.append("queue must be an object")
+    return problems
+
+
+def drive(server: ReproServer, args) -> dict:
+    """Run the load, return the canonical payload."""
+    params = {"benchmark": args.benchmark, "case": args.case}
+
+    # Warm the workers (first compile of the benchmark) untimed.
+    warm = ServeClient(server.url, timeout=args.timeout)
+    warm.run("evaluate", params, timeout=args.timeout)
+
+    per_client = [args.requests // args.clients] * args.clients
+    for slot in range(args.requests % args.clients):
+        per_client[slot] += 1
+
+    latencies: list[list[float]] = [[] for _ in range(args.clients)]
+    bodies: list[set] = [set() for _ in range(args.clients)]
+    errors: list[Exception] = []
+    retries = [0] * args.clients
+    barrier = threading.Barrier(args.clients + 1)
+
+    def worker(slot: int) -> None:
+        client = ServeClient(server.url, timeout=args.timeout,
+                             retries=args.retries, backoff=0.05)
+        barrier.wait()
+        try:
+            for _ in range(per_client[slot]):
+                started = time.perf_counter()
+                result = client.run("evaluate", params,
+                                    timeout=args.timeout)
+                latencies[slot].append(time.perf_counter() - started)
+                bodies[slot].add(json.dumps(result, sort_keys=True))
+        except Exception as exc:  # noqa: BLE001 — reported in payload
+            errors.append(exc)
+        finally:
+            retries[slot] = client.retry_count
+
+    threads = [threading.Thread(target=worker, args=(slot,))
+               for slot in range(args.clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    flat = [value for bucket in latencies for value in bucket]
+    distinct = set().union(*bodies) if bodies else set()
+    queue_stats = server.queue.stats()
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": args.benchmark,
+        "case": args.case,
+        "clients": args.clients,
+        "requests": args.requests,
+        "workers": args.workers,
+        "capacity": args.capacity,
+        "completed": len(flat),
+        "errors": len(errors),
+        "error_messages": [str(error) for error in errors],
+        "client_retries": sum(retries),
+        "shed_429": queue_stats["rejected"],
+        "elapsed_seconds": elapsed,
+        "throughput_rps": len(flat) / elapsed if elapsed > 0 else 0.0,
+        "latency_seconds": latency_summary(flat),
+        "identical_payloads": len(distinct) == 1,
+        "queue": queue_stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--benchmark", default="codrle4")
+    parser.add_argument("--case", default="hyperblock")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=64,
+                        help="total requests across all clients")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--capacity", type=int, default=4,
+                        help="queue capacity — small by default so the "
+                             "run exercises 429 shedding")
+    parser.add_argument("--retries", type=int, default=50,
+                        help="per-request client retry budget against "
+                             "429/503")
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--fitness-cache", metavar="DIR", default=None)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke preset: 8 clients x 24 requests, "
+                             "capacity 2")
+    parser.add_argument("--json-out", metavar="FILE",
+                        help="write the canonical BENCH_serve.json "
+                             "payload to FILE")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.requests = 24
+        args.capacity = 2
+    if args.clients < 1 or args.requests < 1:
+        parser.error("--clients and --requests must be >= 1")
+
+    server = ReproServer(port=0, workers=args.workers,
+                         capacity=args.capacity,
+                         fitness_cache_dir=args.fitness_cache)
+    server.start()
+    print(f"daemon on {server.url}: {args.workers} worker(s), "
+          f"queue capacity {args.capacity}; driving {args.requests} "
+          f"requests from {args.clients} client(s)")
+    try:
+        payload = drive(server, args)
+    finally:
+        server.drain(timeout=60.0)
+
+    latency = payload["latency_seconds"]
+    print(f"completed    : {payload['completed']}/{args.requests} "
+          f"({payload['errors']} error(s))")
+    print(f"throughput   : {payload['throughput_rps']:8.2f} req/s "
+          f"over {payload['elapsed_seconds']:.2f}s")
+    print(f"latency      : p50 {latency['p50'] * 1000:7.1f} ms   "
+          f"p95 {latency['p95'] * 1000:7.1f} ms   "
+          f"p99 {latency['p99'] * 1000:7.1f} ms")
+    print(f"backpressure : {payload['shed_429']} submission(s) shed "
+          f"with 429, {payload['client_retries']} client retr(ies)")
+    print(f"identical    : {payload['identical_payloads']}")
+
+    if args.json_out:
+        problems = validate_serve_payload(payload)
+        if problems:
+            print("invalid payload:", problems)
+            return 1
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"payload written to {args.json_out}")
+
+    ok = (payload["errors"] == 0
+          and payload["completed"] == args.requests
+          and payload["identical_payloads"])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
