@@ -162,6 +162,55 @@ def _print_counter_table(snapshot: dict, prefix: str, title: str) -> None:
         print(f"{name:<24s}{value:>12}")
 
 
+def _histogram_p50(data: dict) -> float:
+    """Nearest-rank median estimate from histogram buckets: the upper
+    edge of the bucket holding the median observation (overflow bucket
+    reports the largest edge)."""
+    total = data["count"]
+    if not total:
+        return 0.0
+    target = (total + 1) // 2
+    cumulative = 0
+    for edge, count in zip(data["buckets"], data["counts"]):
+        cumulative += count
+        if cumulative >= target:
+            return edge
+    return data["buckets"][-1]
+
+
+def _print_snapshot_table(snapshot: dict) -> None:
+    """Compilation-forking health (docs/FORKING.md): hit ratio,
+    restore latency, bytes resident.  Silent when the layer never ran
+    (``--no-snapshot`` or no backend compiles)."""
+    counters = snapshot["counters"]
+    hits = counters.get("pipeline.snapshot.hits", 0)
+    misses = counters.get("pipeline.snapshot.misses", 0)
+    if hits + misses == 0:
+        return
+    restores = snapshot["histograms"].get(
+        "pipeline.snapshot.restore_seconds",
+        {"buckets": [0.0], "counts": [0, 0], "sum": 0.0, "count": 0})
+    resident = snapshot.get("gauges", {}).get(
+        "pipeline.snapshot.resident_bytes", 0)
+    rows = [
+        ("hits", hits),
+        ("misses", misses),
+        ("hit_ratio", f"{hits / (hits + misses):.2f}"),
+        ("builds", counters.get("pipeline.snapshot.builds", 0)),
+        ("disk_hits", counters.get("pipeline.snapshot.disk_hits", 0)),
+        ("restores", restores["count"]),
+        ("restore_p50_ms", f"{_histogram_p50(restores) * 1000:.2f}"),
+        ("resident_bytes", resident),
+        ("strategy_pickle",
+         counters.get("pipeline.snapshot.strategy_pickle", 0)),
+        ("strategy_clone",
+         counters.get("pipeline.snapshot.strategy_clone", 0)),
+    ]
+    print(f"{'snapshot':<24s}{'value':>12s}")
+    for name, value in rows:
+        print(f"{name:<24s}{value:>12}")
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.metaopt.harness import EvaluationHarness, case_study
@@ -196,6 +245,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     _print_pass_table(snapshot)
     print()
     _print_counter_table(snapshot, "sim.", "simulator counter")
+    print()
+    _print_snapshot_table(snapshot)
     print()
     _print_sim_result(result)
     if tracer is not None:
@@ -403,6 +454,15 @@ def _add_fitness_cache_flags(parser: argparse.ArgumentParser) -> None:
              "$REPRO_FITNESS_CACHE is set")
 
 
+def _add_snapshot_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-snapshot", action="store_true",
+        help="disable compilation forking (hook-point pipeline "
+             "snapshots with suffix-only replay, docs/FORKING.md) and "
+             "recompile the full backend for every candidate; results "
+             "are bit-identical either way")
+
+
 def _load_artifact(args: argparse.Namespace):
     """Resolve ``--artifact``/``--artifact-store`` into a loaded
     artifact (or None) and the case name to simulate under."""
@@ -430,8 +490,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     tracer = obs.enable_tracing() if args.trace else None
     registry = obs.enable_metrics() if args.metrics else None
     try:
-        harness = EvaluationHarness(case_study(case_name),
-                                    fitness_cache=_resolve_fitness_cache(args))
+        harness = EvaluationHarness(
+            case_study(case_name),
+            fitness_cache=_resolve_fitness_cache(args),
+            use_snapshots=not args.no_snapshot)
         if artifact is not None:
             result = harness.simulate(artifact.tree(), args.benchmark,
                                       args.dataset)
@@ -487,6 +549,7 @@ def _run_campaign(args: argparse.Namespace, config) -> int:
     sinks = () if args.json else (PrettySink(),)
     stop_after = getattr(args, "stop_after_generation", None)
     collect_metrics = bool(getattr(args, "metrics", False))
+    use_snapshots = not getattr(args, "no_snapshot", False)
     trace_path = getattr(args, "trace", None)
     publish_dir = _resolve_publish_dir(args)
     if args.resume:
@@ -495,12 +558,14 @@ def _run_campaign(args: argparse.Namespace, config) -> int:
                              "directory holds the campaign's config)")
         runner = ExperimentRunner.from_run_dir(
             args.run_dir, sinks=sinks, stop_after_generation=stop_after,
-            collect_metrics=collect_metrics, publish_dir=publish_dir)
+            collect_metrics=collect_metrics, publish_dir=publish_dir,
+            use_snapshots=use_snapshots)
     else:
         runner = ExperimentRunner(
             config, run_dir=args.run_dir, sinks=sinks,
             stop_after_generation=stop_after,
-            collect_metrics=collect_metrics, publish_dir=publish_dir)
+            collect_metrics=collect_metrics, publish_dir=publish_dir,
+            use_snapshots=use_snapshots)
     tracer = obs.enable_tracing() if trace_path else None
     try:
         outcome = runner.run(resume=args.resume)
@@ -706,6 +771,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         job_timeout=args.job_timeout,
         registry=registry_from_env(args.artifact_store),
         fitness_cache_dir=_fitness_cache_dir(args),
+        use_snapshots=not args.no_snapshot,
     )
     print(f"serving on {server.url} "
           f"({args.workers} worker(s), queue capacity "
@@ -825,6 +891,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact store directory (default: "
              "$REPRO_ARTIFACT_STORE or ./artifacts)")
     _add_fitness_cache_flags(sim_parser)
+    _add_snapshot_flag(sim_parser)
     _add_obs_flags(sim_parser)
     sim_parser.set_defaults(func=cmd_simulate)
 
@@ -862,6 +929,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(1 = serial, the seed-identical reference path)")
     _add_verify_flag(evolve_parser)
     _add_fitness_cache_flags(evolve_parser)
+    _add_snapshot_flag(evolve_parser)
     _add_campaign_flags(evolve_parser)
     _add_obs_flags(evolve_parser)
     evolve_parser.set_defaults(func=cmd_evolve)
@@ -888,6 +956,7 @@ def build_parser() -> argparse.ArgumentParser:
     general_parser.add_argument("--processes", type=int, default=1)
     _add_verify_flag(general_parser)
     _add_fitness_cache_flags(general_parser)
+    _add_snapshot_flag(general_parser)
     _add_campaign_flags(general_parser)
     _add_obs_flags(general_parser)
     general_parser.set_defaults(func=cmd_generalize)
@@ -934,6 +1003,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="collect repro.obs metrics and expose them on /metrics")
     _add_fitness_cache_flags(serve_parser)
+    _add_snapshot_flag(serve_parser)
     serve_parser.set_defaults(func=cmd_serve)
 
     submit_parser = commands.add_parser(

@@ -83,6 +83,7 @@ class ExperimentRunner:
         stop_after_generation: int | None = None,
         collect_metrics: bool = False,
         publish_dir=None,
+        use_snapshots: bool = True,
     ) -> None:
         self.config = config
         self.run_dir = Path(run_dir) if run_dir is not None else None
@@ -104,12 +105,17 @@ class ExperimentRunner:
         #: a deployment side effect, never part of the run's identity,
         #: so result.json (and resume byte-identity) are unaffected.
         self.publish_dir = publish_dir
+        #: compilation forking (docs/FORKING.md).  Runner-level like
+        #: ``collect_metrics``: bit-identical either way, so it is a
+        #: performance switch, never part of the run's identity.
+        self.use_snapshots = use_snapshots
 
     @classmethod
     def from_run_dir(cls, run_dir, sinks: tuple[EventSink, ...] = (),
                      stop_after_generation: int | None = None,
                      collect_metrics: bool = False,
                      publish_dir=None,
+                     use_snapshots: bool = True,
                      ) -> "ExperimentRunner":
         """Reconstruct a runner from a run directory's ``config.json``
         (the entry point of ``--resume``)."""
@@ -123,7 +129,8 @@ class ExperimentRunner:
         return cls(config, run_dir=run_dir, sinks=sinks,
                    stop_after_generation=stop_after_generation,
                    collect_metrics=collect_metrics,
-                   publish_dir=publish_dir)
+                   publish_dir=publish_dir,
+                   use_snapshots=use_snapshots)
 
     # -- assembly --------------------------------------------------------
     def _build_harness(self):
@@ -140,6 +147,7 @@ class ExperimentRunner:
             noise_stddev=self.config.noise_stddev,
             fitness_cache=cache,
             verify_outputs=self.config.verify_outputs,
+            use_snapshots=self.use_snapshots,
         )
 
     def _build_engine(self, harness, evaluator):
@@ -366,6 +374,7 @@ class ExperimentRunner:
                 noise_stddev=config.noise_stddev,
                 fitness_cache_dir=config.fitness_cache_dir,
                 verify_outputs=config.verify_outputs,
+                use_snapshots=self.use_snapshots,
             )
             evaluator_context = evaluator
 
@@ -531,6 +540,7 @@ def run_experiment(
     stop_after_generation: int | None = None,
     collect_metrics: bool = False,
     publish_dir=None,
+    use_snapshots: bool = True,
 ) -> ExperimentResult:
     """One-call form of :class:`ExperimentRunner` — the unified
     experiment API the CLI and new Python code share."""
@@ -539,5 +549,6 @@ def run_experiment(
         stop_after_generation=stop_after_generation,
         collect_metrics=collect_metrics,
         publish_dir=publish_dir,
+        use_snapshots=use_snapshots,
     )
     return runner.run(resume=resume)

@@ -9,6 +9,7 @@ sequentially and still observe VLIW semantics).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.ir.function import Function, Module
@@ -103,3 +104,33 @@ class ScheduledModule:
                         raise ValueError(
                             f"{func.name}/{label} -> unknown block {succ}"
                         )
+
+    def content_digest(self) -> str:
+        """Stable content identity of the scheduled binary: everything
+        simulation semantics can observe — bundle layout, operand text,
+        branch targets, frame sizes, and the global data layout
+        (insertion order decides base addresses, so it is part of the
+        digest).  Process-local instruction uids are excluded, which
+        makes recompiles — and distinct GP candidates that happen to
+        reach identical schedules — collapse to the same digest."""
+        digest = hashlib.sha256()
+        for name in sorted(self.functions):
+            func = self.functions[name]
+            digest.update(
+                f"func {name} frame={func.frame_words} "
+                f"params={[str(p) for p in func.params]!r}\n".encode())
+            for label in func.block_order:
+                digest.update(f"{label}:\n".encode())
+                for bundle in func.blocks[label].bundles:
+                    digest.update(b"[")
+                    for instr in bundle.instrs:
+                        digest.update(str(instr).encode())
+                        if instr.hazard:  # not in __str__, is semantic
+                            digest.update(b"!h")
+                        digest.update(b";")
+                    digest.update(b"]\n")
+        for gname, array in self.module.globals.items():
+            digest.update(f"global {gname} size={array.size} "
+                          f"type={array.elem_type.value} "
+                          f"init={array.init!r}\n".encode())
+        return digest.hexdigest()

@@ -23,6 +23,8 @@ skipping compile + simulate entirely.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import zlib
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
@@ -44,11 +46,13 @@ from repro.metaopt.baselines import BASELINE_TREES
 from repro.metaopt.features import PSETS
 from repro.metaopt.priority import PriorityFunction
 from repro.passes.pipeline import (
+    STAGE_BY_HOOK,
     CompilerOptions,
     PreparedProgram,
     compile_backend,
     prepare,
 )
+from repro.passes.snapshot import SnapshotCache
 from repro.suite.registry import get as get_benchmark
 
 #: Which CompilerOptions hook each case study's expressions occupy.
@@ -136,14 +140,36 @@ def case_study(name: str,
     )
 
 
+#: Registry assigning each native callable a process-unique sequence
+#: number for memo keys.  Keying by raw ``id()`` would be unsound:
+#: CPython reuses addresses after garbage collection, so two distinct
+#: (short-lived) natives could silently alias one memo entry.  The
+#: registry holds a reference to every callable it has numbered, which
+#: pins the id for the life of the process.
+_NATIVE_KEY_LOCK = threading.Lock()
+_NATIVE_KEYS: dict[int, tuple[object, int]] = {}
+_NATIVE_SEQ = itertools.count()
+
+
+def _native_sequence(priority) -> int:
+    with _NATIVE_KEY_LOCK:
+        entry = _NATIVE_KEYS.get(id(priority))
+        if entry is None or entry[0] is not priority:
+            entry = (priority, next(_NATIVE_SEQ))
+            _NATIVE_KEYS[id(priority)] = entry
+        return entry[1]
+
+
 def _priority_key(priority) -> tuple:
     if isinstance(priority, Node):
         return ("tree",) + priority.structural_key()
     if isinstance(priority, PriorityFunction):
         return ("tree",) + priority.tree.structural_key()
     # Distinct native callables must not share memo entries (every
-    # lambda has __qualname__ "<lambda>"), so include identity.
-    return ("native", getattr(priority, "__qualname__", ""), id(priority))
+    # lambda has __qualname__ "<lambda>"), so include a kept-alive
+    # registry sequence number.
+    return ("native", getattr(priority, "__qualname__", ""),
+            _native_sequence(priority))
 
 
 def _as_hook(priority):
@@ -171,8 +197,21 @@ class EvaluationHarness:
     #: functional interpreter and give miscompiling candidates
     #: worst-case fitness instead of crediting a wrong-answer speedup
     verify_outputs: bool = False
+    #: compilation forking (docs/FORKING.md): snapshot the backend
+    #: prefix once per (benchmark, options fingerprint) and replay only
+    #: the hook's suffix per candidate.  Bit-identical to the full
+    #: path; ``--no-snapshot`` on the CLI flips this off.
+    use_snapshots: bool = True
+    #: injectable for tests / sharing; built in ``__post_init__`` when
+    #: ``use_snapshots`` is on and none was supplied
+    snapshot_cache: SnapshotCache | None = None
     _prepared: dict[str, PreparedProgram] = field(default_factory=dict)
     _cycles_memo: dict[tuple, SimResult] = field(default_factory=dict)
+    #: content-addressed simulation memo keyed by scheduled-binary
+    #: digest: distinct candidates frequently reach identical binaries,
+    #: whose simulations are identical under zero noise
+    _binary_memo: dict[tuple, SimResult] = field(default_factory=dict)
+    _baseline_tree: Node | None = None
     #: per-(benchmark, dataset) interpreter reference observables
     _reference_memo: dict[tuple, tuple] = field(default_factory=dict)
     #: memo keys whose simulation diverged from the interpreter
@@ -182,9 +221,19 @@ class EvaluationHarness:
     compile_count: int = 0
     sim_count: int = 0
     cache_hits: int = 0
+    #: simulations skipped because an identical binary was already run
+    binary_hits: int = 0
     #: total simulated machine cycles across fresh (uncached) runs —
     #: the "simulated time" counterpart of wall-clock telemetry
     sim_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.use_snapshots and self.snapshot_cache is None:
+            disk_dir = None
+            if (self.fitness_cache is not None
+                    and self.fitness_cache.root is not None):
+                disk_dir = self.fitness_cache.root / "snapshots"
+            self.snapshot_cache = SnapshotCache(disk_dir=disk_dir)
 
     # -- candidate-independent stages ------------------------------------
     def prepared(self, benchmark: str) -> PreparedProgram:
@@ -229,9 +278,27 @@ class EvaluationHarness:
 
         prep = self.prepared(benchmark)
         options = self.case.options_for(_as_hook(priority))
-        scheduled, _report = compile_backend(prep, options)
+        scheduled, _report = self._compile(prep, options, benchmark)
         self.compile_count += 1
         obs.inc("harness.compiles")
+
+        # Content-addressed layer: two candidates that reached the
+        # same binary have the same cycle count (noise is keyed per
+        # candidate and the differential guard wants a live simulator,
+        # so both disable the shortcut).  Rides the snapshot switch so
+        # ``--no-snapshot`` is the exact seed path, digest cost included.
+        digest_key = None
+        if (self.use_snapshots and self.noise_stddev == 0.0
+                and not self.verify_outputs):
+            digest_key = (scheduled.content_digest(), benchmark, dataset)
+            stored = self._binary_memo.get(digest_key)
+            if stored is not None:
+                self.binary_hits += 1
+                obs.inc("harness.binary_cache_hits")
+                self._cycles_memo[key] = stored
+                if persist_key is not None:
+                    self.fitness_cache.put(persist_key, stored)
+                return stored
 
         bench = get_benchmark(benchmark)
         simulator = Simulator(
@@ -249,6 +316,8 @@ class EvaluationHarness:
         self.sim_cycles += result.cycles
         obs.inc("harness.sims")
         self._cycles_memo[key] = result
+        if digest_key is not None:
+            self._binary_memo[digest_key] = result
         diverged = False
         if self.verify_outputs:
             diverged = self._check_against_reference(
@@ -256,6 +325,18 @@ class EvaluationHarness:
         if persist_key is not None and not diverged:
             self.fitness_cache.put(persist_key, result)
         return result
+
+    def _compile(self, prep: PreparedProgram, options: CompilerOptions,
+                 benchmark: str):
+        """``compile_backend``, through the forking layer when on: the
+        shared prefix is restored from a snapshot and only the hook's
+        suffix runs (docs/FORKING.md)."""
+        if not self.use_snapshots or self.snapshot_cache is None:
+            return compile_backend(prep, options)
+        stage = STAGE_BY_HOOK[self.case.hook]
+        snapshot = self.snapshot_cache.get_or_build(
+            benchmark, prep, options, stage)
+        return compile_backend(prep, options, snapshot=snapshot)
 
     # -- differential guard ------------------------------------------------
     def _reference(self, benchmark: str, dataset: str) -> tuple:
@@ -310,9 +391,17 @@ class EvaluationHarness:
             self.divergences.append((benchmark, dataset, divergence))
         return True
 
+    def baseline_tree(self) -> Node:
+        """The case's baseline expression, built once per harness (a
+        fresh ``Node`` tree per call would be pure allocation churn —
+        ``baseline_result`` runs inside every ``speedup``)."""
+        if self._baseline_tree is None:
+            self._baseline_tree = self.case.baseline_tree()
+        return self._baseline_tree
+
     def baseline_result(self, benchmark: str,
                         dataset: str = "train") -> SimResult:
-        return self.simulate(self.case.baseline_tree(), benchmark, dataset)
+        return self.simulate(self.baseline_tree(), benchmark, dataset)
 
     def speedup(self, priority, benchmark: str,
                 dataset: str = "train") -> float:
@@ -337,9 +426,13 @@ class EvaluationHarness:
             "sims": self.sim_count,
             "sim_cycles": self.sim_cycles,
             "persistent_cache_hits": self.cache_hits,
+            "binary_cache_hits": self.binary_hits,
         }
         if self.verify_outputs:
             counters["divergences"] = len(self.divergences)
+        if self.use_snapshots and self.snapshot_cache is not None:
+            for key, value in self.snapshot_cache.stats().items():
+                counters[f"snapshot_{key}"] = value
         if self.fitness_cache is not None:
             for key, value in self.fitness_cache.stats().items():
                 counters[f"fitness_cache_{key}"] = value

@@ -51,8 +51,8 @@ from repro.obs.metrics import diff_snapshots
 
 _WORKER_HARNESS = None
 _WORKER_CASE = None
-#: (case_name, noise_stddev, fitness_cache_dir, verify_outputs) the
-#: globals were built
+#: (case_name, noise_stddev, fitness_cache_dir, verify_outputs,
+#: use_snapshots) the globals were built
 #: for — a forked worker only reuses an inherited harness when its own
 #: configuration matches exactly.
 _WORKER_SIGNATURE = None
@@ -65,7 +65,8 @@ _WORKER_METRICS_MARK = None
 def _worker_init(case_name: str, noise_stddev: float,
                  fitness_cache_dir: str | None,
                  verify_outputs: bool = False,
-                 collect_metrics: bool = False) -> None:
+                 collect_metrics: bool = False,
+                 use_snapshots: bool = True) -> None:
     """Build the per-worker harness — unless this worker was forked
     from a pre-warmed parent, in which case the module globals already
     carry a harness whose prepared-program and baseline-cycle caches
@@ -80,19 +81,22 @@ def _worker_init(case_name: str, noise_stddev: float,
     else:
         obs.disable_metrics()
         _WORKER_METRICS_MARK = None
-    signature = (case_name, noise_stddev, fitness_cache_dir, verify_outputs)
+    signature = (case_name, noise_stddev, fitness_cache_dir, verify_outputs,
+                 use_snapshots)
     if _WORKER_HARNESS is not None and _WORKER_SIGNATURE == signature:
         return
     from repro.metaopt.harness import case_study
 
     _WORKER_CASE = case_study(case_name)
     _WORKER_HARNESS = _make_harness(_WORKER_CASE, noise_stddev,
-                                    fitness_cache_dir, verify_outputs)
+                                    fitness_cache_dir, verify_outputs,
+                                    use_snapshots)
     _WORKER_SIGNATURE = signature
 
 
 def _make_harness(case, noise_stddev: float, fitness_cache_dir: str | None,
-                  verify_outputs: bool = False):
+                  verify_outputs: bool = False,
+                  use_snapshots: bool = True):
     from repro.metaopt.harness import EvaluationHarness
 
     cache = None
@@ -102,7 +106,8 @@ def _make_harness(case, noise_stddev: float, fitness_cache_dir: str | None,
         cache = FitnessCache(fitness_cache_dir)
     return EvaluationHarness(case, noise_stddev=noise_stddev,
                              fitness_cache=cache,
-                             verify_outputs=verify_outputs)
+                             verify_outputs=verify_outputs,
+                             use_snapshots=use_snapshots)
 
 
 def _worker_evaluate(
@@ -137,13 +142,15 @@ class ParallelEvaluator:
     def __init__(self, case_name: str, processes: int = 2,
                  noise_stddev: float = 0.0,
                  fitness_cache_dir: str | None = None,
-                 verify_outputs: bool = False) -> None:
+                 verify_outputs: bool = False,
+                 use_snapshots: bool = True) -> None:
         if processes < 1:
             raise ValueError("processes must be >= 1")
         self.case_name = case_name
         self.processes = processes
         self.noise_stddev = noise_stddev
         self.verify_outputs = verify_outputs
+        self.use_snapshots = use_snapshots
         self.fitness_cache_dir = (
             str(fitness_cache_dir) if fitness_cache_dir is not None else None
         )
@@ -173,14 +180,16 @@ class ParallelEvaluator:
             if self._pool is not None:
                 return  # workers already forked; too late to share
             signature = (self.case_name, self.noise_stddev,
-                         self.fitness_cache_dir, self.verify_outputs)
+                         self.fitness_cache_dir, self.verify_outputs,
+                         self.use_snapshots)
             if _WORKER_HARNESS is None or _WORKER_SIGNATURE != signature:
                 from repro.metaopt.harness import case_study
 
                 _WORKER_CASE = case_study(self.case_name)
                 _WORKER_HARNESS = _make_harness(
                     _WORKER_CASE, self.noise_stddev,
-                    self.fitness_cache_dir, self.verify_outputs)
+                    self.fitness_cache_dir, self.verify_outputs,
+                    self.use_snapshots)
                 _WORKER_SIGNATURE = signature
             harness = _WORKER_HARNESS
         for benchmark in benchmarks:
@@ -195,7 +204,7 @@ class ParallelEvaluator:
                 initializer=_worker_init,
                 initargs=(self.case_name, self.noise_stddev,
                           self.fitness_cache_dir, self.verify_outputs,
-                          obs.metrics_enabled()),
+                          obs.metrics_enabled(), self.use_snapshots),
             )
         return self._pool
 
@@ -206,6 +215,7 @@ class ParallelEvaluator:
             self._serial_harness = _make_harness(
                 case_study(self.case_name), self.noise_stddev,
                 self.fitness_cache_dir, self.verify_outputs,
+                self.use_snapshots,
             )
         return self._serial_harness
 

@@ -25,6 +25,12 @@ The pipeline is split at the profiling point:
   "fitness evaluations for our problem are costly";
 * :func:`compile_backend` clones the prepared module and runs the
   candidate-*dependent* stages with the supplied priority functions.
+
+The backend is itself forkable (docs/FORKING.md): every stage funnels
+through one dispatcher, so :func:`run_prefix` can execute just the
+stages strictly before a hook point and :func:`compile_backend` can
+resume from a :class:`~repro.passes.snapshot.PipelineSnapshot` of that
+state, replaying only the suffix per candidate.
 """
 
 from __future__ import annotations
@@ -61,6 +67,21 @@ from repro.passes.schedule import SchedulePriority, schedule_module
 from repro.passes.unroll import unroll_module
 from repro.profile.profiler import ModuleProfile, collect_profile
 from repro.verify.ir_verifier import verify_module, verify_scheduled
+
+#: Candidate-dependent backend stages, in execution order.  A case
+#: study's *prefix* is every stage strictly before its hook's stage;
+#: the hook's stage plus everything downstream is the replayed
+#: *suffix* (docs/FORKING.md).
+BACKEND_STAGES: tuple[str, ...] = (
+    "hyperblock", "prefetch", "regalloc", "schedule")
+
+#: CompilerOptions hook attribute -> the backend stage it steers.
+STAGE_BY_HOOK = {
+    "hyperblock_priority": "hyperblock",
+    "prefetch_priority": "prefetch",
+    "spill_priority": "regalloc",
+    "schedule_priority": "schedule",
+}
 
 
 def _instr_count(module: Module) -> int:
@@ -193,48 +214,60 @@ def prepare(
     return PreparedProgram(module=working, profile=profile, options=options)
 
 
-def compile_backend(
-    prepared: PreparedProgram,
-    options: CompilerOptions | None = None,
-) -> tuple[ScheduledModule, BackendReport]:
-    """Clone the prepared module and run the candidate-dependent
-    backend: hyperblocking, prefetching, allocation, scheduling."""
-    options = options or prepared.options
-    if options.heuristic_artifact is not None:
-        options = options.heuristic_artifact.install(options)
-    working = prepared.module.clone()
-    report = BackendReport()
+def _make_checkpoint(working: Module, options: CompilerOptions):
+    """The per-stage ``verify_ir`` hook; a no-op unless enabled."""
 
     def checkpoint(stage: str, allocated: bool = False) -> None:
         if options.verify_ir:
             verify_module(working, stage=stage, allocated=allocated,
                           machine=options.machine if allocated else None)
 
-    with obs.span("pipeline:backend", module=prepared.module.name):
-        if options.hyperblock:
-            with _staged("hyperblock", working):
-                for name, function in working.functions.items():
-                    report.hyperblock[name] = form_hyperblocks(
-                        function,
-                        options.machine,
-                        prepared.profile.function(name),
-                        options.hyperblock_priority,
-                        rel_threshold=options.hyperblock_threshold,
-                    )
-                cleanup_module(working)
-            checkpoint("hyperblock")
+    return checkpoint
 
-        if options.prefetch:
-            with _staged("prefetch", working):
-                for name, function in working.functions.items():
-                    report.prefetch[name] = insert_prefetches(
-                        function,
-                        options.machine,
-                        prepared.profile.function(name),
-                        options.prefetch_priority,
-                    )
-            checkpoint("prefetch")
 
+def _run_backend_stage(
+    stage: str,
+    working: Module,
+    report: BackendReport,
+    prepared: PreparedProgram,
+    options: CompilerOptions,
+    checkpoint,
+) -> ScheduledModule | None:
+    """Execute one backend stage in place; returns the ScheduledModule
+    for the terminal ``schedule`` stage, None otherwise.  Both the full
+    compile and a snapshot replay funnel through this dispatcher, so
+    the suffix path can never drift from the reference semantics."""
+    if stage == "hyperblock":
+        if not options.hyperblock:
+            return None
+        with _staged("hyperblock", working):
+            for name, function in working.functions.items():
+                report.hyperblock[name] = form_hyperblocks(
+                    function,
+                    options.machine,
+                    prepared.profile.function(name),
+                    options.hyperblock_priority,
+                    rel_threshold=options.hyperblock_threshold,
+                )
+            cleanup_module(working)
+        checkpoint("hyperblock")
+        return None
+
+    if stage == "prefetch":
+        if not options.prefetch:
+            return None
+        with _staged("prefetch", working):
+            for name, function in working.functions.items():
+                report.prefetch[name] = insert_prefetches(
+                    function,
+                    options.machine,
+                    prepared.profile.function(name),
+                    options.prefetch_priority,
+                )
+        checkpoint("prefetch")
+        return None
+
+    if stage == "regalloc":
         with _staged("regalloc", working):
             for name, function in working.functions.items():
                 freq = {
@@ -246,12 +279,81 @@ def compile_backend(
                     function, options.machine, options.spill_priority, freq
                 )
         checkpoint("regalloc", allocated=True)
+        return None
 
+    if stage == "schedule":
         with _staged("schedule", working):
             scheduled = schedule_module(working, options.machine,
                                         options.schedule_priority)
         if options.verify_ir:
             verify_scheduled(scheduled, options.machine)
+        return scheduled
+
+    raise ValueError(f"unknown backend stage {stage!r}")
+
+
+def run_prefix(
+    prepared: PreparedProgram,
+    options: CompilerOptions | None = None,
+    stage: str = "schedule",
+) -> tuple[Module, BackendReport]:
+    """Run the backend stages strictly before ``stage`` and return the
+    working module plus the partial report — the state a
+    :class:`~repro.passes.snapshot.PipelineSnapshot` deep-freezes.
+    ``verify_ir`` checkpoints for the prefix stages fire here, once per
+    snapshot build rather than once per candidate (the replayed IR is
+    identical every time)."""
+    options = options or prepared.options
+    if options.heuristic_artifact is not None:
+        options = options.heuristic_artifact.install(options)
+    if stage not in BACKEND_STAGES:
+        raise ValueError(f"unknown backend stage {stage!r}")
+    working = prepared.module.clone()
+    report = BackendReport()
+    checkpoint = _make_checkpoint(working, options)
+    with obs.span("pipeline:prefix", module=prepared.module.name,
+                  stage=stage):
+        for prior in BACKEND_STAGES[:BACKEND_STAGES.index(stage)]:
+            _run_backend_stage(prior, working, report, prepared, options,
+                               checkpoint)
+    return working, report
+
+
+def compile_backend(
+    prepared: PreparedProgram,
+    options: CompilerOptions | None = None,
+    snapshot=None,
+) -> tuple[ScheduledModule, BackendReport]:
+    """Clone the prepared module and run the candidate-dependent
+    backend: hyperblocking, prefetching, allocation, scheduling.
+
+    With ``snapshot`` (a :class:`~repro.passes.snapshot.
+    PipelineSnapshot` built from this prepared program under
+    prefix-equivalent options), the prefix stages are skipped: the
+    working module and partial report are restored from the snapshot
+    and only the suffix — ``snapshot.stage`` onward — executes.  The
+    result is bit-identical to the full path (docs/FORKING.md)."""
+    options = options or prepared.options
+    if options.heuristic_artifact is not None:
+        options = options.heuristic_artifact.install(options)
+    if snapshot is None:
+        working = prepared.module.clone()
+        report = BackendReport()
+        stages = BACKEND_STAGES
+        span_args = {"module": prepared.module.name}
+    else:
+        working, report = snapshot.restore()
+        stages = BACKEND_STAGES[BACKEND_STAGES.index(snapshot.stage):]
+        span_args = {"module": prepared.module.name,
+                     "replay_from": snapshot.stage}
+    checkpoint = _make_checkpoint(working, options)
+    scheduled = None
+    with obs.span("pipeline:backend", **span_args):
+        for stage in stages:
+            result = _run_backend_stage(stage, working, report, prepared,
+                                        options, checkpoint)
+            if result is not None:
+                scheduled = result
     return scheduled, report
 
 

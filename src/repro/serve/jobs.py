@@ -296,8 +296,13 @@ class HarnessPool:
     caches while all workers share the process-wide codegen cache and
     any persistent fitness cache directory."""
 
-    def __init__(self, fitness_cache_dir: str | None = None) -> None:
+    def __init__(self, fitness_cache_dir: str | None = None,
+                 use_snapshots: bool = True) -> None:
         self.fitness_cache_dir = fitness_cache_dir
+        #: compilation forking (docs/FORKING.md): each thread's harness
+        #: keeps a warm snapshot cache, so repeat ``/v1/evaluate`` hits
+        #: replay only the hook's suffix instead of the full backend
+        self.use_snapshots = use_snapshots
         self._local = threading.local()
 
     def get(self, case_name: str, noise_stddev: float = 0.0):
@@ -314,7 +319,8 @@ class HarnessPool:
                      if self.fitness_cache_dir is not None else None)
             harness = EvaluationHarness(
                 case_study(case_name), noise_stddev=noise_stddev,
-                fitness_cache=cache)
+                fitness_cache=cache,
+                use_snapshots=self.use_snapshots)
             harnesses[key] = harness
         return harness
 

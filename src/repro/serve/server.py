@@ -73,9 +73,11 @@ class ReproServer:
         registry=None,
         fitness_cache_dir: str | None = None,
         handler=None,
+        use_snapshots: bool = True,
     ) -> None:
         self.registry = registry
-        self.harness_pool = HarnessPool(fitness_cache_dir=fitness_cache_dir)
+        self.harness_pool = HarnessPool(fitness_cache_dir=fitness_cache_dir,
+                                        use_snapshots=use_snapshots)
         self.queue = JobQueue(
             handler=handler if handler is not None else self._execute,
             workers=workers,

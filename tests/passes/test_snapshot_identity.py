@@ -1,0 +1,219 @@
+"""Compilation-forking identity matrix (docs/FORKING.md).
+
+The contract under test: a suffix replay from a
+:class:`~repro.passes.snapshot.PipelineSnapshot` is **bit-identical**
+to the full ``compile_backend`` — same scheduled module (content
+digest), same :class:`BackendReport`, same simulated cycles, same
+fitness-cache keys — for every case study, and the warm path
+re-executes zero prefix stages (checked through obs counters).
+
+``REPRO_SNAPSHOT_FULL_MATRIX=1`` widens the benchmark subset (used by
+the local full-suite sweep; CI runs the representative subset).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+
+import pytest
+
+from repro import obs
+from repro.gp.generate import TreeGenerator
+from repro.machine.sim import Simulator
+from repro.metaopt.fitness_cache import FitnessCache
+from repro.metaopt.harness import EvaluationHarness, _as_hook, case_study
+from repro.passes.pipeline import STAGE_BY_HOOK, compile_backend
+from repro.passes.snapshot import (
+    SnapshotCache,
+    build_snapshot,
+    fingerprint_is_persistable,
+    options_fingerprint,
+)
+from repro.suite.registry import get as get_benchmark
+
+CASES = ("hyperblock", "regalloc", "prefetch", "scheduling")
+
+BENCHMARKS = ("codrle4", "huff_enc")
+if os.environ.get("REPRO_SNAPSHOT_FULL_MATRIX"):
+    from repro.suite import all_benchmarks
+
+    BENCHMARKS = tuple(all_benchmarks())
+
+
+def _report_data(report) -> tuple:
+    """BackendReport as comparable plain data."""
+    return tuple(
+        sorted((name, dataclasses.asdict(entry))
+               for name, entry in getattr(report, section).items())
+        for section in ("hyperblock", "prefetch", "regalloc")
+    )
+
+
+def _simulate(scheduled, case, benchmark: str) -> tuple:
+    bench = get_benchmark(benchmark)
+    simulator = Simulator(scheduled, case.machine)
+    for name, values in bench.inputs("train").items():
+        simulator.set_global(name, values)
+    result = simulator.run()
+    return result.cycles, result.outputs, result.return_value
+
+
+@pytest.mark.parametrize("case_name", CASES)
+@pytest.mark.parametrize("bench_name", BENCHMARKS)
+def test_replay_matches_full_backend(case_name: str, bench_name: str):
+    case = case_study(case_name)
+    harness = EvaluationHarness(case, use_snapshots=False)
+    prep = harness.prepared(bench_name)
+    options = case.options_for(_as_hook(case.baseline_tree()))
+    stage = STAGE_BY_HOOK[case.hook]
+
+    full_sched, full_report = compile_backend(prep, options)
+    snapshot = SnapshotCache().get_or_build(bench_name, prep, options, stage)
+    replay_sched, replay_report = compile_backend(prep, options,
+                                                  snapshot=snapshot)
+
+    assert replay_sched.content_digest() == full_sched.content_digest()
+    assert _report_data(replay_report) == _report_data(full_report)
+    # A snapshot must be restorable any number of times.
+    again_sched, _ = compile_backend(prep, options, snapshot=snapshot)
+    assert again_sched.content_digest() == full_sched.content_digest()
+
+
+@pytest.mark.parametrize("case_name", CASES)
+def test_replay_cycles_match(case_name: str):
+    case = case_study(case_name)
+    harness = EvaluationHarness(case, use_snapshots=False)
+    prep = harness.prepared("codrle4")
+    options = case.options_for(_as_hook(case.baseline_tree()))
+    stage = STAGE_BY_HOOK[case.hook]
+
+    full_sched, _ = compile_backend(prep, options)
+    snapshot = build_snapshot(prep, options, stage)
+    replay_sched, _ = compile_backend(prep, options, snapshot=snapshot)
+    assert _simulate(replay_sched, case, "codrle4") == \
+        _simulate(full_sched, case, "codrle4")
+
+
+def test_both_restore_strategies_are_identical():
+    case = case_study("regalloc")
+    harness = EvaluationHarness(case, use_snapshots=False)
+    prep = harness.prepared("codrle4")
+    options = case.options_for(_as_hook(case.baseline_tree()))
+    full_sched, _ = compile_backend(prep, options)
+    snapshot = build_snapshot(prep, options, "regalloc")
+    for strategy in ("pickle", "clone"):
+        snapshot.strategy = strategy
+        sched, _ = compile_backend(prep, options, snapshot=snapshot)
+        assert sched.content_digest() == full_sched.content_digest(), strategy
+
+
+def test_verify_ir_checkpoints_fire_on_both_paths():
+    case = case_study("regalloc")
+    options = dataclasses.replace(
+        case.options_for(_as_hook(case.baseline_tree())), verify_ir=True)
+    harness = EvaluationHarness(case, use_snapshots=False)
+    prep = harness.prepared("codrle4")
+    full_sched, _ = compile_backend(prep, options)
+    snapshot = build_snapshot(prep, options, "regalloc")
+    replay_sched, _ = compile_backend(prep, options, snapshot=snapshot)
+    assert replay_sched.content_digest() == full_sched.content_digest()
+
+
+@pytest.mark.parametrize("case_name", ("regalloc", "scheduling"))
+def test_harness_fitness_and_cache_keys_identical(case_name, tmp_path):
+    """Snapshots on vs off: same speedups, same persisted cache keys."""
+    case = case_study(case_name)
+    generator = TreeGenerator(case.pset, random.Random(11))
+    trees = [case.baseline_tree()] + generator.ramped_half_and_half(6)
+    warm_dir, cold_dir = tmp_path / "snap", tmp_path / "full"
+    forked = EvaluationHarness(case, use_snapshots=True,
+                               fitness_cache=FitnessCache(warm_dir))
+    full = EvaluationHarness(case, use_snapshots=False,
+                             fitness_cache=FitnessCache(cold_dir))
+    for tree in trees:
+        assert forked.speedup(tree, "codrle4") == \
+            full.speedup(tree, "codrle4")
+    keys = sorted(p.name for p in warm_dir.rglob("*.json"))
+    assert keys == sorted(p.name for p in cold_dir.rglob("*.json"))
+    assert keys, "expected persisted fitness entries"
+
+
+def test_warm_path_runs_zero_prefix_stages():
+    """After the snapshot is built (cold), further candidates replay
+    only the suffix: the prefix pass counters must not move."""
+    case = case_study("regalloc")  # prefix: hyperblock
+    generator = TreeGenerator(case.pset, random.Random(5))
+    trees = [case.baseline_tree()] + generator.ramped_half_and_half(4)
+    registry = obs.enable_metrics()
+    try:
+        before = registry.snapshot()["counters"]
+        harness = EvaluationHarness(case)
+        for tree in trees:
+            harness.simulate(tree, "codrle4")
+        after = registry.snapshot()["counters"]
+    finally:
+        obs.disable_metrics()
+
+    def delta(name: str) -> int:
+        return after.get(name, 0) - before.get(name, 0)
+
+    compiles = harness.compile_count
+    assert compiles == len(trees)
+    # One prefix execution total (the snapshot build) — zero on the
+    # warm path — while the suffix ran once per candidate.
+    assert delta("pipeline.pass_runs.hyperblock") == 1
+    assert delta("pipeline.pass_runs.regalloc") == compiles
+    assert delta("pipeline.pass_runs.schedule") == compiles
+    assert delta("pipeline.snapshot.builds") == 1
+    assert delta("pipeline.snapshot.misses") == 1
+    assert delta("pipeline.snapshot.hits") == compiles - 1
+    assert delta("pipeline.snapshot.restores") == compiles
+    assert harness.stats()["snapshot_hits"] == compiles - 1
+
+
+def test_lru_eviction_and_disk_reload(tmp_path):
+    case = case_study("regalloc")
+    harness = EvaluationHarness(case, use_snapshots=False)
+    options = case.options_for(_as_hook(case.baseline_tree()))
+    cache = SnapshotCache(capacity=1, disk_dir=tmp_path)
+    prepared = {name: harness.prepared(name)
+                for name in ("codrle4", "huff_enc")}
+    cache.get_or_build("codrle4", prepared["codrle4"], options, "regalloc")
+    cache.get_or_build("huff_enc", prepared["huff_enc"], options, "regalloc")
+    assert cache.evictions == 1
+    # Evicted entry comes back from disk, not a rebuild.
+    cache.get_or_build("codrle4", prepared["codrle4"], options, "regalloc")
+    assert cache.disk_hits == 1
+    assert cache.builds == 2
+    # A fresh cache (new process, same directory) also reloads.
+    fresh = SnapshotCache(disk_dir=tmp_path)
+    fresh.get_or_build("huff_enc", prepared["huff_enc"], options, "regalloc")
+    assert fresh.disk_hits == 1 and fresh.builds == 0
+
+
+def test_options_fingerprint_scoping():
+    """Prefix priorities key the snapshot; the hook's own priority and
+    downstream ones must not (the population shares one snapshot)."""
+    case = case_study("regalloc")
+    generator = TreeGenerator(case.pset, random.Random(2))
+    tree_a, tree_b = generator.ramped_half_and_half(2)[:2]
+    options_a = case.options_for(_as_hook(tree_a))
+    options_b = case.options_for(_as_hook(tree_b))
+    assert options_fingerprint(options_a, "regalloc") == \
+        options_fingerprint(options_b, "regalloc")
+    # ... but a different *prefix* (hyperblock) priority re-keys it.
+    hb_case = case_study("hyperblock")
+    hb_gen = TreeGenerator(hb_case.pset, random.Random(2))
+    changed = dataclasses.replace(
+        options_a, hyperblock_priority=_as_hook(hb_gen.grow(3)))
+    assert options_fingerprint(changed, "regalloc") != \
+        options_fingerprint(options_a, "regalloc")
+    # Arbitrary natives are process-local: cacheable, never persisted.
+    native = dataclasses.replace(
+        options_a, hyperblock_priority=lambda env: 0.0)
+    fingerprint = options_fingerprint(native, "regalloc")
+    assert not fingerprint_is_persistable(fingerprint)
+    assert fingerprint_is_persistable(
+        options_fingerprint(options_a, "regalloc"))

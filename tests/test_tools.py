@@ -68,6 +68,12 @@ class TestBenchPayloadSchema:
             "pop": 8, "gens": 2, "seed": 7, "processes": 2,
             "repeats": 2,
             "modes": {name: dict(mode) for name in bench_eval.MODES},
+            "forking": {
+                name: {"benchmark": "codrle4", "speedup": 1.8,
+                       "identical": True,
+                       "full": dict(mode), "forked": dict(mode)}
+                for name in bench_eval.FORKING_CASES
+            },
             "speedup_parallel": 1.5, "speedup_warm": 3.0,
             "warm_sim_invocations": 0,
             "determinism_ok": True, "failures": [],
@@ -75,6 +81,19 @@ class TestBenchPayloadSchema:
 
     def test_valid_payload_passes(self):
         assert bench_eval.validate_bench_payload(self.make_payload()) == []
+
+    def test_missing_forking_case_flagged(self):
+        payload = self.make_payload()
+        del payload["forking"]["regalloc"]
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("forking.regalloc" in problem for problem in problems)
+
+    def test_forking_identity_must_be_boolean(self):
+        payload = self.make_payload()
+        payload["forking"]["scheduling"]["identical"] = "yes"
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("forking.scheduling.identical" in problem
+                   for problem in problems)
 
     def test_wrong_schema_flagged(self):
         payload = self.make_payload()

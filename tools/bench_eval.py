@@ -19,6 +19,13 @@ CI perf gate reads.  All timing uses ``time.perf_counter``.
 All runs must produce bit-identical fitness curves and the same
 champion expression; the script fails loudly if they do not.
 
+A fourth section times **compilation forking** (docs/FORKING.md): the
+regalloc and scheduling campaigns run serially with the snapshot layer
+on (*forked*) and off (*full*, the seed path) and report
+``speedup = full_median / forked_median``.  The two paths must stay
+bit-identical, and a forked run slower than the full path fails the
+script — that is the gate the CI ``snapshot-smoke`` job enforces.
+
 ``--json-out FILE`` writes the canonical ``BENCH_eval.json`` payload
 (schema below, validated by :func:`validate_bench_payload`) — the data
 point the ROADMAP's perf trajectory tracks.  ``--trace FILE`` writes a
@@ -57,17 +64,35 @@ from repro.metaopt.harness import EvaluationHarness, case_study
 from repro.metaopt.parallel import ParallelEvaluator
 
 #: Version stamp of the BENCH_eval.json payload.
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 
 #: Mode keys of the ``modes`` object, in report order.
 MODES = ("serial", "parallel", "warm")
 
+#: Cases of the forked-vs-full section — the two campaigns the
+#: compilation-forking acceptance bar (docs/FORKING.md) is stated on.
+FORKING_CASES = ("regalloc", "scheduling")
 
-def run_engine(case, evaluator, args):
+#: Per-case benchmark of the forking section: kernels whose prefix
+#: (stages before the hook) carries a large share of compile time, so
+#: suffix-only replay has something to win.  ``--quick`` swaps in
+#: codrle4 for both.
+FORKING_BENCHMARKS = {"regalloc": "unepic", "scheduling": "023.eqntott"}
+
+#: Population/generations of the forking campaigns.  Larger than the
+#: headline sections on purpose: one snapshot build is amortized over
+#: every candidate, and duplicate binaries (the content-digest layer)
+#: only appear once selection starts converging — tiny populations
+#: understate both effects.  ``--quick`` drops to the smoke workload.
+FORKING_POP = 32
+FORKING_GENS = 6
+
+
+def run_engine(case, evaluator, args, benchmark=None):
     engine = GPEngine(
         pset=case.pset,
         evaluator=evaluator,
-        benchmarks=(args.benchmark,),
+        benchmarks=(benchmark or args.benchmark,),
         params=GPParams(population_size=args.pop, generations=args.gens,
                         seed=args.seed),
         seed_trees=(case.baseline_tree(),),
@@ -111,6 +136,63 @@ def report(label: str, summary: dict) -> None:
           f"(IQR {summary['iqr_rate']:.2f})")
 
 
+def run_forking_section(args, failures: list) -> dict:
+    """Forked-vs-full campaigns: the same serial GP search with the
+    snapshot layer on (``forked``) and off (``full`` — the seed path),
+    per :data:`FORKING_CASES`.  Both must produce bit-identical fitness
+    curves and champions; a forked run slower than full is a failure
+    (that is the CI snapshot-smoke gate)."""
+    fork_args = argparse.Namespace(**vars(args))
+    if not args.quick:
+        fork_args.pop, fork_args.gens = FORKING_POP, FORKING_GENS
+    section = {}
+    for case_name in FORKING_CASES:
+        bench = "codrle4" if args.quick else FORKING_BENCHMARKS[case_name]
+        case = case_study(case_name)
+        rows, campaign_results = {}, {}
+        for label, snapshots in (("full", False), ("forked", True)):
+            results, times = [], []
+            for _ in range(args.repeats):
+                harness = EvaluationHarness(case, use_snapshots=snapshots)
+                result, elapsed = run_engine(
+                    case, harness.evaluator("train"), fork_args,
+                    benchmark=bench)
+                results.append(result)
+                times.append(elapsed)
+            rows[label] = mode_summary(results, times)
+            campaign_results[label] = results
+        reference = campaign_results["full"][0]
+        identical = all(
+            result.fitness_curve() == reference.fitness_curve()
+            and unparse(result.best.tree) == unparse(reference.best.tree)
+            for label in ("full", "forked")
+            for result in campaign_results[label])
+        speedup = (rows["full"]["median_seconds"]
+                   / rows["forked"]["median_seconds"]
+                   if rows["forked"]["median_seconds"] else 0.0)
+        if not identical:
+            failures.append(f"forking/{case_name}: forked campaign "
+                            "diverged from the full path")
+        if speedup < 1.0:
+            failures.append(f"forking/{case_name}: suffix replay slower "
+                            f"than the full compile ({speedup:.2f}x)")
+        print(f"forking {case_name:<10s} on {bench}: "
+              f"full {rows['full']['median_seconds']:7.2f}s -> "
+              f"forked {rows['forked']['median_seconds']:7.2f}s  "
+              f"({speedup:5.2f}x, "
+              f"{'identical' if identical else 'DIVERGED'})")
+        section[case_name] = {
+            "benchmark": bench,
+            "pop": fork_args.pop,
+            "gens": fork_args.gens,
+            "full": rows["full"],
+            "forked": rows["forked"],
+            "speedup": speedup,
+            "identical": identical,
+        }
+    return section
+
+
 def validate_bench_payload(payload: dict) -> list[str]:
     """Schema check for BENCH_eval.json; returns a list of problems
     (empty when valid).  Used by the CI bench-smoke job and the tests."""
@@ -150,6 +232,28 @@ def validate_bench_payload(payload: dict) -> list[str]:
     for key in ("speedup_parallel", "speedup_warm"):
         if not isinstance(payload.get(key), (int, float)):
             problems.append(f"{key} must be a number")
+    forking = payload.get("forking")
+    if not isinstance(forking, dict):
+        problems.append("forking must be an object")
+        return problems
+    for case_name in FORKING_CASES:
+        entry = forking.get(case_name)
+        if not isinstance(entry, dict):
+            problems.append(f"forking.{case_name} missing")
+            continue
+        if not isinstance(entry.get("benchmark"), str):
+            problems.append(f"forking.{case_name}.benchmark must be a string")
+        if not isinstance(entry.get("speedup"), (int, float)):
+            problems.append(f"forking.{case_name}.speedup must be a number")
+        if not isinstance(entry.get("identical"), bool):
+            problems.append(f"forking.{case_name}.identical must be "
+                            "a boolean")
+        for side in ("full", "forked"):
+            row = entry.get(side)
+            if not isinstance(row, dict) or not isinstance(
+                    row.get("median_seconds"), (int, float)):
+                problems.append(f"forking.{case_name}.{side}."
+                                "median_seconds must be a number")
     return problems
 
 
@@ -243,8 +347,10 @@ def main(argv=None) -> int:
     print(f"\nspeedup parallel/serial : {speedup_parallel:5.2f}x (median)")
     print(f"speedup warm/serial     : {speedup_warm:5.2f}x (median)")
     print(f"warm-run simulator invocations: {warm_sims}")
+    print()
 
     failures = []
+    forking = run_forking_section(args, failures)
     reference = serial_results[0]
     for label, results in (("serial", serial_results[1:]),
                            ("parallel", parallel_results),
@@ -289,6 +395,7 @@ def main(argv=None) -> int:
             "processes": args.processes,
             "repeats": args.repeats,
             "modes": {"serial": serial, "parallel": parallel, "warm": warm},
+            "forking": forking,
             "speedup_parallel": speedup_parallel,
             "speedup_warm": speedup_warm,
             "warm_sim_invocations": warm_sims,
