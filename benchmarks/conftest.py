@@ -28,9 +28,16 @@ from pathlib import Path
 import pytest
 
 from repro.gp.engine import GPParams
-from repro.metaopt.generalize import generalize
+from repro.metaopt.generalize import (
+    build_generalize_engine,
+    finalize_generalization,
+)
 from repro.metaopt.harness import EvaluationHarness, case_study
-from repro.metaopt.specialize import specialize
+from repro.metaopt.settings import EvalSettings
+from repro.metaopt.specialize import (
+    build_specialize_engine,
+    finalize_specialization,
+)
 from repro.suite.registry import (
     HYPERBLOCK_TRAINING_SET,
     PREFETCH_TRAINING_SET,
@@ -128,10 +135,18 @@ _generalization_cache: dict[str, object] = {}
 def shared_harness(case_name: str) -> EvaluationHarness:
     harness = _harness_cache.get(case_name)
     if harness is None:
-        harness = EvaluationHarness(case_study(case_name),
-                                    noise_stddev=_NOISE[case_name])
+        harness = EvaluationHarness(
+            case_study(case_name),
+            EvalSettings(noise_stddev=_NOISE[case_name]))
         _harness_cache[case_name] = harness
     return harness
+
+
+def run_specialize(case, benchmark, params, harness):
+    """Build + run + finalize one specialization campaign (the old
+    ``specialize()`` wrapper, now spelled out)."""
+    engine = build_specialize_engine(case, benchmark, params, harness)
+    return finalize_specialization(harness, benchmark, engine.run())
 
 
 def specialization_results(case_name: str) -> dict:
@@ -141,10 +156,8 @@ def specialization_results(case_name: str) -> dict:
         harness = shared_harness(case_name)
         cached = {}
         for index, name in enumerate(specialization_benchmarks(case_name)):
-            cached[name] = specialize(
-                harness.case, name, gp_params(seed=101 + index),
-                harness=harness,
-            )
+            cached[name] = run_specialize(
+                harness.case, name, gp_params(seed=101 + index), harness)
         _specialization_cache[case_name] = cached
     return cached
 
@@ -155,11 +168,12 @@ def generalization_result(case_name: str):
     if cached is None:
         harness = shared_harness(case_name)
         training = training_benchmarks(case_name)
-        cached = generalize(
-            harness.case, training, gp_params(seed=7),
-            harness=harness,
+        engine = build_generalize_engine(
+            harness.case, tuple(training), gp_params(seed=7), harness,
             subset_size=max(2, len(training) // 2),
         )
+        cached = finalize_generalization(harness.case, harness,
+                                         tuple(training), engine.run())
         _generalization_cache[case_name] = cached
     return cached
 

@@ -8,11 +8,10 @@ regalloc-like: small wins at best, never losses (with the baseline
 seeded), and clear degradation for adversarial priorities.
 """
 
-from conftest import emit, gp_params, record_result
+from conftest import emit, gp_params, record_result, run_specialize
 from repro.metaopt.harness import EvaluationHarness, case_study
 from repro.metaopt.priority import PriorityFunction
 from repro.metaopt.scheduling import SCHEDULE_PSET
-from repro.metaopt.specialize import specialize
 from repro.reporting import speedup_table
 
 BENCHMARKS = ("093.nasa7", "mpeg2dec", "djpeg", "103.su2cor")
@@ -25,9 +24,8 @@ def test_ext_scheduling_specialized(benchmark):
     def run():
         results = {}
         for index, name in enumerate(BENCHMARKS):
-            results[name] = specialize(
-                case, name, gp_params(seed=301 + index), harness=harness,
-            )
+            results[name] = run_specialize(
+                case, name, gp_params(seed=301 + index), harness)
         anti = PriorityFunction.from_text("(sub 0.0 lw_depth)",
                                           SCHEDULE_PSET)
         anti_speedups = {

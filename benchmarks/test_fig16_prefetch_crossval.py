@@ -19,6 +19,7 @@ from conftest import (
 from repro.machine.descr import ITANIUM_MACHINE_B
 from repro.metaopt.generalize import cross_validate
 from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.settings import EvalSettings
 from repro.reporting import speedup_table
 
 
@@ -26,7 +27,7 @@ def test_fig16_prefetch_crossval(benchmark):
     general = generalization_result("prefetch")
     harness_a = shared_harness("prefetch")
     case_b = case_study("prefetch", machine=ITANIUM_MACHINE_B)
-    harness_b = EvaluationHarness(case_b, noise_stddev=0.01)
+    harness_b = EvaluationHarness(case_b, EvalSettings(noise_stddev=0.01))
     names = crossval_benchmarks("prefetch")
 
     def run():

@@ -12,8 +12,13 @@ from repro.gp.engine import GPParams
 from repro.gp.parse import unparse
 from repro.gp.simplify import simplify
 from repro.metaopt.baselines import ORC_PREFETCH_TEXT
-from repro.metaopt.generalize import cross_validate, generalize
+from repro.metaopt.generalize import (
+    build_generalize_engine,
+    cross_validate,
+    finalize_generalization,
+)
 from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.settings import EvalSettings
 from repro.reporting import speedup_table
 
 TRAINING = ("102.swim", "107.mgrid", "146.wave5", "015.doduc")
@@ -23,7 +28,7 @@ UNSEEN = ("171.swim", "183.equake", "178.galgel")
 def main() -> None:
     case = case_study("prefetch")
     # Real machines are noisy (Section 7.1); 1% measurement noise.
-    harness = EvaluationHarness(case, noise_stddev=0.01)
+    harness = EvaluationHarness(case, EvalSettings(noise_stddev=0.01))
 
     print("Training a prefetch confidence function with DSS over:")
     print(" ", ", ".join(TRAINING))
@@ -31,12 +36,13 @@ def main() -> None:
     print()
 
     started = time.time()
-    result = generalize(
+    engine = build_generalize_engine(
         case, TRAINING,
         GPParams(population_size=20, generations=8, seed=9),
-        harness=harness,
+        harness,
         subset_size=2,
     )
+    result = finalize_generalization(case, harness, TRAINING, engine.run())
     print(speedup_table(
         "training set (speedup over ORC's confidence)",
         [(s.benchmark, s.train_speedup, s.novel_speedup)

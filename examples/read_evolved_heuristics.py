@@ -16,7 +16,10 @@ from repro.gp.engine import GPParams
 from repro.gp.parse import infix, unparse
 from repro.gp.simplify import find_introns, simplify
 from repro.metaopt.harness import EvaluationHarness, case_study
-from repro.metaopt.specialize import specialize
+from repro.metaopt.specialize import (
+    build_specialize_engine,
+    finalize_specialization,
+)
 from repro.passes.hyperblock import region_feature_env
 from repro.suite import get
 
@@ -39,11 +42,12 @@ def main() -> None:
     harness = EvaluationHarness(case)
     benchmark = "g721encode"
 
-    result = specialize(
+    engine = build_specialize_engine(
         case, benchmark,
         GPParams(population_size=30, generations=12, seed=17),
-        harness=harness,
+        harness,
     )
+    result = finalize_specialization(harness, benchmark, engine.run())
     raw = result.best_tree
     print(f"evolved for {benchmark}: train speedup "
           f"{result.train_speedup:.3f}")

@@ -12,8 +12,11 @@ from repro.gp.engine import GPParams
 from repro.gp.parse import infix, unparse
 from repro.gp.simplify import simplify
 from repro.metaopt.baselines import IMPACT_HYPERBLOCK_TEXT
-from repro.metaopt.harness import case_study
-from repro.metaopt.specialize import specialize
+from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.specialize import (
+    build_specialize_engine,
+    finalize_specialization,
+)
 from repro.reporting import fitness_curve_chart
 
 
@@ -27,7 +30,9 @@ def main() -> None:
 
     params = GPParams(population_size=24, generations=10, seed=42)
     started = time.time()
-    result = specialize(case, benchmark, params)
+    harness = EvaluationHarness(case)
+    engine = build_specialize_engine(case, benchmark, params, harness)
+    result = finalize_specialization(harness, benchmark, engine.run())
     elapsed = time.time() - started
 
     print(fitness_curve_chart(

@@ -7,12 +7,13 @@ EXPERIMENTS.md for paper-vs-measured results.
 
 Quick start::
 
+    from repro.experiments import ExperimentConfig, run_experiment
     from repro.gp import GPParams
-    from repro.metaopt import case_study, specialize
 
-    case = case_study("hyperblock")
-    result = specialize(case, "rawcaudio",
-                        GPParams(population_size=50, generations=20))
+    outcome = run_experiment(ExperimentConfig(
+        mode="specialize", case="hyperblock", benchmark="rawcaudio",
+        params=GPParams(population_size=50, generations=20)))
+    result = outcome.specialization
     print(result.train_speedup, result.best_expression)
 """
 

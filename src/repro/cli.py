@@ -131,6 +131,15 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
              "counter summary")
 
 
+def _add_fleet_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fleet", metavar="SPEC",
+        help="shard fitness evaluation across serve workers: 'local:N' "
+             "spawns N local workers, 'host:port,host:port' uses "
+             "running daemons (docs/FLEET.md); mutually exclusive "
+             "with --processes > 1")
+
+
 def _print_pass_table(snapshot: dict) -> None:
     """Per-pass timing + IR delta table from a metrics snapshot."""
     counters = snapshot["counters"]
@@ -211,6 +220,31 @@ def _print_snapshot_table(snapshot: dict) -> None:
         print(f"{name:<24s}{value:>12}")
 
 
+def _print_fleet_table(snapshot: dict) -> None:
+    """Fleet dispatch health (docs/FLEET.md): shard counters,
+    per-worker latency, straggler spread.  Silent when no fleet ran
+    inside this process."""
+    counters = snapshot["counters"]
+    if not any(name.startswith("fleet.") for name in counters):
+        return
+    _print_counter_table(snapshot, "fleet.", "fleet counter")
+    prefix = "fleet.shard_seconds."
+    workers = sorted(name[len(prefix):]
+                     for name in snapshot["histograms"]
+                     if name.startswith(prefix))
+    if workers:
+        print()
+        print(f"{'fleet worker':<24s}{'shards':>8s}{'total_s':>11s}"
+              f"{'p50_s':>9s}")
+        for worker in workers:
+            data = snapshot["histograms"][prefix + worker]
+            print(f"{worker:<24s}{data['count']:>8d}{data['sum']:>11.3f}"
+                  f"{_histogram_p50(data):>9.3f}")
+    straggler = snapshot["gauges"].get("fleet.straggler_seconds")
+    if straggler is not None:
+        print(f"{'straggler spread (s)':<24s}{straggler:>12.3f}")
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.metaopt.harness import EvaluationHarness, case_study
@@ -220,6 +254,17 @@ def cmd_profile(args: argparse.Namespace) -> int:
     try:
         harness = EvaluationHarness(case_study(args.case))
         result = harness.baseline_result(args.benchmark, args.dataset)
+        if getattr(args, "fleet", None):
+            # Drive one baseline evaluation through the fleet so the
+            # dispatch/latency tables below have something to show.
+            from repro.fleet import FleetEvaluator
+            from repro.metaopt.settings import EvalSettings
+
+            with FleetEvaluator(args.case, args.fleet,
+                                EvalSettings()) as fleet:
+                fleet.evaluate_batch(
+                    [(harness.case.baseline_tree(), args.benchmark)],
+                    dataset=args.dataset)
     finally:
         obs.disable_metrics()
         if tracer is not None:
@@ -247,6 +292,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     _print_counter_table(snapshot, "sim.", "simulator counter")
     print()
     _print_snapshot_table(snapshot)
+    _print_fleet_table(snapshot)
     print()
     _print_sim_result(result)
     if tracer is not None:
@@ -484,6 +530,7 @@ def _load_artifact(args: argparse.Namespace):
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.metaopt.harness import EvaluationHarness, case_study
+    from repro.metaopt.settings import EvalSettings
     from repro.serve.jobs import simulation_payload
 
     artifact, case_name = _load_artifact(args)
@@ -492,8 +539,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     try:
         harness = EvaluationHarness(
             case_study(case_name),
-            fitness_cache=_resolve_fitness_cache(args),
-            use_snapshots=not args.no_snapshot)
+            EvalSettings(use_snapshots=not args.no_snapshot),
+            fitness_cache=_resolve_fitness_cache(args))
         if artifact is not None:
             result = harness.simulate(artifact.tree(), args.benchmark,
                                       args.dataset)
@@ -551,6 +598,7 @@ def _run_campaign(args: argparse.Namespace, config) -> int:
     collect_metrics = bool(getattr(args, "metrics", False))
     use_snapshots = not getattr(args, "no_snapshot", False)
     trace_path = getattr(args, "trace", None)
+    fleet = getattr(args, "fleet", None)
     publish_dir = _resolve_publish_dir(args)
     if args.resume:
         if args.run_dir is None:
@@ -559,13 +607,13 @@ def _run_campaign(args: argparse.Namespace, config) -> int:
         runner = ExperimentRunner.from_run_dir(
             args.run_dir, sinks=sinks, stop_after_generation=stop_after,
             collect_metrics=collect_metrics, publish_dir=publish_dir,
-            use_snapshots=use_snapshots)
+            use_snapshots=use_snapshots, fleet=fleet)
     else:
         runner = ExperimentRunner(
             config, run_dir=args.run_dir, sinks=sinks,
             stop_after_generation=stop_after,
             collect_metrics=collect_metrics, publish_dir=publish_dir,
-            use_snapshots=use_snapshots)
+            use_snapshots=use_snapshots, fleet=fleet)
     tracer = obs.enable_tracing() if trace_path else None
     try:
         outcome = runner.run(resume=args.resume)
@@ -646,6 +694,9 @@ def cmd_evolve(args: argparse.Namespace) -> int:
 
     if args.processes < 1:
         raise SystemExit("repro evolve: --processes must be >= 1")
+    if args.fleet and args.processes > 1:
+        raise SystemExit("repro evolve: --fleet and --processes are "
+                         "mutually exclusive (the fleet owns dispatch)")
     config = None
     if not args.resume:
         if not args.case or not args.benchmark:
@@ -675,6 +726,9 @@ def cmd_generalize(args: argparse.Namespace) -> int:
 
     if args.processes < 1:
         raise SystemExit("repro generalize: --processes must be >= 1")
+    if args.fleet and args.processes > 1:
+        raise SystemExit("repro generalize: --fleet and --processes are "
+                         "mutually exclusive (the fleet owns dispatch)")
     config = None
     if not args.resume:
         training = _comma_list(args.train)
@@ -772,6 +826,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         registry=registry_from_env(args.artifact_store),
         fitness_cache_dir=_fitness_cache_dir(args),
         use_snapshots=not args.no_snapshot,
+        batch_concurrency=args.batch_concurrency,
     )
     print(f"serving on {server.url} "
           f"({args.workers} worker(s), queue capacity "
@@ -905,6 +960,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("hyperblock", "regalloc", "prefetch"))
     profile_parser.add_argument("--dataset", default="train",
                                 choices=("train", "novel"))
+    _add_fleet_flag(profile_parser)
     profile_parser.add_argument(
         "--trace", metavar="FILE",
         help="also write a Chrome trace_event JSON to FILE")
@@ -927,6 +983,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=1,
         help="fan fitness evaluations out over a process pool "
              "(1 = serial, the seed-identical reference path)")
+    _add_fleet_flag(evolve_parser)
     _add_verify_flag(evolve_parser)
     _add_fitness_cache_flags(evolve_parser)
     _add_snapshot_flag(evolve_parser)
@@ -954,6 +1011,7 @@ def build_parser() -> argparse.ArgumentParser:
     general_parser.add_argument("--seed", type=int, default=0)
     general_parser.add_argument("--noise", type=float, default=0.0)
     general_parser.add_argument("--processes", type=int, default=1)
+    _add_fleet_flag(general_parser)
     _add_verify_flag(general_parser)
     _add_fitness_cache_flags(general_parser)
     _add_snapshot_flag(general_parser)
@@ -999,6 +1057,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifact-store", metavar="DIR",
         help="artifact store served under /v1/artifacts (default: "
              "$REPRO_ARTIFACT_STORE or ./artifacts)")
+    serve_parser.add_argument(
+        "--batch-concurrency", type=int, default=4,
+        help="max concurrent /v1/evaluate-batch streams before the "
+             "server sheds load with 429 + Retry-After")
     serve_parser.add_argument(
         "--metrics", action="store_true",
         help="collect repro.obs metrics and expose them on /metrics")

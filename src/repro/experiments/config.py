@@ -4,9 +4,9 @@ One frozen :class:`ExperimentConfig` describes a whole campaign —
 specialize (one benchmark) or generalize (DSS over a training set plus
 optional cross-validation) — and is consumed identically by the Python
 API (:func:`repro.experiments.run_experiment`) and the CLI
-(``repro evolve`` / ``repro generalize``).  It replaces the ad-hoc
-kwarg threading through ``specialize()`` / ``generalize()`` /
-``cmd_evolve``; those remain as thin back-compat wrappers.
+(``repro evolve`` / ``repro generalize``).  It replaced the ad-hoc
+kwarg threading through the old ``specialize()`` / ``generalize()``
+wrappers, which are now gone.
 
 The config serializes to plain JSON (``runs/<name>/config.json``), and
 a resumed run is reconstructed from exactly that file, so a run

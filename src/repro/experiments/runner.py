@@ -16,8 +16,8 @@ memo, DSS state, history), so a run killed at any generation and
 restarted with ``resume=True`` produces a ``result.json`` byte-identical
 to the uninterrupted run — for the serial and the process-pool
 evaluator alike.  Without a run directory the runner still works
-(events to the given sinks, no persistence), which is what the
-back-compat ``specialize()`` / ``generalize()`` wrappers rely on.
+(events to the given sinks, no persistence) — handy for tests and
+one-off in-memory campaigns.
 """
 
 from __future__ import annotations
@@ -84,6 +84,7 @@ class ExperimentRunner:
         collect_metrics: bool = False,
         publish_dir=None,
         use_snapshots: bool = True,
+        fleet: str | None = None,
     ) -> None:
         self.config = config
         self.run_dir = Path(run_dir) if run_dir is not None else None
@@ -109,6 +110,13 @@ class ExperimentRunner:
         #: ``collect_metrics``: bit-identical either way, so it is a
         #: performance switch, never part of the run's identity.
         self.use_snapshots = use_snapshots
+        #: fleet spec (``"local:N"`` or ``"host:port,..."``): shard each
+        #: generation across serve workers (docs/FLEET.md).  Runner-level
+        #: like ``use_snapshots`` — the fleet is bit-identical to serial
+        #: evaluation, so it describes *where* a run executes, never
+        #: *what* it computes, and a resume may use a different fleet
+        #: (or none) without perturbing result.json.
+        self.fleet = fleet
 
     @classmethod
     def from_run_dir(cls, run_dir, sinks: tuple[EventSink, ...] = (),
@@ -116,6 +124,7 @@ class ExperimentRunner:
                      collect_metrics: bool = False,
                      publish_dir=None,
                      use_snapshots: bool = True,
+                     fleet: str | None = None,
                      ) -> "ExperimentRunner":
         """Reconstruct a runner from a run directory's ``config.json``
         (the entry point of ``--resume``)."""
@@ -130,25 +139,27 @@ class ExperimentRunner:
                    stop_after_generation=stop_after_generation,
                    collect_metrics=collect_metrics,
                    publish_dir=publish_dir,
-                   use_snapshots=use_snapshots)
+                   use_snapshots=use_snapshots,
+                   fleet=fleet)
 
     # -- assembly --------------------------------------------------------
+    def _settings(self):
+        from repro.metaopt.settings import EvalSettings
+
+        return EvalSettings(
+            noise_stddev=self.config.noise_stddev,
+            fitness_cache_dir=self.config.fitness_cache_dir,
+            verify_outputs=self.config.verify_outputs,
+            use_snapshots=self.use_snapshots,
+        )
+
     def _build_harness(self):
-        from repro.metaopt.fitness_cache import FitnessCache
         from repro.metaopt.harness import EvaluationHarness, case_study
 
         if self._harness is not None:
             return self._harness
-        cache = None
-        if self.config.fitness_cache_dir is not None:
-            cache = FitnessCache(self.config.fitness_cache_dir)
-        return EvaluationHarness(
-            case_study(self.config.case),
-            noise_stddev=self.config.noise_stddev,
-            fitness_cache=cache,
-            verify_outputs=self.config.verify_outputs,
-            use_snapshots=self.use_snapshots,
-        )
+        return EvaluationHarness(case_study(self.config.case),
+                                 self._settings())
 
     def _build_engine(self, harness, evaluator):
         config = self.config
@@ -365,16 +376,14 @@ class ExperimentRunner:
         harness = self._build_harness()
         evaluator = None
         evaluator_context = nullcontext()
-        if config.processes > 1:
-            from repro.metaopt.parallel import ParallelEvaluator
+        if self.fleet is not None or config.processes > 1:
+            from repro.metaopt.parallel import make_evaluator
 
-            evaluator = ParallelEvaluator(
+            evaluator = make_evaluator(
                 config.case,
+                self._settings(),
                 processes=config.processes,
-                noise_stddev=config.noise_stddev,
-                fitness_cache_dir=config.fitness_cache_dir,
-                verify_outputs=config.verify_outputs,
-                use_snapshots=self.use_snapshots,
+                fleet=self.fleet,
             )
             evaluator_context = evaluator
 

@@ -1,0 +1,33 @@
+"""Distributed fitness evaluation over ``repro serve`` workers.
+
+The paper's evolution runs were distributed over 15–20 machines
+(Section 3); this package is that tier of the reproduction.  A
+:class:`FleetEvaluator` shards each generation's candidates across a
+fleet of serve daemons — local child processes (``--fleet local:N``)
+and/or remote hosts (``--fleet host:port,host:port``) — via the
+batched ``POST /v1/evaluate-batch`` HTTP API, with work stealing,
+retry/redispatch on worker loss, and results byte-identical to the
+serial path.  See docs/FLEET.md.
+"""
+
+from repro.fleet.evaluator import FleetEvaluator
+from repro.fleet.workers import (
+    FleetError,
+    FleetTarget,
+    LocalWorkerProcess,
+    WorkerClient,
+    WorkerRejected,
+    WorkerUnreachable,
+    parse_fleet_spec,
+)
+
+__all__ = [
+    "FleetEvaluator",
+    "FleetError",
+    "FleetTarget",
+    "LocalWorkerProcess",
+    "WorkerClient",
+    "WorkerRejected",
+    "WorkerUnreachable",
+    "parse_fleet_spec",
+]

@@ -1,0 +1,503 @@
+"""The fleet coordinator: sharded fitness evaluation over serve workers.
+
+"GP is a distributed algorithm" (Section 3) — the paper evolved its
+heuristics on 15–20 machines.  :class:`FleetEvaluator` is that tier:
+it implements the same :class:`~repro.metaopt.parallel.
+EvaluatorProtocol` as the in-process evaluators, but ships each
+generation's uncached candidates to ``repro serve`` workers over
+``POST /v1/evaluate-batch``.
+
+Design invariants (docs/FLEET.md):
+
+* **Bit-identity.**  Workers evaluate with the coordinator's
+  :class:`~repro.metaopt.settings.EvalSettings` (host-local fields
+  pinned worker-side); noise seeds derive from memo keys, not from
+  which host runs a candidate.  A fleet run's result.json is
+  byte-identical to the serial run's.
+* **Order-independent reduction.**  Results carry the coordinator's
+  item indices; shards may complete in any order, on any worker,
+  evaluated any number of times.
+* **Work stealing.**  Shards are dealt round-robin into per-worker
+  queues; an idle worker drains a global retry queue first, then its
+  own queue, then steals from the longest competitor's tail — so a
+  straggler bounds only its own last shard, not the generation.
+* **Fault tolerance.**  Transport failures trigger a health probe:
+  a sick-but-alive worker gets the shard back after a backoff, a dead
+  worker is retired and its shard redispatched to the survivors.  If
+  the whole fleet dies mid-batch, the coordinator finishes the
+  remaining shards in-process — a campaign never loses a generation
+  to infrastructure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Iterable
+
+from repro import obs
+from repro.fleet.workers import (
+    FleetError,
+    FleetTarget,
+    LocalWorkerProcess,
+    WorkerClient,
+    WorkerRejected,
+    WorkerUnreachable,
+    parse_fleet_spec,
+)
+from repro.gp.nodes import Node
+from repro.gp.parse import unparse
+from repro.metaopt.settings import EvalSettings
+
+#: Shards dealt per worker per batch (smaller shards steal better,
+#: larger ones amortize HTTP round-trips).
+_SHARDS_PER_WORKER = 4
+#: Upper bound on items per shard, so huge generations still redispatch
+#: at a useful granularity after a worker loss.
+_MAX_SHARD_ITEMS = 32
+
+
+class _ShardItemFailed(FleetError):
+    """A worker answered ``{"ok": false}`` for an item — possibly a
+    worker-local hiccup, so the shard gets its normal retries before
+    the failure is declared permanent."""
+
+
+class _Shard:
+    __slots__ = ("index", "home", "items", "attempts")
+
+    def __init__(self, index: int, home: int,
+                 items: list[tuple[int, str, str]]) -> None:
+        self.index = index
+        self.home = home  # the worker slot this shard was dealt to
+        self.items = items  # (coordinator item index, tree text, benchmark)
+        self.attempts = 0
+
+
+class _WorkerSlot:
+    __slots__ = ("index", "client", "process", "alive", "busy_seconds")
+
+    def __init__(self, index: int, client: WorkerClient,
+                 process: LocalWorkerProcess | None) -> None:
+        self.index = index
+        self.client = client
+        self.process = process
+        self.alive = True
+        self.busy_seconds = 0.0
+
+
+class _BatchState:
+    """Everything one ``evaluate_batch`` call's threads share."""
+
+    def __init__(self, shards: list[_Shard], slots: int) -> None:
+        self.cond = threading.Condition()
+        self.queues = [deque() for _ in range(slots)]
+        self.retry: deque[_Shard] = deque()
+        self.outstanding = len(shards)
+        self.results: dict[int, float] = {}
+        self.failures: list[str] = []
+        for shard in shards:
+            self.queues[shard.home].append(shard)
+
+    def leftovers(self) -> list[_Shard]:
+        remaining = list(self.retry)
+        for queue in self.queues:
+            remaining.extend(queue)
+        self.retry.clear()
+        for queue in self.queues:
+            queue.clear()
+        return remaining
+
+
+class FleetEvaluator:
+    """Distributed :class:`~repro.metaopt.parallel.EvaluatorProtocol`
+    implementation over a fleet of serve workers.
+
+    ``fleet`` is a spec string (``"local:2"``,
+    ``"host:8347,host:8348"``) or a pre-parsed target list.  Workers
+    spawn lazily on the first batch (or eagerly via ``__enter__``), so
+    constructing an evaluator is free.
+    """
+
+    def __init__(self, case_name: str, fleet: str | list[FleetTarget],
+                 settings: EvalSettings | None = None, *,
+                 dataset: str = "train",
+                 shard_items: int | None = None,
+                 timeout: float = 300.0,
+                 retries: int = 3,
+                 backoff: float = 0.25,
+                 max_backoff: float = 4.0,
+                 startup_timeout: float = 30.0,
+                 sleep=time.sleep) -> None:
+        self.case_name = case_name
+        self.targets = (parse_fleet_spec(fleet)
+                        if isinstance(fleet, str) else list(fleet))
+        self.settings = settings if settings is not None else EvalSettings()
+        self.dataset = dataset
+        self.shard_items = shard_items
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.startup_timeout = startup_timeout
+        self._sleep = sleep
+        self._slots: list[_WorkerSlot] | None = None
+        self._memo: dict[tuple, float] = {}
+        self._case = None
+        self._local_harness = None
+        self._fingerprint = None
+        self._closed = False
+        self.jobs_dispatched = 0
+        self.batches_dispatched = 0
+        self.shards_dispatched = 0
+        self.shards_stolen = 0
+        self.shards_retried = 0
+        self.workers_lost = 0
+        self.local_fallback_jobs = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> list["_WorkerSlot"]:
+        """Spawn local workers, connect, and verify capabilities."""
+        if self._slots is not None:
+            return self._slots
+        if self._closed:
+            raise FleetError("evaluator is closed")
+        slots: list[_WorkerSlot] = []
+        try:
+            for index, target in enumerate(self.targets):
+                process = None
+                if target.kind == "local":
+                    process = LocalWorkerProcess(self.startup_timeout)
+                    address = process.address
+                else:
+                    address = target.address
+                client = WorkerClient(address, timeout=self.timeout)
+                self._check_capabilities(client)
+                slots.append(_WorkerSlot(index, client, process))
+        except BaseException:
+            for slot in slots:
+                self._retire(slot)
+            raise
+        self._slots = slots
+        obs.set_gauge("fleet.workers", len(slots))
+        return slots
+
+    @staticmethod
+    def _check_capabilities(client: WorkerClient) -> None:
+        """A worker that cannot speak the batch protocol is a
+        misconfiguration, not a transient fault — fail loudly now."""
+        capabilities = client.capabilities()
+        if capabilities.get("schema") != 1:
+            raise FleetError(
+                f"worker {client.label} speaks API schema "
+                f"{capabilities.get('schema')!r}, coordinator needs 1")
+        endpoints = capabilities.get("endpoints", ())
+        if "POST /v1/evaluate-batch" not in endpoints:
+            raise FleetError(
+                f"worker {client.label} does not serve "
+                f"/v1/evaluate-batch")
+
+    def _retire(self, slot: _WorkerSlot) -> None:
+        slot.alive = False
+        slot.client.close()
+        if slot.process is not None:
+            slot.process.terminate()
+
+    def close(self) -> None:
+        """Idempotent: disconnect every worker, reap local children."""
+        self._closed = True
+        slots, self._slots = self._slots, None
+        for slot in slots or ():
+            self._retire(slot)
+
+    def __enter__(self) -> "FleetEvaluator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- evaluation ------------------------------------------------------
+    def __call__(self, tree: Node, benchmark: str) -> float:
+        return self.evaluate_batch([(tree, benchmark)])[0]
+
+    def evaluate_batch(self, jobs: Iterable[tuple[Node, str]],
+                       dataset: str | None = None) -> list[float]:
+        """Evaluate ``(tree, benchmark)`` pairs across the fleet;
+        values come back in job order whatever the completion order."""
+        dataset = dataset if dataset is not None else self.dataset
+        jobs = list(jobs)
+        keyed = [(tree.structural_key(), benchmark)
+                 for tree, benchmark in jobs]
+        pending: list[tuple[str, str]] = []
+        pending_keys: list[tuple] = []
+        queued = set()
+        for (tree, benchmark), key in zip(jobs, keyed):
+            if key not in self._memo and key not in queued:
+                queued.add(key)
+                pending.append((unparse(tree), benchmark))
+                pending_keys.append(key)
+        if pending:
+            values = self._run_pending(pending, dataset)
+            self.jobs_dispatched += len(pending)
+            self.batches_dispatched += 1
+            obs.inc("fleet.jobs", len(pending))
+            obs.inc("fleet.batches")
+            for key, value in zip(pending_keys, values):
+                self._memo[key] = value
+        return [self._memo[key] for key in keyed]
+
+    def _run_pending(self, pending: list[tuple[str, str]],
+                     dataset: str) -> list[float]:
+        slots = [slot for slot in self.start() if slot.alive]
+        shards = self._deal(pending, max(1, len(slots)))
+        state = _BatchState(shards, max(1, len(slots)))
+        for slot in slots:
+            slot.busy_seconds = 0.0
+        threads = [
+            threading.Thread(target=self._worker_loop,
+                             args=(slot, state, dataset), daemon=True)
+            for slot in slots
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        remaining = state.leftovers()
+        if remaining:
+            # Every worker died mid-batch: finish in-process rather
+            # than lose the generation.
+            obs.inc("fleet.local_fallback_batches")
+            for shard in remaining:
+                self._evaluate_locally(shard, state, dataset)
+        if state.failures:
+            raise FleetError(
+                "fleet evaluation failed permanently: "
+                + "; ".join(state.failures[:5]))
+        if len(slots) > 1:
+            busy = [slot.busy_seconds for slot in slots]
+            obs.set_gauge("fleet.straggler_seconds",
+                          max(busy) - min(busy))
+        return [state.results[index] for index in range(len(pending))]
+
+    def _deal(self, pending: list[tuple[str, str]],
+              slots: int) -> list[_Shard]:
+        per_shard = self.shard_items or min(
+            _MAX_SHARD_ITEMS,
+            -(-len(pending) // (slots * _SHARDS_PER_WORKER)))
+        per_shard = max(1, per_shard)
+        shards = []
+        for start in range(0, len(pending), per_shard):
+            items = [(index, text, benchmark)
+                     for index, (text, benchmark) in enumerate(
+                         pending[start:start + per_shard], start)]
+            shards.append(_Shard(len(shards), len(shards) % slots, items))
+        return shards
+
+    # -- the per-worker thread -------------------------------------------
+    def _worker_loop(self, slot: _WorkerSlot, state: _BatchState,
+                     dataset: str) -> None:
+        while True:
+            shard = self._take(slot, state)
+            if shard is None:
+                return
+            started = time.monotonic()
+            try:
+                self._run_shard(slot, shard, state, dataset)
+            except WorkerUnreachable as exc:
+                if self._probe(slot):
+                    self._backoff(shard)
+                    self._requeue(state, shard, str(exc))
+                else:
+                    self.workers_lost += 1
+                    obs.inc("fleet.workers_lost")
+                    self._retire(slot)
+                    # The shard pays no attempt for our dead worker.
+                    self._requeue(state, shard, str(exc),
+                                  count_attempt=False)
+                    return
+            except WorkerRejected as exc:
+                if exc.retryable:
+                    self._sleep(min(exc.retry_after or self.backoff,
+                                    self.max_backoff))
+                    self._requeue(state, shard, str(exc))
+                else:
+                    self._fail(state, shard, str(exc))
+            except _ShardItemFailed as exc:
+                self._backoff(shard)
+                self._requeue(state, shard, str(exc))
+            else:
+                elapsed = time.monotonic() - started
+                slot.busy_seconds += elapsed
+                obs.observe(f"fleet.shard_seconds.{slot.client.label}",
+                            elapsed)
+                self._complete(state, shard)
+
+    def _run_shard(self, slot: _WorkerSlot, shard: _Shard,
+                   state: _BatchState, dataset: str) -> None:
+        self.shards_dispatched += 1
+        obs.inc("fleet.shards_dispatched")
+        payload = self._payload(shard, dataset)
+        records = {record.get("index"): record
+                   for record in slot.client.evaluate_shard(payload)}
+        values: dict[int, float] = {}
+        for index, _text, _benchmark in shard.items:
+            record = records.get(index)
+            if record is None:
+                raise WorkerUnreachable(
+                    f"{slot.client.label}: shard {shard.index} came "
+                    f"back without item {index}")
+            if not record.get("ok"):
+                raise _ShardItemFailed(
+                    f"{slot.client.label}: item {index}: "
+                    f"{record.get('error')}")
+            values[index] = record["value"]
+        with state.cond:
+            state.results.update(values)
+
+    def _payload(self, shard: _Shard, dataset: str) -> dict:
+        # Host-local fields stay home: the worker pins its own cache
+        # directory and snapshot switch (neither affects values).
+        wire = self.settings.replace(fitness_cache_dir=None,
+                                    collect_metrics=False)
+        return {
+            "schema": 1,
+            "case": self.case_name,
+            "dataset": dataset,
+            "settings": wire.to_json_dict(),
+            "fingerprint": self._fingerprints(),
+            "items": [
+                {"index": index, "tree": text, "benchmark": benchmark}
+                for index, text, benchmark in shard.items
+            ],
+        }
+
+    def _fingerprints(self) -> dict:
+        if self._fingerprint is None:
+            from repro.metaopt.fitness_cache import (
+                machine_fingerprint,
+                pipeline_fingerprint,
+            )
+
+            self._fingerprint = {
+                "pipeline": pipeline_fingerprint(),
+                "machine": machine_fingerprint(self._case_study().machine),
+            }
+        return self._fingerprint
+
+    # -- scheduling ------------------------------------------------------
+    def _take(self, slot: _WorkerSlot, state: _BatchState) -> _Shard | None:
+        """Next shard for this worker: retries first, then its own
+        queue, then steal from the longest competitor's tail."""
+        with state.cond:
+            while True:
+                if state.outstanding == 0 or not slot.alive:
+                    return None
+                shard = None
+                if state.retry:
+                    shard = state.retry.popleft()
+                elif state.queues[slot.index]:
+                    shard = state.queues[slot.index].popleft()
+                else:
+                    victim = max(state.queues, key=len)
+                    if victim:
+                        shard = victim.pop()
+                if shard is not None:
+                    if shard.home != slot.index:
+                        self.shards_stolen += 1
+                        obs.inc("fleet.shards_stolen")
+                    return shard
+                # Everything is in flight elsewhere; a failure may yet
+                # requeue work for us.
+                state.cond.wait(0.05)
+
+    def _backoff(self, shard: _Shard) -> None:
+        self._sleep(min(self.backoff * (2 ** shard.attempts),
+                        self.max_backoff))
+
+    def _requeue(self, state: _BatchState, shard: _Shard, error: str,
+                 count_attempt: bool = True) -> None:
+        with state.cond:
+            if count_attempt:
+                shard.attempts += 1
+            if shard.attempts > self.retries:
+                state.failures.append(
+                    f"shard {shard.index} exhausted "
+                    f"{self.retries} retries: {error}")
+                state.outstanding -= 1
+            else:
+                self.shards_retried += 1
+                obs.inc("fleet.shards_retried")
+                state.retry.append(shard)
+            state.cond.notify_all()
+
+    def _complete(self, state: _BatchState, shard: _Shard) -> None:
+        with state.cond:
+            state.outstanding -= 1
+            state.cond.notify_all()
+
+    def _fail(self, state: _BatchState, shard: _Shard,
+              error: str) -> None:
+        with state.cond:
+            state.failures.append(f"shard {shard.index}: {error}")
+            state.outstanding -= 1
+            state.cond.notify_all()
+
+    def _probe(self, slot: _WorkerSlot) -> bool:
+        """Is the worker still there after a transport error?"""
+        if slot.process is not None and not slot.process.alive():
+            return False
+        try:
+            slot.client.health()
+            return True
+        except FleetError:
+            return False
+
+    # -- the in-process safety net ---------------------------------------
+    def _case_study(self):
+        if self._case is None:
+            from repro.metaopt.harness import case_study
+
+            self._case = case_study(self.case_name)
+        return self._case
+
+    def _ensure_local_harness(self):
+        if self._local_harness is None:
+            from repro.metaopt.harness import EvaluationHarness
+
+            self._local_harness = EvaluationHarness(
+                self._case_study(),
+                self.settings.replace(collect_metrics=False))
+        return self._local_harness
+
+    def _evaluate_locally(self, shard: _Shard, state: _BatchState,
+                          dataset: str) -> None:
+        from repro.metaopt.priority import PriorityFunction
+
+        harness = self._ensure_local_harness()
+        for index, text, benchmark in shard.items:
+            priority = PriorityFunction.from_text(text, harness.case.pset)
+            state.results[index] = harness.speedup(
+                priority.tree, benchmark, dataset)
+            self.local_fallback_jobs += 1
+            obs.inc("fleet.local_fallback_jobs")
+        state.outstanding -= 1
+
+    # -- telemetry -------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        counters = {
+            "workers": len(self.targets),
+            "workers_lost": self.workers_lost,
+            "jobs_dispatched": self.jobs_dispatched,
+            "batches_dispatched": self.batches_dispatched,
+            "shards_dispatched": self.shards_dispatched,
+            "shards_stolen": self.shards_stolen,
+            "shards_retried": self.shards_retried,
+            "local_fallback_jobs": self.local_fallback_jobs,
+        }
+        if self._local_harness is not None:
+            for key, value in self._local_harness.stats().items():
+                counters[key] = value
+        return counters

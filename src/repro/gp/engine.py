@@ -59,10 +59,15 @@ class FitnessEvaluator(Protocol):
     Evaluators may additionally expose ``evaluate_batch(jobs) ->
     list[float]`` over ``(tree, benchmark)`` pairs; the engine then
     ships every uncached pair of a generation in one call, which is
-    what lets a process-pool evaluator keep all workers busy instead
-    of receiving one-job batches.  Batch results must be identical to
-    calling the evaluator pairwise (the pairs of a batch are
-    independent), so batching never changes the evolution.
+    what lets a process-pool or fleet evaluator keep all workers busy
+    instead of receiving one-job batches.  Batch results must be
+    identical to calling the evaluator pairwise (the pairs of a batch
+    are independent) and must come back in job order regardless of
+    completion order, so batching never changes the evolution.  The
+    full multi-backend contract lives in
+    :class:`repro.metaopt.parallel.EvaluatorProtocol`, with
+    :func:`repro.metaopt.parallel.make_evaluator` as the constructor
+    entry point.
     """
 
     def __call__(self, tree: Node, benchmark: str) -> float: ...

@@ -25,11 +25,16 @@ from repro.metaopt.generalize import (
     BenchmarkScore,
     CrossValidationResult,
     GeneralizationResult,
+    build_generalize_engine,
     cross_validate,
-    generalize,
+    finalize_generalization,
 )
 from repro.metaopt.harness import CaseStudy, EvaluationHarness, case_study
-from repro.metaopt.parallel import ParallelEvaluator
+from repro.metaopt.parallel import (
+    EvaluatorProtocol,
+    ParallelEvaluator,
+    make_evaluator,
+)
 from repro.metaopt.priority import PriorityFunction
 from repro.metaopt.scheduling import (
     LATENCY_WEIGHTED_DEPTH_TEXT,
@@ -37,7 +42,12 @@ from repro.metaopt.scheduling import (
     dag_environments,
     make_schedule_priority,
 )
-from repro.metaopt.specialize import SpecializationResult, specialize
+from repro.metaopt.settings import EvalSettings
+from repro.metaopt.specialize import (
+    SpecializationResult,
+    build_specialize_engine,
+    finalize_specialization,
+)
 
 __all__ = [
     "BASELINE_TREES",
@@ -45,7 +55,9 @@ __all__ = [
     "CHOW_HENNESSY_TEXT",
     "CaseStudy",
     "CrossValidationResult",
+    "EvalSettings",
     "EvaluationHarness",
+    "EvaluatorProtocol",
     "GeneralizationResult",
     "HYPERBLOCK_PSET",
     "IMPACT_HYPERBLOCK_TEXT",
@@ -58,13 +70,16 @@ __all__ = [
     "PriorityFunction",
     "REGALLOC_PSET",
     "SpecializationResult",
+    "build_generalize_engine",
+    "build_specialize_engine",
     "case_study",
     "chow_hennessy_tree",
     "cross_validate",
     "dag_environments",
-    "generalize",
+    "finalize_generalization",
+    "finalize_specialization",
+    "make_evaluator",
     "make_schedule_priority",
     "impact_hyperblock_tree",
     "orc_prefetch_tree",
-    "specialize",
 ]

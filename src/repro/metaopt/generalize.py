@@ -9,13 +9,14 @@ an unrelated *test set* — the paper's measure of generality (Figures
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gp.dss import DSSState
 from repro.gp.engine import GenerationStats, GPEngine, GPParams
 from repro.gp.nodes import Node
 from repro.gp.parse import unparse
 from repro.metaopt.harness import CaseStudy, EvaluationHarness
+from repro.metaopt.settings import EvalSettings
 
 
 @dataclass
@@ -160,34 +161,6 @@ def finalize_generalization(
     )
 
 
-def generalize(
-    case: CaseStudy,
-    training_set: tuple[str, ...],
-    params: GPParams | None = None,
-    harness: EvaluationHarness | None = None,
-    subset_size: int | None = None,
-    noise_stddev: float = 0.0,
-    seed_baseline: bool = True,
-) -> GeneralizationResult:
-    """Evolve one priority function over ``training_set`` using DSS.
-
-    .. deprecated::
-        This kwarg-threading entry point is kept for back-compat.  New
-        code should build a :class:`repro.experiments.ExperimentConfig`
-        (mode ``"generalize"``) and call
-        :func:`repro.experiments.run_experiment`, which adds run
-        directories, JSONL telemetry, and ``--resume`` support.
-    """
-    params = params or GPParams()
-    harness = harness or EvaluationHarness(case, noise_stddev=noise_stddev)
-    engine = build_generalize_engine(
-        case, training_set, params, harness,
-        subset_size=subset_size, seed_baseline=seed_baseline,
-    )
-    return finalize_generalization(case, harness, tuple(training_set),
-                                   engine.run(), seed_baseline=seed_baseline)
-
-
 @dataclass
 class CrossValidationResult:
     """Best general-purpose function applied to an unseen test set."""
@@ -211,14 +184,14 @@ def cross_validate(
     tree: Node,
     test_set: tuple[str, ...],
     harness: EvaluationHarness | None = None,
-    noise_stddev: float = 0.0,
+    settings: "EvalSettings | None" = None,
 ) -> CrossValidationResult:
     """Apply an evolved priority function to benchmarks it never saw.
 
     Pass a ``case`` built for a different machine to reproduce the
     two-architecture variants of Figures 12 and 16.
     """
-    harness = harness or EvaluationHarness(case, noise_stddev=noise_stddev)
+    harness = harness or EvaluationHarness(case, settings)
     scores = [
         BenchmarkScore(
             benchmark=benchmark,

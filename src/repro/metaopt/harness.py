@@ -26,7 +26,7 @@ from __future__ import annotations
 import itertools
 import threading
 import zlib
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
@@ -45,6 +45,7 @@ from repro.machine.sim import SimResult, Simulator
 from repro.metaopt.baselines import BASELINE_TREES
 from repro.metaopt.features import PSETS
 from repro.metaopt.priority import PriorityFunction
+from repro.metaopt.settings import EvalSettings, settings_from_kwargs
 from repro.passes.pipeline import (
     STAGE_BY_HOOK,
     CompilerOptions,
@@ -178,62 +179,78 @@ def _as_hook(priority):
     return priority
 
 
-@dataclass
 class EvaluationHarness:
     """Compiles and simulates benchmarks under candidate priorities.
 
-    ``noise_stddev`` injects multiplicative Gaussian noise into cycle
-    counts (Section 7.1's real-machine noise); the noise seed is
-    derived from the memo key so repeated evaluations of the same
-    candidate are reproducible, like the paper's memoized fitnesses.
+    All evaluation knobs live in one frozen :class:`EvalSettings`
+    record (``settings``); equal settings produce bit-identical
+    fitness values no matter which process or host holds the harness.
+    ``settings.noise_stddev`` injects multiplicative Gaussian noise
+    into cycle counts (Section 7.1's real-machine noise); the noise
+    seed is derived from the memo key so repeated evaluations of the
+    same candidate are reproducible, like the paper's memoized
+    fitnesses.
+
+    The pre-``EvalSettings`` keyword arguments (``noise_stddev``,
+    ``verify_outputs``, ``use_snapshots``) keep working for one
+    release behind a :class:`DeprecationWarning`.
     """
 
-    case: CaseStudy
-    noise_stddev: float = 0.0
-    max_interp_steps: int = 10_000_000
-    #: optional persistent layer (repro.metaopt.fitness_cache)
-    fitness_cache: "FitnessCache | None" = None
-    #: differential guard: check every fresh simulation against the
-    #: functional interpreter and give miscompiling candidates
-    #: worst-case fitness instead of crediting a wrong-answer speedup
-    verify_outputs: bool = False
-    #: compilation forking (docs/FORKING.md): snapshot the backend
-    #: prefix once per (benchmark, options fingerprint) and replay only
-    #: the hook's suffix per candidate.  Bit-identical to the full
-    #: path; ``--no-snapshot`` on the CLI flips this off.
-    use_snapshots: bool = True
-    #: injectable for tests / sharing; built in ``__post_init__`` when
-    #: ``use_snapshots`` is on and none was supplied
-    snapshot_cache: SnapshotCache | None = None
-    _prepared: dict[str, PreparedProgram] = field(default_factory=dict)
-    _cycles_memo: dict[tuple, SimResult] = field(default_factory=dict)
-    #: content-addressed simulation memo keyed by scheduled-binary
-    #: digest: distinct candidates frequently reach identical binaries,
-    #: whose simulations are identical under zero noise
-    _binary_memo: dict[tuple, SimResult] = field(default_factory=dict)
-    _baseline_tree: Node | None = None
-    #: per-(benchmark, dataset) interpreter reference observables
-    _reference_memo: dict[tuple, tuple] = field(default_factory=dict)
-    #: memo keys whose simulation diverged from the interpreter
-    _diverged: set = field(default_factory=set)
-    #: (benchmark, dataset, Divergence) records for reporting
-    divergences: list = field(default_factory=list)
-    compile_count: int = 0
-    sim_count: int = 0
-    cache_hits: int = 0
-    #: simulations skipped because an identical binary was already run
-    binary_hits: int = 0
-    #: total simulated machine cycles across fresh (uncached) runs —
-    #: the "simulated time" counterpart of wall-clock telemetry
-    sim_cycles: int = 0
+    def __init__(self, case: CaseStudy,
+                 settings: EvalSettings | None = None,
+                 *,
+                 max_interp_steps: int = 10_000_000,
+                 fitness_cache: "FitnessCache | None" = None,
+                 snapshot_cache: SnapshotCache | None = None,
+                 **deprecated) -> None:
+        settings = settings_from_kwargs(settings, deprecated,
+                                        "EvaluationHarness")
+        self.case = case
+        self.settings = settings
+        #: convenience mirrors of ``settings`` fields, kept because the
+        #: pre-EvalSettings attribute surface is public API
+        self.noise_stddev = settings.noise_stddev
+        self.verify_outputs = settings.verify_outputs
+        self.use_snapshots = settings.use_snapshots
+        self.max_interp_steps = max_interp_steps
+        #: optional persistent layer (repro.metaopt.fitness_cache);
+        #: injectable, else built from ``settings.fitness_cache_dir``
+        if fitness_cache is None and settings.fitness_cache_dir is not None:
+            from repro.metaopt.fitness_cache import FitnessCache
 
-    def __post_init__(self) -> None:
+            fitness_cache = FitnessCache(settings.fitness_cache_dir)
+        self.fitness_cache = fitness_cache
+        #: compilation forking (docs/FORKING.md): injectable for tests
+        #: / sharing; built here when ``use_snapshots`` is on and none
+        #: was supplied
+        self.snapshot_cache = snapshot_cache
         if self.use_snapshots and self.snapshot_cache is None:
             disk_dir = None
             if (self.fitness_cache is not None
                     and self.fitness_cache.root is not None):
                 disk_dir = self.fitness_cache.root / "snapshots"
             self.snapshot_cache = SnapshotCache(disk_dir=disk_dir)
+        self._prepared: dict[str, PreparedProgram] = {}
+        self._cycles_memo: dict[tuple, SimResult] = {}
+        #: content-addressed simulation memo keyed by scheduled-binary
+        #: digest: distinct candidates frequently reach identical
+        #: binaries, whose simulations are identical under zero noise
+        self._binary_memo: dict[tuple, SimResult] = {}
+        self._baseline_tree: Node | None = None
+        #: per-(benchmark, dataset) interpreter reference observables
+        self._reference_memo: dict[tuple, tuple] = {}
+        #: memo keys whose simulation diverged from the interpreter
+        self._diverged: set = set()
+        #: (benchmark, dataset, Divergence) records for reporting
+        self.divergences: list = []
+        self.compile_count = 0
+        self.sim_count = 0
+        self.cache_hits = 0
+        #: simulations skipped because an identical binary was already run
+        self.binary_hits = 0
+        #: total simulated machine cycles across fresh (uncached) runs —
+        #: the "simulated time" counterpart of wall-clock telemetry
+        self.sim_cycles = 0
 
     # -- candidate-independent stages ------------------------------------
     def prepared(self, benchmark: str) -> PreparedProgram:
@@ -454,7 +471,9 @@ class HarnessEvaluator:
     Implements both halves of the engine's evaluator protocol: the
     single-pair ``__call__`` and the generation-level
     ``evaluate_batch``.  The batch form is the reference semantics the
-    parallel evaluator must reproduce bit-identically.
+    parallel and fleet evaluators must reproduce bit-identically.
+    Implements :class:`~repro.metaopt.parallel.EvaluatorProtocol` so
+    serial, process-pool, and fleet evaluation interchange freely.
     """
 
     harness: EvaluationHarness
@@ -468,3 +487,15 @@ class HarnessEvaluator:
             self.harness.speedup(tree, benchmark, self.dataset)
             for tree, benchmark in jobs
         ]
+
+    def stats(self) -> dict[str, int]:
+        return dict(self.harness.stats())
+
+    def close(self) -> None:
+        """Nothing to release: the harness is owned by the caller."""
+
+    def __enter__(self) -> "HarnessEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -33,28 +33,38 @@ version-independent; ``parse(unparse(tree))`` is structurally exact
 (including float constants), so worker-side memo keys and noise seeds
 match the serial path bit-for-bit.
 
-Passing ``fitness_cache_dir`` gives every worker (and the serial
+All evaluation knobs ride one frozen
+:class:`~repro.metaopt.settings.EvalSettings`; a
+``settings.fitness_cache_dir`` gives every worker (and the serial
 fallback) a shared persistent :class:`~repro.metaopt.fitness_cache.
 FitnessCache`; entry writes are atomic, so concurrent workers may race
 benignly on the same key.
+
+This module is also home to the shared evaluator surface: the
+:class:`EvaluatorProtocol` every evaluator implements and the
+:func:`make_evaluator` entry point that picks serial, process-pool, or
+fleet evaluation from one set of arguments.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
 
 from repro import obs
 from repro.gp.nodes import Node
 from repro.gp.parse import unparse
+from repro.metaopt.settings import EvalSettings, settings_from_kwargs
 from repro.obs.metrics import diff_snapshots
+
+if TYPE_CHECKING:
+    from repro.metaopt.harness import EvaluationHarness
 
 _WORKER_HARNESS = None
 _WORKER_CASE = None
-#: (case_name, noise_stddev, fitness_cache_dir, verify_outputs,
-#: use_snapshots) the globals were built
-#: for — a forked worker only reuses an inherited harness when its own
-#: configuration matches exactly.
+#: (case_name, EvalSettings) the globals were built for — a forked
+#: worker only reuses an inherited harness when its own configuration
+#: matches exactly.
 _WORKER_SIGNATURE = None
 #: Snapshot of the worker registry at the last shipped delta; baselines
 #: out both the parent state inherited via fork and earlier jobs, so
@@ -62,11 +72,8 @@ _WORKER_SIGNATURE = None
 _WORKER_METRICS_MARK = None
 
 
-def _worker_init(case_name: str, noise_stddev: float,
-                 fitness_cache_dir: str | None,
-                 verify_outputs: bool = False,
-                 collect_metrics: bool = False,
-                 use_snapshots: bool = True) -> None:
+def _worker_init(case_name: str, settings: EvalSettings,
+                 collect_metrics: bool = False) -> None:
     """Build the per-worker harness — unless this worker was forked
     from a pre-warmed parent, in which case the module globals already
     carry a harness whose prepared-program and baseline-cycle caches
@@ -81,33 +88,20 @@ def _worker_init(case_name: str, noise_stddev: float,
     else:
         obs.disable_metrics()
         _WORKER_METRICS_MARK = None
-    signature = (case_name, noise_stddev, fitness_cache_dir, verify_outputs,
-                 use_snapshots)
+    signature = (case_name, settings)
     if _WORKER_HARNESS is not None and _WORKER_SIGNATURE == signature:
         return
     from repro.metaopt.harness import case_study
 
     _WORKER_CASE = case_study(case_name)
-    _WORKER_HARNESS = _make_harness(_WORKER_CASE, noise_stddev,
-                                    fitness_cache_dir, verify_outputs,
-                                    use_snapshots)
+    _WORKER_HARNESS = _make_harness(_WORKER_CASE, settings)
     _WORKER_SIGNATURE = signature
 
 
-def _make_harness(case, noise_stddev: float, fitness_cache_dir: str | None,
-                  verify_outputs: bool = False,
-                  use_snapshots: bool = True):
+def _make_harness(case, settings: EvalSettings):
     from repro.metaopt.harness import EvaluationHarness
 
-    cache = None
-    if fitness_cache_dir is not None:
-        from repro.metaopt.fitness_cache import FitnessCache
-
-        cache = FitnessCache(fitness_cache_dir)
-    return EvaluationHarness(case, noise_stddev=noise_stddev,
-                             fitness_cache=cache,
-                             verify_outputs=verify_outputs,
-                             use_snapshots=use_snapshots)
+    return EvaluationHarness(case, settings)
 
 
 def _worker_evaluate(
@@ -140,20 +134,14 @@ class ParallelEvaluator:
     """
 
     def __init__(self, case_name: str, processes: int = 2,
-                 noise_stddev: float = 0.0,
-                 fitness_cache_dir: str | None = None,
-                 verify_outputs: bool = False,
-                 use_snapshots: bool = True) -> None:
+                 settings: EvalSettings | None = None,
+                 **deprecated) -> None:
         if processes < 1:
             raise ValueError("processes must be >= 1")
         self.case_name = case_name
         self.processes = processes
-        self.noise_stddev = noise_stddev
-        self.verify_outputs = verify_outputs
-        self.use_snapshots = use_snapshots
-        self.fitness_cache_dir = (
-            str(fitness_cache_dir) if fitness_cache_dir is not None else None
-        )
+        self.settings = settings_from_kwargs(settings, deprecated,
+                                             "ParallelEvaluator")
         self._pool: multiprocessing.pool.Pool | None = None
         self._serial_harness = None
         self._memo: dict[tuple, float] = {}
@@ -179,17 +167,12 @@ class ParallelEvaluator:
         else:
             if self._pool is not None:
                 return  # workers already forked; too late to share
-            signature = (self.case_name, self.noise_stddev,
-                         self.fitness_cache_dir, self.verify_outputs,
-                         self.use_snapshots)
+            signature = (self.case_name, self.settings)
             if _WORKER_HARNESS is None or _WORKER_SIGNATURE != signature:
                 from repro.metaopt.harness import case_study
 
                 _WORKER_CASE = case_study(self.case_name)
-                _WORKER_HARNESS = _make_harness(
-                    _WORKER_CASE, self.noise_stddev,
-                    self.fitness_cache_dir, self.verify_outputs,
-                    self.use_snapshots)
+                _WORKER_HARNESS = _make_harness(_WORKER_CASE, self.settings)
                 _WORKER_SIGNATURE = signature
             harness = _WORKER_HARNESS
         for benchmark in benchmarks:
@@ -202,9 +185,8 @@ class ParallelEvaluator:
             self._pool = context.Pool(
                 self.processes,
                 initializer=_worker_init,
-                initargs=(self.case_name, self.noise_stddev,
-                          self.fitness_cache_dir, self.verify_outputs,
-                          obs.metrics_enabled(), self.use_snapshots),
+                initargs=(self.case_name, self.settings,
+                          obs.metrics_enabled()),
             )
         return self._pool
 
@@ -213,10 +195,7 @@ class ParallelEvaluator:
             from repro.metaopt.harness import case_study
 
             self._serial_harness = _make_harness(
-                case_study(self.case_name), self.noise_stddev,
-                self.fitness_cache_dir, self.verify_outputs,
-                self.use_snapshots,
-            )
+                case_study(self.case_name), self.settings)
         return self._serial_harness
 
     def close(self, force: bool = False) -> None:
@@ -331,3 +310,69 @@ class ParallelEvaluator:
             for key, value in self._serial_harness.stats().items():
                 counters[key] = value
         return counters
+
+
+@runtime_checkable
+class EvaluatorProtocol(Protocol):
+    """The shared evaluator surface.
+
+    ``HarnessEvaluator`` (serial), :class:`ParallelEvaluator` (process
+    pool), and :class:`~repro.fleet.FleetEvaluator` (distributed) all
+    implement it, so the GP engine, the experiments runner, and the
+    benchmarks can swap evaluation backends without caring which one
+    they hold.  The contract every implementation must honour:
+
+    * ``evaluate_batch`` returns fitness values **in job order**,
+      regardless of completion order (order-independent reduction);
+    * equal :class:`~repro.metaopt.settings.EvalSettings` produce
+      bit-identical values on every backend;
+    * ``stats()`` is cheap and side-effect free; ``close()`` is
+      idempotent.
+    """
+
+    def __call__(self, tree: Node, benchmark: str) -> float: ...
+
+    def evaluate_batch(
+        self, jobs: Iterable[tuple[Node, str]]) -> list[float]: ...
+
+    def stats(self) -> dict[str, int]: ...
+
+    def close(self) -> None: ...
+
+
+def make_evaluator(case_name: str,
+                   settings: EvalSettings | None = None,
+                   *,
+                   processes: int = 1,
+                   fleet: str | None = None,
+                   dataset: str = "train",
+                   harness: "EvaluationHarness | None" = None,
+                   ) -> EvaluatorProtocol:
+    """The one constructor entry point for fitness evaluators.
+
+    * ``fleet`` set (e.g. ``"local:2"`` or ``"host:1234,host:1235"``) —
+      a :class:`~repro.fleet.FleetEvaluator` sharding batches across
+      serve workers (mutually exclusive with ``processes > 1``);
+    * ``processes > 1`` — a :class:`ParallelEvaluator` process pool;
+    * otherwise — the serial ``HarnessEvaluator``, evaluating in-process
+      on ``harness`` (building one from ``settings`` when not given).
+
+    All three speak :class:`EvaluatorProtocol` and are bit-identical
+    for equal settings.
+    """
+    settings = settings if settings is not None else EvalSettings()
+    if fleet is not None:
+        if processes > 1:
+            raise ValueError(
+                "--fleet and --processes are mutually exclusive: the "
+                "fleet already owns dispatch")
+        from repro.fleet import FleetEvaluator  # lazy: avoid cycle
+
+        return FleetEvaluator(case_name, fleet, settings, dataset=dataset)
+    if processes > 1:
+        return ParallelEvaluator(case_name, processes, settings)
+    if harness is None:
+        from repro.metaopt.harness import EvaluationHarness, case_study
+
+        harness = EvaluationHarness(case_study(case_name), settings)
+    return harness.evaluator(dataset)

@@ -1,0 +1,118 @@
+"""The unified evaluation-settings record.
+
+Fitness evaluation used to thread four independent keyword arguments —
+``noise_stddev``, ``fitness_cache_dir`` (or a ``fitness_cache``
+object), ``verify_outputs``, ``use_snapshots`` — through every layer
+that builds an :class:`~repro.metaopt.harness.EvaluationHarness`: the
+harness itself, the process-pool workers, the serving daemon's
+per-thread pool, and now the fleet coordinator and its remote shards.
+Each layer re-declared the same defaults, and adding a flag meant
+touching five signatures.
+
+:class:`EvalSettings` collapses that sprawl into one frozen dataclass
+that travels everywhere a harness is built — including over the wire
+in ``POST /v1/evaluate-batch`` requests, via :meth:`to_json_dict` /
+:meth:`from_json_dict`.  Two settings objects that compare equal
+produce bit-identical fitness values, which is what lets the serial
+path, the process pool, and the fleet interchange freely.
+
+The old keyword arguments keep working for one release: constructors
+accept them, fold them into a settings object, and emit a
+:class:`DeprecationWarning` (see :func:`settings_from_kwargs`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+
+#: Deprecated keyword arguments folded into :class:`EvalSettings`,
+#: mapped to their settings field.
+_DEPRECATED_KWARGS = {
+    "noise_stddev": "noise_stddev",
+    "fitness_cache_dir": "fitness_cache_dir",
+    "verify_outputs": "verify_outputs",
+    "use_snapshots": "use_snapshots",
+    "collect_metrics": "collect_metrics",
+}
+
+
+@dataclass(frozen=True)
+class EvalSettings:
+    """Everything that parameterizes fitness evaluation, in one frozen,
+    hashable, JSON-round-trip record.
+
+    * ``noise_stddev`` — multiplicative Gaussian cycle noise (Section
+      7.1); the noise seed derives from the memo key, so any evaluator
+      holding equal settings reproduces the same noisy measurement.
+    * ``fitness_cache_dir`` — persistent fitness cache directory
+      (:mod:`repro.metaopt.fitness_cache`); writes are atomic, so
+      processes and fleet workers may share one directory.
+    * ``verify_outputs`` — differential guard: check fresh simulations
+      against the interpreter, score miscompiles 0.0.
+    * ``use_snapshots`` — compilation forking (docs/FORKING.md).
+    * ``collect_metrics`` — ship :mod:`repro.obs` metric deltas back
+      from pool workers (observational only; never affects fitness).
+    """
+
+    noise_stddev: float = 0.0
+    fitness_cache_dir: str | None = None
+    verify_outputs: bool = False
+    use_snapshots: bool = True
+    collect_metrics: bool = False
+
+    def __post_init__(self) -> None:
+        if self.noise_stddev < 0.0:
+            raise ValueError("noise_stddev must be >= 0")
+        if self.fitness_cache_dir is not None:
+            # Normalize Path objects so equal settings hash equally.
+            object.__setattr__(self, "fitness_cache_dir",
+                               str(self.fitness_cache_dir))
+
+    # -- serialization (the /v1/evaluate-batch wire form) ----------------
+    def to_json_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "EvalSettings":
+        unknown = set(data) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(
+                f"unknown EvalSettings fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def replace(self, **changes) -> "EvalSettings":
+        return dataclasses.replace(self, **changes)
+
+
+def settings_from_kwargs(settings: EvalSettings | None, kwargs: dict,
+                         owner: str,
+                         defaults: EvalSettings | None = None,
+                         ) -> EvalSettings:
+    """Fold deprecated per-flag keyword arguments into a settings
+    object (warning once per call site), or return ``settings`` /
+    ``defaults`` untouched.
+
+    Passing both ``settings`` and a deprecated kwarg is an error —
+    silently preferring one over the other would hide a conflict.
+    """
+    unknown = set(kwargs) - set(_DEPRECATED_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"{owner} got unexpected keyword argument(s) "
+            f"{sorted(unknown)}")
+    if not kwargs:
+        return settings if settings is not None else (
+            defaults if defaults is not None else EvalSettings())
+    if settings is not None:
+        raise TypeError(
+            f"{owner}: pass either settings=EvalSettings(...) or the "
+            f"deprecated keyword(s) {sorted(kwargs)}, not both")
+    warnings.warn(
+        f"{owner}: the keyword(s) {sorted(kwargs)} are deprecated — "
+        "pass settings=EvalSettings(...) instead",
+        DeprecationWarning, stacklevel=3)
+    base = defaults if defaults is not None else EvalSettings()
+    return base.replace(**{_DEPRECATED_KWARGS[key]: value
+                           for key, value in kwargs.items()})

@@ -9,7 +9,7 @@ fitness-over-generations curve (Figures 5, 10 and 14).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gp.engine import GenerationStats, GPEngine, GPParams
 from repro.gp.nodes import Node
@@ -87,34 +87,3 @@ def finalize_specialization(
         baseline_cycles_train=harness.baseline_result(benchmark).cycles,
         best_cycles_train=harness.simulate(best, benchmark).cycles,
     )
-
-
-def specialize(
-    case: CaseStudy,
-    benchmark: str,
-    params: GPParams | None = None,
-    harness: EvaluationHarness | None = None,
-    noise_stddev: float = 0.0,
-    seed_baseline: bool = True,
-    evaluator=None,
-) -> SpecializationResult:
-    """Evolve a priority function for a single benchmark.
-
-    ``seed_baseline=False`` drops the compiler writer's best guess from
-    the initial population (used by the random-search ablation — the
-    paper notes the seed "had no impact on the final solution" for
-    hyperblock selection and prefetching).
-
-    .. deprecated::
-        This kwarg-threading entry point is kept for back-compat.  New
-        code should build a :class:`repro.experiments.ExperimentConfig`
-        and call :func:`repro.experiments.run_experiment`, which adds
-        run directories, JSONL telemetry, and ``--resume`` support.
-    """
-    params = params or GPParams()
-    harness = harness or EvaluationHarness(case, noise_stddev=noise_stddev)
-    engine = build_specialize_engine(
-        case, benchmark, params, harness,
-        seed_baseline=seed_baseline, evaluator=evaluator,
-    )
-    return finalize_specialization(harness, benchmark, engine.run())

@@ -117,6 +117,11 @@ class ServeClient:
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
 
+    def capabilities(self) -> dict:
+        """``GET /v1/capabilities``: schema version, endpoint list,
+        batch concurrency, pipeline fingerprint."""
+        return self._request("GET", "/v1/capabilities")
+
     def artifacts(self) -> list[dict]:
         return self._request("GET", "/v1/artifacts")["artifacts"]
 

@@ -292,9 +292,17 @@ class JobQueue:
 
 class HarnessPool:
     """Per-thread :class:`EvaluationHarness` instances, keyed by
-    (case, noise): each worker keeps its own warm compile/simulate
-    caches while all workers share the process-wide codegen cache and
-    any persistent fitness cache directory."""
+    (case, :class:`~repro.metaopt.settings.EvalSettings`): each worker
+    keeps its own warm compile/simulate caches while all workers share
+    the process-wide codegen cache and any persistent fitness cache
+    directory.
+
+    Because ``http.client`` keep-alive pins one fleet connection to
+    one ``ThreadingHTTPServer`` handler thread, a coordinator that
+    reuses its connections also reuses these warm harnesses across
+    generations — the fleet's answer to the process pool's
+    copy-on-write prewarm.
+    """
 
     def __init__(self, fitness_cache_dir: str | None = None,
                  use_snapshots: bool = True) -> None:
@@ -305,24 +313,37 @@ class HarnessPool:
         self.use_snapshots = use_snapshots
         self._local = threading.local()
 
-    def get(self, case_name: str, noise_stddev: float = 0.0):
-        from repro.metaopt.fitness_cache import FitnessCache
+    def _resolve(self, settings):
+        """Pin the host-local fields: the cache directory and snapshot
+        switch belong to *this* server's configuration, never to the
+        requester (a remote coordinator must not name local paths).
+        Neither field affects fitness values, so overriding them keeps
+        results bit-identical to the requested settings."""
+        return settings.replace(
+            fitness_cache_dir=self.fitness_cache_dir,
+            use_snapshots=self.use_snapshots,
+            collect_metrics=False,
+        )
+
+    def get_for_settings(self, case_name: str, settings):
         from repro.metaopt.harness import EvaluationHarness, case_study
 
         harnesses = getattr(self._local, "harnesses", None)
         if harnesses is None:
             harnesses = self._local.harnesses = {}
-        key = (case_name, float(noise_stddev))
+        settings = self._resolve(settings)
+        key = (case_name, settings)
         harness = harnesses.get(key)
         if harness is None:
-            cache = (FitnessCache(self.fitness_cache_dir)
-                     if self.fitness_cache_dir is not None else None)
-            harness = EvaluationHarness(
-                case_study(case_name), noise_stddev=noise_stddev,
-                fitness_cache=cache,
-                use_snapshots=self.use_snapshots)
+            harness = EvaluationHarness(case_study(case_name), settings)
             harnesses[key] = harness
         return harness
+
+    def get(self, case_name: str, noise_stddev: float = 0.0):
+        from repro.metaopt.settings import EvalSettings
+
+        return self.get_for_settings(
+            case_name, EvalSettings(noise_stddev=float(noise_stddev)))
 
 
 def simulation_payload(case_name: str, machine_name: str, benchmark: str,
@@ -392,6 +413,107 @@ def run_evaluate(params: dict, harness_pool: HarnessPool,
     return simulation_payload(
         case_name, harness.case.machine.name, benchmark, dataset, result,
         artifact_id=artifact.artifact_id if artifact is not None else None)
+
+
+def parse_evaluate_batch(params: dict) -> tuple:
+    """Validate a ``POST /v1/evaluate-batch`` body.
+
+    Returns ``(case_name, dataset, settings, items)`` or raises
+    :class:`ValueError`.  ``items`` is the raw list of
+    ``{"index", "tree", "benchmark"}`` dicts; indices must be unique
+    (they key the coordinator's order-independent reduction).
+    """
+    from repro.metaopt.harness import _HOOK_BY_CASE
+    from repro.metaopt.settings import EvalSettings
+
+    if params.get("schema") != 1:
+        raise ValueError("evaluate-batch requires 'schema': 1")
+    case_name = params.get("case")
+    if case_name not in _HOOK_BY_CASE:
+        raise ValueError(f"unknown case {case_name!r}")
+    dataset = params.get("dataset", "train")
+    if dataset not in ("train", "novel"):
+        raise ValueError(f"unknown dataset {dataset!r}")
+    try:
+        settings = EvalSettings.from_json_dict(params.get("settings") or {})
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"bad settings: {exc}")
+    items = params.get("items")
+    if not isinstance(items, list) or not items:
+        raise ValueError("'items' must be a non-empty list")
+    seen = set()
+    for item in items:
+        if not isinstance(item, dict):
+            raise ValueError("each item must be a JSON object")
+        index = item.get("index")
+        if not isinstance(index, int) or index < 0:
+            raise ValueError("each item needs a non-negative 'index'")
+        if index in seen:
+            raise ValueError(f"duplicate item index {index}")
+        seen.add(index)
+        if not item.get("tree") or not isinstance(item["tree"], str):
+            raise ValueError("each item needs a 'tree' s-expression")
+        if not item.get("benchmark"):
+            raise ValueError("each item needs a 'benchmark'")
+    return case_name, dataset, settings, items
+
+
+def check_fingerprints(params: dict, machine) -> None:
+    """Reject a batch whose coordinator compiled against different
+    source or machine tables: silently mixing fingerprints would break
+    the fleet's bit-identical guarantee.  Absent fields are not
+    checked (same-source deployments may skip them)."""
+    wanted = params.get("fingerprint") or {}
+    if not isinstance(wanted, dict):
+        raise ValueError("'fingerprint' must be a JSON object")
+    if not wanted:
+        return
+    from repro.metaopt.fitness_cache import (
+        machine_fingerprint,
+        pipeline_fingerprint,
+    )
+
+    pipeline = wanted.get("pipeline")
+    if pipeline is not None and pipeline != pipeline_fingerprint():
+        raise ValueError(
+            f"pipeline fingerprint mismatch: coordinator has "
+            f"{pipeline}, worker has {pipeline_fingerprint()}")
+    fingerprint = wanted.get("machine")
+    if (fingerprint is not None
+            and fingerprint != machine_fingerprint(machine)):
+        raise ValueError(
+            f"machine fingerprint mismatch for {machine.name!r}")
+
+
+def run_evaluate_batch(params: dict, harness_pool: HarnessPool):
+    """Execute one evaluate-batch request as a generator of per-item
+    result dicts (streamed as NDJSON by the HTTP layer).
+
+    Every item is evaluated independently; a candidate that fails to
+    parse or evaluate yields ``{"ok": false}`` for *that index only*,
+    so one bad candidate cannot poison a shard.  Values are speedups
+    from ``EvaluationHarness.speedup`` — bit-identical to the serial
+    path because the harness derives noise seeds from the memo key,
+    not from which host or thread runs the simulation.
+    """
+    from repro.metaopt.priority import PriorityFunction
+
+    case_name, dataset, settings, items = parse_evaluate_batch(params)
+    harness = harness_pool.get_for_settings(case_name, settings)
+    check_fingerprints(params, harness.case.machine)
+    for item in items:
+        index = item["index"]
+        try:
+            priority = PriorityFunction.from_text(item["tree"],
+                                                  harness.case.pset)
+            value = harness.speedup(priority.tree, item["benchmark"],
+                                    dataset)
+            obs.inc("serve.batch_items")
+            yield {"index": index, "ok": True, "value": value}
+        except Exception as exc:  # noqa: BLE001 — item isolation
+            obs.inc("serve.batch_item_errors")
+            yield {"index": index, "ok": False,
+                   "error": f"{type(exc).__name__}: {exc}"}
 
 
 def run_compile(params: dict, registry=None) -> dict:

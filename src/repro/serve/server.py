@@ -3,27 +3,36 @@
 ``repro serve`` runs a :class:`ThreadingHTTPServer` JSON API in front
 of the bounded :class:`~repro.serve.jobs.JobQueue`:
 
-=============================  ==========================================
-``POST /v1/compile``           enqueue a MiniC compile (``202`` + job id)
-``POST /v1/evaluate``          enqueue a benchmark simulation, baseline
-                               or under a deployed artifact
-``GET  /v1/jobs/<id>``         poll a job's state and result
-``POST /v1/jobs/<id>/cancel``  cancel a queued job
-``GET  /v1/artifacts``         list the artifact store
-``GET  /v1/artifacts/<id>``    one artifact document
-``GET  /healthz``              liveness + queue depth (``ok``/``draining``)
-``GET  /metrics``              server/queue counters + repro.obs snapshot
-=============================  ==========================================
+==============================  =========================================
+``GET  /v1/capabilities``       schema version + supported endpoints
+``POST /v1/evaluate-batch``     synchronous batched fitness evaluation,
+                                streamed as NDJSON (the fleet protocol)
+``POST /v1/compile``            enqueue a MiniC compile (``202`` + job id)
+``POST /v1/evaluate``           enqueue a benchmark simulation, baseline
+                                or under a deployed artifact
+``GET  /v1/jobs/<id>``          poll a job's state and result
+``POST /v1/jobs/<id>/cancel``   cancel a queued job
+``GET  /v1/artifacts``          list the artifact store
+``GET  /v1/artifacts/<id>``     one artifact document
+``GET  /healthz``               liveness + queue depth (``ok``/``draining``)
+``GET  /metrics``               server/queue counters + repro.obs snapshot
+==============================  =========================================
 
-Overload never blocks or grows the queue: a full queue answers ``429``
-with a ``Retry-After`` header, an oversized body ``413``, and a
-draining server ``503``.  ``SIGTERM``/``SIGINT`` trigger a graceful
-drain — stop accepting, finish every in-flight and queued job, flush a
-final metrics snapshot — before the process exits.  Request handling
-rides :mod:`repro.obs`: every request is a ``serve:request`` span and
-a ``serve.requests.*`` counter.
+Every error — 400/404/405/409/413/429/500/503 — is one structured JSON
+shape, ``{"schema": 1, "ok": false, "error": "..."}``, and every
+backpressure path (429 full queue, 429 saturated batch lanes, 503
+draining) carries ``Retry-After``.  A known path hit with the wrong
+method answers ``405`` with an ``Allow`` header.  Overload never blocks
+or grows the queue: a full queue answers ``429``, an oversized body
+``413``.  ``SIGTERM``/``SIGINT`` trigger a graceful drain — stop
+accepting, finish every in-flight and queued job, flush a final metrics
+snapshot — before the process exits.  Request handling rides
+:mod:`repro.obs`: every request is a ``serve:request`` span and a
+``serve.requests.*`` counter.
 
-See ``docs/SERVING.md`` for the full API reference and curl examples.
+See ``docs/SERVING.md`` for the full API reference and curl examples,
+and ``docs/FLEET.md`` for how ``/v1/evaluate-batch`` powers the
+distributed evolution fleet.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from repro.serve.jobs import (
     QueueFull,
     run_compile,
     run_evaluate,
+    run_evaluate_batch,
 )
 
 #: Largest request body accepted (bytes) — beyond this is a 413.
@@ -49,9 +59,28 @@ MAX_BODY_BYTES = 1 << 20
 #: API version prefix of every resource route.
 API_PREFIX = "/v1"
 
+#: Version of the HTTP API schema advertised by ``/v1/capabilities``
+#: and stamped on every response body.
+API_SCHEMA = 1
+
+#: Endpoints advertised by ``/v1/capabilities``.
+ENDPOINTS = (
+    "GET /v1/capabilities",
+    "POST /v1/evaluate-batch",
+    "POST /v1/evaluate",
+    "POST /v1/compile",
+    "GET /v1/jobs/<id>",
+    "POST /v1/jobs/<id>/cancel",
+    "GET /v1/artifacts",
+    "GET /v1/artifacts/<id>",
+    "GET /healthz",
+    "GET /metrics",
+)
+
 
 class _ApiError(Exception):
-    """An error with a fixed HTTP status, rendered as a JSON body."""
+    """An error with a fixed HTTP status, rendered as the structured
+    JSON error shape."""
 
     def __init__(self, status: int, message: str,
                  headers: dict | None = None) -> None:
@@ -74,10 +103,18 @@ class ReproServer:
         fitness_cache_dir: str | None = None,
         handler=None,
         use_snapshots: bool = True,
+        batch_concurrency: int = 4,
     ) -> None:
+        if batch_concurrency < 1:
+            raise ValueError("batch_concurrency must be >= 1")
         self.registry = registry
         self.harness_pool = HarnessPool(fitness_cache_dir=fitness_cache_dir,
                                         use_snapshots=use_snapshots)
+        #: bounds concurrent ``/v1/evaluate-batch`` streams; a request
+        #: that cannot get a lane immediately is shed with 429 rather
+        #: than queued (the fleet coordinator retries with backoff)
+        self.batch_concurrency = batch_concurrency
+        self._batch_lanes = threading.Semaphore(batch_concurrency)
         self.queue = JobQueue(
             handler=handler if handler is not None else self._execute,
             workers=workers,
@@ -186,6 +223,21 @@ class ReproServer:
             "workers": stats["workers"],
         }
 
+    def capabilities_payload(self) -> dict:
+        from repro import __version__
+        from repro.metaopt.fitness_cache import pipeline_fingerprint
+
+        return {
+            "schema": API_SCHEMA,
+            "ok": True,
+            "server": "repro-serve",
+            "version": __version__,
+            "endpoints": list(ENDPOINTS),
+            "batch_concurrency": self.batch_concurrency,
+            "pipeline_fingerprint": pipeline_fingerprint(),
+            "max_body_bytes": MAX_BODY_BYTES,
+        }
+
     def metrics_payload(self) -> dict:
         from repro.machine.sim import codegen_cache_stats
 
@@ -256,37 +308,121 @@ def _make_handler(server: ReproServer):
             })
 
         # -- routing -----------------------------------------------------
+        def _dispatch(self, method: str, path: str) -> None:
+            if path == "/healthz":
+                self._allow(method, "GET")
+                self._send_json(200, server.health_payload())
+            elif path == "/metrics":
+                self._allow(method, "GET")
+                self._send_json(200, server.metrics_payload())
+            elif path == f"{API_PREFIX}/capabilities":
+                self._allow(method, "GET")
+                self._send_json(200, server.capabilities_payload())
+            elif path == f"{API_PREFIX}/evaluate-batch":
+                self._allow(method, "POST")
+                self._evaluate_batch()
+            elif path == f"{API_PREFIX}/evaluate":
+                self._allow(method, "POST")
+                self._submit("evaluate")
+            elif path == f"{API_PREFIX}/compile":
+                self._allow(method, "POST")
+                self._submit("compile")
+            elif path == f"{API_PREFIX}/artifacts":
+                self._allow(method, "GET")
+                if server.registry is None:
+                    raise _ApiError(404, "no artifact store configured")
+                self._send_json(200, {"artifacts": server.registry.list()})
+            elif path.startswith(f"{API_PREFIX}/artifacts/"):
+                self._allow(method, "GET")
+                self._get_artifact(path[len(f"{API_PREFIX}/artifacts/"):])
+            elif (path.startswith(f"{API_PREFIX}/jobs/")
+                    and path.endswith("/cancel")):
+                self._allow(method, "POST")
+                job_id = path[len(f"{API_PREFIX}/jobs/"):-len("/cancel")]
+                self._cancel_job(job_id)
+            elif path.startswith(f"{API_PREFIX}/jobs/"):
+                self._allow(method, "GET")
+                self._get_job(path[len(f"{API_PREFIX}/jobs/"):])
+            else:
+                raise _ApiError(404, f"no route {method} {path}")
+
+        def _allow(self, method: str, allowed: str) -> None:
+            """405 (with ``Allow``) for a known path, wrong method."""
+            if method != allowed:
+                raise _ApiError(
+                    405, f"method {method} not allowed here",
+                    headers={"Allow": allowed})
+
         def _route(self) -> None:
             path = self.path.split("?", 1)[0].rstrip("/")
             method = self.command
             with obs.span("serve:request", method=method, path=path):
-                if method == "GET" and path == "/healthz":
-                    self._send_json(200, server.health_payload())
-                elif method == "GET" and path == "/metrics":
-                    self._send_json(200, server.metrics_payload())
-                elif method == "POST" and path == f"{API_PREFIX}/evaluate":
-                    self._submit("evaluate")
-                elif method == "POST" and path == f"{API_PREFIX}/compile":
-                    self._submit("compile")
-                elif method == "GET" and path == f"{API_PREFIX}/artifacts":
-                    if server.registry is None:
-                        raise _ApiError(404, "no artifact store configured")
-                    self._send_json(200, {
-                        "artifacts": server.registry.list()})
-                elif (method == "GET"
-                        and path.startswith(f"{API_PREFIX}/artifacts/")):
-                    self._get_artifact(
-                        path[len(f"{API_PREFIX}/artifacts/"):])
-                elif (method == "POST"
-                        and path.startswith(f"{API_PREFIX}/jobs/")
-                        and path.endswith("/cancel")):
-                    job_id = path[len(f"{API_PREFIX}/jobs/"):-len("/cancel")]
-                    self._cancel_job(job_id)
-                elif (method == "GET"
-                        and path.startswith(f"{API_PREFIX}/jobs/")):
-                    self._get_job(path[len(f"{API_PREFIX}/jobs/"):])
-                else:
-                    raise _ApiError(404, f"no route {method} {path}")
+                self._dispatch(method, path)
+
+        # -- the fleet protocol ------------------------------------------
+        def _evaluate_batch(self) -> None:
+            """Synchronous batched evaluation, streamed as NDJSON.
+
+            Validation happens *before* the 200 status line goes out,
+            so protocol errors surface as clean 4xx responses; per-item
+            evaluation failures after that are streamed in-band as
+            ``{"ok": false}`` lines.
+            """
+            from repro.serve.jobs import parse_evaluate_batch
+
+            if server._draining.is_set():
+                raise _ApiError(503, "server is draining",
+                                headers={"Retry-After": "5"})
+            params = self._read_body()
+            try:
+                parse_evaluate_batch(params)
+            except ValueError as exc:
+                raise _ApiError(400, str(exc))
+            if not server._batch_lanes.acquire(blocking=False):
+                obs.inc("serve.batch_shed")
+                raise _ApiError(
+                    429,
+                    f"all {server.batch_concurrency} batch lanes busy",
+                    headers={"Retry-After": "1"})
+            try:
+                with obs.span("serve:batch",
+                              items=len(params.get("items", ()))):
+                    self._stream_batch(params)
+            finally:
+                server._batch_lanes.release()
+
+        def _stream_batch(self, params: dict) -> None:
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            count = 0
+            try:
+                try:
+                    for item in run_evaluate_batch(params,
+                                                   server.harness_pool):
+                        self._write_chunk(item)
+                        count += 1
+                except ValueError as exc:
+                    # late validation (e.g. fingerprint mismatch): the
+                    # status line is gone, so report in-band and end
+                    self._write_chunk({"ok": False, "fatal": True,
+                                       "error": str(exc)})
+                self._write_chunk({"done": True, "count": count})
+                self.wfile.write(b"0\r\n\r\n")
+            except (BrokenPipeError, ConnectionResetError):
+                # The coordinator hung up mid-stream (it saw a fatal
+                # record, or died).  Nobody is listening — just drop
+                # the connection without a traceback.
+                self.close_connection = True
+                obs.inc("serve.batch_client_gone")
+                return
+            server.count_request("batch")
+
+        def _write_chunk(self, payload: dict) -> None:
+            line = (json.dumps(payload, sort_keys=True) + "\n").encode()
+            self.wfile.write(b"%x\r\n" % len(line) + line + b"\r\n")
+            self.wfile.flush()
 
         def _get_artifact(self, ref: str) -> None:
             from repro.serve.artifact import ArtifactError
@@ -320,10 +456,13 @@ def _make_handler(server: ReproServer):
             try:
                 self._route()
             except _ApiError as exc:
-                self._send_json(exc.status, {"error": str(exc)},
-                                headers=exc.headers)
+                self._send_json(
+                    exc.status,
+                    {"schema": API_SCHEMA, "ok": False, "error": str(exc)},
+                    headers=exc.headers)
             except Exception as exc:  # noqa: BLE001 — keep serving
                 self._send_json(500, {
+                    "schema": API_SCHEMA, "ok": False,
                     "error": f"{type(exc).__name__}: {exc}"})
 
         def do_GET(self) -> None:  # noqa: N802

@@ -195,30 +195,42 @@ class TestWithoutRunDir:
         assert outcome.specialization.train_speedup >= 1.0 - 1e-9
         assert memory.of_type("generation")
 
-    def test_matches_legacy_specialize_wrapper(self):
-        from repro.metaopt.harness import case_study
-        from repro.metaopt.specialize import specialize
+    def test_matches_manual_specialize_pipeline(self):
+        from repro.metaopt.harness import EvaluationHarness, case_study
+        from repro.metaopt.specialize import (
+            build_specialize_engine,
+            finalize_specialization,
+        )
 
         config = spec_config(generations=2)
         outcome = run_experiment(config)
-        legacy = specialize(case_study("hyperblock"), "codrle4",
-                            config.params)
+        harness = EvaluationHarness(case_study("hyperblock"))
+        engine = build_specialize_engine(harness.case, "codrle4",
+                                         config.params, harness)
+        manual = finalize_specialization(harness, "codrle4", engine.run())
         assert outcome.specialization.best_expression == \
-            legacy.best_expression
+            manual.best_expression
         assert outcome.specialization.train_speedup == \
-            legacy.train_speedup
+            manual.train_speedup
 
-    def test_matches_legacy_generalize_wrapper(self):
-        from repro.metaopt.generalize import generalize
-        from repro.metaopt.harness import case_study
+    def test_matches_manual_generalize_pipeline(self):
+        from repro.metaopt.generalize import (
+            build_generalize_engine,
+            finalize_generalization,
+        )
+        from repro.metaopt.harness import EvaluationHarness, case_study
 
         config = gen_config(generations=2)
         outcome = run_experiment(config)
-        legacy = generalize(case_study("hyperblock"),
-                            config.training_set, config.params,
-                            subset_size=config.subset_size)
+        harness = EvaluationHarness(case_study("hyperblock"))
+        engine = build_generalize_engine(
+            harness.case, tuple(config.training_set), config.params,
+            harness, subset_size=config.subset_size)
+        manual = finalize_generalization(harness.case, harness,
+                                         tuple(config.training_set),
+                                         engine.run())
         assert outcome.generalization.best_expression == \
-            legacy.best_expression
+            manual.best_expression
 
 
 class TestCheckpointFile:

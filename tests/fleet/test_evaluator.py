@@ -1,0 +1,310 @@
+"""FleetEvaluator coordinator logic against scripted fake workers.
+
+The fake worker is a minimal HTTP server whose ``/v1/evaluate-batch``
+behavior is a per-request script — succeed, stream in reverse order,
+shed with 503, fail one item, die mid-request — so retry, work
+stealing, order-independent reduction, worker loss, and the local
+fallback are each exercised deterministically without subprocesses.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.fleet import FleetError, FleetEvaluator, FleetTarget
+from repro.gp.parse import parse
+from repro.metaopt.baselines import BASELINE_TREES
+from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.settings import EvalSettings
+
+BENCHMARK = "codrle4"
+
+
+def fake_value(index: int) -> float:
+    return 1.0 + index * 0.25
+
+
+class FakeWorker:
+    """Scripted stand-in for a ``repro serve`` daemon.
+
+    ``script`` is consumed one entry per batch request; when empty,
+    requests behave as ``"ok"``.  Behaviors: ``ok``, ``reverse``,
+    ``slow-ok``, ``503``, ``400``, ``item-error``, ``fatal``,
+    ``hiccup`` (drop this connection, stay healthy), and ``die``
+    (drop the connection and refuse everything afterwards — a dead
+    process).
+    """
+
+    def __init__(self, script=(), healthy=True):
+        worker = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+            def _json(self, status, payload, headers=()):
+                body = json.dumps(payload).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                for name, value in headers:
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                if not worker.healthy:
+                    raise ConnectionError("scripted health failure")
+                if self.path == "/healthz":
+                    self._json(200, {"status": "ok"})
+                elif self.path == "/v1/capabilities":
+                    self._json(200, {
+                        "schema": 1, "ok": True,
+                        "endpoints": ["POST /v1/evaluate-batch"],
+                    })
+                else:
+                    self._json(404, {"ok": False, "error": "no route"})
+
+            def do_POST(self):
+                if not worker.healthy:
+                    raise ConnectionError("scripted health failure")
+                length = int(self.headers.get("Content-Length") or 0)
+                params = json.loads(self.rfile.read(length))
+                behavior = (worker.script.pop(0)
+                            if worker.script else "ok")
+                worker.batches.append(behavior)
+                if behavior == "hiccup":
+                    raise ConnectionError("scripted hiccup")
+                if behavior == "die":
+                    worker.healthy = False
+                    raise ConnectionError("scripted death")
+                if behavior == "503":
+                    self._json(503, {"ok": False, "error": "draining"},
+                               headers=[("Retry-After", "0")])
+                    return
+                if behavior == "400":
+                    self._json(400, {"ok": False, "error": "bad batch"})
+                    return
+                if behavior == "slow-ok":
+                    time.sleep(0.5)
+                items = params["items"]
+                if behavior == "reverse":
+                    items = list(reversed(items))
+                lines = []
+                for item in items:
+                    if behavior == "item-error":
+                        lines.append({"index": item["index"],
+                                      "ok": False, "error": "boom"})
+                    else:
+                        lines.append({"index": item["index"], "ok": True,
+                                      "value": fake_value(item["index"])})
+                if behavior == "fatal":
+                    lines = [{"ok": False, "fatal": True,
+                              "error": "scripted fatal"}]
+                lines.append({"done": True, "count": len(lines)})
+                body = "".join(json.dumps(line) + "\n"
+                               for line in lines).encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "application/x-ndjson")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self.script = list(script)
+        self.batches: list[str] = []
+        self.healthy = healthy
+        self.httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.httpd.handle_error = lambda *args: None  # scripted deaths
+        self.thread = threading.Thread(target=self.httpd.serve_forever,
+                                       daemon=True)
+        self.thread.start()
+
+    @property
+    def target(self) -> FleetTarget:
+        host, port = self.httpd.server_address[:2]
+        return FleetTarget("remote", f"{host}:{port}")
+
+    def close(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.thread.join(5.0)
+
+
+def make_jobs(count: int):
+    """Distinct constant trees; the coordinator's pending index for
+    job *i* is exactly *i*, so fake values are predictable."""
+    return [(parse(f"{float(i + 1)}"), BENCHMARK) for i in range(count)]
+
+
+def make_fleet(workers, **kwargs):
+    kwargs.setdefault("backoff", 0.01)
+    kwargs.setdefault("max_backoff", 0.05)
+    return FleetEvaluator("hyperblock", [w.target for w in workers],
+                          EvalSettings(), **kwargs)
+
+
+class TestHappyPath:
+    def test_values_come_back_in_job_order(self):
+        worker = FakeWorker()
+        try:
+            with make_fleet([worker], shard_items=2) as fleet:
+                values = fleet.evaluate_batch(make_jobs(6))
+            assert values == [fake_value(i) for i in range(6)]
+        finally:
+            worker.close()
+
+    def test_reversed_streams_reduce_identically(self):
+        workers = [FakeWorker(script=["reverse"] * 8) for _ in range(2)]
+        try:
+            with make_fleet(workers, shard_items=2) as fleet:
+                values = fleet.evaluate_batch(make_jobs(8))
+            assert values == [fake_value(i) for i in range(8)]
+        finally:
+            for worker in workers:
+                worker.close()
+
+    def test_memo_spares_repeat_candidates(self):
+        worker = FakeWorker()
+        try:
+            jobs = make_jobs(4)
+            with make_fleet([worker]) as fleet:
+                first = fleet.evaluate_batch(jobs)
+                dispatched = fleet.shards_dispatched
+                second = fleet.evaluate_batch(jobs)
+            assert first == second
+            assert fleet.shards_dispatched == dispatched
+        finally:
+            worker.close()
+
+    def test_duplicate_jobs_in_one_batch_collapse(self):
+        worker = FakeWorker()
+        try:
+            tree = parse("1.0")
+            with make_fleet([worker]) as fleet:
+                values = fleet.evaluate_batch(
+                    [(tree, BENCHMARK), (tree, BENCHMARK)])
+            assert values[0] == values[1]
+            assert fleet.jobs_dispatched == 1
+        finally:
+            worker.close()
+
+
+class TestFaultTolerance:
+    def test_backpressure_503_is_retried(self):
+        worker = FakeWorker(script=["503", "ok"])
+        try:
+            with make_fleet([worker], shard_items=4) as fleet:
+                values = fleet.evaluate_batch(make_jobs(3))
+            assert values == [fake_value(i) for i in range(3)]
+            assert fleet.shards_retried == 1
+        finally:
+            worker.close()
+
+    def test_item_error_is_retried(self):
+        worker = FakeWorker(script=["item-error", "ok"])
+        try:
+            with make_fleet([worker], shard_items=4) as fleet:
+                values = fleet.evaluate_batch(make_jobs(2))
+            assert values == [fake_value(i) for i in range(2)]
+            assert fleet.shards_retried == 1
+        finally:
+            worker.close()
+
+    def test_transient_death_of_healthy_worker_is_retried(self):
+        worker = FakeWorker(script=["hiccup", "ok"])
+        try:
+            with make_fleet([worker], shard_items=4) as fleet:
+                values = fleet.evaluate_batch(make_jobs(2))
+            assert values == [fake_value(i) for i in range(2)]
+        finally:
+            worker.close()
+
+    def test_permanent_rejection_raises(self):
+        worker = FakeWorker(script=["400"])
+        try:
+            with make_fleet([worker]) as fleet:
+                with pytest.raises(FleetError, match="bad batch"):
+                    fleet.evaluate_batch(make_jobs(2))
+        finally:
+            worker.close()
+
+    def test_retries_exhaust_to_permanent_failure(self):
+        worker = FakeWorker(script=["item-error"] * 10)
+        try:
+            with make_fleet([worker], retries=2) as fleet:
+                with pytest.raises(FleetError, match="exhausted"):
+                    fleet.evaluate_batch(make_jobs(1))
+        finally:
+            worker.close()
+
+    def test_dead_worker_shards_redispatch_to_survivor(self):
+        dead = FakeWorker(script=["die"])
+        alive = FakeWorker()
+        try:
+            with make_fleet([dead, alive], shard_items=1) as fleet:
+                values = fleet.evaluate_batch(make_jobs(6))
+            assert values == [fake_value(i) for i in range(6)]
+            assert fleet.workers_lost == 1
+        finally:
+            dead.close()
+            alive.close()
+
+    def test_whole_fleet_death_falls_back_to_local(self):
+        """All workers dead mid-batch: the coordinator evaluates the
+        leftovers in-process, with real values."""
+        worker = FakeWorker(script=["die"])
+        try:
+            tree = BASELINE_TREES["hyperblock"]()
+            expected = EvaluationHarness(case_study("hyperblock")).speedup(
+                tree, BENCHMARK, "train")
+            with make_fleet([worker]) as fleet:
+                values = fleet.evaluate_batch([(tree, BENCHMARK)])
+            assert values == [expected]
+            assert fleet.workers_lost == 1
+            assert fleet.local_fallback_jobs == 1
+        finally:
+            worker.close()
+
+
+class TestWorkStealing:
+    def test_fast_worker_steals_from_straggler(self):
+        slow = FakeWorker(script=["slow-ok"] * 20)
+        fast = FakeWorker()
+        try:
+            with make_fleet([slow, fast], shard_items=1) as fleet:
+                values = fleet.evaluate_batch(make_jobs(8))
+            assert values == [fake_value(i) for i in range(8)]
+            assert fleet.shards_stolen >= 1
+        finally:
+            slow.close()
+            fast.close()
+
+
+class TestStats:
+    def test_stats_shape(self):
+        worker = FakeWorker()
+        try:
+            with make_fleet([worker]) as fleet:
+                fleet.evaluate_batch(make_jobs(2))
+                stats = fleet.stats()
+            assert stats["workers"] == 1
+            assert stats["jobs_dispatched"] == 2
+            assert stats["batches_dispatched"] == 1
+            assert stats["shards_dispatched"] >= 1
+        finally:
+            worker.close()
+
+    def test_close_is_idempotent(self):
+        worker = FakeWorker()
+        try:
+            fleet = make_fleet([worker])
+            fleet.start()
+            fleet.close()
+            fleet.close()
+        finally:
+            worker.close()

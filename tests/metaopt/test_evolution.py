@@ -3,11 +3,33 @@
 import pytest
 
 from repro.gp.engine import GPParams
-from repro.metaopt.generalize import cross_validate, generalize
+from repro.metaopt.generalize import (
+    build_generalize_engine,
+    cross_validate,
+    finalize_generalization,
+)
 from repro.metaopt.harness import EvaluationHarness, case_study
-from repro.metaopt.specialize import specialize
+from repro.metaopt.specialize import (
+    build_specialize_engine,
+    finalize_specialization,
+)
 
 TINY = GPParams(population_size=10, generations=3, seed=5)
+
+
+def specialize(case, benchmark, params, harness=None, seed_baseline=True):
+    harness = harness or EvaluationHarness(case)
+    engine = build_specialize_engine(case, benchmark, params, harness,
+                                     seed_baseline=seed_baseline)
+    return finalize_specialization(harness, benchmark, engine.run())
+
+
+def generalize(case, training_set, params, harness=None, subset_size=None):
+    harness = harness or EvaluationHarness(case)
+    engine = build_generalize_engine(case, tuple(training_set), params,
+                                     harness, subset_size=subset_size)
+    return finalize_generalization(case, harness, tuple(training_set),
+                                   engine.run())
 
 
 @pytest.fixture(scope="module")

@@ -15,6 +15,7 @@ from repro.metaopt.fitness_cache import (
     pipeline_fingerprint,
 )
 from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.settings import EvalSettings
 
 
 def sample_result(cycles=1234):
@@ -143,13 +144,13 @@ class TestHarnessIntegration:
         case = case_study("hyperblock")
         tree = case.baseline_tree()
         clean = EvaluationHarness(case, fitness_cache=FitnessCache(tmp_path))
-        noisy = EvaluationHarness(case, noise_stddev=0.5,
+        noisy = EvaluationHarness(case, EvalSettings(noise_stddev=0.5),
                                   fitness_cache=FitnessCache(tmp_path))
         clean_cycles = clean.simulate(tree, "codrle4").cycles
         noisy_cycles = noisy.simulate(tree, "codrle4").cycles
         assert noisy.cache_hits == 0
         # and the noisy measurement is reproducible from its own entry
-        noisy_again = EvaluationHarness(case, noise_stddev=0.5,
+        noisy_again = EvaluationHarness(case, EvalSettings(noise_stddev=0.5),
                                         fitness_cache=FitnessCache(tmp_path))
         assert noisy_again.simulate(tree, "codrle4").cycles == noisy_cycles
         assert noisy_again.sim_count == 0

@@ -8,6 +8,7 @@ from repro.machine.descr import (
     REGALLOC_MACHINE,
 )
 from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.settings import EvalSettings
 from repro.metaopt.priority import PriorityFunction
 
 
@@ -115,8 +116,8 @@ class TestHarness:
 class TestNoisyHarness:
     def test_noise_changes_measurements_reproducibly(self):
         case = case_study("prefetch")
-        noisy1 = EvaluationHarness(case, noise_stddev=0.02)
-        noisy2 = EvaluationHarness(case, noise_stddev=0.02)
+        noisy1 = EvaluationHarness(case, EvalSettings(noise_stddev=0.02))
+        noisy2 = EvaluationHarness(case, EvalSettings(noise_stddev=0.02))
         tree = case.baseline_tree()
         first = noisy1.simulate(tree, "178.galgel").cycles
         second = noisy2.simulate(tree, "178.galgel").cycles
@@ -124,7 +125,7 @@ class TestNoisyHarness:
 
     def test_noise_distinct_across_candidates(self):
         case = case_study("prefetch")
-        harness = EvaluationHarness(case, noise_stddev=0.02)
+        harness = EvaluationHarness(case, EvalSettings(noise_stddev=0.02))
         from repro.passes.prefetch import always_prefetch, never_prefetch
 
         a = harness.simulate(never_prefetch, "178.galgel").cycles

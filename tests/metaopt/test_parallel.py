@@ -5,6 +5,7 @@ import pytest
 from repro.gp.engine import GPEngine, GPParams
 from repro.metaopt.harness import EvaluationHarness, case_study
 from repro.metaopt.parallel import ParallelEvaluator
+from repro.metaopt.settings import EvalSettings
 
 
 class TestParallelEvaluator:
@@ -105,13 +106,15 @@ class TestPersistentCacheIntegration:
         case = case_study("hyperblock")
         cache_dir = str(tmp_path / "fitness")
 
-        with ParallelEvaluator("hyperblock", processes=1,
-                               fitness_cache_dir=cache_dir) as cold:
+        with ParallelEvaluator(
+                "hyperblock", processes=1,
+                settings=EvalSettings(fitness_cache_dir=cache_dir)) as cold:
             cold_outcome = _run_engine(cold, case, "cold")
             assert cold._serial_harness.sim_count > 0
 
-        with ParallelEvaluator("hyperblock", processes=1,
-                               fitness_cache_dir=cache_dir) as warm:
+        with ParallelEvaluator(
+                "hyperblock", processes=1,
+                settings=EvalSettings(fitness_cache_dir=cache_dir)) as warm:
             warm_outcome = _run_engine(warm, case, "warm")
             assert warm._serial_harness.sim_count == 0
             assert warm._serial_harness.compile_count == 0
@@ -120,11 +123,13 @@ class TestPersistentCacheIntegration:
     def test_pool_workers_share_cache_with_serial(self, tmp_path):
         case = case_study("hyperblock")
         cache_dir = str(tmp_path / "fitness")
-        with ParallelEvaluator("hyperblock", processes=2,
-                               fitness_cache_dir=cache_dir) as cold:
+        with ParallelEvaluator(
+                "hyperblock", processes=2,
+                settings=EvalSettings(fitness_cache_dir=cache_dir)) as cold:
             cold_outcome = _run_engine(cold, case, "pool")
-        with ParallelEvaluator("hyperblock", processes=1,
-                               fitness_cache_dir=cache_dir) as warm:
+        with ParallelEvaluator(
+                "hyperblock", processes=1,
+                settings=EvalSettings(fitness_cache_dir=cache_dir)) as warm:
             warm_outcome = _run_engine(warm, case, "warm-serial")
             assert warm._serial_harness.sim_count == 0
         assert warm_outcome == cold_outcome

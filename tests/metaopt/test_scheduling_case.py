@@ -14,7 +14,10 @@ from repro.metaopt.scheduling import (
     dag_environments,
     make_schedule_priority,
 )
-from repro.metaopt.specialize import specialize
+from repro.metaopt.specialize import (
+    build_specialize_engine,
+    finalize_specialization,
+)
 from repro.passes.schedule import build_dag
 
 
@@ -118,9 +121,10 @@ class TestCase:
 
     def test_specialization_runs(self):
         harness = EvaluationHarness(case_study("scheduling"))
-        result = specialize(
+        engine = build_specialize_engine(
             harness.case, "mpeg2dec",
             GPParams(population_size=8, generations=2, seed=4),
-            harness=harness,
+            harness,
         )
+        result = finalize_specialization(harness, "mpeg2dec", engine.run())
         assert result.train_speedup >= 1.0 - 1e-9

@@ -1,0 +1,96 @@
+"""EvalSettings: the unified evaluation-settings record and the
+one-release deprecation shim for the old per-flag keyword arguments."""
+
+import dataclasses
+
+import pytest
+
+from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.settings import EvalSettings, settings_from_kwargs
+
+
+class TestEvalSettings:
+    def test_defaults(self):
+        settings = EvalSettings()
+        assert settings.noise_stddev == 0.0
+        assert settings.fitness_cache_dir is None
+        assert settings.verify_outputs is False
+        assert settings.use_snapshots is True
+        assert settings.collect_metrics is False
+
+    def test_frozen_and_hashable(self):
+        settings = EvalSettings(noise_stddev=0.01)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            settings.noise_stddev = 0.5
+        assert settings == EvalSettings(noise_stddev=0.01)
+        assert hash(settings) == hash(EvalSettings(noise_stddev=0.01))
+
+    def test_json_round_trip(self):
+        settings = EvalSettings(noise_stddev=0.02, verify_outputs=True,
+                                fitness_cache_dir="/tmp/cache")
+        wire = settings.to_json_dict()
+        assert wire == {
+            "noise_stddev": 0.02,
+            "fitness_cache_dir": "/tmp/cache",
+            "verify_outputs": True,
+            "use_snapshots": True,
+            "collect_metrics": False,
+        }
+        assert EvalSettings.from_json_dict(wire) == settings
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown EvalSettings"):
+            EvalSettings.from_json_dict({"noise": 0.1})
+
+    def test_path_normalized_for_equality(self, tmp_path):
+        assert (EvalSettings(fitness_cache_dir=tmp_path)
+                == EvalSettings(fitness_cache_dir=str(tmp_path)))
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            EvalSettings(noise_stddev=-0.1)
+
+    def test_replace(self):
+        settings = EvalSettings().replace(use_snapshots=False)
+        assert settings.use_snapshots is False
+        assert settings != EvalSettings()
+
+
+class TestDeprecatedKwargs:
+    def test_plain_settings_pass_through(self):
+        settings = EvalSettings(noise_stddev=0.3)
+        assert settings_from_kwargs(settings, {}, "X") is settings
+
+    def test_no_args_yields_defaults(self):
+        assert settings_from_kwargs(None, {}, "X") == EvalSettings()
+
+    def test_deprecated_kwargs_fold_with_warning(self):
+        with pytest.warns(DeprecationWarning, match="noise_stddev"):
+            settings = settings_from_kwargs(
+                None, {"noise_stddev": 0.5, "verify_outputs": True}, "X")
+        assert settings == EvalSettings(noise_stddev=0.5,
+                                        verify_outputs=True)
+
+    def test_both_forms_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            settings_from_kwargs(EvalSettings(), {"noise_stddev": 0.5},
+                                 "X")
+
+    def test_unknown_kwarg_is_an_error(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            settings_from_kwargs(None, {"typo": 1}, "X")
+
+    def test_harness_still_accepts_old_kwargs(self):
+        case = case_study("hyperblock")
+        with pytest.warns(DeprecationWarning):
+            harness = EvaluationHarness(case, noise_stddev=0.25,
+                                        use_snapshots=False)
+        assert harness.settings == EvalSettings(noise_stddev=0.25,
+                                                use_snapshots=False)
+        assert harness.noise_stddev == 0.25
+        assert harness.use_snapshots is False
+
+    def test_harness_rejects_settings_plus_kwargs(self):
+        case = case_study("hyperblock")
+        with pytest.raises(TypeError, match="not both"):
+            EvaluationHarness(case, EvalSettings(), noise_stddev=0.1)

@@ -13,6 +13,7 @@ from repro.machine import sim as sim_mod
 from repro.machine.descr import DEFAULT_EPIC
 from repro.metaopt.fitness_cache import FitnessCache
 from repro.metaopt.harness import EvaluationHarness, case_study
+from repro.metaopt.settings import EvalSettings
 
 BENCHMARK = "codrle4"
 
@@ -32,7 +33,7 @@ def corrupted_simulator(monkeypatch):
 class TestGuard:
     def test_clean_run_unaffected(self):
         guarded = EvaluationHarness(case_study("hyperblock"),
-                                    verify_outputs=True)
+                                    EvalSettings(verify_outputs=True))
         unguarded = EvaluationHarness(case_study("hyperblock"))
         tree = guarded.case.baseline_tree()
         assert guarded.speedup(tree, BENCHMARK) == \
@@ -41,7 +42,7 @@ class TestGuard:
 
     def test_divergence_zeroes_fitness(self, corrupted_simulator):
         harness = EvaluationHarness(case_study("hyperblock"),
-                                    verify_outputs=True)
+                                    EvalSettings(verify_outputs=True))
         tree = harness.case.baseline_tree()
         assert harness.speedup(tree, BENCHMARK) == 0.0
         assert harness.stats()["divergences"] > 0
@@ -60,7 +61,7 @@ class TestGuard:
     def test_diverged_results_not_persisted(self, corrupted_simulator):
         cache = FitnessCache(None)
         harness = EvaluationHarness(case_study("hyperblock"),
-                                    verify_outputs=True,
+                                    EvalSettings(verify_outputs=True),
                                     fitness_cache=cache)
         harness.speedup(harness.case.baseline_tree(), BENCHMARK)
         assert cache.stores == 0
@@ -68,7 +69,7 @@ class TestGuard:
     def test_clean_results_are_persisted(self):
         cache = FitnessCache(None)
         harness = EvaluationHarness(case_study("hyperblock"),
-                                    verify_outputs=True,
+                                    EvalSettings(verify_outputs=True),
                                     fitness_cache=cache)
         harness.speedup(harness.case.baseline_tree(), BENCHMARK)
         assert cache.stores > 0
@@ -98,7 +99,7 @@ class TestCacheKeying:
         stored = cache.stores
 
         guarded = EvaluationHarness(case_study("hyperblock"),
-                                    verify_outputs=True,
+                                    EvalSettings(verify_outputs=True),
                                     fitness_cache=cache)
         guarded.speedup(tree, BENCHMARK)
         assert guarded.cache_hits == 0  # no cross-pollination

@@ -24,6 +24,7 @@ from repro.gp.generate import TreeGenerator
 from repro.machine.sim import Simulator
 from repro.metaopt.fitness_cache import FitnessCache
 from repro.metaopt.harness import EvaluationHarness, _as_hook, case_study
+from repro.metaopt.settings import EvalSettings
 from repro.passes.pipeline import STAGE_BY_HOOK, compile_backend
 from repro.passes.snapshot import (
     SnapshotCache,
@@ -64,7 +65,7 @@ def _simulate(scheduled, case, benchmark: str) -> tuple:
 @pytest.mark.parametrize("bench_name", BENCHMARKS)
 def test_replay_matches_full_backend(case_name: str, bench_name: str):
     case = case_study(case_name)
-    harness = EvaluationHarness(case, use_snapshots=False)
+    harness = EvaluationHarness(case, EvalSettings(use_snapshots=False))
     prep = harness.prepared(bench_name)
     options = case.options_for(_as_hook(case.baseline_tree()))
     stage = STAGE_BY_HOOK[case.hook]
@@ -84,7 +85,7 @@ def test_replay_matches_full_backend(case_name: str, bench_name: str):
 @pytest.mark.parametrize("case_name", CASES)
 def test_replay_cycles_match(case_name: str):
     case = case_study(case_name)
-    harness = EvaluationHarness(case, use_snapshots=False)
+    harness = EvaluationHarness(case, EvalSettings(use_snapshots=False))
     prep = harness.prepared("codrle4")
     options = case.options_for(_as_hook(case.baseline_tree()))
     stage = STAGE_BY_HOOK[case.hook]
@@ -98,7 +99,7 @@ def test_replay_cycles_match(case_name: str):
 
 def test_both_restore_strategies_are_identical():
     case = case_study("regalloc")
-    harness = EvaluationHarness(case, use_snapshots=False)
+    harness = EvaluationHarness(case, EvalSettings(use_snapshots=False))
     prep = harness.prepared("codrle4")
     options = case.options_for(_as_hook(case.baseline_tree()))
     full_sched, _ = compile_backend(prep, options)
@@ -113,7 +114,7 @@ def test_verify_ir_checkpoints_fire_on_both_paths():
     case = case_study("regalloc")
     options = dataclasses.replace(
         case.options_for(_as_hook(case.baseline_tree())), verify_ir=True)
-    harness = EvaluationHarness(case, use_snapshots=False)
+    harness = EvaluationHarness(case, EvalSettings(use_snapshots=False))
     prep = harness.prepared("codrle4")
     full_sched, _ = compile_backend(prep, options)
     snapshot = build_snapshot(prep, options, "regalloc")
@@ -128,9 +129,9 @@ def test_harness_fitness_and_cache_keys_identical(case_name, tmp_path):
     generator = TreeGenerator(case.pset, random.Random(11))
     trees = [case.baseline_tree()] + generator.ramped_half_and_half(6)
     warm_dir, cold_dir = tmp_path / "snap", tmp_path / "full"
-    forked = EvaluationHarness(case, use_snapshots=True,
+    forked = EvaluationHarness(case, EvalSettings(use_snapshots=True),
                                fitness_cache=FitnessCache(warm_dir))
-    full = EvaluationHarness(case, use_snapshots=False,
+    full = EvaluationHarness(case, EvalSettings(use_snapshots=False),
                              fitness_cache=FitnessCache(cold_dir))
     for tree in trees:
         assert forked.speedup(tree, "codrle4") == \
@@ -175,7 +176,7 @@ def test_warm_path_runs_zero_prefix_stages():
 
 def test_lru_eviction_and_disk_reload(tmp_path):
     case = case_study("regalloc")
-    harness = EvaluationHarness(case, use_snapshots=False)
+    harness = EvaluationHarness(case, EvalSettings(use_snapshots=False))
     options = case.options_for(_as_hook(case.baseline_tree()))
     cache = SnapshotCache(capacity=1, disk_dir=tmp_path)
     prepared = {name: harness.prepared(name)

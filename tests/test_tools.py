@@ -74,7 +74,19 @@ class TestBenchPayloadSchema:
                        "full": dict(mode), "forked": dict(mode)}
                 for name in bench_eval.FORKING_CASES
             },
+            "fleet": {
+                "workers": 4, "best_speedup": 0.9,
+                "cases": {
+                    name: {"benchmark": "codrle4", "pop": 8, "gens": 2,
+                           "serial": dict(mode), "fleet": dict(mode),
+                           "speedup": 0.9, "identical": True,
+                           "stats": {key: 0 for key
+                                     in bench_eval.FLEET_STAT_KEYS}}
+                    for name in bench_eval.FLEET_CASES
+                },
+            },
             "speedup_parallel": 1.5, "speedup_warm": 3.0,
+            "speedup_fleet": 0.9,
             "warm_sim_invocations": 0,
             "determinism_ok": True, "failures": [],
         }
@@ -93,6 +105,35 @@ class TestBenchPayloadSchema:
         payload["forking"]["scheduling"]["identical"] = "yes"
         problems = bench_eval.validate_bench_payload(payload)
         assert any("forking.scheduling.identical" in problem
+                   for problem in problems)
+
+    def test_missing_fleet_section_flagged(self):
+        payload = self.make_payload()
+        del payload["fleet"]
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("fleet must be an object" in problem
+                   for problem in problems)
+
+    def test_missing_fleet_case_flagged(self):
+        payload = self.make_payload()
+        del payload["fleet"]["cases"]["regalloc"]
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("fleet.cases.regalloc" in problem
+                   for problem in problems)
+
+    def test_fleet_identity_must_be_boolean(self):
+        payload = self.make_payload()
+        payload["fleet"]["cases"]["scheduling"]["identical"] = "yes"
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("fleet.cases.scheduling.identical" in problem
+                   for problem in problems)
+
+    def test_fleet_stats_counters_must_be_integers(self):
+        payload = self.make_payload()
+        payload["fleet"]["cases"]["regalloc"]["stats"][
+            "shards_stolen"] = "many"
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("fleet.cases.regalloc.stats.shards_stolen" in problem
                    for problem in problems)
 
     def test_wrong_schema_flagged(self):

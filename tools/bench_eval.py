@@ -9,7 +9,14 @@ evaluations per second:
 2. **parallel** — ``ParallelEvaluator`` with ``--processes`` workers,
    exercising generation batching + ``imap_unordered`` fan-out;
 3. **warm** — a re-run against a persistent fitness cache populated by
-   a prior run; asserts **zero** simulator invocations.
+   a prior run; asserts **zero** simulator invocations;
+A **fleet** section then reruns the regalloc and scheduling campaigns
+serially and sharded over ``--fleet-workers`` spawned ``repro serve``
+processes via ``FleetEvaluator`` (docs/FLEET.md), exercising shard
+dispatch + the streaming batch API end to end.  Bit-identity is
+gated; the fleet *speedup* is recorded, never gated — sharding
+compile-bound work cannot win without at least as many cores as
+workers.
 
 Each mode runs ``--repeats`` times (every repeat a fresh engine and
 fresh caches); the summary reports the **median** rate with the
@@ -58,16 +65,24 @@ import sys
 import tempfile
 import time
 
+from repro.fleet import FleetEvaluator
 from repro.gp.engine import GPEngine, GPParams
 from repro.gp.parse import unparse
 from repro.metaopt.harness import EvaluationHarness, case_study
 from repro.metaopt.parallel import ParallelEvaluator
+from repro.metaopt.settings import EvalSettings
 
 #: Version stamp of the BENCH_eval.json payload.
-BENCH_SCHEMA = 2
+BENCH_SCHEMA = 3
 
 #: Mode keys of the ``modes`` object, in report order.
 MODES = ("serial", "parallel", "warm")
+
+#: Fleet counters copied into the payload's ``fleet.stats``.
+FLEET_STAT_KEYS = ("workers", "workers_lost", "jobs_dispatched",
+                   "batches_dispatched", "shards_dispatched",
+                   "shards_stolen", "shards_retried",
+                   "local_fallback_jobs")
 
 #: Cases of the forked-vs-full section — the two campaigns the
 #: compilation-forking acceptance bar (docs/FORKING.md) is stated on.
@@ -86,6 +101,10 @@ FORKING_BENCHMARKS = {"regalloc": "unepic", "scheduling": "023.eqntott"}
 #: understate both effects.  ``--quick`` drops to the smoke workload.
 FORKING_POP = 32
 FORKING_GENS = 6
+
+#: Cases of the serial-vs-fleet section; benchmarks per
+#: :data:`FORKING_BENCHMARKS` (``--quick`` swaps in codrle4).
+FLEET_CASES = ("regalloc", "scheduling")
 
 
 def run_engine(case, evaluator, args, benchmark=None):
@@ -153,7 +172,8 @@ def run_forking_section(args, failures: list) -> dict:
         for label, snapshots in (("full", False), ("forked", True)):
             results, times = [], []
             for _ in range(args.repeats):
-                harness = EvaluationHarness(case, use_snapshots=snapshots)
+                harness = EvaluationHarness(
+                    case, EvalSettings(use_snapshots=snapshots))
                 result, elapsed = run_engine(
                     case, harness.evaluator("train"), fork_args,
                     benchmark=bench)
@@ -193,6 +213,74 @@ def run_forking_section(args, failures: list) -> dict:
     return section
 
 
+def run_fleet_section(args, failures: list) -> dict:
+    """Serial-vs-fleet campaigns per :data:`FLEET_CASES` — the same
+    engine run on the in-process harness and sharded over
+    ``--fleet-workers`` spawned ``repro serve`` processes
+    (docs/FLEET.md).  Bit-identity is gated; the end-to-end campaign
+    speedup (``serial median / fleet median``) is recorded, never
+    gated — it needs >= as many cores as workers to exceed 1.0."""
+    spec = f"local:{args.fleet_workers}"
+    section = {"workers": args.fleet_workers, "cases": {}}
+    for case_name in FLEET_CASES:
+        bench = "codrle4" if args.quick else FORKING_BENCHMARKS[case_name]
+        case = case_study(case_name)
+        rows, campaign_results, stats = {}, {}, {}
+
+        results, times = [], []
+        for _ in range(args.repeats):
+            result, elapsed = run_engine(
+                case, EvaluationHarness(case).evaluator("train"), args,
+                benchmark=bench)
+            results.append(result)
+            times.append(elapsed)
+        rows["serial"] = mode_summary(results, times)
+        campaign_results["serial"] = results
+
+        results, times = [], []
+        for _ in range(args.repeats):
+            with FleetEvaluator(case_name, spec,
+                                EvalSettings()) as evaluator:
+                result, elapsed = run_engine(case, evaluator, args,
+                                             benchmark=bench)
+                stats = evaluator.stats()
+            results.append(result)
+            times.append(elapsed)
+        rows["fleet"] = mode_summary(results, times)
+        campaign_results["fleet"] = results
+
+        reference = campaign_results["serial"][0]
+        identical = all(
+            result.fitness_curve() == reference.fitness_curve()
+            and unparse(result.best.tree) == unparse(reference.best.tree)
+            for side in ("serial", "fleet")
+            for result in campaign_results[side])
+        speedup = (rows["serial"]["median_seconds"]
+                   / rows["fleet"]["median_seconds"]
+                   if rows["fleet"]["median_seconds"] else 0.0)
+        if not identical:
+            failures.append(f"fleet/{case_name}: sharded campaign "
+                            "diverged from serial")
+        print(f"fleet   {case_name:<10s} on {bench}: "
+              f"serial {rows['serial']['median_seconds']:7.2f}s -> "
+              f"{spec} {rows['fleet']['median_seconds']:7.2f}s  "
+              f"({speedup:5.2f}x, "
+              f"{'identical' if identical else 'DIVERGED'})")
+        section["cases"][case_name] = {
+            "benchmark": bench,
+            "pop": args.pop,
+            "gens": args.gens,
+            "serial": rows["serial"],
+            "fleet": rows["fleet"],
+            "speedup": speedup,
+            "identical": identical,
+            "stats": {key: stats.get(key, 0) for key in FLEET_STAT_KEYS},
+        }
+    section["best_speedup"] = max(
+        entry["speedup"] for entry in section["cases"].values())
+    return section
+
+
 def validate_bench_payload(payload: dict) -> list[str]:
     """Schema check for BENCH_eval.json; returns a list of problems
     (empty when valid).  Used by the CI bench-smoke job and the tests."""
@@ -229,9 +317,50 @@ def validate_bench_payload(payload: dict) -> list[str]:
                                 "non-empty list")
         if not isinstance(entry.get("evaluations"), int):
             problems.append(f"modes.{mode}.evaluations must be an integer")
-    for key in ("speedup_parallel", "speedup_warm"):
+    for key in ("speedup_parallel", "speedup_warm", "speedup_fleet"):
         if not isinstance(payload.get(key), (int, float)):
             problems.append(f"{key} must be a number")
+    fleet = payload.get("fleet")
+    if not isinstance(fleet, dict):
+        problems.append("fleet must be an object")
+        return problems
+    if not isinstance(fleet.get("workers"), int):
+        problems.append("fleet.workers must be an integer")
+    if not isinstance(fleet.get("best_speedup"), (int, float)):
+        problems.append("fleet.best_speedup must be a number")
+    cases = fleet.get("cases")
+    if not isinstance(cases, dict):
+        problems.append("fleet.cases must be an object")
+        return problems
+    for case_name in FLEET_CASES:
+        entry = cases.get(case_name)
+        if not isinstance(entry, dict):
+            problems.append(f"fleet.cases.{case_name} missing")
+            continue
+        if not isinstance(entry.get("benchmark"), str):
+            problems.append(f"fleet.cases.{case_name}.benchmark "
+                            "must be a string")
+        if not isinstance(entry.get("speedup"), (int, float)):
+            problems.append(f"fleet.cases.{case_name}.speedup "
+                            "must be a number")
+        if not isinstance(entry.get("identical"), bool):
+            problems.append(f"fleet.cases.{case_name}.identical "
+                            "must be a boolean")
+        for side in ("serial", "fleet"):
+            row = entry.get(side)
+            if not isinstance(row, dict) or not isinstance(
+                    row.get("median_seconds"), (int, float)):
+                problems.append(f"fleet.cases.{case_name}.{side}."
+                                "median_seconds must be a number")
+        stats = entry.get("stats")
+        if not isinstance(stats, dict):
+            problems.append(f"fleet.cases.{case_name}.stats "
+                            "must be an object")
+            continue
+        for key in FLEET_STAT_KEYS:
+            if not isinstance(stats.get(key), int):
+                problems.append(f"fleet.cases.{case_name}.stats.{key} "
+                                "must be an integer")
     forking = payload.get("forking")
     if not isinstance(forking, dict):
         problems.append("forking must be an object")
@@ -265,6 +394,9 @@ def main(argv=None) -> int:
     parser.add_argument("--gens", type=int, default=4)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--processes", type=int, default=4)
+    parser.add_argument("--fleet-workers", type=int, default=4,
+                        help="local serve workers of the fleet section "
+                             "(default 4; --quick drops to 2)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="repeats per mode; the summary reports the "
                              "median rate with IQR (default 3)")
@@ -287,6 +419,7 @@ def main(argv=None) -> int:
         args.gens = 2
         args.processes = 2
         args.repeats = 2
+        args.fleet_workers = 2
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
@@ -324,12 +457,16 @@ def main(argv=None) -> int:
     cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-fitness-")
     warm_results, warm_times, warm_sims = [], [], 0
     try:
-        with ParallelEvaluator(args.case, processes=args.processes,
-                               fitness_cache_dir=cache_dir) as evaluator:
+        with ParallelEvaluator(
+                args.case, processes=args.processes,
+                settings=EvalSettings(fitness_cache_dir=cache_dir),
+        ) as evaluator:
             run_engine(case, evaluator, args)  # populate the cache
         for _ in range(args.repeats):
-            with ParallelEvaluator(args.case, processes=1,
-                                   fitness_cache_dir=cache_dir) as evaluator:
+            with ParallelEvaluator(
+                    args.case, processes=1,
+                    settings=EvalSettings(fitness_cache_dir=cache_dir),
+            ) as evaluator:
                 result, elapsed = run_engine(case, evaluator, args)
                 warm_sims += evaluator._serial_harness.sim_count
             warm_results.append(result)
@@ -351,6 +488,10 @@ def main(argv=None) -> int:
 
     failures = []
     forking = run_forking_section(args, failures)
+    fleet = run_fleet_section(args, failures)
+    speedup_fleet = fleet["best_speedup"]
+    print(f"speedup fleet/serial    : {speedup_fleet:5.2f}x (best case, "
+          f"{args.fleet_workers} workers — recorded, not gated)")
     reference = serial_results[0]
     for label, results in (("serial", serial_results[1:]),
                            ("parallel", parallel_results),
@@ -369,8 +510,8 @@ def main(argv=None) -> int:
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
-        print("determinism: serial, parallel and warm-cache runs are "
-              "bit-identical")
+        print("determinism: serial, parallel, warm-cache and fleet runs "
+              "are bit-identical")
 
     if args.trace:
         from repro import obs
@@ -395,8 +536,10 @@ def main(argv=None) -> int:
             "processes": args.processes,
             "repeats": args.repeats,
             "modes": {"serial": serial, "parallel": parallel, "warm": warm},
+            "fleet": fleet,
             "forking": forking,
             "speedup_parallel": speedup_parallel,
+            "speedup_fleet": speedup_fleet,
             "speedup_warm": speedup_warm,
             "warm_sim_invocations": warm_sims,
             "determinism_ok": not failures,
