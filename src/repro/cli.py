@@ -36,6 +36,10 @@ Subcommands::
         suite with dynamic subset selection, optionally
         cross-validating on an unseen test suite.
 
+    python -m repro cache stats|export [--fitness-cache DIR]
+        Inspect the persistent fitness cache: corpus summary or a
+        record-by-record export (the surrogate trainer's data source).
+
     python -m repro artifacts list|show|verify [ID] [--store DIR]
         Inspect the heuristic artifact store (content-addressed
         evolved priority functions written by ``--publish``).
@@ -245,6 +249,23 @@ def _print_fleet_table(snapshot: dict) -> None:
         print(f"{'straggler spread (s)':<24s}{straggler:>12.3f}")
 
 
+def _print_surrogate_table(snapshot: dict) -> None:
+    """Learned-surrogate health (docs/SURROGATE.md): sims saved, rank
+    correlation, refit/promotion counts.  Silent when no surrogate ran
+    inside this process."""
+    counters = snapshot["counters"]
+    if not any(name.startswith("surrogate.") for name in counters):
+        return
+    _print_counter_table(snapshot, "surrogate.", "surrogate counter")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        if name.startswith("surrogate."):
+            print(f"{name[len('surrogate.'):]:<24s}{value:>12.4f}")
+    corr = snapshot["histograms"].get("surrogate.rank_corr")
+    if corr is not None and corr["count"]:
+        print(f"{'rank_corr_p50':<24s}"
+              f"{_histogram_p50(corr):>12.2f}")
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.metaopt.harness import EvaluationHarness, case_study
@@ -265,6 +286,27 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 fleet.evaluate_batch(
                     [(harness.case.baseline_tree(), args.benchmark)],
                     dataset=args.dataset)
+        if getattr(args, "surrogate", False):
+            # Train a surrogate from the persistent cache and score
+            # the baseline with it, so the surrogate table below has
+            # something to show.
+            from repro.surrogate import (
+                FeatureExtractor,
+                train_from_cache,
+            )
+
+            cache = _resolve_fitness_cache(args)
+            if cache is None:
+                raise SystemExit(
+                    "repro profile --surrogate needs a fitness cache "
+                    "(--fitness-cache DIR or $REPRO_FITNESS_CACHE)")
+            model, report = train_from_cache(cache, args.case)
+            if model is not None:
+                extractor = FeatureExtractor(harness.case.pset)
+                prediction = model.predict(
+                    extractor.vector(harness.case.baseline_tree()),
+                    args.benchmark)
+                obs.set_gauge("surrogate.baseline_prediction", prediction)
     finally:
         obs.disable_metrics()
         if tracer is not None:
@@ -293,6 +335,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print()
     _print_snapshot_table(snapshot)
     _print_fleet_table(snapshot)
+    _print_surrogate_table(snapshot)
     print()
     _print_sim_result(result)
     if tracer is not None:
@@ -500,6 +543,21 @@ def _add_fitness_cache_flags(parser: argparse.ArgumentParser) -> None:
              "$REPRO_FITNESS_CACHE is set")
 
 
+def _add_surrogate_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--surrogate", action="store_true",
+        help="learned surrogate fitness (docs/SURROGATE.md): train a "
+             "model from the persistent fitness cache, rank each "
+             "generation, and fully simulate only the top-K plus an "
+             "exploration sample; the champion is always "
+             "simulator-verified.  Off by default — the seed path is "
+             "untouched without it")
+    parser.add_argument(
+        "--surrogate-top-k", type=int, default=8, metavar="K",
+        help="candidates per generation that always get exact "
+             "simulation under --surrogate (default 8)")
+
+
 def _add_snapshot_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-snapshot", action="store_true",
@@ -600,6 +658,8 @@ def _run_campaign(args: argparse.Namespace, config) -> int:
     trace_path = getattr(args, "trace", None)
     fleet = getattr(args, "fleet", None)
     publish_dir = _resolve_publish_dir(args)
+    surrogate = bool(getattr(args, "surrogate", False))
+    surrogate_top_k = getattr(args, "surrogate_top_k", 8)
     if args.resume:
         if args.run_dir is None:
             raise SystemExit("--resume requires --run-dir (the run "
@@ -607,13 +667,15 @@ def _run_campaign(args: argparse.Namespace, config) -> int:
         runner = ExperimentRunner.from_run_dir(
             args.run_dir, sinks=sinks, stop_after_generation=stop_after,
             collect_metrics=collect_metrics, publish_dir=publish_dir,
-            use_snapshots=use_snapshots, fleet=fleet)
+            use_snapshots=use_snapshots, fleet=fleet,
+            surrogate=surrogate, surrogate_top_k=surrogate_top_k)
     else:
         runner = ExperimentRunner(
             config, run_dir=args.run_dir, sinks=sinks,
             stop_after_generation=stop_after,
             collect_metrics=collect_metrics, publish_dir=publish_dir,
-            use_snapshots=use_snapshots, fleet=fleet)
+            use_snapshots=use_snapshots, fleet=fleet,
+            surrogate=surrogate, surrogate_top_k=surrogate_top_k)
     tracer = obs.enable_tracing() if trace_path else None
     try:
         outcome = runner.run(resume=args.resume)
@@ -809,6 +871,94 @@ def cmd_artifacts(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect the persistent fitness cache: ``stats`` summarizes the
+    on-disk corpus, ``export`` streams the decodable records (the
+    surrogate trainer's data source, docs/SURROGATE.md)."""
+    from repro.metaopt.fitness_cache import FitnessCache, cache_from_env
+
+    cache = cache_from_env(
+        explicit_dir=getattr(args, "fitness_cache", None),
+        disabled=getattr(args, "no_fitness_cache", False),
+    )
+    if cache is None or cache.root is None:
+        raise SystemExit(
+            "repro cache: no cache directory — pass --fitness-cache DIR "
+            "or set $REPRO_FITNESS_CACHE")
+    assert isinstance(cache, FitnessCache)
+
+    if args.action == "stats":
+        total = with_meta = 0
+        cycles = 0
+        by_case: dict[str, int] = {}
+        by_benchmark: dict[str, int] = {}
+        for record in cache.scan():
+            total += 1
+            cycles += record.result.cycles
+            if record.meta is not None:
+                with_meta += 1
+                case = str(record.meta.get("case", "?"))
+                bench = str(record.meta.get("benchmark", "?"))
+                by_case[case] = by_case.get(case, 0) + 1
+                by_benchmark[bench] = by_benchmark.get(bench, 0) + 1
+        if args.json:
+            print(json.dumps({
+                "schema": 1,
+                "root": str(cache.root),
+                "entries": total,
+                "with_meta": with_meta,
+                "legacy": total - with_meta,
+                "total_cycles": cycles,
+                "by_case": by_case,
+                "by_benchmark": by_benchmark,
+            }, indent=2, sort_keys=True))
+            return 0
+        print(f"fitness cache: {cache.root}")
+        print(f"  entries     : {total}")
+        print(f"  with meta   : {with_meta}")
+        print(f"  legacy      : {total - with_meta}")
+        print(f"  total cycles: {cycles}")
+        for title, table in (("case", by_case), ("benchmark", by_benchmark)):
+            if table:
+                print(f"  by {title}:")
+                for name, count in sorted(table.items()):
+                    print(f"    {name:<20s}{count:>8d}")
+        return 0
+
+    # export
+    records = []
+    for record in cache.scan():
+        meta = record.meta
+        if meta is None:
+            continue  # legacy entries have no expression to export
+        if args.case and meta.get("case") != args.case:
+            continue
+        if args.benchmark and meta.get("benchmark") != args.benchmark:
+            continue
+        row = {"key": record.key, "cycles": record.result.cycles}
+        row.update(meta)
+        records.append(row)
+        if args.limit is not None and len(records) >= args.limit:
+            break
+    if args.json:
+        print(json.dumps({"schema": 1, "root": str(cache.root),
+                          "records": records},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"{'case':<12s}{'benchmark':<16s}{'dataset':<8s}"
+          f"{'cycles':>10s}  expression")
+    for row in records:
+        expr = str(row.get("expression", "?"))
+        if len(expr) > 48:
+            expr = expr[:45] + "..."
+        print(f"{str(row.get('case', '?')):<12s}"
+              f"{str(row.get('benchmark', '?')):<16s}"
+              f"{str(row.get('dataset', '?')):<8s}"
+              f"{row['cycles']:>10d}  {expr}")
+    print(f"{len(records)} record(s)")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.registry import registry_from_env
     from repro.serve.server import ReproServer
@@ -960,6 +1110,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("hyperblock", "regalloc", "prefetch"))
     profile_parser.add_argument("--dataset", default="train",
                                 choices=("train", "novel"))
+    profile_parser.add_argument(
+        "--surrogate", action="store_true",
+        help="also train a surrogate model from the persistent fitness "
+             "cache and show the surrogate table (needs "
+             "--fitness-cache or $REPRO_FITNESS_CACHE)")
+    _add_fitness_cache_flags(profile_parser)
     _add_fleet_flag(profile_parser)
     profile_parser.add_argument(
         "--trace", metavar="FILE",
@@ -985,6 +1141,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(1 = serial, the seed-identical reference path)")
     _add_fleet_flag(evolve_parser)
     _add_verify_flag(evolve_parser)
+    _add_surrogate_flags(evolve_parser)
     _add_fitness_cache_flags(evolve_parser)
     _add_snapshot_flag(evolve_parser)
     _add_campaign_flags(evolve_parser)
@@ -1013,6 +1170,7 @@ def build_parser() -> argparse.ArgumentParser:
     general_parser.add_argument("--processes", type=int, default=1)
     _add_fleet_flag(general_parser)
     _add_verify_flag(general_parser)
+    _add_surrogate_flags(general_parser)
     _add_fitness_cache_flags(general_parser)
     _add_snapshot_flag(general_parser)
     _add_campaign_flags(general_parser)
@@ -1032,6 +1190,21 @@ def build_parser() -> argparse.ArgumentParser:
              "$REPRO_ARTIFACT_STORE or ./artifacts)")
     artifacts_parser.add_argument("--json", action="store_true")
     artifacts_parser.set_defaults(func=cmd_artifacts)
+
+    cache_parser = commands.add_parser(
+        "cache", help="inspect the persistent fitness cache "
+                      "(stats summary or record export)")
+    cache_parser.add_argument("action", choices=("stats", "export"))
+    cache_parser.add_argument(
+        "--case", help="export: only records from this case study")
+    cache_parser.add_argument(
+        "--benchmark", help="export: only records for this benchmark")
+    cache_parser.add_argument(
+        "--limit", type=int, metavar="N",
+        help="export: stop after N records")
+    cache_parser.add_argument("--json", action="store_true")
+    _add_fitness_cache_flags(cache_parser)
+    cache_parser.set_defaults(func=cmd_cache)
 
     serve_parser = commands.add_parser(
         "serve", help="run the compile/evaluate HTTP daemon "

@@ -36,10 +36,22 @@ field of the ``run_started`` event; the event types are:
     ``--publish``; see ``docs/SERVING.md``).  Emitted just before
     ``run_finished``.  Like ``metrics``, a deployment side effect:
     never part of ``result.json``.
+``surrogate`` (schema 4)
+    ``{event, generation, sims_saved, rank_corr, refits,
+    promotions}`` — per-generation learned-surrogate telemetry
+    (docs/SURROGATE.md), emitted right after ``generation`` when the
+    runner both runs with a surrogate and collects metrics.
+    ``sims_saved`` counts jobs scored from the model instead of the
+    simulator this generation, ``rank_corr`` is the latest Spearman
+    rank correlation between predictions and exact values (``null``
+    until enough exact trees accumulate in a batch), ``refits`` and
+    ``promotions`` are this generation's drift-triggered refit and
+    champion-promotion counts.  Purely observational — never part of
+    ``result.json``, so resumed runs stay byte-identical.
 
-Only ``wall_s``, ``counters``, and ``metrics`` are timing-dependent;
-everything else is deterministic for a given config, which is what the
-golden-schema tests pin down.
+Only ``wall_s``, ``counters``, ``metrics``, and ``surrogate`` are
+timing- or switch-dependent; everything else is deterministic for a
+given config, which is what the golden-schema tests pin down.
 """
 
 from __future__ import annotations
@@ -50,16 +62,18 @@ from typing import IO
 
 #: Version stamp of the event schema, carried by ``run_started``.
 #: Version 2 added the optional per-generation ``metrics`` event;
-#: version 3 the optional ``artifact_published`` event.  Every earlier
-#: event is unchanged, so old consumers can read new streams by
-#: ignoring unknown event types.
-SCHEMA_VERSION = 3
+#: version 3 the optional ``artifact_published`` event; version 4 the
+#: optional per-generation ``surrogate`` event.  Every earlier event is
+#: unchanged, so old consumers can read new streams by ignoring unknown
+#: event types.
+SCHEMA_VERSION = 4
 
 #: Every event type the runner can emit.
 EVENT_TYPES = (
     "run_started",
     "generation",
     "metrics",
+    "surrogate",
     "checkpoint_saved",
     "run_interrupted",
     "artifact_published",

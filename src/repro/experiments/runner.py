@@ -45,6 +45,7 @@ EVENTS_FILENAME = "events.jsonl"
 CHECKPOINT_FILENAME = "checkpoint.pkl"
 RESULT_FILENAME = "result.json"
 POPULATIONS_DIRNAME = "populations"
+SURROGATE_FILENAME = "surrogate.json"
 
 
 @dataclass
@@ -85,6 +86,8 @@ class ExperimentRunner:
         publish_dir=None,
         use_snapshots: bool = True,
         fleet: str | None = None,
+        surrogate: bool = False,
+        surrogate_top_k: int = 8,
     ) -> None:
         self.config = config
         self.run_dir = Path(run_dir) if run_dir is not None else None
@@ -117,6 +120,19 @@ class ExperimentRunner:
         #: *what* it computes, and a resume may use a different fleet
         #: (or none) without perturbing result.json.
         self.fleet = fleet
+        #: learned surrogate fitness (docs/SURROGATE.md): prescreen
+        #: each generation with a model trained from the persistent
+        #: fitness cache and simulate only the top of the ranking.
+        #: Runner-level like ``fleet`` — never in config.json — but
+        #: unlike the other switches it changes the search trajectory
+        #: (tail fitnesses are predictions), so a resumed run must use
+        #: the same flag as the original; the surrogate's own state
+        #: rides ``surrogate.json`` beside the checkpoint to keep
+        #: kill+resume byte-identical.
+        self.surrogate = surrogate
+        self.surrogate_top_k = surrogate_top_k
+        #: the live SurrogateEvaluator of the current run (telemetry)
+        self._surrogate_evaluator = None
 
     @classmethod
     def from_run_dir(cls, run_dir, sinks: tuple[EventSink, ...] = (),
@@ -125,6 +141,8 @@ class ExperimentRunner:
                      publish_dir=None,
                      use_snapshots: bool = True,
                      fleet: str | None = None,
+                     surrogate: bool = False,
+                     surrogate_top_k: int = 8,
                      ) -> "ExperimentRunner":
         """Reconstruct a runner from a run directory's ``config.json``
         (the entry point of ``--resume``)."""
@@ -140,7 +158,9 @@ class ExperimentRunner:
                    collect_metrics=collect_metrics,
                    publish_dir=publish_dir,
                    use_snapshots=use_snapshots,
-                   fleet=fleet)
+                   fleet=fleet,
+                   surrogate=surrogate,
+                   surrogate_top_k=surrogate_top_k)
 
     # -- assembly --------------------------------------------------------
     def _settings(self):
@@ -160,6 +180,39 @@ class ExperimentRunner:
             return self._harness
         return EvaluationHarness(case_study(self.config.case),
                                  self._settings())
+
+    def _build_surrogate(self, harness, inner, skip_train: bool):
+        """Wrap ``inner`` (or the serial harness evaluator) in a
+        :class:`~repro.surrogate.SurrogateEvaluator`.  The initial
+        model trains from the harness's persistent fitness cache;
+        ``skip_train`` (resume with a saved ``surrogate.json``) leaves
+        the model to the state restore instead."""
+        from repro.surrogate import SurrogateEvaluator, train_from_cache
+
+        if inner is None:
+            inner = harness.evaluator("train")
+        model = None
+        if not skip_train and harness.fitness_cache is not None:
+            model, _report = train_from_cache(
+                harness.fitness_cache, self.config.case,
+                seed=self.config.params.seed)
+        surrogate = SurrogateEvaluator(
+            inner, self.config.case, model,
+            top_k=self.surrogate_top_k,
+            seed=self.config.params.seed)
+        self._surrogate_evaluator = surrogate
+        return surrogate
+
+    def _surrogate_path(self):
+        return self.run_dir / SURROGATE_FILENAME
+
+    def _save_surrogate_state(self) -> None:
+        path = self._surrogate_path()
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(
+            self._surrogate_evaluator.state_dict(),
+            indent=2, sort_keys=True) + "\n")
+        tmp.replace(path)
 
     def _build_engine(self, harness, evaluator):
         config = self.config
@@ -386,6 +439,13 @@ class ExperimentRunner:
                 fleet=self.fleet,
             )
             evaluator_context = evaluator
+        self._surrogate_evaluator = None
+        if self.surrogate:
+            saved_state = (self.run_dir is not None and resume
+                           and self._surrogate_path().exists())
+            evaluator = self._build_surrogate(harness, evaluator,
+                                              skip_train=saved_state)
+            evaluator_context = evaluator
 
         engine = self._build_engine(harness, evaluator)
         if resume:
@@ -395,6 +455,9 @@ class ExperimentRunner:
                     "checkpoint was written by a different configuration "
                     f"than {self.run_dir / CONFIG_FILENAME} describes")
             engine.restore_state(snapshot["engine"])
+            if self._surrogate_evaluator is not None and saved_state:
+                self._surrogate_evaluator.restore_state(
+                    json.loads(self._surrogate_path().read_text()))
 
         if self.run_dir is not None:
             engine.on_generation = lambda stats: self._snapshot_population(
@@ -430,6 +493,8 @@ class ExperimentRunner:
                         save_checkpoint(checkpoint_path,
                                         config.to_json_dict(),
                                         engine.state_dict())
+                        if self._surrogate_evaluator is not None:
+                            self._save_surrogate_state()
                         checkpointed = True
                     else:
                         checkpointed = False
@@ -462,6 +527,25 @@ class ExperimentRunner:
                             "generation": stats.generation,
                             "metrics": diff_snapshots(metrics_before,
                                                       registry.snapshot()),
+                        })
+                    if (self._surrogate_evaluator is not None
+                            and registry is not None):
+                        # telemetry-only, like ``metrics``: per-
+                        # generation deltas of the surrogate counters
+                        surrogate = self._surrogate_evaluator
+                        sink.emit({
+                            "event": "surrogate",
+                            "generation": stats.generation,
+                            "sims_saved":
+                                after.get("surrogate_sims_saved", 0)
+                                - before.get("surrogate_sims_saved", 0),
+                            "rank_corr": surrogate.last_rank_corr,
+                            "refits":
+                                after.get("surrogate_refits", 0)
+                                - before.get("surrogate_refits", 0),
+                            "promotions":
+                                after.get("surrogate_promotions", 0)
+                                - before.get("surrogate_promotions", 0),
                         })
                     if checkpointed:
                         sink.emit({
@@ -550,6 +634,8 @@ def run_experiment(
     collect_metrics: bool = False,
     publish_dir=None,
     use_snapshots: bool = True,
+    surrogate: bool = False,
+    surrogate_top_k: int = 8,
 ) -> ExperimentResult:
     """One-call form of :class:`ExperimentRunner` — the unified
     experiment API the CLI and new Python code share."""
@@ -559,5 +645,7 @@ def run_experiment(
         collect_metrics=collect_metrics,
         publish_dir=publish_dir,
         use_snapshots=use_snapshots,
+        surrogate=surrogate,
+        surrogate_top_k=surrogate_top_k,
     )
     return runner.run(resume=resume)

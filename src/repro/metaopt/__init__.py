@@ -15,7 +15,8 @@ from repro.metaopt.baselines import (
     impact_hyperblock_tree,
     orc_prefetch_tree,
 )
-from repro.metaopt.features import (
+from repro.metaopt.fitness_cache import CacheRecord, FitnessCache
+from repro.metaopt.psets import (
     HYPERBLOCK_PSET,
     PREFETCH_PSET,
     PSETS,
@@ -53,7 +54,9 @@ __all__ = [
     "BASELINE_TREES",
     "BenchmarkScore",
     "CHOW_HENNESSY_TEXT",
+    "CacheRecord",
     "CaseStudy",
+    "FitnessCache",
     "CrossValidationResult",
     "EvalSettings",
     "EvaluationHarness",

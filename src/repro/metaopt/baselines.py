@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.gp.nodes import Node
 from repro.gp.parse import parse
-from repro.metaopt.features import (
+from repro.metaopt.psets import (
     HYPERBLOCK_PSET,
     PREFETCH_PSET,
     REGALLOC_PSET,

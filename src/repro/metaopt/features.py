@@ -1,59 +1,29 @@
-"""Primitive sets for the three case studies.
+"""Deprecated alias for :mod:`repro.metaopt.psets`.
 
-These define what the compiler writer registers with the GP system:
-the feature vocabulary of each hook (Table 4 for hyperblocks, the
-Equation 2 terms for register allocation, the trip-count features for
-prefetching) plus the expression result type.
+This module held the case studies' primitive sets under a misleading
+name (they are GP primitive vocabularies, not feature extraction).
+Import :mod:`repro.metaopt.psets` instead; this shim re-exports the
+same names for one release and will then be removed.  The ``features``
+name is now used by the surrogate fitness subsystem's expression
+feature extractor, :mod:`repro.surrogate.features`.
 """
 
 from __future__ import annotations
 
-from repro.gp.generate import PrimitiveSet
-from repro.gp.types import BOOL, REAL
-from repro.passes.hyperblock import (
-    HYPERBLOCK_BOOL_FEATURES,
-    HYPERBLOCK_REAL_FEATURES,
-)
-from repro.passes.prefetch import (
-    PREFETCH_BOOL_FEATURES,
-    PREFETCH_REAL_FEATURES,
-)
-from repro.passes.regalloc import (
-    REGALLOC_BOOL_FEATURES,
-    REGALLOC_REAL_FEATURES,
+import warnings
+
+from repro.metaopt.psets import (  # noqa: F401
+    HYPERBLOCK_PSET,
+    PREFETCH_PSET,
+    PSETS,
+    REGALLOC_PSET,
+    SCHEDULE_PSET,
 )
 
-#: Case study I (Section 5): real-valued path priority.
-HYPERBLOCK_PSET = PrimitiveSet(
-    real_features=HYPERBLOCK_REAL_FEATURES,
-    bool_features=HYPERBLOCK_BOOL_FEATURES,
-    result_type=REAL,
-    const_range=(0.0, 2.0),
+warnings.warn(
+    "repro.metaopt.features is deprecated — the primitive sets moved "
+    "to repro.metaopt.psets (the 'features' name now belongs to the "
+    "surrogate feature extractor, repro.surrogate.features)",
+    DeprecationWarning,
+    stacklevel=2,
 )
-
-#: Case study II (Section 6): real-valued per-block savings.
-REGALLOC_PSET = PrimitiveSet(
-    real_features=REGALLOC_REAL_FEATURES,
-    bool_features=REGALLOC_BOOL_FEATURES,
-    result_type=REAL,
-    const_range=(0.0, 4.0),
-)
-
-#: Case study III (Section 7): Boolean-valued prefetch confidence.
-PREFETCH_PSET = PrimitiveSet(
-    real_features=PREFETCH_REAL_FEATURES,
-    bool_features=PREFETCH_BOOL_FEATURES,
-    result_type=BOOL,
-    const_range=(0.0, 64.0),
-)
-
-#: Extension case study (the paper's Section 2 example, exposed):
-#: real-valued list-scheduling priority.
-from repro.metaopt.scheduling import SCHEDULE_PSET  # noqa: E402
-
-PSETS = {
-    "hyperblock": HYPERBLOCK_PSET,
-    "regalloc": REGALLOC_PSET,
-    "prefetch": PREFETCH_PSET,
-    "scheduling": SCHEDULE_PSET,
-}

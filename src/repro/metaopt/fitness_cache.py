@@ -25,6 +25,14 @@ same directory followed by :func:`os.replace`, so concurrent workers
 sharing a cache directory can never observe a torn entry — last writer
 wins with identical bytes.  An in-memory write-through dict serves
 repeated lookups without touching the filesystem.
+
+Entries written by this version carry a ``meta`` sidecar (expression
+text, case, benchmark, dataset, noise, verified flag) so the cache can
+be mined offline — :meth:`FitnessCache.scan` iterates every persisted
+record, and that stream is the training corpus for the learned
+surrogate fitness model (:mod:`repro.surrogate.train`).  Pre-meta
+entries (bare ``SimResult`` dicts) still load through :meth:`get`; the
+key schema is unchanged, only the on-disk envelope grew.
 """
 
 from __future__ import annotations
@@ -35,7 +43,9 @@ import json
 import os
 import tempfile
 import threading
+from collections.abc import Iterator
 from pathlib import Path
+from typing import NamedTuple
 
 from repro.machine.descr import MachineDescription
 from repro.machine.sim import SimResult
@@ -43,6 +53,24 @@ from repro.machine.sim import SimResult
 #: Bump manually on semantic changes that the source fingerprint cannot
 #: see (e.g. a change in how cache keys themselves are formed).
 CACHE_FORMAT_VERSION = 1
+
+#: On-disk envelope version for entries that carry a ``meta`` record.
+#: Version 1 entries were bare ``SimResult`` dicts; version 2 wraps the
+#: result and adds provenance so :meth:`FitnessCache.scan` can recover
+#: the expression behind each cycle count.
+ENTRY_SCHEMA = 2
+
+
+class CacheRecord(NamedTuple):
+    """One persisted simulation, as yielded by :meth:`FitnessCache.scan`.
+
+    ``meta`` is ``None`` for entries written before the meta envelope
+    existed (they are still valid results, just unattributable).
+    """
+
+    key: str
+    result: SimResult
+    meta: dict | None
 
 _PIPELINE_FINGERPRINT: str | None = None
 
@@ -140,6 +168,29 @@ class FitnessCache:
         assert self.root is not None
         return self.root / key[:2] / f"{key}.json"
 
+    @staticmethod
+    def _parse_entry(data) -> tuple[SimResult | None, dict | None]:
+        """Decode one on-disk entry in either envelope: a version-2
+        ``{"schema", "result", "meta"}`` wrapper or a legacy bare
+        ``SimResult`` dict.  Undecodable entries parse to ``None`` —
+        a stale schema is a miss, never an error."""
+        if not isinstance(data, dict):
+            return None, None
+        meta = None
+        if "schema" in data and "result" in data:
+            raw = data.get("result")
+            candidate_meta = data.get("meta")
+            if isinstance(candidate_meta, dict):
+                meta = candidate_meta
+            if not isinstance(raw, dict):
+                return None, None
+        else:
+            raw = data
+        try:
+            return SimResult(**raw), meta
+        except TypeError:
+            return None, None
+
     def get(self, key: str) -> SimResult | None:
         with self._lock:
             cached = self._memory.get(key)
@@ -153,10 +204,7 @@ class FitnessCache:
             except (OSError, ValueError):
                 data = None
             if data is not None:
-                try:
-                    result = SimResult(**data)
-                except TypeError:
-                    result = None  # stale schema — treat as a miss
+                result, _meta = self._parse_entry(data)
                 if result is not None:
                     with self._lock:
                         self._memory[key] = result
@@ -167,7 +215,12 @@ class FitnessCache:
             self.misses += 1
         return None
 
-    def put(self, key: str, result: SimResult) -> None:
+    def put(self, key: str, result: SimResult,
+            meta: dict | None = None) -> None:
+        """Store ``result`` under ``key``.  ``meta`` is free-form
+        provenance (expression text, case, benchmark, dataset, …)
+        persisted alongside the result for :meth:`scan`; it never
+        affects lookups."""
         with self._lock:
             self._memory[key] = result
             self.stores += 1
@@ -175,7 +228,12 @@ class FitnessCache:
             return
         path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        data = dataclasses.asdict(result)
+        data = {
+            "schema": ENTRY_SCHEMA,
+            "result": dataclasses.asdict(result),
+        }
+        if meta is not None:
+            data["meta"] = meta
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
@@ -189,6 +247,29 @@ class FitnessCache:
             except OSError:
                 pass
             raise
+
+    # -- offline mining --------------------------------------------------
+    def scan(self) -> Iterator[CacheRecord]:
+        """Iterate every decodable persisted record, read-only.
+
+        Yields :class:`CacheRecord` in deterministic (sorted-path)
+        order.  Undecodable or stale-schema files are skipped silently,
+        matching :meth:`get`'s treatment of them as misses.  Memory-only
+        caches yield nothing: the scan surface is the disk corpus.
+        """
+        if self.root is None:
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            if path.name.startswith(".tmp-"):
+                continue
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            result, meta = self._parse_entry(data)
+            if result is None:
+                continue
+            yield CacheRecord(key=path.stem, result=result, meta=meta)
 
     # -- maintenance ----------------------------------------------------
     def __len__(self) -> int:

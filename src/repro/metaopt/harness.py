@@ -43,7 +43,7 @@ from repro.machine.descr import (
 )
 from repro.machine.sim import SimResult, Simulator
 from repro.metaopt.baselines import BASELINE_TREES
-from repro.metaopt.features import PSETS
+from repro.metaopt.psets import PSETS
 from repro.metaopt.priority import PriorityFunction
 from repro.metaopt.settings import EvalSettings, settings_from_kwargs
 from repro.passes.pipeline import (
@@ -275,6 +275,7 @@ class EvaluationHarness:
             return cached
 
         persist_key = None
+        persist_meta = None
         if self.fitness_cache is not None:
             persist_key = self.fitness_cache.result_key(
                 case_name=self.case.name,
@@ -292,6 +293,7 @@ class EvaluationHarness:
                 self.cache_hits += 1
                 obs.inc("harness.persistent_cache_hits")
                 return stored
+            persist_meta = self._persist_meta(priority, benchmark, dataset)
 
         prep = self.prepared(benchmark)
         options = self.case.options_for(_as_hook(priority))
@@ -314,7 +316,8 @@ class EvaluationHarness:
                 obs.inc("harness.binary_cache_hits")
                 self._cycles_memo[key] = stored
                 if persist_key is not None:
-                    self.fitness_cache.put(persist_key, stored)
+                    self.fitness_cache.put(persist_key, stored,
+                                           meta=persist_meta)
                 return stored
 
         bench = get_benchmark(benchmark)
@@ -340,8 +343,28 @@ class EvaluationHarness:
             diverged = self._check_against_reference(
                 key, benchmark, dataset, simulator, result, scheduled)
         if persist_key is not None and not diverged:
-            self.fitness_cache.put(persist_key, result)
+            self.fitness_cache.put(persist_key, result, meta=persist_meta)
         return result
+
+    def _persist_meta(self, priority, benchmark: str,
+                      dataset: str) -> dict:
+        """Provenance record stored beside a persisted result so
+        :meth:`FitnessCache.scan` (and the surrogate trainer mining it)
+        can recover the expression behind each cycle count.  Only built
+        for tree-keyed priorities, which are the only persistable ones.
+        """
+        from repro.gp.parse import unparse
+
+        tree = priority.tree if isinstance(priority, PriorityFunction) \
+            else priority
+        return {
+            "expression": unparse(tree),
+            "case": self.case.name,
+            "benchmark": benchmark,
+            "dataset": dataset,
+            "noise_stddev": self.noise_stddev,
+            "verified": self.verify_outputs,
+        }
 
     def _compile(self, prep: PreparedProgram, options: CompilerOptions,
                  benchmark: str):

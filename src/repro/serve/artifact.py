@@ -141,7 +141,7 @@ class HeuristicArtifact:
             problems.append(f"unknown case {self.case!r}")
             return problems
         from repro.gp.parse import parse, unparse
-        from repro.metaopt.features import PSETS
+        from repro.metaopt.psets import PSETS
 
         pset = PSETS[self.case]
         try:
@@ -169,7 +169,7 @@ class HeuristicArtifact:
     # -- deployment ------------------------------------------------------
     def tree(self):
         """The parsed expression tree (typechecked for the case)."""
-        from repro.metaopt.features import PSETS
+        from repro.metaopt.psets import PSETS
         from repro.metaopt.priority import PriorityFunction
 
         priority = PriorityFunction.from_text(
@@ -178,7 +178,7 @@ class HeuristicArtifact:
 
     def priority(self):
         """The expression as a callable compiler hook."""
-        from repro.metaopt.features import PSETS
+        from repro.metaopt.psets import PSETS
         from repro.metaopt.priority import PriorityFunction
 
         return PriorityFunction.from_text(
@@ -212,7 +212,7 @@ def build_artifact(
     """Assemble an artifact from campaign outputs, canonicalizing the
     expression and computing every fingerprint."""
     from repro.gp.parse import parse, unparse
-    from repro.metaopt.features import PSETS
+    from repro.metaopt.psets import PSETS
     from repro.metaopt.fitness_cache import (
         machine_fingerprint,
         pipeline_fingerprint,

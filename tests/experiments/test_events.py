@@ -32,6 +32,8 @@ GOLDEN_FIELDS = {
     "checkpoint_saved": {"event", "generation", "path"},
     "run_interrupted": {"event", "next_generation"},
     "artifact_published": {"event", "artifact_id", "store"},
+    "surrogate": {"event", "generation", "sims_saved", "rank_corr",
+                  "refits", "promotions"},
     "run_finished": {"event", "result", "wall_s"},
 }
 
@@ -100,9 +102,10 @@ class TestSchema:
     def test_schema_version_covers_optional_events(self):
         from repro.experiments.events import EVENT_TYPES, SCHEMA_VERSION
 
-        assert SCHEMA_VERSION == 3
+        assert SCHEMA_VERSION == 4
         assert "metrics" in EVENT_TYPES
         assert "artifact_published" in EVENT_TYPES
+        assert "surrogate" in EVENT_TYPES
         assert set(EVENT_TYPES) == set(GOLDEN_FIELDS)
 
 

@@ -28,7 +28,7 @@ from repro.gp.mutate import mutate
 from repro.gp.parse import parse, unparse
 from repro.gp.simplify import simplify
 from repro.gp.types import BOOL, REAL
-from repro.metaopt.features import PSETS
+from repro.metaopt.psets import PSETS
 
 CASES = ("hyperblock", "regalloc", "prefetch")
 

@@ -155,3 +155,68 @@ class TestHarnessIntegration:
         assert noisy_again.simulate(tree, "codrle4").cycles == noisy_cycles
         assert noisy_again.sim_count == 0
         assert clean_cycles == clean.simulate(tree, "codrle4").cycles
+
+
+class TestScan:
+    def put_with_meta(self, cache, key, cycles, **meta_overrides):
+        meta = dict(expression="(add reg_count 1.0)", case="regalloc",
+                    benchmark="codrle4", dataset="train",
+                    noise_stddev=0.0, verified=True)
+        meta.update(meta_overrides)
+        cache.put(key, sample_result(cycles), meta=meta)
+        return meta
+
+    def test_scan_yields_records_with_meta(self, tmp_path):
+        cache = FitnessCache(tmp_path)
+        meta = self.put_with_meta(cache, "d" * 64, cycles=500)
+        records = list(FitnessCache(tmp_path).scan())
+        assert len(records) == 1
+        assert records[0].key == "d" * 64
+        assert records[0].result.cycles == 500
+        assert records[0].meta == meta
+
+    def test_scan_order_is_path_sorted(self, tmp_path):
+        cache = FitnessCache(tmp_path)
+        for key in ("f" * 64, "a" * 64, "c" * 64):
+            self.put_with_meta(cache, key, cycles=100)
+        keys = [record.key for record in FitnessCache(tmp_path).scan()]
+        assert keys == sorted(keys)
+
+    def test_scan_reads_meta_less_and_legacy_entries(self, tmp_path):
+        cache = FitnessCache(tmp_path)
+        cache.put("e" * 64, sample_result(250))  # no meta
+        legacy = cache._path_for("1" * 64)
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        legacy.write_text(json.dumps(  # pre-envelope flat SimResult
+            {"cycles": 9, "return_value": None, "outputs": [],
+             "dynamic_ops": 1, "bundles": 1}))
+        records = {r.key: r for r in FitnessCache(tmp_path).scan()}
+        assert records["e" * 64].meta is None
+        assert records["1" * 64].result.cycles == 9
+        assert records["1" * 64].meta is None
+
+    def test_scan_skips_corrupt_entries(self, tmp_path):
+        cache = FitnessCache(tmp_path)
+        self.put_with_meta(cache, "b" * 64, cycles=100)
+        cache._path_for("9" * 64).parent.mkdir(parents=True,
+                                               exist_ok=True)
+        cache._path_for("9" * 64).write_text("not json {")
+        records = list(FitnessCache(tmp_path).scan())
+        assert [r.key for r in records] == ["b" * 64]
+
+    def test_scan_on_memory_only_cache_is_empty(self):
+        cache = FitnessCache(None)
+        cache.put("a" * 64, sample_result())
+        assert list(cache.scan()) == []
+
+    def test_harness_writes_meta(self, tmp_path):
+        case = case_study("hyperblock")
+        harness = EvaluationHarness(
+            case, fitness_cache=FitnessCache(tmp_path))
+        harness.speedup(case.baseline_tree(), "codrle4")
+        metas = [r.meta for r in FitnessCache(tmp_path).scan()]
+        assert metas and all(m is not None for m in metas)
+        for meta in metas:
+            assert meta["case"] == "hyperblock"
+            assert meta["benchmark"] == "codrle4"
+            assert meta["expression"]

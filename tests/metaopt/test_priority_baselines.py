@@ -14,7 +14,7 @@ from repro.metaopt.baselines import (
     impact_hyperblock_tree,
     orc_prefetch_tree,
 )
-from repro.metaopt.features import (
+from repro.metaopt.psets import (
     HYPERBLOCK_PSET,
     PREFETCH_PSET,
     REGALLOC_PSET,

@@ -1,0 +1,33 @@
+"""The ``repro.metaopt.features`` → ``repro.metaopt.psets`` rename:
+the old module keeps working for one release, with a warning."""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+
+def fresh_import(name):
+    sys.modules.pop(name, None)
+    return importlib.import_module(name)
+
+
+class TestDeprecationShim:
+    def test_old_module_warns(self):
+        with pytest.warns(DeprecationWarning, match="psets"):
+            fresh_import("repro.metaopt.features")
+
+    def test_old_module_reexports_everything(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = fresh_import("repro.metaopt.features")
+        new = importlib.import_module("repro.metaopt.psets")
+        for name in ("PSETS", "HYPERBLOCK_PSET", "REGALLOC_PSET",
+                     "PREFETCH_PSET", "SCHEDULE_PSET"):
+            assert getattr(old, name) is getattr(new, name)
+
+    def test_new_module_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            fresh_import("repro.metaopt.psets")

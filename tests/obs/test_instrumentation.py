@@ -174,7 +174,7 @@ class TestParallelMerging:
 
     def test_worker_fresh_work_is_merged(self):
         from repro.gp.parse import parse
-        from repro.metaopt.features import PSETS
+        from repro.metaopt.psets import PSETS
         from repro.metaopt.parallel import ParallelEvaluator
 
         registry = obs.enable_metrics()

@@ -1,0 +1,121 @@
+"""Property tests: the feature extractor is a total, stable function
+of the expression tree.
+
+The surrogate's whole premise is that a candidate's vector is the same
+no matter how the tree reached the evaluator — freshly bred, reparsed
+from a checkpoint, or mined back out of the fitness cache as text.
+These tests pin that down over the production primitive sets:
+
+* fixed vector width per case, equal to ``len(names)``;
+* ``parse(unparse(tree))`` yields the identical vector (the cache
+  round trip cannot shift features);
+* the shape slots agree with the tree's own ``size()``/``depth()``
+  and every count is a non-negative integer that adds back up to the
+  node count.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gp.generate import TreeGenerator
+from repro.gp.parse import parse, unparse
+from repro.metaopt.psets import PSETS
+from repro.surrogate.features import (
+    FUNCTION_ORDER,
+    FeatureExtractor,
+    TERMINAL_ORDER,
+)
+
+CASES = ("hyperblock", "regalloc", "prefetch")
+
+DETERMINISTIC = settings(max_examples=40, deadline=None, derandomize=True)
+
+
+@st.composite
+def case_and_tree(draw):
+    case = draw(st.sampled_from(CASES))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    depth = draw(st.integers(min_value=2, max_value=6))
+    full = draw(st.booleans())
+    pset = PSETS[case]
+    generator = TreeGenerator(pset, rng=random.Random(seed))
+    build = generator.full if full else generator.grow
+    return case, pset, build(depth)
+
+
+class TestVectorShape:
+    @DETERMINISTIC
+    @given(case_and_tree())
+    def test_width_fixed_per_case(self, inputs):
+        case, pset, tree = inputs
+        extractor = FeatureExtractor(pset)
+        vector = extractor.vector(tree)
+        assert len(vector) == extractor.width == len(extractor.names)
+        expected_width = (3 + len(FUNCTION_ORDER) + len(TERMINAL_ORDER)
+                          + 5 + len(pset.feature_names))
+        assert extractor.width == expected_width
+
+    @DETERMINISTIC
+    @given(case_and_tree())
+    def test_all_entries_finite_floats(self, inputs):
+        _case, pset, tree = inputs
+        for value in FeatureExtractor(pset).vector(tree):
+            assert isinstance(value, float)
+            assert math.isfinite(value)
+
+    def test_names_unique_and_width_matches(self):
+        for case in CASES:
+            extractor = FeatureExtractor(PSETS[case])
+            assert len(set(extractor.names)) == extractor.width
+
+
+class TestRoundTripInvariance:
+    @DETERMINISTIC
+    @given(case_and_tree())
+    def test_parse_unparse_preserves_vector(self, inputs):
+        _case, pset, tree = inputs
+        extractor = FeatureExtractor(pset)
+        reparsed = parse(unparse(tree), pset.bool_feature_set())
+        assert extractor.vector(reparsed) == extractor.vector(tree)
+
+
+class TestStructuralBounds:
+    @DETERMINISTIC
+    @given(case_and_tree())
+    def test_shape_slots_match_tree(self, inputs):
+        _case, pset, tree = inputs
+        extractor = FeatureExtractor(pset)
+        vector = dict(zip(extractor.names, extractor.vector(tree)))
+        assert vector["size"] == float(tree.size())
+        assert vector["depth"] == float(tree.depth())
+        assert 0.0 <= vector["terminal_fraction"] <= 1.0
+
+    @DETERMINISTIC
+    @given(case_and_tree())
+    def test_counts_partition_the_tree(self, inputs):
+        """Operator + terminal counts account for every node once."""
+        _case, pset, tree = inputs
+        extractor = FeatureExtractor(pset)
+        vector = dict(zip(extractor.names, extractor.vector(tree)))
+        op_total = sum(vector[f"op_{op}"] for op in FUNCTION_ORDER)
+        term_total = sum(vector[f"term_{t}"] for t in TERMINAL_ORDER)
+        assert op_total + term_total == vector["size"]
+        for op in FUNCTION_ORDER:
+            assert vector[f"op_{op}"] >= 0.0
+            assert vector[f"op_{op}"].is_integer()
+        for term in TERMINAL_ORDER:
+            assert vector[f"term_{term}"] >= 0.0
+            assert vector[f"term_{term}"].is_integer()
+
+    @DETERMINISTIC
+    @given(case_and_tree())
+    def test_usage_bounded_by_terminal_count(self, inputs):
+        _case, pset, tree = inputs
+        extractor = FeatureExtractor(pset)
+        vector = dict(zip(extractor.names, extractor.vector(tree)))
+        term_total = sum(vector[f"term_{t}"] for t in TERMINAL_ORDER)
+        usage_total = sum(vector[f"use_{name}"]
+                          for name in pset.feature_names)
+        assert usage_total <= term_total

@@ -1,0 +1,117 @@
+"""Runner integration for ``--surrogate``: kill+resume byte-identity,
+warm-cache training at startup, surrogate state beside the checkpoint,
+and the schema-4 telemetry event."""
+
+import json
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentRunner,
+    MemorySink,
+    run_experiment,
+)
+from repro.gp.engine import GPParams
+
+
+def config(generations=4, fitness_cache_dir=None, seed=0):
+    return ExperimentConfig(
+        mode="specialize", case="hyperblock", benchmark="codrle4",
+        params=GPParams(population_size=8, generations=generations,
+                        seed=seed),
+        fitness_cache_dir=fitness_cache_dir)
+
+
+def run_full(cfg, run_dir, **runner_kwargs):
+    ExperimentRunner(cfg, run_dir=run_dir, surrogate=True,
+                     surrogate_top_k=2, **runner_kwargs).run()
+    return (run_dir / "result.json").read_bytes()
+
+
+def run_killed_then_resumed(cfg, run_dir, stop_after):
+    outcome = ExperimentRunner(
+        cfg, run_dir=run_dir, surrogate=True, surrogate_top_k=2,
+        stop_after_generation=stop_after).run()
+    assert outcome.interrupted
+    assert (run_dir / "surrogate.json").exists()
+    ExperimentRunner.from_run_dir(
+        run_dir, surrogate=True, surrogate_top_k=2).run(resume=True)
+    return (run_dir / "result.json").read_bytes()
+
+
+class TestResumeByteIdentity:
+    def test_cold_cache_resume_matches_full_run(self, tmp_path):
+        # Separate cache dirs per run: a shared cache would hand the
+        # resumed run a bigger training corpus than the full run saw.
+        # The cache path rides result.json's embedded config, so this
+        # comparison drops it and checks everything else.
+        full = json.loads(run_full(
+            config(fitness_cache_dir=str(tmp_path / "cache_a")),
+            tmp_path / "full"))
+        resumed = json.loads(run_killed_then_resumed(
+            config(fitness_cache_dir=str(tmp_path / "cache_b")),
+            tmp_path / "killed", stop_after=1))
+        full.pop("config"), resumed.pop("config")
+        assert resumed == full
+
+    def test_no_cache_resume_byte_identical(self, tmp_path):
+        full = run_full(config(), tmp_path / "full")
+        resumed = run_killed_then_resumed(config(), tmp_path / "killed",
+                                          stop_after=0)
+        assert resumed == full
+
+    def test_surrogate_state_rides_the_checkpoint(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_full(config(generations=2), run_dir)
+        state = json.loads((run_dir / "surrogate.json").read_text())
+        assert state["version"] == 1
+        assert state["case"] == "hyperblock"
+        assert state["top_k"] == 2
+        assert state["pairs"]
+
+
+class TestWarmCacheTraining:
+    def test_exact_campaign_trains_the_surrogate(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        # Exact campaign populates the cache with labeled records...
+        run_experiment(config(generations=3,
+                              fitness_cache_dir=cache_dir))
+        # ...so the surrogate campaign starts with a trained model.
+        run_dir = tmp_path / "run"
+        run_full(config(generations=3, fitness_cache_dir=cache_dir),
+                 run_dir)
+        state = json.loads((run_dir / "surrogate.json").read_text())
+        assert state["model"] is not None
+        assert state["model"]["training_pairs"] >= 8
+
+
+class TestTelemetry:
+    def test_surrogate_events_emitted_under_metrics(self, tmp_path):
+        sink = MemorySink()
+        ExperimentRunner(config(generations=2),
+                         run_dir=tmp_path / "run", surrogate=True,
+                         surrogate_top_k=2, collect_metrics=True,
+                         sinks=(sink,)).run()
+        assert sink.of_type("run_started")[0]["schema"] == 4
+        events = sink.of_type("surrogate")
+        assert len(events) == 2
+        for event in events:
+            assert set(event) == {"event", "generation", "sims_saved",
+                                  "rank_corr", "refits", "promotions"}
+
+    def test_no_surrogate_events_without_metrics(self, tmp_path):
+        sink = MemorySink()
+        ExperimentRunner(config(generations=2),
+                         run_dir=tmp_path / "run", surrogate=True,
+                         surrogate_top_k=2, sinks=(sink,)).run()
+        assert sink.of_type("surrogate") == []
+
+    def test_cold_start_matches_exact_run(self, tmp_path):
+        """Before the first fit every evaluation is exact, so a short
+        cold-start surrogate campaign reproduces the exact campaign's
+        result byte for byte."""
+        ExperimentRunner(config(generations=2),
+                         run_dir=tmp_path / "plain").run()
+        ExperimentRunner(config(generations=2), run_dir=tmp_path / "sur",
+                         surrogate=True, surrogate_top_k=2).run()
+        assert (tmp_path / "plain/result.json").read_bytes() == \
+            (tmp_path / "sur/result.json").read_bytes()

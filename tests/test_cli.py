@@ -355,3 +355,89 @@ class TestObsFlags:
                  json.loads(trace.read_text())["traceEvents"]}
         assert "engine:generation" in names
         assert "engine:evaluation" in names
+
+
+class TestCacheCommand:
+    def warm_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["evolve", "hyperblock", "codrle4",
+                     "--pop", "8", "--gens", "2",
+                     "--fitness-cache", cache_dir]) == 0
+        return cache_dir
+
+    def test_stats_json(self, tmp_path, capsys):
+        cache_dir = self.warm_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--fitness-cache", cache_dir,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["entries"] > 0
+        assert payload["with_meta"] == payload["entries"]
+        assert payload["legacy"] == 0
+        assert payload["by_case"] == {"hyperblock": payload["entries"]}
+        assert payload["by_benchmark"] == {"codrle4": payload["entries"]}
+
+    def test_stats_human(self, tmp_path, capsys):
+        cache_dir = self.warm_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--fitness-cache", cache_dir]) == 0
+        output = capsys.readouterr().out
+        assert "entries" in output
+        assert "hyperblock" in output
+
+    def test_export_json_filters(self, tmp_path, capsys):
+        cache_dir = self.warm_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "export", "--fitness-cache", cache_dir,
+                     "--case", "hyperblock", "--limit", "3",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["records"]) == 3
+        for row in payload["records"]:
+            assert row["case"] == "hyperblock"
+            assert row["expression"]
+            assert row["cycles"] > 0
+        capsys.readouterr()
+        assert main(["cache", "export", "--fitness-cache", cache_dir,
+                     "--case", "no-such-case", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["records"] == []
+
+    def test_cache_without_directory_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FITNESS_CACHE", raising=False)
+        with pytest.raises(SystemExit):
+            main(["cache", "stats"])
+
+
+class TestSurrogateFlags:
+    def test_evolve_surrogate_smoke(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        run_dir = tmp_path / "run"
+        assert main(["evolve", "hyperblock", "codrle4",
+                     "--pop", "8", "--gens", "2",
+                     "--surrogate", "--surrogate-top-k", "3",
+                     "--fitness-cache", cache_dir,
+                     "--run-dir", str(run_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "specialize"
+        state = json.loads((run_dir / "surrogate.json").read_text())
+        assert state["top_k"] == 3
+
+    def test_profile_surrogate_table(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["evolve", "hyperblock", "codrle4",
+                     "--pop", "8", "--gens", "2",
+                     "--fitness-cache", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["profile", "codrle4", "--case", "hyperblock",
+                     "--surrogate", "--fitness-cache", cache_dir]) == 0
+        output = capsys.readouterr().out
+        assert "surrogate counter" in output
+        assert "train_pairs" in output
+        assert "baseline_prediction" in output
+
+    def test_profile_surrogate_without_cache_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FITNESS_CACHE", raising=False)
+        with pytest.raises(SystemExit):
+            main(["profile", "codrle4", "--case", "hyperblock",
+                  "--surrogate"])

@@ -85,6 +85,20 @@ class TestBenchPayloadSchema:
                     for name in bench_eval.FLEET_CASES
                 },
             },
+            "surrogate": {
+                "top_k": 2, "best_reduction": 8.0,
+                "cases": {
+                    name: {"benchmark": "codrle4", "pop": 8, "gens": 2,
+                           "exact_sims": 8, "surrogate_sims": 1,
+                           "sims_reduction": 8.0,
+                           "exact_champion_fitness": 1.0,
+                           "surrogate_champion_exact_fitness": 1.0,
+                           "champion_ok": True, "training_pairs": 9,
+                           "stats": {key: 0 for key
+                                     in bench_eval.SURROGATE_STAT_KEYS}}
+                    for name in bench_eval.SURROGATE_CASES
+                },
+            },
             "speedup_parallel": 1.5, "speedup_warm": 3.0,
             "speedup_fleet": 0.9,
             "warm_sim_invocations": 0,
@@ -134,6 +148,34 @@ class TestBenchPayloadSchema:
             "shards_stolen"] = "many"
         problems = bench_eval.validate_bench_payload(payload)
         assert any("fleet.cases.regalloc.stats.shards_stolen" in problem
+                   for problem in problems)
+
+    def test_missing_surrogate_section_flagged(self):
+        payload = self.make_payload()
+        del payload["surrogate"]
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("surrogate must be an object" in problem
+                   for problem in problems)
+
+    def test_missing_surrogate_case_flagged(self):
+        payload = self.make_payload()
+        del payload["surrogate"]["cases"]["scheduling"]
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("surrogate.cases.scheduling" in problem
+                   for problem in problems)
+
+    def test_surrogate_champion_flag_must_be_boolean(self):
+        payload = self.make_payload()
+        payload["surrogate"]["cases"]["regalloc"]["champion_ok"] = "yes"
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("surrogate.cases.regalloc.champion_ok" in problem
+                   for problem in problems)
+
+    def test_surrogate_sims_must_be_integers(self):
+        payload = self.make_payload()
+        payload["surrogate"]["cases"]["regalloc"]["exact_sims"] = 8.5
+        problems = bench_eval.validate_bench_payload(payload)
+        assert any("surrogate.cases.regalloc.exact_sims" in problem
                    for problem in problems)
 
     def test_wrong_schema_flagged(self):

@@ -33,6 +33,17 @@ on (*forked*) and off (*full*, the seed path) and report
 bit-identical, and a forked run slower than the full path fails the
 script — that is the gate the CI ``snapshot-smoke`` job enforces.
 
+A fifth section exercises **learned surrogate fitness**
+(docs/SURROGATE.md): an exact campaign populates a fresh fitness
+cache, then the same campaign reruns with a cache-trained
+``SurrogateEvaluator`` prescreening each generation.  The section
+records fresh simulator invocations on both sides and the surrogate
+champion's *exact* (simulator-measured) fitness.  Gates: the surrogate
+champion must be equal-or-better than the exact run's champion, and
+fresh simulations must drop — by at least 3x at full settings
+(``--quick`` only requires a drop; its two-generation campaigns leave
+the prescreener a single generation to save anything).
+
 ``--json-out FILE`` writes the canonical ``BENCH_eval.json`` payload
 (schema below, validated by :func:`validate_bench_payload`) — the data
 point the ROADMAP's perf trajectory tracks.  ``--trace FILE`` writes a
@@ -72,8 +83,9 @@ from repro.metaopt.harness import EvaluationHarness, case_study
 from repro.metaopt.parallel import ParallelEvaluator
 from repro.metaopt.settings import EvalSettings
 
-#: Version stamp of the BENCH_eval.json payload.
-BENCH_SCHEMA = 3
+#: Version stamp of the BENCH_eval.json payload.  Schema 4 added the
+#: ``surrogate`` section (docs/SURROGATE.md).
+BENCH_SCHEMA = 4
 
 #: Mode keys of the ``modes`` object, in report order.
 MODES = ("serial", "parallel", "warm")
@@ -105,6 +117,23 @@ FORKING_GENS = 6
 #: Cases of the serial-vs-fleet section; benchmarks per
 #: :data:`FORKING_BENCHMARKS` (``--quick`` swaps in codrle4).
 FLEET_CASES = ("regalloc", "scheduling")
+
+#: Cases of the surrogate section — the campaigns the learned-surrogate
+#: acceptance bar (docs/SURROGATE.md) is stated on.  Benchmarks per
+#: :data:`FORKING_BENCHMARKS`: kernels with real fitness variance, so
+#: the ranking has something to rank (on a flat landscape every
+#: candidate ties the champion and champion promotion simulates the
+#: whole tail).
+SURROGATE_CASES = ("regalloc", "scheduling")
+
+#: Evaluator counters copied into the payload's per-case ``stats``.
+SURROGATE_STAT_KEYS = ("surrogate_exact_jobs", "surrogate_predicted_jobs",
+                       "surrogate_sims_saved", "surrogate_refits",
+                       "surrogate_promotions", "surrogate_batches")
+
+#: Required fresh-simulation reduction at full settings (``--quick``
+#: only requires a drop).
+SURROGATE_MIN_REDUCTION = 3.0
 
 
 def run_engine(case, evaluator, args, benchmark=None):
@@ -281,6 +310,98 @@ def run_fleet_section(args, failures: list) -> dict:
     return section
 
 
+def run_surrogate_section(args, failures: list) -> dict:
+    """Exact-vs-surrogate campaigns per :data:`SURROGATE_CASES`.
+
+    The exact campaign populates a fresh fitness cache; the surrogate
+    campaign (same seed) trains from that cache and prescreens every
+    generation, so only fresh simulator invocations — candidates
+    neither the cache nor the model could answer — count against it.
+    The surrogate champion is re-measured exactly; a champion below
+    the exact run's, or too small a simulation drop, fails the script
+    (the CI ``surrogate-smoke`` gate)."""
+    from repro.surrogate import SurrogateEvaluator, train_from_cache
+
+    # Campaigns sized like the forking section: prescreening needs
+    # generations *after* the cache-covered prefix to save anything,
+    # and tiny populations leave the top-K as most of the batch.
+    sur_args = argparse.Namespace(**vars(args))
+    if not args.quick:
+        sur_args.pop, sur_args.gens = FORKING_POP, FORKING_GENS
+    top_k = max(2, sur_args.pop // 16)
+    section = {"top_k": top_k, "cases": {}}
+    for case_name in SURROGATE_CASES:
+        bench = "codrle4" if args.quick else FORKING_BENCHMARKS[case_name]
+        case = case_study(case_name)
+        cache_dir = tempfile.mkdtemp(prefix="repro-surrogate-")
+        try:
+            exact_harness = EvaluationHarness(
+                case, EvalSettings(fitness_cache_dir=cache_dir))
+            exact_result, _ = run_engine(
+                case, exact_harness.evaluator("train"), sur_args,
+                benchmark=bench)
+            exact_sims = exact_harness.sim_count
+
+            sur_harness = EvaluationHarness(
+                case, EvalSettings(fitness_cache_dir=cache_dir))
+            model, training = train_from_cache(
+                sur_harness.fitness_cache, case_name, seed=args.seed)
+            evaluator = SurrogateEvaluator(
+                sur_harness.evaluator("train"), case_name, model,
+                top_k=top_k, seed=args.seed)
+            sur_result, _ = run_engine(case, evaluator, sur_args,
+                                       benchmark=bench)
+            sur_sims = sur_harness.sim_count
+            stats = evaluator.stats()
+
+            # Re-measure the surrogate champion with the simulator —
+            # the acceptance bar is stated on exact fitness, never on
+            # a model prediction.
+            champion_exact = EvaluationHarness(
+                case, EvalSettings(fitness_cache_dir=cache_dir),
+            ).evaluator("train")(sur_result.best.tree, bench)
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+        exact_fitness = exact_result.best.fitness
+        reduction = exact_sims / sur_sims if sur_sims else float(exact_sims)
+        champion_ok = champion_exact >= exact_fitness - 1e-9
+        if not champion_ok:
+            failures.append(
+                f"surrogate/{case_name}: champion exact fitness "
+                f"{champion_exact:.4f} below the exact campaign's "
+                f"{exact_fitness:.4f}")
+        floor = 1.0 if args.quick else SURROGATE_MIN_REDUCTION
+        if reduction < floor or sur_sims >= exact_sims:
+            failures.append(
+                f"surrogate/{case_name}: fresh simulations fell "
+                f"{reduction:.2f}x ({exact_sims} -> {sur_sims}), "
+                f"needed >= {floor:.1f}x")
+        print(f"surrogate {case_name:<10s} on {bench}: "
+              f"{exact_sims:4d} -> {sur_sims:4d} fresh sims "
+              f"({reduction:5.2f}x), champion "
+              f"{champion_exact:.4f} vs exact {exact_fitness:.4f} "
+              f"({'ok' if champion_ok else 'WORSE'}, "
+              f"{training.usable} training pairs)")
+        section["cases"][case_name] = {
+            "benchmark": bench,
+            "pop": sur_args.pop,
+            "gens": sur_args.gens,
+            "exact_sims": exact_sims,
+            "surrogate_sims": sur_sims,
+            "sims_reduction": reduction,
+            "exact_champion_fitness": exact_fitness,
+            "surrogate_champion_exact_fitness": champion_exact,
+            "champion_ok": champion_ok,
+            "training_pairs": training.usable,
+            "stats": {key: stats.get(key, 0)
+                      for key in SURROGATE_STAT_KEYS},
+        }
+    section["best_reduction"] = max(
+        entry["sims_reduction"] for entry in section["cases"].values())
+    return section
+
+
 def validate_bench_payload(payload: dict) -> list[str]:
     """Schema check for BENCH_eval.json; returns a list of problems
     (empty when valid).  Used by the CI bench-smoke job and the tests."""
@@ -383,6 +504,47 @@ def validate_bench_payload(payload: dict) -> list[str]:
                     row.get("median_seconds"), (int, float)):
                 problems.append(f"forking.{case_name}.{side}."
                                 "median_seconds must be a number")
+    surrogate = payload.get("surrogate")
+    if not isinstance(surrogate, dict):
+        problems.append("surrogate must be an object")
+        return problems
+    if not isinstance(surrogate.get("top_k"), int):
+        problems.append("surrogate.top_k must be an integer")
+    if not isinstance(surrogate.get("best_reduction"), (int, float)):
+        problems.append("surrogate.best_reduction must be a number")
+    sur_cases = surrogate.get("cases")
+    if not isinstance(sur_cases, dict):
+        problems.append("surrogate.cases must be an object")
+        return problems
+    for case_name in SURROGATE_CASES:
+        entry = sur_cases.get(case_name)
+        if not isinstance(entry, dict):
+            problems.append(f"surrogate.cases.{case_name} missing")
+            continue
+        if not isinstance(entry.get("benchmark"), str):
+            problems.append(f"surrogate.cases.{case_name}.benchmark "
+                            "must be a string")
+        for key in ("exact_sims", "surrogate_sims", "training_pairs"):
+            if not isinstance(entry.get(key), int):
+                problems.append(f"surrogate.cases.{case_name}.{key} "
+                                "must be an integer")
+        for key in ("sims_reduction", "exact_champion_fitness",
+                    "surrogate_champion_exact_fitness"):
+            if not isinstance(entry.get(key), (int, float)):
+                problems.append(f"surrogate.cases.{case_name}.{key} "
+                                "must be a number")
+        if not isinstance(entry.get("champion_ok"), bool):
+            problems.append(f"surrogate.cases.{case_name}.champion_ok "
+                            "must be a boolean")
+        stats = entry.get("stats")
+        if not isinstance(stats, dict):
+            problems.append(f"surrogate.cases.{case_name}.stats "
+                            "must be an object")
+            continue
+        for key in SURROGATE_STAT_KEYS:
+            if not isinstance(stats.get(key), int):
+                problems.append(f"surrogate.cases.{case_name}."
+                                f"stats.{key} must be an integer")
     return problems
 
 
@@ -489,9 +651,13 @@ def main(argv=None) -> int:
     failures = []
     forking = run_forking_section(args, failures)
     fleet = run_fleet_section(args, failures)
+    surrogate = run_surrogate_section(args, failures)
     speedup_fleet = fleet["best_speedup"]
     print(f"speedup fleet/serial    : {speedup_fleet:5.2f}x (best case, "
           f"{args.fleet_workers} workers — recorded, not gated)")
+    print(f"surrogate sims saved    : "
+          f"{surrogate['best_reduction']:5.2f}x fewer fresh "
+          f"simulations (best case, top-{surrogate['top_k']})")
     reference = serial_results[0]
     for label, results in (("serial", serial_results[1:]),
                            ("parallel", parallel_results),
@@ -538,6 +704,7 @@ def main(argv=None) -> int:
             "modes": {"serial": serial, "parallel": parallel, "warm": warm},
             "fleet": fleet,
             "forking": forking,
+            "surrogate": surrogate,
             "speedup_parallel": speedup_parallel,
             "speedup_fleet": speedup_fleet,
             "speedup_warm": speedup_warm,
