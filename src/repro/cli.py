@@ -11,6 +11,11 @@ Subcommands::
     python -m repro suite [--category int|fp] [--suite NAME]
         List the registered benchmarks.
 
+    python -m repro suite promote [--corpus PATH] [--fuzz-seed N]
+        Differential-verify corpus reproducers or fuzzer programs and
+        promote them into the suite as first-class benchmarks with an
+        explicit train/novel split (--split).
+
     python -m repro simulate BENCHMARK [--dataset train|novel] [...]
         Compile + simulate one suite benchmark, print machine counters.
 
@@ -92,6 +97,16 @@ MACHINES: dict[str, MachineDescription] = {
     "itanium": ITANIUM_MACHINE,
     "regalloc": REGALLOC_MACHINE,
 }
+
+#: Case studies whose candidates are priority-function expression
+#: trees — everything simulate/profile/submit can deploy.
+TREE_CASES = ("hyperblock", "regalloc", "prefetch", "scheduling",
+              "inline", "unroll")
+
+#: Everything ``evolve``/``generalize`` accept: the tree cases plus the
+#: FOGA-style flag-genome campaign (serial evaluation only, no
+#: artifacts — see docs/CASES.md).
+CAMPAIGN_CASES = TREE_CASES + ("flags",)
 
 
 def _load_inputs(path: str | None) -> dict:
@@ -456,9 +471,61 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_suite_promote(args: argparse.Namespace) -> int:
+    from repro.suite.promoted import (
+        PromotionError,
+        add_promoted,
+        promote_corpus_entry,
+        promote_fuzz_program,
+        promoted_path,
+    )
+
+    if not args.corpus and not args.fuzz_seed:
+        raise SystemExit(
+            "repro suite promote: nothing to promote — pass "
+            "--corpus PATH (a .mc file or a corpus directory) and/or "
+            "--fuzz-seed N")
+    target = Path(args.registry_file) if args.registry_file else None
+    programs = []
+    try:
+        for corpus in args.corpus or ():
+            path = Path(corpus)
+            if path.is_dir():
+                entries = sorted(path.glob("*.mc"))
+                if not entries:
+                    raise SystemExit(
+                        f"repro suite promote: no .mc files under {path}")
+            else:
+                entries = [path]
+            for entry in entries:
+                programs.append(
+                    promote_corpus_entry(entry, split=args.split))
+        for seed in args.fuzz_seed or ():
+            programs.append(promote_fuzz_program(seed, split=args.split))
+    except PromotionError as error:
+        raise SystemExit(f"repro suite promote: {error}")
+    merged = add_promoted(programs, target)
+    registry_file = target if target is not None else promoted_path()
+    if args.json:
+        print(json.dumps({
+            "schema": 1,
+            "registry": str(registry_file),
+            "promoted": [program.name for program in programs],
+            "total": len(merged),
+        }, indent=2, sort_keys=True))
+        return 0
+    for program in programs:
+        print(f"promoted {program.name:<24s} "
+              f"({program.origin}, {program.split} split)")
+    print(f"{len(merged)} promoted benchmark(s) in {registry_file}")
+    return 0
+
+
 def cmd_suite(args: argparse.Namespace) -> int:
     from repro.suite import all_benchmarks
 
+    if getattr(args, "action", "list") == "promote":
+        return _cmd_suite_promote(args)
     rows = sorted(all_benchmarks().items())
     if args.category:
         rows = [(n, b) for n, b in rows if b.category == args.category]
@@ -716,17 +783,16 @@ def _run_campaign(args: argparse.Namespace, config) -> int:
 
 
 def _print_campaign_summary(outcome) -> int:
+    from repro.gp.genome import FlagsGenome
     from repro.gp.parse import infix, unparse
     from repro.gp.simplify import simplify
 
     if outcome.specialization is not None:
         result = outcome.specialization
-        best = simplify(result.best_tree)
         print(f"train speedup : {result.train_speedup:.4f}")
         print(f"novel speedup : {result.novel_speedup:.4f}")
     else:
         result = outcome.generalization
-        best = simplify(result.best_tree)
         print(f"avg train speedup : {result.average_train_speedup():.4f}")
         print(f"avg novel speedup : {result.average_novel_speedup():.4f}")
         for score in result.training:
@@ -740,8 +806,15 @@ def _print_campaign_summary(outcome) -> int:
                 print(f"  {score.benchmark:<16s} "
                       f"train {score.train_speedup:.4f}"
                       f"  novel {score.novel_speedup:.4f}")
-    print(f"expression    : {unparse(best)}")
-    print(f"infix         : {infix(best)}")
+    best = result.best_tree
+    if isinstance(best, FlagsGenome):
+        # A flags genome has no expression tree to simplify or render
+        # as infix; its text form already names every gene.
+        print(f"expression    : {best.text()}")
+    else:
+        best = simplify(best)
+        print(f"expression    : {unparse(best)}")
+        print(f"infix         : {infix(best)}")
     if outcome.run_dir is not None:
         print(f"run directory : {outcome.run_dir}")
     if outcome.artifact_id is not None:
@@ -1070,9 +1143,32 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.set_defaults(func=cmd_fuzz)
 
     suite_parser = commands.add_parser(
-        "suite", help="list registered benchmarks")
+        "suite", help="list registered benchmarks, or promote corpus "
+                      "reproducers and fuzzer programs into the suite")
+    suite_parser.add_argument(
+        "action", nargs="?", choices=("list", "promote"), default="list",
+        help="'list' (default) prints the registry; 'promote' "
+             "differential-verifies programs and adds them to the "
+             "promoted suite (src/repro/suite/promoted_programs.json)")
     suite_parser.add_argument("--category", choices=("int", "fp"))
     suite_parser.add_argument("--suite")
+    suite_parser.add_argument(
+        "--corpus", action="append", metavar="PATH",
+        help="promote: a corpus .mc file (NAME.inputs.json beside it) "
+             "or a directory of such pairs; repeatable")
+    suite_parser.add_argument(
+        "--fuzz-seed", action="append", type=int, metavar="N",
+        help="promote: generate the fuzzer program with case seed N "
+             "and promote it; repeatable")
+    suite_parser.add_argument(
+        "--split", choices=("train", "novel"), default="train",
+        help="promote: experiment-set partition for the programs "
+             "promoted by this invocation (default train)")
+    suite_parser.add_argument(
+        "--registry-file", metavar="FILE",
+        help="promote: write to FILE instead of the committed "
+             "promoted_programs.json (tests use a scratch file)")
+    suite_parser.add_argument("--json", action="store_true")
     suite_parser.set_defaults(func=cmd_suite)
 
     sim_parser = commands.add_parser(
@@ -1080,7 +1176,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "baseline heuristic")
     sim_parser.add_argument("benchmark")
     sim_parser.add_argument("--case", default="hyperblock",
-                            choices=("hyperblock", "regalloc", "prefetch"))
+                            choices=TREE_CASES)
     sim_parser.add_argument("--dataset", default="train",
                             choices=("train", "novel"))
     sim_parser.add_argument("--json", action="store_true",
@@ -1107,7 +1203,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("benchmark")
     profile_parser.add_argument(
         "--case", default="hyperblock",
-        choices=("hyperblock", "regalloc", "prefetch"))
+        choices=TREE_CASES)
     profile_parser.add_argument("--dataset", default="train",
                                 choices=("train", "novel"))
     profile_parser.add_argument(
@@ -1129,7 +1225,7 @@ def build_parser() -> argparse.ArgumentParser:
         "evolve", help="evolve a specialized priority function")
     evolve_parser.add_argument(
         "case", nargs="?",
-        choices=("hyperblock", "regalloc", "prefetch", "scheduling"))
+        choices=CAMPAIGN_CASES)
     evolve_parser.add_argument("benchmark", nargs="?")
     evolve_parser.add_argument("--pop", type=int, default=24)
     evolve_parser.add_argument("--gens", type=int, default=10)
@@ -1154,7 +1250,7 @@ def build_parser() -> argparse.ArgumentParser:
              "training suite (DSS), optionally cross-validating")
     general_parser.add_argument(
         "case", nargs="?",
-        choices=("hyperblock", "regalloc", "prefetch", "scheduling"))
+        choices=CAMPAIGN_CASES)
     general_parser.add_argument(
         "--train", help="comma-separated training benchmarks")
     general_parser.add_argument(
@@ -1250,7 +1346,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="base URL of the serving daemon")
     submit_parser.add_argument(
         "--case", default=None,
-        choices=("hyperblock", "regalloc", "prefetch", "scheduling"),
+        choices=TREE_CASES,
         help="case study (default: the artifact's, else hyperblock)")
     submit_parser.add_argument("--dataset", default="train",
                                choices=("train", "novel"))

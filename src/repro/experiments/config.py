@@ -23,8 +23,11 @@ from repro.gp.engine import GPParams
 #: Experiment kinds understood by the runner.
 MODES = ("specialize", "generalize")
 
-#: Case-study names (the paper's three plus the scheduling extension).
-CASES = ("hyperblock", "regalloc", "prefetch", "scheduling")
+#: Case-study names: the paper's three, the scheduling extension, the
+#: two prepare-stage extensions (inline, unroll), and the FOGA-style
+#: flag campaign.
+CASES = ("hyperblock", "regalloc", "prefetch", "scheduling",
+         "inline", "unroll", "flags")
 
 
 @dataclass(frozen=True)

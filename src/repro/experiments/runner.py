@@ -276,7 +276,7 @@ class ExperimentRunner:
         return checkpoint_path
 
     def _snapshot_population(self, generation: int, population) -> None:
-        from repro.gp.parse import unparse
+        from repro.gp.genome import expression_text
 
         path = (self.run_dir / POPULATIONS_DIRNAME /
                 f"gen_{generation:04d}.jsonl")
@@ -286,7 +286,7 @@ class ExperimentRunner:
                 json.dump(
                     {
                         "index": index,
-                        "expression": unparse(individual.tree),
+                        "expression": expression_text(individual.tree),
                         "fitness": individual.fitness,
                         "origin": individual.origin,
                         "size": individual.size,
@@ -407,6 +407,17 @@ class ExperimentRunner:
     # -- main entry --------------------------------------------------------
     def run(self, resume: bool = False) -> ExperimentResult:
         config = self.config
+        if config.case == "flags":
+            # Flags genomes are not expression trees: the surrogate's
+            # feature extractor and the artifact store both consume
+            # s-expressions.  (--fleet/--processes reject in
+            # make_evaluator for the same reason.)
+            if self.surrogate:
+                raise ValueError(
+                    "the flags case does not support --surrogate")
+            if self.publish_dir is not None:
+                raise ValueError(
+                    "the flags case does not support --publish")
         run_started = time.monotonic()
 
         registry = None

@@ -43,9 +43,8 @@ from typing import Callable, Protocol
 
 from repro import obs
 from repro.gp.dss import DSSState
-from repro.gp.generate import PrimitiveSet, TreeGenerator
-from repro.gp.crossover import crossover
-from repro.gp.mutate import mutate
+from repro.gp.generate import PrimitiveSet
+from repro.gp.genome import genome_ops_for
 from repro.gp.nodes import Node
 from repro.gp.select import Individual, best_of, tournament
 
@@ -159,6 +158,7 @@ class GPEngine:
         seed_trees: tuple[Node, ...] = (),
         dss: DSSState | None = None,
         on_generation: Callable[[GenerationStats], None] | None = None,
+        genome_ops=None,
     ) -> None:
         self.pset = pset
         self.evaluator = evaluator
@@ -169,8 +169,13 @@ class GPEngine:
         self.seed_trees = tuple(seed_trees)
         self.dss = dss
         self.on_generation = on_generation
+        #: Genome strategy (trees vs flag vectors, docs/CASES.md);
+        #: resolved from the pset when not supplied.  The tree strategy
+        #: reproduces the historical operator calls exactly, keeping
+        #: RNG streams — and therefore checkpoints — byte-identical.
+        self.genome_ops = genome_ops or genome_ops_for(pset)
         self.rng = random.Random(self.params.seed)
-        self.generator = TreeGenerator(self.pset, rng=self.rng)
+        self.generator = self.genome_ops.make_generator(self.rng)
         self._memo: dict[tuple, float] = {}
         self.evaluations = 0
         #: lazily built by the first :meth:`step` (or restored from a
@@ -259,14 +264,16 @@ class GPEngine:
         registry = obs.metrics()
         mother = tournament(population, self.rng, self.params.tournament_size)
         father = tournament(population, self.rng, self.params.tournament_size)
-        child_tree, _ = _timed(registry, "gp.crossover_seconds", crossover,
+        child_tree, _ = _timed(registry, "gp.crossover_seconds",
+                               self.genome_ops.crossover,
                                mother.tree, father.tree, self.rng,
                                self.params.max_tree_depth)
         if registry is not None:
             registry.inc("gp.crossovers")
         origin = "crossover"
         if self.rng.random() < self.params.mutation_rate:
-            child_tree = _timed(registry, "gp.mutation_seconds", mutate,
+            child_tree = _timed(registry, "gp.mutation_seconds",
+                                self.genome_ops.mutate,
                                 child_tree, self.generator, self.rng,
                                 self.params.max_tree_depth)
             origin = "mutation"
@@ -275,7 +282,8 @@ class GPEngine:
         # a parent exactly; force a mutation so replacement always
         # injects new genetic material.
         if child_tree == mother.tree or child_tree == father.tree:
-            child_tree = _timed(registry, "gp.mutation_seconds", mutate,
+            child_tree = _timed(registry, "gp.mutation_seconds",
+                                self.genome_ops.mutate,
                                 child_tree, self.generator, self.rng,
                                 self.params.max_tree_depth)
             origin = "mutation"
@@ -332,7 +340,7 @@ class GPEngine:
                 mean_fitness=sum(ind.fitness or 0.0 for ind in population)
                 / len(population),
                 best_size=champion.size,
-                best_expression=_expression_text(champion.tree),
+                best_expression=self.genome_ops.unparse(champion.tree),
                 baseline_rank=self._baseline_rank(population),
                 unique_structures=len(
                     {ind.tree.structural_key() for ind in population}
@@ -395,7 +403,7 @@ class GPEngine:
             "memo": dict(self._memo),
             "population": None if self.population is None else [
                 {
-                    "tree": _expression_text(ind.tree),
+                    "tree": self.genome_ops.unparse(ind.tree),
                     "fitness": ind.fitness,
                     "evaluations": ind.evaluations,
                     "origin": ind.origin,
@@ -417,9 +425,6 @@ class GPEngine:
         if state.get("version") != 1:
             raise ValueError(
                 f"unsupported engine state version {state.get('version')!r}")
-        from repro.gp.parse import parse
-
-        bool_features = self.pset.bool_feature_set()
         self.generation = state["generation"]
         self.evaluations = state["evaluations"]
         self.rng.setstate(state["rng_state"])
@@ -429,7 +434,7 @@ class GPEngine:
         else:
             self.population = [
                 Individual(
-                    tree=parse(entry["tree"], bool_features),
+                    tree=self.genome_ops.parse(entry["tree"]),
                     fitness=entry["fitness"],
                     evaluations=entry["evaluations"],
                     origin=entry["origin"],
@@ -496,9 +501,3 @@ class GPEngine:
             ):
                 rank += 1
         return rank + 1
-
-
-def _expression_text(tree: Node) -> str:
-    from repro.gp.parse import unparse
-
-    return unparse(tree)

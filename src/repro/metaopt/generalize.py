@@ -13,8 +13,8 @@ from dataclasses import dataclass
 
 from repro.gp.dss import DSSState
 from repro.gp.engine import GenerationStats, GPEngine, GPParams
+from repro.gp.genome import expression_text
 from repro.gp.nodes import Node
-from repro.gp.parse import unparse
 from repro.metaopt.harness import CaseStudy, EvaluationHarness
 from repro.metaopt.settings import EvalSettings
 
@@ -37,7 +37,7 @@ class GeneralizationResult:
 
     @property
     def best_expression(self) -> str:
-        return unparse(self.best_tree)
+        return expression_text(self.best_tree)
 
     def average_train_speedup(self) -> float:
         """Mean train-data speedup across the training benchmarks.

@@ -26,6 +26,7 @@ from __future__ import annotations
 import itertools
 import threading
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
@@ -33,6 +34,7 @@ if TYPE_CHECKING:
     from repro.metaopt.fitness_cache import FitnessCache
 from repro import obs
 from repro.frontend import compile_source
+from repro.gp.genome import FlagsGenome, expression_text
 from repro.gp.nodes import Node
 from repro.machine.descr import (
     DEFAULT_EPIC,
@@ -57,18 +59,32 @@ from repro.passes.snapshot import SnapshotCache
 from repro.suite.registry import get as get_benchmark
 
 #: Which CompilerOptions hook each case study's expressions occupy.
+#: ``flags`` is special: the genome IS the options delta, so its
+#: "hook" is a sentinel that matches no CompilerOptions field.
 _HOOK_BY_CASE = {
     "hyperblock": "hyperblock_priority",
     "regalloc": "spill_priority",
     "prefetch": "prefetch_priority",
     "scheduling": "schedule_priority",
+    "inline": "inline_priority",
+    "unroll": "unroll_priority",
+    "flags": "flags",
 }
+
+#: Cases whose candidates steer :func:`repro.passes.pipeline.prepare`
+#: rather than a backend stage.  Their evaluation re-runs prepare per
+#: candidate (memoized) and never forks pipeline snapshots — there is
+#: no shared prefix when the front of the pipeline itself varies.
+PREPARE_CASES = frozenset({"inline", "unroll", "flags"})
 
 _DEFAULT_MACHINE = {
     "hyperblock": DEFAULT_EPIC,
     "regalloc": REGALLOC_MACHINE,
     "prefetch": ITANIUM_MACHINE,
     "scheduling": SCHEDULING_MACHINE,
+    "inline": DEFAULT_EPIC,
+    "unroll": DEFAULT_EPIC,
+    "flags": DEFAULT_EPIC,
 }
 
 
@@ -88,6 +104,8 @@ _ADAPTER_BY_CASE = {
     "regalloc": _identity_adapter,
     "prefetch": _identity_adapter,
     "scheduling": _scheduling_adapter,
+    "inline": _identity_adapter,
+    "unroll": _identity_adapter,
 }
 
 
@@ -105,12 +123,16 @@ class CaseStudy:
     def pset(self):
         return PSETS[self.name]
 
-    def baseline_tree(self) -> Node:
+    def baseline_tree(self):
         return BASELINE_TREES[self.name]()
 
     def options_for(self, priority) -> CompilerOptions:
         """Compiler options with ``priority`` installed in this case's
-        hook (adapted to the hook's native signature if needed)."""
+        hook (adapted to the hook's native signature if needed).  For
+        the flags case the candidate is a genome and installs itself
+        across several option fields."""
+        if self.name == "flags":
+            return priority.install(self.options)
         adapted = _ADAPTER_BY_CASE[self.name](priority)
         return replace(self.options, **{self.hook: adapted})
 
@@ -124,7 +146,11 @@ def case_study(name: str,
     * prefetch — Itanium-like machine, prefetch pass enabled, fitness
       measured with real-machine noise handled by the caller;
     * scheduling — extension: the Section 2 list-scheduling priority,
-      evolved on the Table 3 machine.
+      evolved on the Table 3 machine;
+    * inline / unroll — prepare-stage extensions: inlining priority
+      and unroll-factor score, evolved on the Table 3 machine;
+    * flags — FOGA-style outer GA over CompilerOptions flags and the
+      hyperblock/prefetch stage order (docs/CASES.md).
     """
     if name not in _HOOK_BY_CASE:
         raise ValueError(f"unknown case study {name!r}")
@@ -166,6 +192,8 @@ def _priority_key(priority) -> tuple:
         return ("tree",) + priority.structural_key()
     if isinstance(priority, PriorityFunction):
         return ("tree",) + priority.tree.structural_key()
+    if isinstance(priority, FlagsGenome):
+        return priority.structural_key()  # ("flags", gene values...)
     # Distinct native callables must not share memo entries (every
     # lambda has __qualname__ "<lambda>"), so include a kept-alive
     # registry sequence number.
@@ -231,12 +259,18 @@ class EvaluationHarness:
                 disk_dir = self.fitness_cache.root / "snapshots"
             self.snapshot_cache = SnapshotCache(disk_dir=disk_dir)
         self._prepared: dict[str, PreparedProgram] = {}
+        #: per-(candidate, benchmark) prepare results for the
+        #: prepare-stage cases (inline/unroll/flags), bounded: prepared
+        #: modules are much heavier than cycle counts.
+        self._candidate_prepared: "OrderedDict[tuple, PreparedProgram]" \
+            = OrderedDict()
+        self._candidate_prepared_cap = 64
         self._cycles_memo: dict[tuple, SimResult] = {}
         #: content-addressed simulation memo keyed by scheduled-binary
         #: digest: distinct candidates frequently reach identical
         #: binaries, whose simulations are identical under zero noise
         self._binary_memo: dict[tuple, SimResult] = {}
-        self._baseline_tree: Node | None = None
+        self._baseline_tree = None
         #: per-(benchmark, dataset) interpreter reference observables
         self._reference_memo: dict[tuple, tuple] = {}
         #: memo keys whose simulation diverged from the interpreter
@@ -263,6 +297,26 @@ class EvaluationHarness:
                              max_steps=self.max_interp_steps)
             self._prepared[benchmark] = cached
         return cached
+
+    def _prepared_for(self, priority_key: tuple, benchmark: str,
+                      options: CompilerOptions) -> PreparedProgram:
+        """Per-candidate prepare for the prepare-stage cases: the
+        candidate steers inlining/unrolling (or the whole flag set), so
+        the "candidate-independent" prefix must be rebuilt per genome.
+        Bounded LRU — one entry per (candidate, benchmark)."""
+        key = (priority_key, benchmark)
+        cached = self._candidate_prepared.get(key)
+        if cached is not None:
+            self._candidate_prepared.move_to_end(key)
+            return cached
+        bench = get_benchmark(benchmark)
+        module = compile_source(bench.source, bench.name)
+        prep = prepare(module, bench.inputs("train"), options,
+                       max_steps=self.max_interp_steps)
+        self._candidate_prepared[key] = prep
+        while len(self._candidate_prepared) > self._candidate_prepared_cap:
+            self._candidate_prepared.popitem(last=False)
+        return prep
 
     # -- evaluation --------------------------------------------------------
     def simulate(self, priority, benchmark: str,
@@ -295,8 +349,11 @@ class EvaluationHarness:
                 return stored
             persist_meta = self._persist_meta(priority, benchmark, dataset)
 
-        prep = self.prepared(benchmark)
         options = self.case.options_for(_as_hook(priority))
+        if self.case.name in PREPARE_CASES:
+            prep = self._prepared_for(key[0], benchmark, options)
+        else:
+            prep = self.prepared(benchmark)
         scheduled, _report = self._compile(prep, options, benchmark)
         self.compile_count += 1
         obs.inc("harness.compiles")
@@ -353,12 +410,10 @@ class EvaluationHarness:
         can recover the expression behind each cycle count.  Only built
         for tree-keyed priorities, which are the only persistable ones.
         """
-        from repro.gp.parse import unparse
-
         tree = priority.tree if isinstance(priority, PriorityFunction) \
             else priority
         return {
-            "expression": unparse(tree),
+            "expression": expression_text(tree),
             "case": self.case.name,
             "benchmark": benchmark,
             "dataset": dataset,
@@ -370,10 +425,13 @@ class EvaluationHarness:
                  benchmark: str):
         """``compile_backend``, through the forking layer when on: the
         shared prefix is restored from a snapshot and only the hook's
-        suffix runs (docs/FORKING.md)."""
-        if not self.use_snapshots or self.snapshot_cache is None:
+        suffix runs (docs/FORKING.md).  Prepare-stage cases have no
+        shared prefix (``STAGE_BY_HOOK`` carries no entry for their
+        hooks) and always take the full backend path."""
+        stage = STAGE_BY_HOOK.get(self.case.hook)
+        if stage is None or not self.use_snapshots \
+                or self.snapshot_cache is None:
             return compile_backend(prep, options)
-        stage = STAGE_BY_HOOK[self.case.hook]
         snapshot = self.snapshot_cache.get_or_build(
             benchmark, prep, options, stage)
         return compile_backend(prep, options, snapshot=snapshot)
@@ -431,7 +489,7 @@ class EvaluationHarness:
             self.divergences.append((benchmark, dataset, divergence))
         return True
 
-    def baseline_tree(self) -> Node:
+    def baseline_tree(self):
         """The case's baseline expression, built once per harness (a
         fresh ``Node`` tree per call would be pure allocation churn —
         ``baseline_result`` runs inside every ``speedup``)."""

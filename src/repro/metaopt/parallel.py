@@ -361,6 +361,14 @@ def make_evaluator(case_name: str,
     for equal settings.
     """
     settings = settings if settings is not None else EvalSettings()
+    if case_name == "flags" and (fleet is not None or processes > 1):
+        # Pool workers and fleet shards ship candidates as priority-
+        # function s-expressions; a flags genome is not one, and the
+        # campaign is cheap enough (6 genes) that serial evaluation is
+        # never the bottleneck.
+        raise ValueError(
+            "the flags case only supports serial evaluation — drop "
+            "--processes/--fleet")
     if fleet is not None:
         if processes > 1:
             raise ValueError(

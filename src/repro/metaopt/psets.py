@@ -16,10 +16,15 @@ the surrogate-fitness feature extractor
 from __future__ import annotations
 
 from repro.gp.generate import PrimitiveSet
+from repro.gp.genome import FlagsSpace
 from repro.gp.types import BOOL, REAL
 from repro.passes.hyperblock import (
     HYPERBLOCK_BOOL_FEATURES,
     HYPERBLOCK_REAL_FEATURES,
+)
+from repro.passes.inline import (
+    INLINE_BOOL_FEATURES,
+    INLINE_FEATURES,
 )
 from repro.passes.prefetch import (
     PREFETCH_BOOL_FEATURES,
@@ -28,6 +33,10 @@ from repro.passes.prefetch import (
 from repro.passes.regalloc import (
     REGALLOC_BOOL_FEATURES,
     REGALLOC_REAL_FEATURES,
+)
+from repro.passes.unroll import (
+    UNROLL_BOOL_FEATURES,
+    UNROLL_FEATURES,
 )
 
 #: Case study I (Section 5): real-valued path priority.
@@ -54,6 +63,29 @@ PREFETCH_PSET = PrimitiveSet(
     const_range=(0.0, 64.0),
 )
 
+#: Extension case study IV: real-valued inlining priority over legal
+#: call sites (positive value inlines).  Constants range over callee
+#: sizes the threshold heuristic reasons about.
+INLINE_PSET = PrimitiveSet(
+    real_features=INLINE_FEATURES,
+    bool_features=INLINE_BOOL_FEATURES,
+    result_type=REAL,
+    const_range=(0.0, 32.0),
+)
+
+#: Extension case study V: real-valued unroll-factor score — evaluated
+#: once per legal candidate factor, highest positive factor wins.
+UNROLL_PSET = PrimitiveSet(
+    real_features=UNROLL_FEATURES,
+    bool_features=UNROLL_BOOL_FEATURES,
+    result_type=REAL,
+    const_range=(0.0, 16.0),
+)
+
+#: FOGA-style flag campaign: not a tree pset at all — a fixed-length
+#: enum-gene space over CompilerOptions (repro.gp.genome).
+FLAGS_SPACE = FlagsSpace()
+
 #: Extension case study (the paper's Section 2 example, exposed):
 #: real-valued list-scheduling priority.
 from repro.metaopt.scheduling import SCHEDULE_PSET  # noqa: E402
@@ -63,4 +95,7 @@ PSETS = {
     "regalloc": REGALLOC_PSET,
     "prefetch": PREFETCH_PSET,
     "scheduling": SCHEDULE_PSET,
+    "inline": INLINE_PSET,
+    "unroll": UNROLL_PSET,
+    "flags": FLAGS_SPACE,
 }

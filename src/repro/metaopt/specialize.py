@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.gp.engine import GenerationStats, GPEngine, GPParams
+from repro.gp.genome import expression_text
 from repro.gp.nodes import Node
-from repro.gp.parse import unparse
 from repro.metaopt.harness import CaseStudy, EvaluationHarness
 
 
@@ -32,7 +32,7 @@ class SpecializationResult:
 
     @property
     def best_expression(self) -> str:
-        return unparse(self.best_tree)
+        return expression_text(self.best_tree)
 
     def fitness_curve(self) -> list[float]:
         return [stats.best_fitness for stats in self.history]

@@ -5,27 +5,61 @@ hyperblock study indirectly: calls are *hazards* (IMPACT penalizes
 paths containing ``jsr``), so inlining small leaf helpers converts
 hazardous paths into predicatable ones.
 
-Policy: inline call sites whose callee (a) is not (mutually) recursive,
-(b) has at most ``max_callee_ops`` instructions, and (c) allocates no
-stack frame.  Bodies are cloned with fresh registers and labels; every
-``ret`` becomes a move to the call's destination plus a jump to the
-split-off continuation block.
+Legality: a call site may be inlined only when it is unguarded, the
+callee is known, is not the caller, allocates no stack frame, and is
+not (mutually) recursive.  *Which* legal sites to inline is a policy
+question, and since PR 9 an evolvable one: a priority hook receives the
+site's feature environment and the site is inlined iff the priority is
+positive.  The default policy reproduces the original fixed threshold
+(inline when the callee has at most ``max_callee_ops`` instructions)
+exactly, so ``priority=None`` is byte-identical to the historical pass.
+
+Bodies are cloned with fresh registers and labels; every ``ret``
+becomes a move to the call's destination plus a jump to the split-off
+continuation block.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.ir.block import Block
 from repro.ir.function import Function, Module
 from repro.ir.instr import Instr, Opcode, jmp, mov
 from repro.ir.values import VReg
 
+#: Feature names every inline-priority environment carries, in order.
+INLINE_FEATURES = (
+    "callee_ops",      # instruction count of the callee
+    "caller_ops",      # instruction count of the caller (pre-inline)
+    "callee_blocks",   # basic blocks in the callee
+    "param_count",     # formal parameters of the callee
+    "site_count",      # call sites targeting this callee, module-wide
+)
+
+#: Boolean features alongside the reals above.
+INLINE_BOOL_FEATURES = (
+    "callee_is_leaf",  # callee makes no calls of its own
+    "single_site",     # this is the only call site of the callee
+)
+
+
+@dataclass(frozen=True)
+class InlineDecision:
+    """One legal call site judged by the inlining policy."""
+
+    caller: str
+    callee: str
+    features: dict
+    priority: float
+    inlined: bool
+
 
 @dataclass
 class InlineReport:
     sites_seen: int = 0
     sites_inlined: int = 0
+    decisions: list[InlineDecision] = field(default_factory=list)
 
 
 def _call_graph(module: Module) -> dict[str, set[str]]:
@@ -52,6 +86,31 @@ def _reaches(graph: dict[str, set[str]], source: str, target: str) -> bool:
         seen.add(node)
         stack.extend(graph.get(node, ()))
     return False
+
+
+def _site_count(module: Module, callee_name: str) -> int:
+    count = 0
+    for function in module.functions.values():
+        for instr in function.instructions():
+            if instr.op is Opcode.CALL and instr.callee == callee_name:
+                count += 1
+    return count
+
+
+def site_features(module: Module, caller: Function, callee: Function,
+                  graph: dict[str, set[str]]) -> dict:
+    """The feature environment one legal call site presents to the
+    inlining priority."""
+    sites = _site_count(module, callee.name)
+    return {
+        "callee_ops": float(callee.instruction_count()),
+        "caller_ops": float(caller.instruction_count()),
+        "callee_blocks": float(len(callee.block_order)),
+        "param_count": float(len(callee.params)),
+        "site_count": float(sites),
+        "callee_is_leaf": not graph.get(callee.name),
+        "single_site": sites == 1,
+    }
 
 
 def _clone_into(caller: Function, callee: Function,
@@ -93,10 +152,21 @@ def _clone_into(caller: Function, callee: Function,
 
 
 def inline_function(module: Module, caller: Function,
-                    max_callee_ops: int = 24) -> int:
-    """Inline eligible call sites in ``caller``; returns sites inlined."""
+                    max_callee_ops: int = 24, priority=None,
+                    report: InlineReport | None = None) -> int:
+    """Inline eligible call sites in ``caller``; returns sites inlined.
+
+    ``priority`` maps a feature environment (see :data:`INLINE_FEATURES`)
+    to a float; a legal site is inlined iff the value is positive.  Each
+    physical call site is judged exactly once, at first encounter —
+    re-judging rejected sites after the caller grows would make the
+    policy order-dependent in a way no fixed threshold is.  ``None``
+    applies the historical threshold (``callee_ops <= max_callee_ops``)
+    and is byte-identical to the pre-hook pass.
+    """
     graph = _call_graph(module)
     inlined = 0
+    judged: set[int] = set()
     changed = True
     guard_iterations = 0
     while changed and guard_iterations < 8:
@@ -112,10 +182,25 @@ def inline_function(module: Module, caller: Function,
                     continue
                 if callee.frame_words > 0:
                     continue
-                if callee.instruction_count() > max_callee_ops:
-                    continue
                 if _reaches(graph, callee.name, callee.name):
                     continue  # self/mutually recursive
+                if id(instr) in judged:
+                    continue  # already rejected at first encounter
+                judged.add(id(instr))
+
+                features = site_features(module, caller, callee, graph)
+                if priority is None:
+                    value = (max_callee_ops + 0.5) - features["callee_ops"]
+                else:
+                    value = float(priority(features))
+                accept = value > 0.0
+                if report is not None:
+                    report.decisions.append(InlineDecision(
+                        caller=caller.name, callee=callee.name,
+                        features=features, priority=value,
+                        inlined=accept))
+                if not accept:
+                    continue
 
                 # Split the block at the call site.
                 continuation = caller.new_block(f"after_{callee.name}_")
@@ -154,7 +239,8 @@ def inline_function(module: Module, caller: Function,
     return inlined
 
 
-def inline_module(module: Module, max_callee_ops: int = 24) -> InlineReport:
+def inline_module(module: Module, max_callee_ops: int = 24,
+                  priority=None) -> InlineReport:
     """Inline small calls across the whole module (callees first, so
     helper-of-helper chains flatten)."""
     report = InlineReport()
@@ -164,6 +250,8 @@ def inline_module(module: Module, max_callee_ops: int = 24) -> InlineReport:
                 report.sites_seen += 1
     for function in module.functions.values():
         report.sites_inlined += inline_function(module, function,
-                                                max_callee_ops)
+                                                max_callee_ops,
+                                                priority=priority,
+                                                report=report)
     module.validate()
     return report

@@ -50,7 +50,7 @@ from repro.passes.hyperblock import (
     form_hyperblocks,
     impact_priority,
 )
-from repro.passes.inline import inline_module
+from repro.passes.inline import InlineReport, inline_module
 from repro.passes.prefetch import (
     PrefetchPriority,
     PrefetchReport,
@@ -64,7 +64,7 @@ from repro.passes.regalloc import (
     chow_hennessy_savings,
 )
 from repro.passes.schedule import SchedulePriority, schedule_module
-from repro.passes.unroll import unroll_module
+from repro.passes.unroll import UnrollReport, unroll_module
 from repro.profile.profiler import ModuleProfile, collect_profile
 from repro.verify.ir_verifier import verify_module, verify_scheduled
 
@@ -76,12 +76,30 @@ BACKEND_STAGES: tuple[str, ...] = (
     "hyperblock", "prefetch", "regalloc", "schedule")
 
 #: CompilerOptions hook attribute -> the backend stage it steers.
+#: Prepare-stage hooks (``inline_priority``, ``unroll_priority``) and
+#: the flags genome have no backend stage and are deliberately absent:
+#: their candidates re-run :func:`prepare`, so nothing downstream of a
+#: snapshot prefix can cover them.
 STAGE_BY_HOOK = {
     "hyperblock_priority": "hyperblock",
     "prefetch_priority": "prefetch",
     "spill_priority": "regalloc",
     "schedule_priority": "schedule",
 }
+
+
+def validate_backend_order(order: tuple[str, ...]) -> tuple[str, ...]:
+    """Check a backend stage ordering: only the two region-shaping
+    stages (hyperblock, prefetch) may permute — allocation needs final
+    IR shape and scheduling needs allocated code, so both stay pinned
+    at the end."""
+    if (len(order) != len(BACKEND_STAGES)
+            or set(order[:2]) != {"hyperblock", "prefetch"}
+            or tuple(order[2:]) != ("regalloc", "schedule")):
+        raise ValueError(
+            f"invalid backend_order {order!r}: must be a permutation of "
+            f"{BACKEND_STAGES} keeping regalloc, schedule last")
+    return tuple(order)
 
 
 def _instr_count(module: Module) -> int:
@@ -130,6 +148,15 @@ class CompilerOptions:
     spill_priority: SpillPriority = chow_hennessy_savings
     prefetch_priority: PrefetchPriority = orc_confidence
     schedule_priority: SchedulePriority | None = None
+    #: Prepare-stage hooks (Meta Optimization case studies 4 and 5):
+    #: score legal inline sites / candidate unroll factors.  ``None``
+    #: applies the historical fixed policies byte-for-byte.
+    inline_priority: object | None = None
+    unroll_priority: object | None = None
+    #: Backend stage ordering (FOGA-style flag search); only the
+    #: hyperblock/prefetch prefix may permute — see
+    #: :func:`validate_backend_order`.
+    backend_order: tuple[str, ...] = BACKEND_STAGES
     hyperblock_threshold: float = 0.10
     #: Run the structural IR verifier between every pipeline stage
     #: (and on the final schedule).  Off by default: it roughly doubles
@@ -163,11 +190,17 @@ class CompilerOptions:
 
 @dataclass
 class PreparedProgram:
-    """Candidate-independent compilation state, cacheable per benchmark."""
+    """Candidate-independent compilation state, cacheable per benchmark.
+
+    ("Candidate-independent" is relative to the backend case studies;
+    for the inline/unroll/flags cases :func:`prepare` itself is the
+    candidate-dependent step and the harness re-runs it per genome.)"""
 
     module: Module
     profile: ModuleProfile
     options: CompilerOptions
+    inline_report: InlineReport | None = None
+    unroll_report: UnrollReport | None = None
 
 
 @dataclass
@@ -195,23 +228,30 @@ def prepare(
             verify_module(working, stage=stage)
 
     checkpoint("input")
+    inline_report = None
+    unroll_report = None
     with obs.span("pipeline:prepare", module=module.name):
         if options.inline:
             with _staged("inline", working):
-                inline_module(working)
+                inline_report = inline_module(
+                    working, priority=options.inline_priority)
             checkpoint("inline")
         with _staged("cleanup", working):
             cleanup_module(working)
         checkpoint("cleanup")
-        if options.unroll_factor >= 2:
+        if options.unroll_priority is not None or options.unroll_factor >= 2:
             with _staged("unroll", working):
-                unroll_module(working, options.unroll_factor)
+                unroll_report = unroll_module(
+                    working, options.unroll_factor,
+                    priority=options.unroll_priority)
                 cleanup_module(working)
             checkpoint("unroll")
         with _staged("profile", working):
             profile = collect_profile(working, train_inputs,
                                       max_steps=max_steps)
-    return PreparedProgram(module=working, profile=profile, options=options)
+    return PreparedProgram(module=working, profile=profile, options=options,
+                           inline_report=inline_report,
+                           unroll_report=unroll_report)
 
 
 def _make_checkpoint(working: Module, options: CompilerOptions):
@@ -308,12 +348,13 @@ def run_prefix(
         options = options.heuristic_artifact.install(options)
     if stage not in BACKEND_STAGES:
         raise ValueError(f"unknown backend stage {stage!r}")
+    order = validate_backend_order(options.backend_order)
     working = prepared.module.clone()
     report = BackendReport()
     checkpoint = _make_checkpoint(working, options)
     with obs.span("pipeline:prefix", module=prepared.module.name,
                   stage=stage):
-        for prior in BACKEND_STAGES[:BACKEND_STAGES.index(stage)]:
+        for prior in order[:order.index(stage)]:
             _run_backend_stage(prior, working, report, prepared, options,
                                checkpoint)
     return working, report
@@ -336,14 +377,15 @@ def compile_backend(
     options = options or prepared.options
     if options.heuristic_artifact is not None:
         options = options.heuristic_artifact.install(options)
+    order = validate_backend_order(options.backend_order)
     if snapshot is None:
         working = prepared.module.clone()
         report = BackendReport()
-        stages = BACKEND_STAGES
+        stages = order
         span_args = {"module": prepared.module.name}
     else:
         working, report = snapshot.restore()
-        stages = BACKEND_STAGES[BACKEND_STAGES.index(snapshot.stage):]
+        stages = order[order.index(snapshot.stage):]
         span_args = {"module": prepared.module.name,
                      "replay_from": snapshot.stage}
     checkpoint = _make_checkpoint(working, options)

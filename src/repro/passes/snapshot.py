@@ -115,8 +115,14 @@ def options_fingerprint(options: CompilerOptions, stage: str) -> tuple:
         ("prefetch", options.prefetch),
         ("threshold", options.hyperblock_threshold),
         ("verify_ir", options.verify_ir),
+        ("backend_order", tuple(options.backend_order)),
+        ("inline_priority",
+         _priority_fingerprint(options.inline_priority)),
+        ("unroll_priority",
+         _priority_fingerprint(options.unroll_priority)),
     ]
-    for prior in BACKEND_STAGES[:BACKEND_STAGES.index(stage)]:
+    order = tuple(options.backend_order)
+    for prior in order[:order.index(stage)]:
         field = _PRIORITY_FIELD_BY_STAGE[prior]
         parts.append((field, _priority_fingerprint(getattr(options, field))))
     return tuple(parts)

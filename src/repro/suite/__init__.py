@@ -1,5 +1,9 @@
 """Benchmark suite (Table 5): programs, datasets, and experiment sets."""
 
+from repro.suite.promoted import (
+    PROMOTED_NOVEL_SET,
+    PROMOTED_TRAINING_SET,
+)
 from repro.suite.registry import (
     Benchmark,
     HYPERBLOCK_TEST_SET,
@@ -20,6 +24,8 @@ __all__ = [
     "HYPERBLOCK_TRAINING_SET",
     "PREFETCH_TEST_SET",
     "PREFETCH_TRAINING_SET",
+    "PROMOTED_NOVEL_SET",
+    "PROMOTED_TRAINING_SET",
     "REGALLOC_TEST_SET",
     "REGALLOC_TRAINING_SET",
     "all_benchmarks",

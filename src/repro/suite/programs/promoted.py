@@ -1,0 +1,11 @@
+"""Fuzzer-promoted and adversarial benchmarks.
+
+The actual programs live in ``repro/suite/promoted_programs.json``
+(committed package data written by ``repro suite promote``); this
+module only folds them into the registry alongside the hand-written
+suites.  See :mod:`repro.suite.promoted`.
+"""
+
+from repro.suite.promoted import register_promoted
+
+register_promoted()

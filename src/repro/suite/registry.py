@@ -53,6 +53,7 @@ _PROGRAM_MODULES = (
     "specfp92",
     "specfp95",
     "spec2000fp",
+    "promoted",
 )
 
 _LOADED = False

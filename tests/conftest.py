@@ -1,5 +1,7 @@
 """Shared pytest configuration for the whole suite."""
 
+from pathlib import Path
+
 import pytest
 
 
@@ -17,3 +19,61 @@ def pytest_addoption(parser):
 def update_goldens(request):
     """True when the run should rewrite golden files."""
     return request.config.getoption("--update-goldens")
+
+
+class CampaignDriver:
+    """The shared tempdir campaign runner of the experiments, fleet,
+    and surrogate suites (formerly three copy-pasted helpers).
+
+    ``runner_kwargs`` (``surrogate=True``, ``fleet="local:2"``, ...)
+    pass straight through to :class:`repro.experiments.
+    ExperimentRunner` on the initial run *and* on the resume leg, so a
+    killed run always resumes under the same evaluation backend.
+    """
+
+    def __init__(self, base: Path) -> None:
+        self.base = Path(base)
+
+    def config(self, case="hyperblock", benchmark="codrle4",
+               generations=4, seed=0, population=8, **overrides):
+        from repro.experiments import ExperimentConfig
+        from repro.gp.engine import GPParams
+
+        defaults = dict(
+            mode="specialize", case=case, benchmark=benchmark,
+            params=GPParams(population_size=population,
+                            generations=generations, seed=seed))
+        defaults.update(overrides)
+        return ExperimentConfig(**defaults)
+
+    def run_full(self, config, name="full", **runner_kwargs) -> bytes:
+        """Run ``config`` to completion; returns result.json's bytes."""
+        from repro.experiments import ExperimentRunner
+
+        run_dir = self.base / name
+        ExperimentRunner(config, run_dir=run_dir, **runner_kwargs).run()
+        return (run_dir / "result.json").read_bytes()
+
+    def run_killed_then_resumed(self, config, stop_after, name="killed",
+                                **runner_kwargs) -> bytes:
+        """Stop after generation ``stop_after`` (the deterministic
+        SIGKILL stand-in), then resume to completion; returns
+        result.json's bytes."""
+        from repro.experiments import ExperimentRunner
+
+        run_dir = self.base / name
+        outcome = ExperimentRunner(
+            config, run_dir=run_dir, stop_after_generation=stop_after,
+            **runner_kwargs).run()
+        assert outcome.interrupted
+        assert outcome.next_generation == stop_after + 1
+        assert not (run_dir / "result.json").exists()
+        ExperimentRunner.from_run_dir(
+            run_dir, **runner_kwargs).run(resume=True)
+        return (run_dir / "result.json").read_bytes()
+
+
+@pytest.fixture
+def campaign_run(tmp_path):
+    """A :class:`CampaignDriver` rooted in this test's tmp dir."""
+    return CampaignDriver(tmp_path)

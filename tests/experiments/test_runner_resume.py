@@ -2,6 +2,10 @@
 checkpoint plumbing — the acceptance criteria of the experiments
 subsystem.  Campaigns here are tiny (pop 8, 2–4 generations) but real:
 they compile and simulate actual suite benchmarks.
+
+Campaign execution goes through the shared ``campaign_run`` fixture
+(tests/conftest.py), the same driver the fleet and surrogate suites
+use.
 """
 
 import json
@@ -39,58 +43,41 @@ def gen_config(generations=3):
         subset_size=1)
 
 
-def run_full(config, run_dir):
-    ExperimentRunner(config, run_dir=run_dir).run()
-    return (run_dir / "result.json").read_bytes()
-
-
-def run_killed_then_resumed(config, run_dir, stop_after):
-    outcome = ExperimentRunner(
-        config, run_dir=run_dir,
-        stop_after_generation=stop_after).run()
-    assert outcome.interrupted
-    assert outcome.next_generation == stop_after + 1
-    assert not (run_dir / "result.json").exists()
-    ExperimentRunner.from_run_dir(run_dir).run(resume=True)
-    return (run_dir / "result.json").read_bytes()
-
-
 class TestResumeDeterminism:
     @pytest.mark.parametrize("stop_after", [0, 1, 2])
-    def test_serial_resume_byte_identical(self, tmp_path, stop_after):
+    def test_serial_resume_byte_identical(self, campaign_run, stop_after):
         config = spec_config()
-        full = run_full(config, tmp_path / "full")
-        resumed = run_killed_then_resumed(config, tmp_path / "killed",
-                                          stop_after)
+        full = campaign_run.run_full(config)
+        resumed = campaign_run.run_killed_then_resumed(config, stop_after)
         assert resumed == full
 
-    def test_parallel_resume_byte_identical(self, tmp_path):
+    def test_parallel_resume_byte_identical(self, campaign_run):
         config = spec_config(generations=3, processes=2)
-        full = run_full(config, tmp_path / "full")
-        resumed = run_killed_then_resumed(config, tmp_path / "killed",
-                                          stop_after=1)
+        full = campaign_run.run_full(config)
+        resumed = campaign_run.run_killed_then_resumed(config,
+                                                       stop_after=1)
         assert resumed == full
 
-    def test_serial_and_parallel_agree(self, tmp_path):
-        serial = json.loads(run_full(spec_config(generations=3),
-                                     tmp_path / "serial"))
-        parallel = json.loads(run_full(
-            spec_config(generations=3, processes=2), tmp_path / "pool"))
+    def test_serial_and_parallel_agree(self, campaign_run):
+        serial = json.loads(campaign_run.run_full(
+            spec_config(generations=3), name="serial"))
+        parallel = json.loads(campaign_run.run_full(
+            spec_config(generations=3, processes=2), name="pool"))
         serial.pop("config"), parallel.pop("config")
         assert serial == parallel
 
-    def test_generalize_dss_resume_byte_identical(self, tmp_path):
+    def test_generalize_dss_resume_byte_identical(self, campaign_run):
         config = gen_config()
-        full = run_full(config, tmp_path / "full")
-        resumed = run_killed_then_resumed(config, tmp_path / "killed",
-                                          stop_after=0)
+        full = campaign_run.run_full(config)
+        resumed = campaign_run.run_killed_then_resumed(config,
+                                                       stop_after=0)
         assert resumed == full
 
-    def test_double_kill_then_resume(self, tmp_path):
+    def test_double_kill_then_resume(self, campaign_run, tmp_path):
         """Kill, resume, kill again, resume again — each leg continues
         from the latest checkpoint."""
         config = spec_config(generations=4)
-        full = run_full(config, tmp_path / "full")
+        full = campaign_run.run_full(config)
         run_dir = tmp_path / "killed"
         assert ExperimentRunner(
             config, run_dir=run_dir,
@@ -100,12 +87,13 @@ class TestResumeDeterminism:
         ExperimentRunner.from_run_dir(run_dir).run(resume=True)
         assert (run_dir / "result.json").read_bytes() == full
 
-    def test_keyboard_interrupt_leaves_resumable_checkpoint(self, tmp_path):
+    def test_keyboard_interrupt_leaves_resumable_checkpoint(
+            self, campaign_run, tmp_path):
         """A real interrupt (not the test flag) mid-run still resumes
         bit-identically — the sink raises after the second generation's
         checkpoint is on disk."""
         config = spec_config()
-        full = run_full(config, tmp_path / "full")
+        full = campaign_run.run_full(config)
 
         class Bomb(MemorySink):
             def emit(self, event):
@@ -123,9 +111,9 @@ class TestResumeDeterminism:
 
 
 class TestRunDirectory:
-    def test_layout(self, tmp_path):
-        run_dir = tmp_path / "run"
-        run_full(spec_config(generations=2), run_dir)
+    def test_layout(self, campaign_run):
+        campaign_run.run_full(spec_config(generations=2), name="run")
+        run_dir = campaign_run.base / "run"
         assert (run_dir / "config.json").exists()
         assert (run_dir / "events.jsonl").exists()
         assert (run_dir / "checkpoint.pkl").exists()
@@ -134,9 +122,9 @@ class TestRunDirectory:
             p.name for p in (run_dir / "populations").iterdir())
         assert snapshots == ["gen_0000.jsonl", "gen_0001.jsonl"]
 
-    def test_population_snapshot_contents(self, tmp_path):
-        run_dir = tmp_path / "run"
-        run_full(spec_config(generations=2), run_dir)
+    def test_population_snapshot_contents(self, campaign_run):
+        campaign_run.run_full(spec_config(generations=2), name="run")
+        run_dir = campaign_run.base / "run"
         lines = [json.loads(line) for line in
                  (run_dir / "populations/gen_0000.jsonl")
                  .read_text().splitlines()]
@@ -146,17 +134,17 @@ class TestRunDirectory:
             assert entry["fitness"] is not None
             assert entry["size"] >= 1
 
-    def test_config_json_reconstructs_config(self, tmp_path):
-        run_dir = tmp_path / "run"
+    def test_config_json_reconstructs_config(self, campaign_run):
         config = spec_config(generations=2)
-        run_full(config, run_dir)
+        campaign_run.run_full(config, name="run")
         restored = ExperimentConfig.from_json_dict(
-            json.loads((run_dir / "config.json").read_text()))
+            json.loads((campaign_run.base / "run" / "config.json")
+                       .read_text()))
         assert restored == config
 
-    def test_fresh_start_into_used_dir_refused(self, tmp_path):
-        run_dir = tmp_path / "run"
-        run_full(spec_config(generations=2), run_dir)
+    def test_fresh_start_into_used_dir_refused(self, campaign_run):
+        run_dir = campaign_run.base / "run"
+        campaign_run.run_full(spec_config(generations=2), name="run")
         with pytest.raises(FileExistsError):
             ExperimentRunner(spec_config(generations=2),
                              run_dir=run_dir).run()
@@ -179,9 +167,11 @@ class TestRunDirectory:
         with pytest.raises(ValueError):
             ExperimentRunner(other, run_dir=run_dir).run(resume=True)
 
-    def test_resume_finished_run_rewrites_identical_result(self, tmp_path):
-        run_dir = tmp_path / "run"
-        first = run_full(spec_config(generations=2), run_dir)
+    def test_resume_finished_run_rewrites_identical_result(
+            self, campaign_run):
+        run_dir = campaign_run.base / "run"
+        first = campaign_run.run_full(spec_config(generations=2),
+                                      name="run")
         ExperimentRunner.from_run_dir(run_dir).run(resume=True)
         assert (run_dir / "result.json").read_bytes() == first
 

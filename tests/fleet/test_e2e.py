@@ -4,6 +4,10 @@ The contract under test is docs/FLEET.md's headline guarantee: a
 ``--fleet`` campaign produces a ``result.json`` byte-identical to the
 serial run — including when one of the workers is SIGKILLed
 mid-generation, and when the coordinator itself is killed and resumed.
+
+Campaign execution goes through the shared
+:class:`tests.conftest.CampaignDriver`, the same driver the
+experiments and surrogate suites use via the ``campaign_run`` fixture.
 """
 
 import json
@@ -13,12 +17,13 @@ import time
 
 import pytest
 
-from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.experiments import ExperimentConfig
 from repro.fleet import FleetEvaluator
 from repro.gp.engine import GPParams
 from repro.gp.generate import TreeGenerator
 from repro.metaopt.harness import EvaluationHarness, case_study
 from repro.metaopt.settings import EvalSettings
+from tests.conftest import CampaignDriver
 
 BENCHMARK = "codrle4"
 
@@ -34,32 +39,26 @@ def campaign_config() -> ExperimentConfig:
 
 @pytest.fixture(scope="module")
 def serial_result(tmp_path_factory):
-    run_dir = tmp_path_factory.mktemp("serial")
-    ExperimentRunner(campaign_config(), run_dir=run_dir).run()
-    return (run_dir / "result.json").read_bytes()
+    driver = CampaignDriver(tmp_path_factory.mktemp("serial"))
+    return driver.run_full(campaign_config())
 
 
 class TestByteIdentity:
-    def test_fleet_campaign_matches_serial(self, tmp_path, serial_result):
-        runner = ExperimentRunner(campaign_config(),
-                                  run_dir=tmp_path / "fleet",
-                                  fleet="local:2")
-        runner.run()
-        fleet_result = (tmp_path / "fleet" / "result.json").read_bytes()
+    def test_fleet_campaign_matches_serial(self, campaign_run,
+                                           serial_result):
+        fleet_result = campaign_run.run_full(campaign_config(),
+                                             name="fleet",
+                                             fleet="local:2")
         assert fleet_result == serial_result
 
     def test_coordinator_kill_and_resume_matches_serial(
-            self, tmp_path, serial_result):
+            self, campaign_run, serial_result):
         """Stop the coordinator after generation 0 (the deterministic
         stand-in for SIGKILL), then resume — still on the fleet."""
-        run_dir = tmp_path / "resumed"
-        first = ExperimentRunner(campaign_config(), run_dir=run_dir,
-                                 stop_after_generation=0, fleet="local:2")
-        outcome = first.run()
-        assert outcome.interrupted
-        second = ExperimentRunner.from_run_dir(run_dir, fleet="local:2")
-        second.run(resume=True)
-        assert (run_dir / "result.json").read_bytes() == serial_result
+        resumed = campaign_run.run_killed_then_resumed(
+            campaign_config(), stop_after=0, name="resumed",
+            fleet="local:2")
+        assert resumed == serial_result
 
 
 class TestWorkerLossMidGeneration:
@@ -97,13 +96,13 @@ class TestWorkerLossMidGeneration:
 
 
 class TestFleetEvents:
-    def test_fleet_counters_reach_generation_events(self, tmp_path):
+    def test_fleet_counters_reach_generation_events(self, campaign_run):
         """Campaign telemetry carries the fleet's dispatch counters."""
-        run_dir = tmp_path / "events"
-        ExperimentRunner(campaign_config(), run_dir=run_dir,
-                         fleet="local:1").run()
+        campaign_run.run_full(campaign_config(), name="events",
+                              fleet="local:1")
         events = [json.loads(line) for line in
-                  (run_dir / "events.jsonl").read_text().splitlines()]
+                  (campaign_run.base / "events" / "events.jsonl")
+                  .read_text().splitlines()]
         generations = [e for e in events if e["event"] == "generation"]
         assert generations
         # Per-generation counters are deltas; the first generation

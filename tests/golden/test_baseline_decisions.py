@@ -10,7 +10,11 @@ baseline heuristic makes:
   convert/reject verdict for every region the pass considered;
 * **regalloc**  — Equation 2 savings (rounded) for every constrained
   live range, plus which ranges spilled;
-* **prefetch**  — the Boolean verdict for every candidate load.
+* **prefetch**  — the Boolean verdict for every candidate load;
+* **inline**    — the size-threshold priority (rounded) and the
+  inline/reject verdict for every legal call site;
+* **unroll**    — the per-candidate-factor scores (rounded) and the
+  chosen factor for every analyzable loop.
 
 A diff here means the *heuristic input features or the decision logic
 changed*, which silently shifts every published number in the repro.
@@ -67,8 +71,41 @@ def _prefetch_entry(report):
     return [[label, verdict] for label, verdict in report.decisions]
 
 
+def _inline_entry(report):
+    return [
+        {
+            "caller": decision.caller,
+            "callee": decision.callee,
+            "priority": round(decision.priority, DIGITS),
+            "inlined": decision.inlined,
+        }
+        for decision in report.decisions
+    ]
+
+
+def _unroll_entry(report):
+    return [
+        {
+            "function": decision.function,
+            "header": decision.header,
+            "trip_count": decision.trip_count,
+            "priorities": {
+                str(factor): round(priority, DIGITS)
+                for factor, priority in sorted(decision.priorities.items())
+            },
+            "factor": decision.factor,
+        }
+        for decision in report.decisions
+    ]
+
+
 def baseline_decisions(benchmark: str) -> dict:
-    """All three baseline heuristics' decisions on one benchmark."""
+    """All five baseline heuristics' decisions on one benchmark.
+
+    The prepare-stage cases (inline, unroll) read their reports off
+    :class:`~repro.passes.pipeline.PreparedProgram`; the backend cases
+    read theirs off the compile report.
+    """
     bench = get_benchmark(benchmark)
     entry = {}
     for case_name in ("hyperblock", "regalloc", "prefetch"):
@@ -82,6 +119,10 @@ def baseline_decisions(benchmark: str) -> dict:
                 for name, rep in sorted(report.hyperblock.items())
                 if rep.decisions
             }
+            # prepare-stage decisions are candidate-independent of the
+            # backend case, so one prepared program pins both
+            entry["inline"] = _inline_entry(prepared.inline_report)
+            entry["unroll"] = _unroll_entry(prepared.unroll_report)
         elif case_name == "regalloc":
             entry["regalloc"] = {
                 name: _regalloc_entry(rep)
@@ -141,3 +182,5 @@ def test_goldens_have_decisions_somewhere():
     assert any(entry["hyperblock"] for entry in goldens.values())
     assert any(entry["regalloc"] for entry in goldens.values())
     assert any(entry["prefetch"] for entry in goldens.values())
+    assert any(entry["inline"] for entry in goldens.values())
+    assert any(entry["unroll"] for entry in goldens.values())

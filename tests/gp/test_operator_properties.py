@@ -5,7 +5,8 @@ simplification can never manufacture an ill-typed expression — any
 closure bug would surface as a crash (or worse, a silently wrong
 heuristic) deep inside a long evolution run.  These tests state the
 closure contract directly, over the *production* primitive sets of all
-three case studies:
+six tree-based case studies (the flags genome has its own closure
+suite in ``test_genome_properties.py``):
 
 * every offspring is type-correct and arity-correct at every node;
 * every offspring respects the depth bound;
@@ -30,7 +31,8 @@ from repro.gp.simplify import simplify
 from repro.gp.types import BOOL, REAL
 from repro.metaopt.psets import PSETS
 
-CASES = ("hyperblock", "regalloc", "prefetch")
+CASES = ("hyperblock", "regalloc", "prefetch", "scheduling",
+         "inline", "unroll")
 
 DETERMINISTIC = settings(max_examples=40, deadline=None, derandomize=True)
 

@@ -1,6 +1,10 @@
 """Runner integration for ``--surrogate``: kill+resume byte-identity,
 warm-cache training at startup, surrogate state beside the checkpoint,
-and the schema-4 telemetry event."""
+and the schema-4 telemetry event.
+
+Campaign execution goes through the shared ``campaign_run`` fixture
+(tests/conftest.py) with ``surrogate=True`` runner kwargs.
+"""
 
 import json
 
@@ -12,6 +16,9 @@ from repro.experiments import (
 )
 from repro.gp.engine import GPParams
 
+#: The runner switches every campaign in this module rides.
+SURROGATE_KWARGS = dict(surrogate=True, surrogate_top_k=2)
+
 
 def config(generations=4, fitness_cache_dir=None, seed=0):
     return ExperimentConfig(
@@ -21,48 +28,35 @@ def config(generations=4, fitness_cache_dir=None, seed=0):
         fitness_cache_dir=fitness_cache_dir)
 
 
-def run_full(cfg, run_dir, **runner_kwargs):
-    ExperimentRunner(cfg, run_dir=run_dir, surrogate=True,
-                     surrogate_top_k=2, **runner_kwargs).run()
-    return (run_dir / "result.json").read_bytes()
-
-
-def run_killed_then_resumed(cfg, run_dir, stop_after):
-    outcome = ExperimentRunner(
-        cfg, run_dir=run_dir, surrogate=True, surrogate_top_k=2,
-        stop_after_generation=stop_after).run()
-    assert outcome.interrupted
-    assert (run_dir / "surrogate.json").exists()
-    ExperimentRunner.from_run_dir(
-        run_dir, surrogate=True, surrogate_top_k=2).run(resume=True)
-    return (run_dir / "result.json").read_bytes()
-
-
 class TestResumeByteIdentity:
-    def test_cold_cache_resume_matches_full_run(self, tmp_path):
+    def test_cold_cache_resume_matches_full_run(self, campaign_run):
         # Separate cache dirs per run: a shared cache would hand the
         # resumed run a bigger training corpus than the full run saw.
         # The cache path rides result.json's embedded config, so this
         # comparison drops it and checks everything else.
-        full = json.loads(run_full(
-            config(fitness_cache_dir=str(tmp_path / "cache_a")),
-            tmp_path / "full"))
-        resumed = json.loads(run_killed_then_resumed(
-            config(fitness_cache_dir=str(tmp_path / "cache_b")),
-            tmp_path / "killed", stop_after=1))
+        base = campaign_run.base
+        full = json.loads(campaign_run.run_full(
+            config(fitness_cache_dir=str(base / "cache_a")),
+            **SURROGATE_KWARGS))
+        resumed = json.loads(campaign_run.run_killed_then_resumed(
+            config(fitness_cache_dir=str(base / "cache_b")),
+            stop_after=1, **SURROGATE_KWARGS))
+        assert (base / "killed" / "surrogate.json").exists()
         full.pop("config"), resumed.pop("config")
         assert resumed == full
 
-    def test_no_cache_resume_byte_identical(self, tmp_path):
-        full = run_full(config(), tmp_path / "full")
-        resumed = run_killed_then_resumed(config(), tmp_path / "killed",
-                                          stop_after=0)
+    def test_no_cache_resume_byte_identical(self, campaign_run):
+        full = campaign_run.run_full(config(), **SURROGATE_KWARGS)
+        resumed = campaign_run.run_killed_then_resumed(
+            config(), stop_after=0, **SURROGATE_KWARGS)
+        assert (campaign_run.base / "killed" / "surrogate.json").exists()
         assert resumed == full
 
-    def test_surrogate_state_rides_the_checkpoint(self, tmp_path):
-        run_dir = tmp_path / "run"
-        run_full(config(generations=2), run_dir)
-        state = json.loads((run_dir / "surrogate.json").read_text())
+    def test_surrogate_state_rides_the_checkpoint(self, campaign_run):
+        campaign_run.run_full(config(generations=2), name="run",
+                              **SURROGATE_KWARGS)
+        state = json.loads(
+            (campaign_run.base / "run" / "surrogate.json").read_text())
         assert state["version"] == 1
         assert state["case"] == "hyperblock"
         assert state["top_k"] == 2
@@ -70,16 +64,17 @@ class TestResumeByteIdentity:
 
 
 class TestWarmCacheTraining:
-    def test_exact_campaign_trains_the_surrogate(self, tmp_path):
-        cache_dir = str(tmp_path / "cache")
+    def test_exact_campaign_trains_the_surrogate(self, campaign_run):
+        cache_dir = str(campaign_run.base / "cache")
         # Exact campaign populates the cache with labeled records...
         run_experiment(config(generations=3,
                               fitness_cache_dir=cache_dir))
         # ...so the surrogate campaign starts with a trained model.
-        run_dir = tmp_path / "run"
-        run_full(config(generations=3, fitness_cache_dir=cache_dir),
-                 run_dir)
-        state = json.loads((run_dir / "surrogate.json").read_text())
+        campaign_run.run_full(
+            config(generations=3, fitness_cache_dir=cache_dir),
+            name="run", **SURROGATE_KWARGS)
+        state = json.loads(
+            (campaign_run.base / "run" / "surrogate.json").read_text())
         assert state["model"] is not None
         assert state["model"]["training_pairs"] >= 8
 
