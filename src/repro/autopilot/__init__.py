@@ -1,0 +1,39 @@
+"""Autopilot: online continuous re-optimization in the serving path.
+
+The subsystem that closes the paper's loop (docs/AUTOPILOT.md): the
+serving daemon watches live artifact quality against the baseline
+heuristic, and when a deployed heuristic underperforms, evolves a
+replacement *from the incumbent* in the background — at lower priority
+than interactive traffic — then canaries the champion on a
+deterministic traffic slice and promotes or rolls it back on a paired
+significance test.  Every decision is a schema-stamped event in
+``decisions.jsonl``, deterministic under kill+resume.
+
+Pieces:
+
+* :class:`~repro.autopilot.config.AutopilotConfig` — thresholds, the
+  canary slice, campaign sizing.
+* :class:`~repro.autopilot.monitor.QualityMonitor` — per-artifact
+  rolling speedup-vs-baseline windows over a sampled fraction of real
+  evaluate traffic (probes ride the memoized baseline fast path).
+* :class:`~repro.autopilot.campaign.Campaign` — one background
+  re-optimization run: an :class:`~repro.experiments.
+  ExperimentSession` stepped a generation at a time through the
+  low-priority job class of :mod:`repro.serve.jobs`.
+* :class:`~repro.autopilot.controller.Autopilot` — the orchestrator
+  gluing monitor, campaigns, registry channels, and canary analysis to
+  the serving daemon.
+"""
+
+from repro.autopilot.config import AutopilotConfig
+from repro.autopilot.controller import Autopilot
+from repro.autopilot.monitor import QualityMonitor
+from repro.autopilot.stats import paired_verdict, sign_test_p_value
+
+__all__ = [
+    "Autopilot",
+    "AutopilotConfig",
+    "QualityMonitor",
+    "paired_verdict",
+    "sign_test_p_value",
+]

@@ -1,0 +1,81 @@
+"""Autopilot configuration: thresholds, slices, campaign sizing.
+
+One frozen record, JSON round-trip, echoed verbatim by
+``GET /v1/autopilot/status`` so an operator can always read back what
+the daemon is actually running with.  See docs/AUTOPILOT.md for how to
+choose the values; the defaults favor caution (small sample rate,
+conservative significance) over reaction speed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+#: Version stamp of every autopilot persistence file (monitor state,
+#: campaign records, decision events).
+AUTOPILOT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class AutopilotConfig:
+    """Everything the autopilot loop needs, immutable and serializable.
+
+    ``threshold`` is in *speedup-vs-baseline* units: an artifact whose
+    rolling mean drops below it (e.g. 0.999 — slower than the baseline
+    heuristic it replaced) trips a re-optimization campaign.
+    """
+
+    #: directory holding monitor state, campaigns, and decisions
+    state_dir: str = "autopilot"
+    #: fraction of evaluate traffic probed against the baseline
+    sample_rate: float = 0.25
+    #: most (benchmark, dataset) entries kept per artifact window
+    window_size: int = 16
+    #: samples needed in a window before the trigger test applies
+    window_min: int = 4
+    #: trip a campaign when the window mean drops below this speedup
+    threshold: float = 0.999
+    #: fraction of stable-channel traffic hash-routed to a live canary
+    canary_fraction: float = 0.5
+    #: paired (stable, canary) cycle samples before testing significance
+    min_pairs: int = 3
+    #: give up (roll back) if still not significant after this many
+    max_pairs: int = 12
+    #: one-sided sign-test significance level for promote/rollback
+    alpha: float = 0.125
+    #: GP population of a background campaign
+    population: int = 8
+    #: GP generations of a background campaign
+    generations: int = 3
+    #: base RNG seed for campaigns (the trigger ordinal is added)
+    gp_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        if not 0.0 <= self.canary_fraction <= 1.0:
+            raise ValueError("canary_fraction must be in [0, 1]")
+        if self.window_min < 1 or self.window_size < self.window_min:
+            raise ValueError(
+                "need 1 <= window_min <= window_size")
+        if self.min_pairs < 1 or self.max_pairs < self.min_pairs:
+            raise ValueError("need 1 <= min_pairs <= max_pairs")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if self.population < 2:
+            raise ValueError("population must be >= 2")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+
+    def to_json_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "AutopilotConfig":
+        data = dict(data)
+        unknown = set(data) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(
+                f"unknown autopilot config fields: {sorted(unknown)}")
+        return cls(**data)

@@ -1,0 +1,77 @@
+"""Canary significance math: an exact one-sided binomial sign test.
+
+Zero-dependency on purpose (no scipy in this tree).  The canary
+controller collects *paired* cycle counts — the same (benchmark,
+dataset) simulated under the stable artifact and under the canary — so
+the natural test is the sign test: under the null hypothesis that the
+canary is no better, each untied pair is a fair coin, and the p-value
+of ``w`` wins in ``n`` untied pairs is the exact binomial tail
+``P(X >= w | n, 1/2)``.  Exactness matters at the tiny sample sizes a
+compile service sees; a normal approximation would be garbage at
+``n = 5``.
+
+Ties (identical cycle counts — common here, simulation is
+deterministic) carry no information and are dropped, per the standard
+sign-test treatment.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def sign_test_p_value(wins: int, trials: int) -> float:
+    """Exact one-sided p-value: ``P(X >= wins)`` for ``X ~ B(trials, 1/2)``.
+
+    ``trials`` counts *untied* pairs.  Zero trials carries no evidence
+    at all, so the p-value is 1.0.
+    """
+    if wins < 0 or trials < 0 or wins > trials:
+        raise ValueError(f"need 0 <= wins <= trials, got "
+                         f"wins={wins} trials={trials}")
+    if trials == 0:
+        return 1.0
+    tail = sum(comb(trials, k) for k in range(wins, trials + 1))
+    return tail / (1 << trials)
+
+
+def paired_verdict(pairs: list[tuple[float, float]], min_pairs: int,
+                   max_pairs: int, alpha: float) -> dict:
+    """Judge a canary from paired ``(stable_cycles, canary_cycles)``.
+
+    Returns ``{"decision", "wins", "losses", "ties", "p_value"}`` where
+    ``decision`` is:
+
+    * ``"promote"`` — canary wins are significant at ``alpha``;
+    * ``"rollback"`` — canary *losses* are significant at ``alpha``,
+      or ``max_pairs`` were collected without significance either way
+      (an inconclusive canary is not worth the routing complexity —
+      fail safe toward the incumbent);
+    * ``"continue"`` — keep collecting pairs.
+
+    Lower cycles are better, so a win is ``canary < stable``.
+    """
+    wins = sum(1 for stable, canary in pairs if canary < stable)
+    losses = sum(1 for stable, canary in pairs if canary > stable)
+    ties = len(pairs) - wins - losses
+    trials = wins + losses
+    p_win = sign_test_p_value(wins, trials)
+    p_loss = sign_test_p_value(losses, trials)
+    if len(pairs) >= min_pairs:
+        if p_win <= alpha:
+            decision = "promote"
+        elif p_loss <= alpha:
+            decision = "rollback"
+        elif len(pairs) >= max_pairs:
+            decision = "rollback"
+        else:
+            decision = "continue"
+    else:
+        decision = "continue"
+    return {
+        "decision": decision,
+        "wins": wins,
+        "losses": losses,
+        "ties": ties,
+        "p_value": p_win,
+    }

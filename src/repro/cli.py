@@ -45,13 +45,17 @@ Subcommands::
         Inspect the persistent fitness cache: corpus summary or a
         record-by-record export (the surrogate trainer's data source).
 
-    python -m repro artifacts list|show|verify [ID] [--store DIR]
+    python -m repro artifacts list|show|verify|lineage|channels [ID]
         Inspect the heuristic artifact store (content-addressed
-        evolved priority functions written by ``--publish``).
+        evolved priority functions written by ``--publish``), its
+        ancestry chains, and the per-(case, machine) deployment
+        channel pointers.
 
-    python -m repro serve [--port P] [--workers N] [...]
+    python -m repro serve [--port P] [--workers N] [--autopilot DIR]
         Run the compile/evaluate HTTP daemon: bounded job queue, warm
-        workers, 429 backpressure, SIGTERM drain (docs/SERVING.md).
+        workers, 429 backpressure, SIGTERM drain (docs/SERVING.md);
+        --autopilot adds online continuous re-optimization
+        (docs/AUTOPILOT.md).
 
     python -m repro submit BENCHMARK [--artifact ID] [--url URL]
         Send one evaluation to a running daemon and wait for the
@@ -895,7 +899,8 @@ def cmd_artifacts(args: argparse.Namespace) -> int:
 
     registry = registry_from_env(args.store)
     if args.action == "list":
-        rows = registry.list()
+        rows = registry.list(case=args.case, machine=args.machine,
+                             channel=args.channel)
         if args.json:
             print(json.dumps({"schema": 1, "store": str(registry.root),
                               "artifacts": rows},
@@ -903,14 +908,61 @@ def cmd_artifacts(args: argparse.Namespace) -> int:
             return 0
         print(f"artifact store: {registry.root} ({len(rows)} artifact(s))")
         if rows:
-            print(f"{'id':<14s}{'case':<12s}{'machine':<12s}expression")
+            print(f"{'id':<14s}{'case':<12s}{'machine':<12s}"
+                  f"{'ver':>4s} {'chan':<8s}expression")
             for row in rows:
                 expr = row.get("expression", "?")
-                if len(expr) > 40:
-                    expr = expr[:37] + "..."
+                if len(expr) > 32:
+                    expr = expr[:29] + "..."
+                version = row.get("version")
+                chan = ",".join(row.get("channels", ())) or "-"
                 print(f"{row['artifact_id'][:12]:<14s}"
                       f"{row['case']:<12s}"
-                      f"{row.get('machine', '?'):<12s}{expr}")
+                      f"{row.get('machine', '?'):<12s}"
+                      f"{version if version is not None else '-':>4} "
+                      f"{chan:<8s}{expr}")
+        return 0
+    if args.action == "lineage":
+        if not args.id:
+            raise SystemExit("repro artifacts lineage: needs an "
+                             "artifact id (or unambiguous prefix)")
+        chain = registry.lineage(args.id)
+        if args.json:
+            print(json.dumps({"schema": 1, "lineage": chain},
+                             indent=2, sort_keys=True))
+            return 0
+        for depth, row in enumerate(chain):
+            marker = "" if depth == 0 else "  " * (depth - 1) + "  └─ "
+            if row.get("error"):
+                print(f"{marker}{row['artifact_id'][:12]} "
+                      f"({row['error']})")
+                continue
+            version = row.get("version")
+            chan = ",".join(row.get("channels", ()))
+            notes = [note for note in (
+                f"v{version}" if version is not None else None,
+                chan or None) if note]
+            suffix = f" [{' '.join(notes)}]" if notes else ""
+            print(f"{marker}{row['artifact_id'][:12]} "
+                  f"{row['case']}/{row.get('machine', '?')}{suffix} "
+                  f"{row.get('expression', '')}")
+        return 0
+    if args.action == "channels":
+        tracks = registry.channels()
+        if args.json:
+            print(json.dumps({"schema": 1, "channels": tracks},
+                             indent=2, sort_keys=True))
+            return 0
+        if not tracks:
+            print("no deployment tracks")
+            return 0
+        for key in sorted(tracks):
+            track = tracks[key]
+            stable = (track["stable"] or "-")[:12]
+            canary = (track["canary"] or "-")[:12]
+            print(f"{key}: stable={stable} canary={canary} "
+                  f"versions={len(track['versions'])} "
+                  f"moves={len(track['log'])}")
         return 0
     if args.action == "show":
         artifact = registry.load(args.id)
@@ -1040,6 +1092,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from repro import obs
 
         obs.enable_metrics()
+    autopilot_config = None
+    if args.autopilot:
+        from repro.autopilot import AutopilotConfig
+
+        overrides = {}
+        if args.autopilot_config:
+            with open(args.autopilot_config, encoding="utf-8") as handle:
+                overrides = json.load(handle)
+        overrides["state_dir"] = args.autopilot
+        if args.autopilot_sample_rate is not None:
+            overrides["sample_rate"] = args.autopilot_sample_rate
+        if args.autopilot_threshold is not None:
+            overrides["threshold"] = args.autopilot_threshold
+        autopilot_config = AutopilotConfig.from_json_dict(overrides)
     server = ReproServer(
         host=args.host,
         port=args.port,
@@ -1050,10 +1116,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         fitness_cache_dir=_fitness_cache_dir(args),
         use_snapshots=not args.no_snapshot,
         batch_concurrency=args.batch_concurrency,
+        autopilot_config=autopilot_config,
     )
     print(f"serving on {server.url} "
           f"({args.workers} worker(s), queue capacity "
-          f"{args.queue_capacity})", flush=True)
+          f"{args.queue_capacity}"
+          + (f", autopilot in {args.autopilot}" if args.autopilot else "")
+          + ")", flush=True)
     return server.serve_forever(drain_timeout=args.drain_timeout)
 
 
@@ -1276,14 +1345,22 @@ def build_parser() -> argparse.ArgumentParser:
     artifacts_parser = commands.add_parser(
         "artifacts", help="inspect the heuristic artifact store")
     artifacts_parser.add_argument(
-        "action", choices=("list", "show", "verify"))
+        "action", choices=("list", "show", "verify", "lineage",
+                           "channels"))
     artifacts_parser.add_argument(
         "id", nargs="?",
-        help="artifact id or unambiguous prefix (show/verify)")
+        help="artifact id or unambiguous prefix (show/verify/lineage)")
     artifacts_parser.add_argument(
         "--store", metavar="DIR",
         help="artifact store directory (default: "
              "$REPRO_ARTIFACT_STORE or ./artifacts)")
+    artifacts_parser.add_argument(
+        "--case", help="list: only artifacts for this case study")
+    artifacts_parser.add_argument(
+        "--machine", help="list: only artifacts for this machine")
+    artifacts_parser.add_argument(
+        "--channel", choices=("stable", "canary"),
+        help="list: only artifacts a track currently points at")
     artifacts_parser.add_argument("--json", action="store_true")
     artifacts_parser.set_defaults(func=cmd_artifacts)
 
@@ -1333,6 +1410,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--metrics", action="store_true",
         help="collect repro.obs metrics and expose them on /metrics")
+    serve_parser.add_argument(
+        "--autopilot", metavar="DIR",
+        help="enable online continuous re-optimization "
+             "(docs/AUTOPILOT.md); DIR holds monitor state, campaign "
+             "run directories, and the decision log")
+    serve_parser.add_argument(
+        "--autopilot-config", metavar="FILE",
+        help="JSON file of AutopilotConfig overrides (thresholds, "
+             "canary fraction, campaign sizing)")
+    serve_parser.add_argument(
+        "--autopilot-sample-rate", type=float, default=None,
+        metavar="FRACTION",
+        help="fraction of evaluate traffic probed against the baseline")
+    serve_parser.add_argument(
+        "--autopilot-threshold", type=float, default=None,
+        metavar="SPEEDUP",
+        help="trip a re-optimization campaign when an artifact's "
+             "rolling mean speedup-vs-baseline drops below this")
     _add_fitness_cache_flags(serve_parser)
     _add_snapshot_flag(serve_parser)
     serve_parser.set_defaults(func=cmd_serve)

@@ -26,6 +26,7 @@ from repro.experiments.runner import (
     RESULT_SCHEMA,
     ExperimentResult,
     ExperimentRunner,
+    ExperimentSession,
     run_experiment,
 )
 
@@ -37,6 +38,7 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentRunner",
+    "ExperimentSession",
     "JsonlSink",
     "MODES",
     "MemorySink",

@@ -56,6 +56,12 @@ class ExperimentConfig:
     #: checkpoint every N completed generations (1 = every generation,
     #: the resume-safe default)
     checkpoint_every: int = 1
+    #: extra s-expressions seeded into the initial population alongside
+    #: the baseline — how an autopilot re-optimization campaign starts
+    #: from the incumbent champion instead of from scratch.  Serialized
+    #: only when non-empty, so existing config.json files (and their
+    #: checkpoints) round-trip unchanged.
+    seed_expressions: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -73,9 +79,13 @@ class ExperimentConfig:
             raise ValueError("processes must be >= 1")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.seed_expressions and self.case == "flags":
+            raise ValueError("the flags case evolves enum genomes, not "
+                             "expression trees; seed_expressions does "
+                             "not apply")
         # Normalize list inputs (e.g. straight from JSON) to tuples so
         # the config stays hashable and comparable.
-        for name in ("training_set", "test_set"):
+        for name in ("training_set", "test_set", "seed_expressions"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -85,6 +95,10 @@ class ExperimentConfig:
         data = dataclasses.asdict(self)
         data["training_set"] = list(self.training_set)
         data["test_set"] = list(self.test_set)
+        if self.seed_expressions:
+            data["seed_expressions"] = list(self.seed_expressions)
+        else:
+            del data["seed_expressions"]
         return data
 
     @classmethod

@@ -88,6 +88,8 @@ class ExperimentRunner:
         fleet: str | None = None,
         surrogate: bool = False,
         surrogate_top_k: int = 8,
+        publish_parent_id: str | None = None,
+        publish_created_at: float | None = None,
     ) -> None:
         self.config = config
         self.run_dir = Path(run_dir) if run_dir is not None else None
@@ -131,6 +133,13 @@ class ExperimentRunner:
         #: kill+resume byte-identical.
         self.surrogate = surrogate
         self.surrogate_top_k = surrogate_top_k
+        #: lineage of a published artifact: the autopilot stamps the
+        #: incumbent champion's id as the child's parent and pins
+        #: ``created_at`` so a resumed campaign publishes the same
+        #: content address.  Runner-level like ``publish_dir`` —
+        #: deployment metadata, never part of the run's identity.
+        self.publish_parent_id = publish_parent_id
+        self.publish_created_at = publish_created_at
         #: the live SurrogateEvaluator of the current run (telemetry)
         self._surrogate_evaluator = None
 
@@ -143,6 +152,8 @@ class ExperimentRunner:
                      fleet: str | None = None,
                      surrogate: bool = False,
                      surrogate_top_k: int = 8,
+                     publish_parent_id: str | None = None,
+                     publish_created_at: float | None = None,
                      ) -> "ExperimentRunner":
         """Reconstruct a runner from a run directory's ``config.json``
         (the entry point of ``--resume``)."""
@@ -160,7 +171,9 @@ class ExperimentRunner:
                    use_snapshots=use_snapshots,
                    fleet=fleet,
                    surrogate=surrogate,
-                   surrogate_top_k=surrogate_top_k)
+                   surrogate_top_k=surrogate_top_k,
+                   publish_parent_id=publish_parent_id,
+                   publish_created_at=publish_created_at)
 
     # -- assembly --------------------------------------------------------
     def _settings(self):
@@ -214,14 +227,25 @@ class ExperimentRunner:
             indent=2, sort_keys=True) + "\n")
         tmp.replace(path)
 
+    def _extra_seeds(self, harness):
+        if not self.config.seed_expressions:
+            return ()
+        from repro.gp.parse import parse
+
+        pset = harness.case.pset
+        return tuple(parse(text, pset.bool_feature_set())
+                     for text in self.config.seed_expressions)
+
     def _build_engine(self, harness, evaluator):
         config = self.config
+        extra_seeds = self._extra_seeds(harness)
         if config.mode == "specialize":
             from repro.metaopt.specialize import build_specialize_engine
 
             return build_specialize_engine(
                 harness.case, config.benchmark, config.params, harness,
                 seed_baseline=config.seed_baseline, evaluator=evaluator,
+                extra_seeds=extra_seeds,
             )
         from repro.metaopt.generalize import build_generalize_engine
 
@@ -229,6 +253,7 @@ class ExperimentRunner:
             harness.case, config.training_set, config.params, harness,
             subset_size=config.subset_size,
             seed_baseline=config.seed_baseline, evaluator=evaluator,
+            extra_seeds=extra_seeds,
         )
 
     def _finalize(self, harness, gp_result):
@@ -392,247 +417,346 @@ class ExperimentRunner:
                 "average_novel_speedup": gen.average_novel_speedup(),
                 "evaluations": gen.evaluations,
             }
-        if self.run_dir is not None:
-            metrics["run_dir"] = str(self.run_dir)
+        # deliberately no run_dir here: an absolute host path inside a
+        # portable content-addressed document would make the artifact
+        # id depend on where the campaign happened to run (provenance
+        # lives in the run directory's result.json and the channel log)
         artifact = build_artifact(
             case=config.case,
             expression=expression,
             machine=harness.case.machine,
             training_config=config.to_json_dict(),
             metrics=metrics,
+            created_at=self.publish_created_at,
+            parent_id=self.publish_parent_id,
         )
         registry = ArtifactRegistry(self.publish_dir)
         return registry.save(artifact)
 
     # -- main entry --------------------------------------------------------
+    def open_session(self, resume: bool = False) -> "ExperimentSession":
+        """Start (or resume) the campaign without driving it.
+
+        The returned :class:`ExperimentSession` exposes the campaign a
+        generation at a time — ``step()`` until ``done``, then
+        ``finalize()`` — so a caller can interleave generations with
+        other work: the autopilot runs exactly one ``step()`` per
+        low-priority serve job.  :meth:`run` is a while-loop over this
+        same object, so both paths emit identical event streams and
+        produce byte-identical run directories.
+        """
+        return ExperimentSession(self, resume=resume)
+
     def run(self, resume: bool = False) -> ExperimentResult:
-        config = self.config
+        session = self.open_session(resume=resume)
+        try:
+            while not session.done:
+                stats = session.step()
+                if (self.stop_after_generation is not None
+                        and stats.generation >= self.stop_after_generation
+                        and not session.done):
+                    return session.interrupt()
+            return session.finalize()
+        except KeyboardInterrupt:
+            # The last completed generation is already checkpointed;
+            # tell the stream where a resume will pick up, then let the
+            # interrupt propagate (the CLI turns it into exit code 130).
+            session.emit_interrupted()
+            raise
+        finally:
+            session.close()
+
+
+class ExperimentSession:
+    """One in-flight campaign, stepped a generation at a time.
+
+    Owns everything :meth:`ExperimentRunner.run` used to hold on its
+    stack: the event sink, metrics registry, harness, evaluator,
+    engine, and checkpoint path.  Construction performs the whole
+    run-start sequence (run-dir prep, state restore, ``run_started``
+    event); each :meth:`step` is one engine generation plus its
+    checkpoint and telemetry; :meth:`finalize`/:meth:`interrupt` end
+    the run; :meth:`close` releases the evaluator, metrics, and sinks
+    (idempotent — always call it).
+    """
+
+    def __init__(self, runner: ExperimentRunner, resume: bool = False):
+        self.runner = runner
+        config = runner.config
+        self.config = config
+        self.resumed = bool(resume)
         if config.case == "flags":
             # Flags genomes are not expression trees: the surrogate's
             # feature extractor and the artifact store both consume
             # s-expressions.  (--fleet/--processes reject in
             # make_evaluator for the same reason.)
-            if self.surrogate:
+            if runner.surrogate:
                 raise ValueError(
                     "the flags case does not support --surrogate")
-            if self.publish_dir is not None:
+            if runner.publish_dir is not None:
                 raise ValueError(
                     "the flags case does not support --publish")
-        run_started = time.monotonic()
+        self._run_started = time.monotonic()
+        self._closed = False
+        self._finished = False
 
-        registry = None
-        owns_metrics = False
-        if self.collect_metrics:
+        self.registry = None
+        self._owns_metrics = False
+        if runner.collect_metrics:
             from repro import obs
 
-            owns_metrics = not obs.metrics_enabled()
-            registry = obs.enable_metrics()
+            self._owns_metrics = not obs.metrics_enabled()
+            self.registry = obs.enable_metrics()
 
-        checkpoint_path = None
-        owned_sinks: list[EventSink] = []
-        if self.run_dir is not None:
-            checkpoint_path = self._prepare_run_dir(resume)
-            owned_sinks.append(JsonlSink(self.run_dir / EVENTS_FILENAME))
+        self.checkpoint_path = None
+        self._owned_sinks: list[EventSink] = []
+        if runner.run_dir is not None:
+            self.checkpoint_path = runner._prepare_run_dir(resume)
+            self._owned_sinks.append(
+                JsonlSink(runner.run_dir / EVENTS_FILENAME))
         elif resume:
             raise ValueError("resume requires a run directory")
-        sink = MultiSink(list(self.sinks) + owned_sinks)
+        self.sink = MultiSink(list(runner.sinks) + self._owned_sinks)
 
-        harness = self._build_harness()
-        evaluator = None
-        evaluator_context = nullcontext()
-        if self.fleet is not None or config.processes > 1:
+        self.harness = runner._build_harness()
+        self.evaluator = None
+        self._evaluator_context = nullcontext()
+        if runner.fleet is not None or config.processes > 1:
             from repro.metaopt.parallel import make_evaluator
 
-            evaluator = make_evaluator(
+            self.evaluator = make_evaluator(
                 config.case,
-                self._settings(),
+                runner._settings(),
                 processes=config.processes,
-                fleet=self.fleet,
+                fleet=runner.fleet,
             )
-            evaluator_context = evaluator
-        self._surrogate_evaluator = None
-        if self.surrogate:
-            saved_state = (self.run_dir is not None and resume
-                           and self._surrogate_path().exists())
-            evaluator = self._build_surrogate(harness, evaluator,
-                                              skip_train=saved_state)
-            evaluator_context = evaluator
+            self._evaluator_context = self.evaluator
+        runner._surrogate_evaluator = None
+        saved_state = False
+        if runner.surrogate:
+            saved_state = (runner.run_dir is not None and resume
+                           and runner._surrogate_path().exists())
+            self.evaluator = runner._build_surrogate(
+                self.harness, self.evaluator, skip_train=saved_state)
+            self._evaluator_context = self.evaluator
 
-        engine = self._build_engine(harness, evaluator)
+        self.engine = runner._build_engine(self.harness, self.evaluator)
         if resume:
-            snapshot = load_checkpoint(checkpoint_path)
+            snapshot = load_checkpoint(self.checkpoint_path)
             if snapshot["config"] != config.to_json_dict():
                 raise ValueError(
                     "checkpoint was written by a different configuration "
-                    f"than {self.run_dir / CONFIG_FILENAME} describes")
-            engine.restore_state(snapshot["engine"])
-            if self._surrogate_evaluator is not None and saved_state:
-                self._surrogate_evaluator.restore_state(
-                    json.loads(self._surrogate_path().read_text()))
+                    f"than {runner.run_dir / CONFIG_FILENAME} describes")
+            self.engine.restore_state(snapshot["engine"])
+            if runner._surrogate_evaluator is not None and saved_state:
+                runner._surrogate_evaluator.restore_state(
+                    json.loads(runner._surrogate_path().read_text()))
 
-        if self.run_dir is not None:
-            engine.on_generation = lambda stats: self._snapshot_population(
+        if runner.run_dir is not None:
+            engine = self.engine
+            engine.on_generation = lambda stats: runner._snapshot_population(
                 stats.generation, engine.population)
 
-        sink.emit({
+        self._evaluator_context.__enter__()
+        self._evaluator_open = True
+
+        self.sink.emit({
             "event": "run_started",
             "schema": SCHEMA_VERSION,
             "mode": config.mode,
             "case": config.case,
             "resumed": bool(resume),
-            "start_generation": engine.generation,
+            "start_generation": self.engine.generation,
             "config": config.to_json_dict(),
         })
 
-        interrupted = False
+    # -- state ------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.engine.done
+
+    @property
+    def generation(self) -> int:
+        """The generation a resume (or the next step) continues from."""
+        return self.engine.generation
+
+    def _exit_evaluator(self) -> None:
+        if self._evaluator_open:
+            self._evaluator_open = False
+            self._evaluator_context.__exit__(None, None, None)
+
+    # -- stepping ----------------------------------------------------------
+    def step(self):
+        """Run exactly one engine generation: evaluate, checkpoint,
+        emit telemetry.  Returns the generation's
+        :class:`~repro.gp.engine.GenerationStats`."""
+        runner = self.runner
+        config = self.config
         try:
-            with evaluator_context:
-                while not engine.done:
-                    generation_started = time.monotonic()
-                    before = self._counters(harness, evaluator)
-                    metrics_before = (registry.snapshot()
-                                      if registry is not None else None)
-                    evaluations_before = engine.evaluations
-                    stats = engine.step()
-                    wall_s = time.monotonic() - generation_started
-                    after = self._counters(harness, evaluator)
+            generation_started = time.monotonic()
+            before = runner._counters(self.harness, self.evaluator)
+            metrics_before = (self.registry.snapshot()
+                              if self.registry is not None else None)
+            evaluations_before = self.engine.evaluations
+            stats = self.engine.step()
+            wall_s = time.monotonic() - generation_started
+            after = runner._counters(self.harness, self.evaluator)
 
-                    if checkpoint_path is not None and (
-                        engine.generation % config.checkpoint_every == 0
-                        or engine.done
-                    ):
-                        save_checkpoint(checkpoint_path,
-                                        config.to_json_dict(),
-                                        engine.state_dict())
-                        if self._surrogate_evaluator is not None:
-                            self._save_surrogate_state()
-                        checkpointed = True
-                    else:
-                        checkpointed = False
+            if self.checkpoint_path is not None and (
+                self.engine.generation % config.checkpoint_every == 0
+                or self.engine.done
+            ):
+                save_checkpoint(self.checkpoint_path,
+                                config.to_json_dict(),
+                                self.engine.state_dict())
+                if runner._surrogate_evaluator is not None:
+                    runner._save_surrogate_state()
+                checkpointed = True
+            else:
+                checkpointed = False
 
-                    sink.emit({
-                        "event": "generation",
-                        "generation": stats.generation,
-                        "subset": list(stats.subset),
-                        "best_fitness": stats.best_fitness,
-                        "mean_fitness": stats.mean_fitness,
-                        "best_size": stats.best_size,
-                        "mean_size": stats.mean_size,
-                        "unique_structures": stats.unique_structures,
-                        "baseline_rank": stats.baseline_rank,
-                        "best_expression": stats.best_expression,
-                        "evaluations_total": engine.evaluations,
-                        "new_evaluations":
-                            engine.evaluations - evaluations_before,
-                        "counters": {
-                            key: after[key] - before.get(key, 0)
-                            for key in after
-                        },
-                        "wall_s": wall_s,
-                    })
-                    if registry is not None:
-                        from repro.obs.metrics import diff_snapshots
+            self.sink.emit({
+                "event": "generation",
+                "generation": stats.generation,
+                "subset": list(stats.subset),
+                "best_fitness": stats.best_fitness,
+                "mean_fitness": stats.mean_fitness,
+                "best_size": stats.best_size,
+                "mean_size": stats.mean_size,
+                "unique_structures": stats.unique_structures,
+                "baseline_rank": stats.baseline_rank,
+                "best_expression": stats.best_expression,
+                "evaluations_total": self.engine.evaluations,
+                "new_evaluations":
+                    self.engine.evaluations - evaluations_before,
+                "counters": {
+                    key: after[key] - before.get(key, 0)
+                    for key in after
+                },
+                "wall_s": wall_s,
+            })
+            if self.registry is not None:
+                from repro.obs.metrics import diff_snapshots
 
-                        sink.emit({
-                            "event": "metrics",
-                            "generation": stats.generation,
-                            "metrics": diff_snapshots(metrics_before,
-                                                      registry.snapshot()),
-                        })
-                    if (self._surrogate_evaluator is not None
-                            and registry is not None):
-                        # telemetry-only, like ``metrics``: per-
-                        # generation deltas of the surrogate counters
-                        surrogate = self._surrogate_evaluator
-                        sink.emit({
-                            "event": "surrogate",
-                            "generation": stats.generation,
-                            "sims_saved":
-                                after.get("surrogate_sims_saved", 0)
-                                - before.get("surrogate_sims_saved", 0),
-                            "rank_corr": surrogate.last_rank_corr,
-                            "refits":
-                                after.get("surrogate_refits", 0)
-                                - before.get("surrogate_refits", 0),
-                            "promotions":
-                                after.get("surrogate_promotions", 0)
-                                - before.get("surrogate_promotions", 0),
-                        })
-                    if checkpointed:
-                        sink.emit({
-                            "event": "checkpoint_saved",
-                            "generation": stats.generation,
-                            "path": str(checkpoint_path),
-                        })
-
-                    if (self.stop_after_generation is not None
-                            and stats.generation >= self.stop_after_generation
-                            and not engine.done):
-                        interrupted = True
-                        break
-
-                if interrupted:
-                    sink.emit({
-                        "event": "run_interrupted",
-                        "next_generation": engine.generation,
-                    })
-                    return ExperimentResult(
-                        config=config,
-                        run_dir=self.run_dir,
-                        resumed=bool(resume),
-                        interrupted=True,
-                        next_generation=engine.generation,
-                    )
-
-                # final re-scores always run on the serial harness
-                spec, gen, cross = self._finalize(harness, engine.result())
-
-            payload = self._result_payload(spec, gen, cross)
-            if self.run_dir is not None:
-                result_path = self.run_dir / RESULT_FILENAME
-                tmp = result_path.with_name(result_path.name + ".tmp")
-                tmp.write_text(json.dumps(payload, indent=2, sort_keys=True)
-                               + "\n")
-                tmp.replace(result_path)
-            artifact_id = None
-            if self.publish_dir is not None:
-                artifact_id = self._publish(harness, spec, gen)
-                sink.emit({
-                    "event": "artifact_published",
-                    "artifact_id": artifact_id,
-                    "store": str(self.publish_dir),
+                self.sink.emit({
+                    "event": "metrics",
+                    "generation": stats.generation,
+                    "metrics": diff_snapshots(metrics_before,
+                                              self.registry.snapshot()),
                 })
-            sink.emit({
-                "event": "run_finished",
-                "result": payload,
-                "wall_s": time.monotonic() - run_started,
-            })
-            return ExperimentResult(
-                config=config,
-                run_dir=self.run_dir,
-                resumed=bool(resume),
-                specialization=spec,
-                generalization=gen,
-                cross_validation=cross,
-                payload=payload,
-                artifact_id=artifact_id,
-            )
-        except KeyboardInterrupt:
-            # The last completed generation is already checkpointed;
-            # tell the stream where a resume will pick up, then let the
-            # interrupt propagate (the CLI turns it into exit code 130).
-            sink.emit({
-                "event": "run_interrupted",
-                "next_generation": engine.generation,
-            })
+            if (runner._surrogate_evaluator is not None
+                    and self.registry is not None):
+                # telemetry-only, like ``metrics``: per-generation
+                # deltas of the surrogate counters
+                surrogate = runner._surrogate_evaluator
+                self.sink.emit({
+                    "event": "surrogate",
+                    "generation": stats.generation,
+                    "sims_saved":
+                        after.get("surrogate_sims_saved", 0)
+                        - before.get("surrogate_sims_saved", 0),
+                    "rank_corr": surrogate.last_rank_corr,
+                    "refits":
+                        after.get("surrogate_refits", 0)
+                        - before.get("surrogate_refits", 0),
+                    "promotions":
+                        after.get("surrogate_promotions", 0)
+                        - before.get("surrogate_promotions", 0),
+                })
+            if checkpointed:
+                self.sink.emit({
+                    "event": "checkpoint_saved",
+                    "generation": stats.generation,
+                    "path": str(self.checkpoint_path),
+                })
+            return stats
+        except BaseException:
+            # mirror the old with-block: the evaluator shuts down
+            # before the interrupt event is emitted or the error
+            # propagates to the caller
+            self._exit_evaluator()
             raise
-        finally:
-            if owns_metrics:
-                from repro import obs
 
-                obs.disable_metrics()
-            for owned in owned_sinks:
-                owned.close()
+    # -- endings -----------------------------------------------------------
+    def emit_interrupted(self) -> None:
+        self.sink.emit({
+            "event": "run_interrupted",
+            "next_generation": self.engine.generation,
+        })
+
+    def interrupt(self) -> ExperimentResult:
+        """End the session early (deterministic stop point); the last
+        checkpoint stands and a resume continues from
+        ``next_generation``."""
+        self.emit_interrupted()
+        self._exit_evaluator()
+        self._finished = True
+        return ExperimentResult(
+            config=self.config,
+            run_dir=self.runner.run_dir,
+            resumed=self.resumed,
+            interrupted=True,
+            next_generation=self.engine.generation,
+        )
+
+    def finalize(self) -> ExperimentResult:
+        """Re-score the champion, write ``result.json``, publish, emit
+        ``run_finished``.  Only valid once the engine is ``done``."""
+        runner = self.runner
+        try:
+            # final re-scores always run on the serial harness
+            spec, gen, cross = runner._finalize(self.harness,
+                                                self.engine.result())
+        except BaseException:
+            self._exit_evaluator()
+            raise
+        self._exit_evaluator()
+
+        payload = runner._result_payload(spec, gen, cross)
+        if runner.run_dir is not None:
+            result_path = runner.run_dir / RESULT_FILENAME
+            tmp = result_path.with_name(result_path.name + ".tmp")
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                           + "\n")
+            tmp.replace(result_path)
+        artifact_id = None
+        if runner.publish_dir is not None:
+            artifact_id = runner._publish(self.harness, spec, gen)
+            self.sink.emit({
+                "event": "artifact_published",
+                "artifact_id": artifact_id,
+                "store": str(runner.publish_dir),
+            })
+        self.sink.emit({
+            "event": "run_finished",
+            "result": payload,
+            "wall_s": time.monotonic() - self._run_started,
+        })
+        self._finished = True
+        return ExperimentResult(
+            config=self.config,
+            run_dir=runner.run_dir,
+            resumed=self.resumed,
+            specialization=spec,
+            generalization=gen,
+            cross_validation=cross,
+            payload=payload,
+            artifact_id=artifact_id,
+        )
+
+    def close(self) -> None:
+        """Release the evaluator, metrics registry, and owned sinks.
+        Safe to call more than once and after any failure."""
+        if self._closed:
+            return
+        self._closed = True
+        self._exit_evaluator()
+        if self._owns_metrics:
+            from repro import obs
+
+            obs.disable_metrics()
+        for owned in self._owned_sinks:
+            owned.close()
 
 
 def run_experiment(

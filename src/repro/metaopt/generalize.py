@@ -75,6 +75,7 @@ def build_generalize_engine(
     subset_size: int | None = None,
     seed_baseline: bool = True,
     evaluator=None,
+    extra_seeds: tuple = (),
 ) -> GPEngine:
     """The DSS-driven GP engine of a generalization campaign, not yet
     run.  Stepping it yourself (checkpointing between generations,
@@ -93,6 +94,7 @@ def build_generalize_engine(
         rng=_random.Random(params.seed + 10_007),
     )
     seeds = (case.baseline_tree(),) if seed_baseline else ()
+    seeds = seeds + tuple(extra_seeds)
     return GPEngine(
         pset=case.pset,
         evaluator=evaluator if evaluator is not None

@@ -45,6 +45,7 @@ def build_specialize_engine(
     harness: EvaluationHarness,
     seed_baseline: bool = True,
     evaluator=None,
+    extra_seeds: tuple[Node, ...] = (),
 ) -> GPEngine:
     """The GP engine of a specialization campaign, not yet run.
 
@@ -52,9 +53,12 @@ def build_specialize_engine(
     (e.g. a :class:`~repro.metaopt.parallel.ParallelEvaluator`); the
     final train/novel re-scores always run on ``harness``.  Stepping
     this engine yourself (checkpointing between generations) is what
-    :class:`repro.experiments.ExperimentRunner` does.
+    :class:`repro.experiments.ExperimentRunner` does.  ``extra_seeds``
+    joins the initial population after the baseline — an autopilot
+    campaign seeds the incumbent champion here.
     """
     seeds = (case.baseline_tree(),) if seed_baseline else ()
+    seeds = seeds + tuple(extra_seeds)
     return GPEngine(
         pset=case.pset,
         evaluator=evaluator if evaluator is not None

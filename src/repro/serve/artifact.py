@@ -62,6 +62,11 @@ class HeuristicArtifact:
     metrics: dict = field(default_factory=dict)
     created_at: float = 0.0
     schema: int = ARTIFACT_SCHEMA
+    #: Content id of the artifact this one was evolved from (autopilot
+    #: re-optimization campaigns seed from an incumbent).  ``None`` for
+    #: root artifacts; serialized only when set, so pre-lineage
+    #: documents keep their content digests.
+    parent_id: str | None = None
 
     # -- identity --------------------------------------------------------
     def content_digest(self) -> str:
@@ -92,6 +97,8 @@ class HeuristicArtifact:
             "metrics": self.metrics,
             "created_at": self.created_at,
         }
+        if self.parent_id is not None:
+            data["parent_id"] = self.parent_id
         if include_id:
             data["artifact_id"] = self.content_digest()
         return data
@@ -104,7 +111,7 @@ class HeuristicArtifact:
             "schema", "case", "expression", "machine_name",
             "machine_fingerprint", "pipeline_fingerprint",
             "config_fingerprint", "training_config", "metrics",
-            "created_at",
+            "created_at", "parent_id",
         }
         if unknown:
             raise ArtifactError(
@@ -140,6 +147,11 @@ class HeuristicArtifact:
         if self.case not in ARTIFACT_CASES:
             problems.append(f"unknown case {self.case!r}")
             return problems
+        if self.parent_id is not None and not (
+                len(self.parent_id) == 64
+                and all(ch in "0123456789abcdef" for ch in self.parent_id)):
+            problems.append(
+                f"parent_id {self.parent_id!r} is not a content digest")
         from repro.gp.parse import parse, unparse
         from repro.metaopt.psets import PSETS
 
@@ -208,6 +220,7 @@ def build_artifact(
     training_config: dict | None = None,
     metrics: dict | None = None,
     created_at: float | None = None,
+    parent_id: str | None = None,
 ) -> HeuristicArtifact:
     """Assemble an artifact from campaign outputs, canonicalizing the
     expression and computing every fingerprint."""
@@ -232,4 +245,5 @@ def build_artifact(
         training_config=training_config,
         metrics=dict(metrics or {}),
         created_at=time.time() if created_at is None else created_at,
+        parent_id=parent_id,
     )

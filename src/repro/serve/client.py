@@ -128,6 +128,40 @@ class ServeClient:
     def artifact(self, ref: str) -> dict:
         return self._request("GET", f"/v1/artifacts/{ref}")
 
+    def lineage(self, ref: str) -> list[dict]:
+        """``GET /v1/artifacts/<ref>/lineage``: ancestry chain,
+        artifact first then parents."""
+        return self._request(
+            "GET", f"/v1/artifacts/{ref}/lineage")["lineage"]
+
+    def channels(self) -> dict:
+        """Every (case, machine) deployment track."""
+        return self._request("GET", "/v1/channels")["channels"]
+
+    def channel_track(self, case: str, machine: str) -> dict:
+        return self._request("GET", f"/v1/channels/{case}/{machine}")
+
+    def set_channel(self, case: str, machine: str, channel: str,
+                    artifact: str | None) -> dict:
+        """Point a track's ``stable``/``canary`` at an artifact (or
+        clear it with ``artifact=None``)."""
+        return self._request(
+            "POST", f"/v1/channels/{case}/{machine}",
+            body={"channel": channel, "artifact": artifact})
+
+    def promote(self, case: str, machine: str) -> dict:
+        """Atomically make the track's canary the new stable."""
+        return self._request(
+            "POST", f"/v1/channels/{case}/{machine}/promote")
+
+    def rollback(self, case: str, machine: str) -> dict:
+        """Atomically discard the track's canary."""
+        return self._request(
+            "POST", f"/v1/channels/{case}/{machine}/rollback")
+
+    def autopilot_status(self) -> dict:
+        return self._request("GET", "/v1/autopilot/status")
+
     def submit(self, kind: str, params: dict) -> dict:
         """Enqueue a job; returns ``{job_id, state, href}``."""
         return self._request("POST", f"/v1/{kind}", body=params)
@@ -166,12 +200,15 @@ class ServeClient:
 
     def evaluate(self, benchmark: str, case: str | None = None,
                  dataset: str = "train", artifact: str | None = None,
-                 noise: float = 0.0, timeout: float = 60.0) -> dict:
+                 channel: str | None = None, noise: float = 0.0,
+                 timeout: float = 60.0) -> dict:
         params: dict = {"benchmark": benchmark, "dataset": dataset}
         if case is not None:
             params["case"] = case
         if artifact is not None:
             params["artifact"] = artifact
+        if channel is not None:
+            params["channel"] = channel
         if noise:
             params["noise"] = noise
         return self.run("evaluate", params, timeout=timeout)

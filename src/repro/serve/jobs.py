@@ -19,9 +19,18 @@ Design goals, in order:
   ``timeout`` without running; a job whose handler outlives the
   deadline has its result discarded and is marked ``timeout`` (the
   simulator's own cycle budget bounds actual handler runtime).
-* **Graceful drain.**  :meth:`JobQueue.drain` stops intake, finishes
-  every in-flight and queued job, and joins the workers — the SIGTERM
-  path of :mod:`repro.serve.server`.
+  Running jobs accept a *cooperative* cancel: :meth:`JobQueue.cancel`
+  sets :attr:`Job.cancel_requested`, which long-running handlers (the
+  autopilot's campaign steps) poll via :meth:`JobQueue.current_job`
+  and honor at their next safe point.
+* **Two priorities.**  ``interactive`` (the default) always runs
+  before ``background``; the autopilot's evolution campaign steps ride
+  the ``background`` class, so live traffic preempts self-improvement
+  work at generation granularity.
+* **Graceful drain.**  :meth:`JobQueue.drain` stops intake, cancels
+  *queued* background jobs (they are resumable checkpointed steps),
+  finishes every in-flight and queued interactive job, and joins the
+  workers — the SIGTERM path of :mod:`repro.serve.server`.
 """
 
 from __future__ import annotations
@@ -39,6 +48,9 @@ JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "timeout")
 
 #: Finished jobs retained for ``GET /v1/jobs/<id>`` before eviction.
 FINISHED_JOBS_RETAINED = 1024
+
+#: Job priority classes, in scheduling order.
+JOB_PRIORITIES = ("interactive", "background")
 
 
 class QueueFull(RuntimeError):
@@ -60,9 +72,11 @@ class Job:
     kind: str
     params: dict
     deadline: float | None
+    priority: str = "interactive"
     state: str = "queued"
     result: dict | None = None
     error: str | None = None
+    cancel_requested: bool = False
     created_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -71,9 +85,11 @@ class Job:
         return {
             "id": self.id,
             "kind": self.kind,
+            "priority": self.priority,
             "state": self.state,
             "result": self.result,
             "error": self.error,
+            "cancel_requested": self.cancel_requested,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -107,7 +123,9 @@ class JobQueue:
         self.capacity = capacity
         self.job_timeout = job_timeout
         self._pending: deque[Job] = deque()
+        self._background: deque[Job] = deque()
         self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._current = threading.local()
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
@@ -128,27 +146,35 @@ class JobQueue:
             worker.start()
 
     # -- intake ----------------------------------------------------------
-    def submit(self, kind: str, params: dict) -> Job:
+    def submit(self, kind: str, params: dict,
+               priority: str = "interactive") -> Job:
         """Enqueue a job or raise :class:`QueueFull`/:class:`
-        RuntimeError` (draining)."""
+        RuntimeError` (draining).  Capacity is accounted per priority
+        class, so a deep background backlog can never shed interactive
+        traffic (or vice versa)."""
+        if priority not in JOB_PRIORITIES:
+            raise ValueError(f"unknown job priority {priority!r}")
         with self._lock:
             if not self._accepting:
                 raise RuntimeError("queue is draining; not accepting jobs")
-            if len(self._pending) >= self.capacity:
+            pending = (self._pending if priority == "interactive"
+                       else self._background)
+            if len(pending) >= self.capacity:
                 self.counters["rejected"] += 1
                 obs.inc("serve.jobs_rejected")
                 # Suggest waiting roughly one queue-drain interval:
                 # scale with backlog so clients back off harder when
                 # the queue is deeper.
-                retry = max(0.1, 0.05 * len(self._pending))
+                retry = max(0.1, 0.05 * len(pending))
                 raise QueueFull(self.capacity, retry)
             deadline = (time.monotonic() + self.job_timeout
-                        if self.job_timeout is not None else None)
+                        if self.job_timeout is not None
+                        and priority == "interactive" else None)
             job = Job(id=f"job-{next(self._ids):06d}", kind=kind,
-                      params=params, deadline=deadline)
+                      params=params, deadline=deadline, priority=priority)
             self._jobs[job.id] = job
             self._evict_finished_locked()
-            self._pending.append(job)
+            pending.append(job)
             self.counters["submitted"] += 1
             obs.inc("serve.jobs_submitted")
             self._work_ready.notify()
@@ -159,33 +185,73 @@ class JobQueue:
             return self._jobs.get(job_id)
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a *queued* job; running jobs finish (their results
-        stand).  Returns True when the job was cancelled."""
+        """Cancel a *queued* job immediately; flag a *running* job for
+        cooperative cancellation (long-running handlers poll
+        :meth:`current_job` and stop at their next safe point — for a
+        campaign step, between engine generations).  Returns True when
+        the job transitioned to ``cancelled`` right now."""
         with self._lock:
             job = self._jobs.get(job_id)
-            if job is None or job.state != "queued":
+            if job is None:
+                return False
+            if job.state == "running":
+                job.cancel_requested = True
+                obs.inc("serve.jobs_cancel_requested")
+                return False
+            if job.state != "queued":
                 return False
             job.state = "cancelled"
+            job.cancel_requested = True
             job.finished_at = time.time()
             self.counters["cancelled"] += 1
             obs.inc("serve.jobs_cancelled")
             return True
 
+    def cancel_background_queued(self) -> int:
+        """Cancel every still-queued background job (the drain path:
+        queued campaign steps are resumable from their checkpoints, so
+        there is no reason to run them while shutting down)."""
+        with self._lock:
+            return self._cancel_background_locked()
+
+    def _cancel_background_locked(self) -> int:
+        cancelled = 0
+        for job in self._background:
+            if job.state != "queued":
+                continue
+            job.state = "cancelled"
+            job.cancel_requested = True
+            job.error = "cancelled by drain"
+            job.finished_at = time.time()
+            self.counters["cancelled"] += 1
+            obs.inc("serve.jobs_cancelled")
+            cancelled += 1
+        return cancelled
+
+    def current_job(self) -> Job | None:
+        """The job the *calling worker thread* is executing, if any.
+        Handlers use this to poll ``cancel_requested`` mid-run without
+        the ``handler(kind, params)`` signature growing a job handle."""
+        return getattr(self._current, "job", None)
+
     # -- worker side -----------------------------------------------------
     def _next_job_locked(self) -> Job | None:
-        while self._pending:
-            job = self._pending.popleft()
-            if job.state != "queued":
-                continue  # cancelled while waiting
-            if (job.deadline is not None
-                    and time.monotonic() > job.deadline):
-                job.state = "timeout"
-                job.error = "timed out waiting in queue"
-                job.finished_at = time.time()
-                self.counters["timeout"] += 1
-                obs.inc("serve.jobs_timeout")
-                continue
-            return job
+        # Interactive traffic strictly preempts background work: a
+        # background job is only picked when no interactive job waits.
+        for pending in (self._pending, self._background):
+            while pending:
+                job = pending.popleft()
+                if job.state != "queued":
+                    continue  # cancelled while waiting
+                if (job.deadline is not None
+                        and time.monotonic() > job.deadline):
+                    job.state = "timeout"
+                    job.error = "timed out waiting in queue"
+                    job.finished_at = time.time()
+                    self.counters["timeout"] += 1
+                    obs.inc("serve.jobs_timeout")
+                    continue
+                return job
         return None
 
     def _worker_loop(self) -> None:
@@ -202,13 +268,18 @@ class JobQueue:
                 job.state = "running"
                 job.started_at = time.time()
                 self._running += 1
+            obs.observe(f"serve.wait_seconds.{job.priority}",
+                        job.started_at - job.created_at)
             started = time.monotonic()
+            self._current.job = job
             try:
                 result = self.handler(job.kind, job.params)
                 error = None
             except Exception as exc:  # noqa: BLE001 — job isolation
                 result = None
                 error = f"{type(exc).__name__}: {exc}"
+            finally:
+                self._current.job = None
             elapsed = time.monotonic() - started
             with self._lock:
                 self._running -= 1
@@ -252,14 +323,20 @@ class JobQueue:
         with self._lock:
             return len(self._pending)
 
+    def background_depth(self) -> int:
+        with self._lock:
+            return len(self._background)
+
     def drain(self, timeout: float | None = None) -> bool:
-        """Stop intake, wait for queued + running jobs to finish, stop
-        the workers.  Returns True when fully drained."""
+        """Stop intake, cancel queued background jobs (resumable), wait
+        for everything queued + running to finish, stop the workers.
+        Returns True when fully drained."""
         deadline = (time.monotonic() + timeout
                     if timeout is not None else None)
         with self._lock:
             self._accepting = False
-            while self._pending or self._running:
+            self._cancel_background_locked()
+            while self._pending or self._background or self._running:
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
@@ -279,6 +356,7 @@ class JobQueue:
             return {
                 **self.counters,
                 "depth": len(self._pending),
+                "background_depth": len(self._background),
                 "running": self._running,
                 "capacity": self.capacity,
                 "workers": len(self._workers),
@@ -377,10 +455,47 @@ def simulation_payload(case_name: str, machine_name: str, benchmark: str,
     return payload
 
 
+def resolve_channel_artifact(registry, case_name: str, machine: str,
+                             channel: str, benchmark: str, dataset: str,
+                             canary_router=None) -> tuple[str, bool]:
+    """Resolve a channel request to a concrete artifact id.
+
+    ``channel="canary"`` demands the canary pointer.  ``"stable"``
+    resolves to the stable pointer — unless a canary is live *and* the
+    ``canary_router`` (the autopilot's deterministic hash slice) claims
+    this traffic key, in which case the canary rides the request.
+    Returns ``(artifact_id, routed_to_canary)``.
+    """
+    from repro.serve.artifact import ArtifactError
+
+    if channel not in ("stable", "canary"):
+        raise ValueError(f"unknown channel {channel!r} "
+                         "(expected 'stable' or 'canary')")
+    if registry is None:
+        raise ArtifactError("no artifact store configured")
+    chosen = registry.get_channel(case_name, machine, channel)
+    if channel == "stable":
+        if chosen is None:
+            raise ArtifactError(
+                f"no stable artifact on the {case_name}/{machine} track")
+        canary = registry.get_channel(case_name, machine, "canary")
+        if (canary is not None and canary_router is not None
+                and canary_router(case_name, machine, benchmark, dataset)):
+            return canary, True
+        return chosen, False
+    if chosen is None:
+        raise ArtifactError(
+            f"no canary artifact on the {case_name}/{machine} track")
+    return chosen, False
+
+
 def run_evaluate(params: dict, harness_pool: HarnessPool,
-                 registry=None) -> dict:
+                 registry=None, canary_router=None) -> dict:
     """Execute one evaluate request: simulate a suite benchmark under
-    the case baseline or a deployed artifact."""
+    the case baseline, a deployed artifact, or a channel pointer
+    (``"channel": "stable"`` rides the autopilot's canary slice when
+    one is live)."""
+    from repro.metaopt.harness import case_study
     from repro.serve.artifact import ArtifactError
 
     benchmark = params.get("benchmark")
@@ -392,6 +507,16 @@ def run_evaluate(params: dict, harness_pool: HarnessPool,
         raise ValueError(f"unknown dataset {dataset!r}")
     noise = float(params.get("noise", 0.0))
     artifact_ref = params.get("artifact")
+    channel = params.get("channel")
+    if channel and artifact_ref:
+        raise ValueError("'artifact' and 'channel' are mutually exclusive")
+
+    routed_canary = False
+    if channel:
+        machine = case_study(case_name).machine.name
+        artifact_ref, routed_canary = resolve_channel_artifact(
+            registry, case_name, machine, channel, benchmark, dataset,
+            canary_router=canary_router)
 
     artifact = None
     if artifact_ref:
@@ -410,9 +535,13 @@ def run_evaluate(params: dict, harness_pool: HarnessPool,
         result = harness.simulate(artifact.tree(), benchmark, dataset)
     else:
         result = harness.baseline_result(benchmark, dataset)
-    return simulation_payload(
+    payload = simulation_payload(
         case_name, harness.case.machine.name, benchmark, dataset, result,
         artifact_id=artifact.artifact_id if artifact is not None else None)
+    if channel:
+        payload["channel"] = channel
+        payload["routed_canary"] = routed_canary
+    return payload
 
 
 def parse_evaluate_batch(params: dict) -> tuple:

@@ -11,9 +11,16 @@ of the bounded :class:`~repro.serve.jobs.JobQueue`:
 ``POST /v1/evaluate``           enqueue a benchmark simulation, baseline
                                 or under a deployed artifact
 ``GET  /v1/jobs/<id>``          poll a job's state and result
-``POST /v1/jobs/<id>/cancel``   cancel a queued job
+``POST /v1/jobs/<id>/cancel``   cancel a queued or in-flight job
 ``GET  /v1/artifacts``          list the artifact store
 ``GET  /v1/artifacts/<id>``     one artifact document
+``GET  /v1/artifacts/<id>/lineage``  ancestry chain via ``parent_id``
+``GET  /v1/channels``           every (case, machine) deployment track
+``GET  /v1/channels/<case>/<machine>``  one track's pointers + log
+``POST /v1/channels/<case>/<machine>``  point stable/canary at an artifact
+``POST /v1/channels/<case>/<machine>/promote``   canary → stable
+``POST /v1/channels/<case>/<machine>/rollback``  discard the canary
+``GET  /v1/autopilot/status``   the self-improvement loop's live state
 ``GET  /healthz``               liveness + queue depth (``ok``/``draining``)
 ``GET  /metrics``               server/queue counters + repro.obs snapshot
 ==============================  =========================================
@@ -73,6 +80,13 @@ ENDPOINTS = (
     "POST /v1/jobs/<id>/cancel",
     "GET /v1/artifacts",
     "GET /v1/artifacts/<id>",
+    "GET /v1/artifacts/<id>/lineage",
+    "GET /v1/channels",
+    "GET /v1/channels/<case>/<machine>",
+    "POST /v1/channels/<case>/<machine>",
+    "POST /v1/channels/<case>/<machine>/promote",
+    "POST /v1/channels/<case>/<machine>/rollback",
+    "GET /v1/autopilot/status",
     "GET /healthz",
     "GET /metrics",
 )
@@ -104,6 +118,7 @@ class ReproServer:
         handler=None,
         use_snapshots: bool = True,
         batch_concurrency: int = 4,
+        autopilot_config=None,
     ) -> None:
         if batch_concurrency < 1:
             raise ValueError("batch_concurrency must be >= 1")
@@ -121,6 +136,25 @@ class ReproServer:
             capacity=capacity,
             job_timeout=job_timeout,
         )
+        #: the self-improvement loop (docs/AUTOPILOT.md), or None
+        self.autopilot = None
+        if autopilot_config is not None:
+            from repro.autopilot import Autopilot
+
+            if registry is None:
+                raise ValueError(
+                    "the autopilot requires an artifact registry")
+            self.autopilot = Autopilot(
+                autopilot_config,
+                registry=registry,
+                harness_pool=self.harness_pool,
+                submit=self.queue.submit,
+                current_job=self.queue.current_job,
+                fitness_cache_dir=fitness_cache_dir,
+                use_snapshots=use_snapshots,
+            )
+            # re-enqueue campaigns a previous daemon left mid-evolution
+            self.autopilot.recover()
         self.request_counters: dict[str, int] = {}
         self._counter_lock = threading.Lock()
         self._draining = threading.Event()
@@ -147,10 +181,28 @@ class ReproServer:
     def _execute(self, kind: str, params: dict) -> dict:
         with obs.span(f"serve:job:{kind}"):
             if kind == "evaluate":
-                return run_evaluate(params, self.harness_pool,
-                                    registry=self.registry)
+                router = (self.autopilot.canary_router
+                          if self.autopilot is not None else None)
+                payload = run_evaluate(params, self.harness_pool,
+                                       registry=self.registry,
+                                       canary_router=router)
+                if self.autopilot is not None:
+                    try:
+                        self.autopilot.observe_evaluation(params, payload)
+                        self.autopilot.kick_stalled()
+                    except Exception as exc:  # noqa: BLE001 — the
+                        # evaluate result is good; a monitor hiccup
+                        # must not fail the interactive job
+                        obs.inc("autopilot.observe_errors")
+                        print(f"autopilot: observation failed: {exc}",
+                              file=sys.stderr)
+                return payload
             if kind == "compile":
                 return run_compile(params, registry=self.registry)
+            if kind == "autopilot-step":
+                if self.autopilot is None:
+                    raise ValueError("the autopilot is not enabled")
+                return self.autopilot.campaign_step(params)
             raise ValueError(f"unknown job kind {kind!r}")
 
     # -- lifecycle -------------------------------------------------------
@@ -169,7 +221,14 @@ class ReproServer:
         if already:
             self._drained.wait(timeout=timeout)
             return self._drained.is_set()
+        if self.autopilot is not None:
+            # stop re-enqueueing campaign steps *before* the queue
+            # drain cancels the queued ones, or a running step would
+            # immediately replace its cancelled successor
+            self.autopilot.begin_drain()
         drained = self.queue.drain(timeout=timeout)
+        if self.autopilot is not None:
+            self.autopilot.finish_drain()
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._serve_thread is not None:
@@ -332,9 +391,28 @@ def _make_handler(server: ReproServer):
                 if server.registry is None:
                     raise _ApiError(404, "no artifact store configured")
                 self._send_json(200, {"artifacts": server.registry.list()})
+            elif (path.startswith(f"{API_PREFIX}/artifacts/")
+                    and path.endswith("/lineage")):
+                self._allow(method, "GET")
+                ref = path[len(f"{API_PREFIX}/artifacts/"):
+                           -len("/lineage")]
+                self._get_lineage(ref)
             elif path.startswith(f"{API_PREFIX}/artifacts/"):
                 self._allow(method, "GET")
                 self._get_artifact(path[len(f"{API_PREFIX}/artifacts/"):])
+            elif path == f"{API_PREFIX}/autopilot/status":
+                self._allow(method, "GET")
+                self._autopilot_status()
+            elif path == f"{API_PREFIX}/channels":
+                self._allow(method, "GET")
+                if server.registry is None:
+                    raise _ApiError(404, "no artifact store configured")
+                self._send_json(200, {
+                    "schema": API_SCHEMA, "ok": True,
+                    "channels": server.registry.channels()})
+            elif path.startswith(f"{API_PREFIX}/channels/"):
+                self._channels(method,
+                               path[len(f"{API_PREFIX}/channels/"):])
             elif (path.startswith(f"{API_PREFIX}/jobs/")
                     and path.endswith("/cancel")):
                 self._allow(method, "POST")
@@ -435,6 +513,72 @@ def _make_handler(server: ReproServer):
                 raise _ApiError(404, str(exc))
             self._send_json(200, artifact.to_json_dict())
 
+        def _get_lineage(self, ref: str) -> None:
+            from repro.serve.artifact import ArtifactError
+
+            if server.registry is None:
+                raise _ApiError(404, "no artifact store configured")
+            try:
+                chain = server.registry.lineage(ref)
+            except ArtifactError as exc:
+                raise _ApiError(404, str(exc))
+            self._send_json(200, {
+                "schema": API_SCHEMA, "ok": True, "lineage": chain})
+
+        def _autopilot_status(self) -> None:
+            if server.autopilot is None:
+                self._send_json(200, {
+                    "schema": API_SCHEMA, "ok": True, "enabled": False})
+                return
+            self._send_json(200, server.autopilot.status())
+
+        def _channels(self, method: str, rest: str) -> None:
+            """The channel-pointer API under /v1/channels/<case>/<machine>:
+            GET a track, POST a pointer move, POST <track>/promote or
+            <track>/rollback."""
+            from repro.serve.artifact import ArtifactError
+
+            if server.registry is None:
+                raise _ApiError(404, "no artifact store configured")
+            parts = rest.split("/")
+            action = None
+            if len(parts) == 3 and parts[2] in ("promote", "rollback"):
+                case, machine, action = parts
+            elif len(parts) == 2:
+                case, machine = parts
+            else:
+                raise _ApiError(404, f"no channels route {rest!r}")
+            try:
+                if action is not None:
+                    self._allow(method, "POST")
+                    move = (server.registry.promote(case, machine)
+                            if action == "promote"
+                            else server.registry.rollback(case, machine))
+                    self._send_json(200, {
+                        "schema": API_SCHEMA, "ok": True,
+                        "action": action, **move})
+                elif method == "POST":
+                    body = self._read_body()
+                    if "channel" not in body:
+                        raise _ApiError(400, "body requires 'channel'")
+                    move = server.registry.set_channel(
+                        case, machine, body["channel"],
+                        body.get("artifact"))
+                    self._send_json(200, {
+                        "schema": API_SCHEMA, "ok": True,
+                        "action": "set", **move})
+                else:
+                    self._allow(method, "GET")
+                    track = server.registry.channels().get(
+                        f"{case}/{machine}")
+                    if track is None:
+                        raise _ApiError(
+                            404, f"no {case}/{machine} track")
+                    self._send_json(200, {
+                        "schema": API_SCHEMA, "ok": True, **track})
+            except ArtifactError as exc:
+                raise _ApiError(409, str(exc))
+
         def _get_job(self, job_id: str) -> None:
             job = server.queue.get(job_id)
             if job is None:
@@ -449,6 +593,7 @@ def _make_handler(server: ReproServer):
             self._send_json(200, {
                 "job_id": job_id,
                 "cancelled": cancelled,
+                "cancel_requested": job.cancel_requested,
                 "state": job.state,
             })
 

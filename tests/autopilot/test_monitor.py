@@ -1,0 +1,132 @@
+"""Quality monitor: deterministic sampling, rolling windows, trip
+logic, and restart persistence."""
+
+import pytest
+
+from repro.autopilot import AutopilotConfig, QualityMonitor
+from repro.autopilot.monitor import traffic_hash
+
+ART = "a" * 64
+
+
+def config(tmp_path, **overrides):
+    defaults = dict(state_dir=str(tmp_path / "autopilot"),
+                    sample_rate=0.5, window_size=4, window_min=2,
+                    threshold=0.999)
+    defaults.update(overrides)
+    return AutopilotConfig(**defaults)
+
+
+class TestConfig:
+    def test_round_trip(self, tmp_path):
+        cfg = config(tmp_path)
+        assert AutopilotConfig.from_json_dict(cfg.to_json_dict()) == cfg
+
+    def test_unknown_field_rejected(self, tmp_path):
+        data = config(tmp_path).to_json_dict()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown autopilot"):
+            AutopilotConfig.from_json_dict(data)
+
+    @pytest.mark.parametrize("field,value", [
+        ("sample_rate", 1.5),
+        ("canary_fraction", -0.1),
+        ("window_min", 0),
+        ("window_size", 1),  # < window_min default 4
+        ("max_pairs", 1),  # < min_pairs default 3
+        ("alpha", 0.0),
+        ("population", 1),
+        ("generations", 0),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            AutopilotConfig(**{field: value})
+
+
+class TestSampling:
+    def test_decision_is_a_function_of_the_count(self, tmp_path):
+        monitor = QualityMonitor(config(tmp_path))
+        first = [monitor.should_sample("hyperblock", "codrle4", "train")
+                 for _ in range(16)]
+        # mix of sampled and skipped at rate 0.5
+        assert any(first) and not all(first)
+        # replaying the same 16 observations against fresh state gives
+        # the identical decision sequence
+        replay = QualityMonitor(config(tmp_path / "other"))
+        assert [replay.should_sample("hyperblock", "codrle4", "train")
+                for _ in range(16)] == first
+
+    def test_counts_survive_restart(self, tmp_path):
+        cfg = config(tmp_path)
+        monitor = QualityMonitor(cfg)
+        first = [monitor.should_sample("hyperblock", "codrle4", "train")
+                 for _ in range(8)]
+        resumed = QualityMonitor(cfg)  # same state_dir: picks up counts
+        rest = [resumed.should_sample("hyperblock", "codrle4", "train")
+                for _ in range(8)]
+        uninterrupted = QualityMonitor(config(tmp_path / "other"))
+        assert first + rest == [
+            uninterrupted.should_sample("hyperblock", "codrle4", "train")
+            for _ in range(16)]
+
+    def test_rate_extremes(self, tmp_path):
+        always = QualityMonitor(config(tmp_path / "a", sample_rate=1.0))
+        assert all(always.should_sample("c", "b", "train")
+                   for _ in range(8))
+        never = QualityMonitor(config(tmp_path / "b", sample_rate=0.0))
+        assert not any(never.should_sample("c", "b", "train")
+                       for _ in range(8))
+
+    def test_traffic_hash_is_stable(self):
+        assert traffic_hash("x") == traffic_hash("x")
+        assert 0 <= traffic_hash("anything") < 10_000
+
+
+class TestWindows:
+    def test_same_benchmark_replaces_not_appends(self, tmp_path):
+        monitor = QualityMonitor(config(tmp_path))
+        for _ in range(5):
+            summary = monitor.record(ART, "codrle4", "train", 0.9)
+        assert summary["samples"] == 1
+
+    def test_trip_needs_window_min_and_low_mean(self, tmp_path):
+        monitor = QualityMonitor(config(tmp_path))
+        assert monitor.record(ART, "b1", "train", 0.5)["tripped"] is False
+        assert monitor.record(ART, "b2", "train", 0.5)["tripped"] is True
+        # a healthy mean never trips
+        other = "b" * 64
+        monitor.record(other, "b1", "train", 1.2)
+        assert monitor.record(other, "b2", "train",
+                              1.1)["tripped"] is False
+
+    def test_rolling_eviction(self, tmp_path):
+        monitor = QualityMonitor(config(tmp_path))  # window_size=4
+        for index in range(6):
+            monitor.record(ART, f"b{index}", "train", 1.0 + index)
+        status = monitor.status()[ART]
+        assert status["samples"] == 4
+        # the two oldest (1.0, 2.0) were evicted
+        assert status["mean_speedup"] == pytest.approx(
+            (3.0 + 4.0 + 5.0 + 6.0) / 4)
+
+    def test_worst_benchmark_deterministic(self, tmp_path):
+        monitor = QualityMonitor(config(tmp_path))
+        monitor.record(ART, "slow", "train", 0.7)
+        monitor.record(ART, "slower", "novel", 0.6)
+        monitor.record(ART, "fine", "train", 1.1)
+        assert monitor.worst_benchmark(ART) == ("slower", "novel")
+
+    def test_windows_survive_restart(self, tmp_path):
+        cfg = config(tmp_path)
+        monitor = QualityMonitor(cfg)
+        monitor.record(ART, "b1", "train", 0.5)
+        resumed = QualityMonitor(cfg)
+        assert resumed.record(ART, "b2", "train",
+                              0.5)["tripped"] is True
+
+    def test_reset_forgets_the_window(self, tmp_path):
+        monitor = QualityMonitor(config(tmp_path))
+        monitor.record(ART, "b1", "train", 0.5)
+        monitor.record(ART, "b2", "train", 0.5)
+        monitor.reset_window(ART)
+        assert monitor.status() == {}

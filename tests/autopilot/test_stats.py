@@ -1,0 +1,74 @@
+"""The exact sign test and the canary verdict policy."""
+
+import pytest
+
+from repro.autopilot.stats import paired_verdict, sign_test_p_value
+
+
+class TestSignTest:
+    def test_exact_small_cases(self):
+        assert sign_test_p_value(0, 0) == 1.0
+        assert sign_test_p_value(1, 1) == 0.5
+        assert sign_test_p_value(2, 2) == 0.25
+        assert sign_test_p_value(3, 3) == 0.125
+        # P(X >= 2 | n=3) = (3 + 1) / 8
+        assert sign_test_p_value(2, 3) == 0.5
+        assert sign_test_p_value(0, 3) == 1.0
+
+    def test_symmetry(self):
+        # P(X >= w) + P(X >= n - w + 1) == 1 for the fair coin
+        for trials in range(1, 12):
+            for wins in range(trials + 1):
+                total = (sign_test_p_value(wins, trials)
+                         + sign_test_p_value(trials - wins + 1, trials)
+                         if wins >= 1 else None)
+                if total is not None:
+                    assert total == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sign_test_p_value(3, 2)
+        with pytest.raises(ValueError):
+            sign_test_p_value(-1, 2)
+
+
+class TestPairedVerdict:
+    def test_unanimous_wins_promote(self):
+        pairs = [(100, 90), (200, 180), (300, 299)]
+        verdict = paired_verdict(pairs, min_pairs=3, max_pairs=12,
+                                 alpha=0.125)
+        assert verdict["decision"] == "promote"
+        assert verdict["wins"] == 3 and verdict["losses"] == 0
+        assert verdict["p_value"] == 0.125
+
+    def test_unanimous_losses_rollback(self):
+        pairs = [(90, 100), (180, 200), (299, 300)]
+        verdict = paired_verdict(pairs, min_pairs=3, max_pairs=12,
+                                 alpha=0.125)
+        assert verdict["decision"] == "rollback"
+
+    def test_below_min_pairs_continues(self):
+        verdict = paired_verdict([(100, 90), (200, 180)], min_pairs=3,
+                                 max_pairs=12, alpha=0.125)
+        assert verdict["decision"] == "continue"
+
+    def test_mixed_evidence_continues(self):
+        pairs = [(100, 90), (90, 100), (200, 180), (180, 200)]
+        verdict = paired_verdict(pairs, min_pairs=3, max_pairs=12,
+                                 alpha=0.125)
+        assert verdict["decision"] == "continue"
+
+    def test_inconclusive_at_max_pairs_fails_safe(self):
+        pairs = [(100, 90), (90, 100)] * 6  # 12 pairs, dead even
+        verdict = paired_verdict(pairs, min_pairs=3, max_pairs=12,
+                                 alpha=0.125)
+        assert verdict["decision"] == "rollback"
+
+    def test_ties_carry_no_information(self):
+        # deterministic simulation produces exact ties constantly;
+        # they must not dilute the test
+        pairs = [(100, 100)] * 8 + [(100, 90), (200, 180), (300, 299)]
+        verdict = paired_verdict(pairs, min_pairs=3, max_pairs=20,
+                                 alpha=0.125)
+        assert verdict["ties"] == 8
+        assert verdict["decision"] == "promote"

@@ -66,8 +66,9 @@ class TestHappyPath:
         job = Job(id="job-000001", kind="evaluate", params={},
                   deadline=None)
         assert set(job.to_json_dict()) == {
-            "id", "kind", "state", "result", "error", "created_at",
-            "started_at", "finished_at"}
+            "id", "kind", "priority", "state", "result", "error",
+            "cancel_requested", "created_at", "started_at",
+            "finished_at"}
 
 
 class TestBackpressure:
@@ -126,10 +127,122 @@ class TestCancel:
         job = queue.submit("evaluate", {})
         assert wait_until(lambda: queue.get(job.id).state == "running")
         assert queue.cancel(job.id) is False
+        # ... but the running job is flagged for cooperative cancel
+        assert queue.get(job.id).cancel_requested is True
         assert queue.cancel("job-999999") is False
         gate.set()
         assert queue.drain(timeout=5.0)
         assert queue.get(job.id).state == "done"
+
+    def test_cooperative_cancel_seen_by_handler(self):
+        flagged = threading.Event()
+        observed = []
+
+        def handler(kind, params):
+            current = queue.current_job()
+            flagged.wait(10)
+            observed.append(current.cancel_requested)
+            return {"stopped_early": current.cancel_requested}
+
+        queue = JobQueue(handler, workers=1, capacity=4)
+        job = queue.submit("campaign-step", {})
+        assert wait_until(lambda: queue.get(job.id).state == "running")
+        queue.cancel(job.id)  # running: flag only
+        flagged.set()
+        assert wait_until(lambda: queue.get(job.id).finished)
+        assert observed == [True]
+        # the handler honored the flag and still finished normally
+        assert queue.get(job.id).state == "done"
+        assert queue.get(job.id).result == {"stopped_early": True}
+        assert queue.drain(timeout=5.0)
+
+
+class TestPriority:
+    def test_interactive_preempts_queued_background(self):
+        order = []
+        gate = threading.Event()
+
+        def handler(kind, params):
+            if params.get("hold"):
+                gate.wait(10)
+            order.append(params["n"])
+
+        queue = JobQueue(handler, workers=1, capacity=16)
+        queue.submit("evaluate", {"n": "hold", "hold": True})
+        assert wait_until(lambda: queue.stats()["running"] == 1)
+        queue.submit("autopilot-step", {"n": "bg1"},
+                     priority="background")
+        queue.submit("autopilot-step", {"n": "bg2"},
+                     priority="background")
+        queue.submit("evaluate", {"n": "fg1"})
+        queue.submit("evaluate", {"n": "fg2"})
+        gate.set()
+        # drain would cancel queued background work, so wait for the
+        # backlog to empty first
+        assert wait_until(lambda: len(order) == 5)
+        assert queue.drain(timeout=10.0)
+        # both interactive jobs ran before any queued background job
+        assert order == ["hold", "fg1", "fg2", "bg1", "bg2"]
+
+    def test_unknown_priority_rejected(self):
+        queue = JobQueue(echo_handler, workers=1, capacity=4)
+        with pytest.raises(ValueError, match="priority"):
+            queue.submit("evaluate", {}, priority="urgent")
+        queue.drain(timeout=5.0)
+
+    def test_capacity_accounted_per_class(self):
+        gate = threading.Event()
+        queue = JobQueue(lambda kind, params: gate.wait(10),
+                         workers=1, capacity=1)
+        queue.submit("evaluate", {})
+        assert wait_until(lambda: queue.stats()["running"] == 1)
+        queue.submit("evaluate", {})
+        with pytest.raises(QueueFull):
+            queue.submit("evaluate", {})
+        # the background class has its own accounting: still room
+        queue.submit("autopilot-step", {}, priority="background")
+        with pytest.raises(QueueFull):
+            queue.submit("autopilot-step", {}, priority="background")
+        assert queue.stats()["background_depth"] == 1
+        gate.set()
+        assert queue.drain(timeout=5.0)
+
+    def test_background_jobs_have_no_deadline(self):
+        queue = JobQueue(echo_handler, workers=1, capacity=4,
+                         job_timeout=0.05)
+        fg = queue.submit("evaluate", {})
+        bg = queue.submit("autopilot-step", {}, priority="background")
+        assert fg.deadline is not None
+        assert bg.deadline is None
+        queue.drain(timeout=5.0)
+
+    def test_drain_cancels_queued_background_jobs(self):
+        gate = threading.Event()
+        ran = []
+
+        def handler(kind, params):
+            if params.get("hold"):
+                gate.wait(10)
+            ran.append(params["n"])
+
+        queue = JobQueue(handler, workers=1, capacity=16)
+        queue.submit("evaluate", {"n": "hold", "hold": True})
+        assert wait_until(lambda: queue.stats()["running"] == 1)
+        queued_bg = queue.submit("autopilot-step", {"n": "bg"},
+                                 priority="background")
+        queued_fg = queue.submit("evaluate", {"n": "fg"})
+        drainer = threading.Thread(
+            target=lambda: queue.drain(timeout=10.0))
+        drainer.start()
+        gate.set()
+        drainer.join(timeout=10.0)
+        assert not drainer.is_alive()
+        # queued interactive work finished; queued background work was
+        # cancelled (it is a resumable checkpointed step)
+        assert ran == ["hold", "fg"]
+        assert queue.get(queued_fg.id).state == "done"
+        assert queue.get(queued_bg.id).state == "cancelled"
+        assert "drain" in queue.get(queued_bg.id).error
 
 
 class TestTimeout:

@@ -399,3 +399,94 @@ class TestGracefulDrain:
         # the job submitted just before SIGTERM still ran to completion
         assert final["done"] == 1
         assert final["depth"] == 0 and final["running"] == 0
+
+    @pytest.mark.slow
+    def test_sigterm_drains_mid_campaign_generation(self, tmp_path):
+        """SIGTERM while an autopilot campaign is evolving: the
+        in-flight generation finishes and checkpoints, queued campaign
+        steps are shed, interactive jobs complete, and the daemon
+        exits 0 with the campaign parked resumably on disk."""
+        from repro.gp.parse import unparse
+        from repro.metaopt.baselines import BASELINE_TREES
+        from repro.serve.registry import ArtifactRegistry
+
+        registry = ArtifactRegistry(tmp_path / "store")
+        baseline_expr = unparse(BASELINE_TREES["hyperblock"]())
+        bad = build_artifact(
+            case="hyperblock",
+            expression=f"(sub 0.0000 {baseline_expr})",
+            machine=DEFAULT_EPIC,
+            training_config={"mode": "manual"}, metrics={},
+            created_at=1.0)
+        registry.save(bad)
+        registry.set_channel("hyperblock", DEFAULT_EPIC.name, "stable",
+                             bad.artifact_id)
+        config_path = tmp_path / "autopilot.json"
+        config_path.write_text(json.dumps({
+            "sample_rate": 1.0, "window_size": 8, "window_min": 3,
+            "threshold": 0.999, "canary_fraction": 1.0,
+            "min_pairs": 3, "max_pairs": 8, "alpha": 0.125,
+            "population": 8, "generations": 12, "gp_seed": 11,
+        }))
+        state_dir = tmp_path / "autopilot"
+        env = dict(os.environ,
+                   PYTHONPATH=str(REPO_ROOT / "src"),
+                   REPRO_ARTIFACT_STORE=str(tmp_path / "store"))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2", "--drain-timeout", "120",
+             "--autopilot", str(state_dir),
+             "--autopilot-config", str(config_path)],
+            cwd=tmp_path, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True)
+        try:
+            banner = proc.stdout.readline()
+            assert banner.startswith("serving on http://")
+            url = banner.split()[2]
+            client = ServeClient(url, timeout=60.0)
+            # trip the monitor: three losing benchmarks at rate 1.0
+            for bench in ("diamond-join", "023.eqntott", "codrle4"):
+                client.evaluate(bench, case="hyperblock",
+                                channel="stable", timeout=120.0)
+            campaigns = wait_until(
+                lambda: client.autopilot_status()["campaigns"] or None,
+                timeout=60.0)
+            name = campaigns[0]["name"]
+            checkpoint = state_dir / "campaigns" / name / "checkpoint.pkl"
+            wait_until(checkpoint.exists, timeout=60.0)
+            assert client.autopilot_status()["campaigns"][0][
+                "phase"] == "evolving"
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=180)
+        except BaseException:
+            proc.kill()
+            proc.communicate()
+            raise
+        assert proc.returncode == 0, stderr
+        assert "serve: drained" in stderr
+        metrics_line = next(line for line in stderr.splitlines()
+                            if line.startswith("serve: final metrics "))
+        final = json.loads(metrics_line[len("serve: final metrics "):])
+        assert final["depth"] == 0 and final["running"] == 0
+        assert final["background_depth"] == 0
+        # every interactive evaluate completed; only campaign steps
+        # were shed by the drain
+        assert final["done"] >= 3
+        # the campaign is parked resumably: checkpoint on disk, record
+        # still in its evolving phase
+        assert checkpoint.exists()
+        record = json.loads(
+            (state_dir / "campaigns" / name / "campaign.json")
+            .read_text())
+        assert record["phase"] == "evolving"
+        assert record["parent_id"] == bad.artifact_id
+
+
+def wait_until(predicate, timeout=30.0, poll=0.1):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll)
+    raise AssertionError("timed out")
